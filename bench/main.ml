@@ -1,0 +1,673 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4). Default runs are scaled down so the whole suite
+   finishes in minutes; --full selects the paper-scale parameters.
+
+     dune exec bench/main.exe                     all experiments, scaled
+     dune exec bench/main.exe -- --only fig42
+     dune exec bench/main.exe -- --full --only table2
+     dune exec bench/main.exe -- --micro          Bechamel micro-suite *)
+
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+module Timer = Tsg_util.Timer
+module Table = Tsg_util.Text_table
+module Synth_graph = Tsg_data.Synth_graph
+module Datasets = Tsg_data.Datasets
+module Pathways = Tsg_data.Pathways
+module Pte = Tsg_data.Pte
+module Taxogram = Tsg_core.Taxogram
+module Tacgm = Tsg_core.Tacgm
+module Specialize = Tsg_core.Specialize
+
+type ctx = {
+  scale : float;  (* database-size multiplier vs the paper *)
+  go_concepts : int;  (* GO stand-in size (paper: 7800) *)
+  seed : int;
+  theta : float;  (* default support threshold (paper: 0.2) *)
+  tacgm_seconds : float;  (* time budget per TAcGM run *)
+  tacgm_embeddings : int;  (* simulated memory budget per TAcGM run *)
+  pte_molecules : int;
+  pte_max_edges : int option;
+  baseline_seconds : float;  (* time budget for enhancement-free runs *)
+}
+
+let default_ctx =
+  {
+    scale = 0.03;
+    go_concepts = 800;
+    seed = 20080325; (* EDBT'08 opened on 2008-03-25 *)
+    theta = 0.2;
+    tacgm_seconds = 60.0;
+    tacgm_embeddings = 3_000_000;
+    pte_molecules = 120;
+    pte_max_edges = Some 5;
+    baseline_seconds = 120.0;
+  }
+
+let full_ctx =
+  {
+    default_ctx with
+    scale = 1.0;
+    go_concepts = Tsg_taxonomy.Go_like.paper_concepts;
+    tacgm_seconds = 1200.0;
+    tacgm_embeddings = 50_000_000;
+    pte_molecules = Pte.paper_graph_count;
+    pte_max_edges = None;
+    baseline_seconds = 3600.0;
+  }
+
+let header title = Printf.printf "\n=== %s ===\n" title
+
+let note fmt = Printf.printf fmt
+
+let ms s = Printf.sprintf "%.0f" (1000.0 *. s)
+
+(* when --csv DIR is given, every printed table is also written there *)
+let csv_dir : string option ref = ref None
+
+let finish_table name t =
+  Table.print t;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Table.save_csv t (Filename.concat dir (name ^ ".csv"))
+
+let go_taxonomy ctx =
+  Tsg_taxonomy.Go_like.generate ~concepts:ctx.go_concepts
+    (Prng.of_int ctx.seed)
+
+let build_scaled ctx tax spec =
+  let rng = Prng.of_int (ctx.seed + Hashtbl.hash spec.Datasets.id) in
+  let spec = Datasets.scale ctx.scale spec in
+  let db =
+    Datasets.build rng ~node_label:(Synth_graph.uniform_labels tax) spec
+  in
+  (spec, db)
+
+let run_taxogram ?max_edges ?(enhancements = Specialize.all_on) tax db theta =
+  let config = { Taxogram.min_support = theta; max_edges; enhancements } in
+  let r = Taxogram.run_streaming ~config tax db (fun _ -> ()) in
+  (r.Taxogram.total_seconds, r.Taxogram.pattern_count)
+
+(* enhancement-free runs can take hours on the larger points (that is the
+   point of the comparison); cut them off and report DNF like the paper's
+   failed comparator runs *)
+let run_budgeted ?max_edges ?(enhancements = Specialize.all_off) ctx tax db
+    theta =
+  let config = { Taxogram.min_support = theta; max_edges; enhancements } in
+  let budget = Timer.Budget.of_seconds ctx.baseline_seconds in
+  let r = Taxogram.run_streaming ~config ~budget tax db (fun _ -> ()) in
+  let status =
+    if r.Taxogram.completed then ms r.Taxogram.total_seconds else "DNF"
+  in
+  (status, r.Taxogram.pattern_count)
+
+let run_baseline ctx tax db theta = fst (run_budgeted ctx tax db theta)
+
+let run_tacgm ?max_edges ctx tax db theta =
+  let r =
+    Tacgm.run ?max_edges ~embedding_budget:ctx.tacgm_embeddings
+      ~time_budget:(Timer.Budget.of_seconds ctx.tacgm_seconds)
+      ~min_support:theta tax db
+  in
+  match r.Tacgm.outcome with
+  | Tacgm.Completed -> ms r.Tacgm.total_seconds
+  | Tacgm.Out_of_memory -> "OOM"
+  | Tacgm.Timed_out -> "DNF"
+
+(* --- Table 1: dataset properties ------------------------------------------ *)
+
+let table1 ctx =
+  header "Table 1: properties of experimental data sets";
+  note "(scaled to %.0f%% of the paper's database sizes)\n" (100.0 *. ctx.scale);
+  let t =
+    Table.create
+      [ "DB Id"; "DB Size"; "Avg Nodes"; "Avg Edges"; "Dist Labels"; "Density" ]
+  in
+  let add_row id db =
+    let s = Db.statistics db in
+    Table.add_row t
+      [
+        id;
+        string_of_int s.Db.graphs;
+        Printf.sprintf "%.1f" s.Db.avg_nodes;
+        Printf.sprintf "%.1f" s.Db.avg_edges;
+        string_of_int s.Db.distinct_labels;
+        Printf.sprintf "%.2f" s.Db.avg_density;
+      ]
+  in
+  let go = go_taxonomy ctx in
+  List.iter
+    (fun spec ->
+      let spec, db = build_scaled ctx go spec in
+      add_row spec.Datasets.id db)
+    (Datasets.d_series @ Datasets.nc_series @ Datasets.ed_series);
+  List.iter
+    (fun depth ->
+      let rng = Prng.of_int (ctx.seed + depth) in
+      let tax =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts = 1000; relationships = 2000; depth }
+      in
+      let sampler = Synth_graph.per_level_labels tax () in
+      let spec = Datasets.scale ctx.scale (Datasets.td_spec ~depth) in
+      let db = Datasets.build rng ~node_label:sampler spec in
+      add_row spec.Datasets.id db)
+    Datasets.td_depths;
+  List.iter
+    (fun concepts ->
+      let rng = Prng.of_int (ctx.seed + concepts) in
+      let tax =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts; relationships = 2 * concepts; depth = 10 }
+      in
+      let sampler = Synth_graph.uniform_labels tax in
+      let spec = Datasets.scale ctx.scale (Datasets.ts_spec ~concepts) in
+      let db = Datasets.build rng ~node_label:sampler spec in
+      add_row spec.Datasets.id db)
+    Datasets.ts_concept_counts;
+  let atom_tax = Tsg_taxonomy.Atom_taxonomy.create () in
+  let pte_db =
+    Pte.generate (Prng.of_int ctx.seed) ~taxonomy:atom_tax
+      ~molecules:ctx.pte_molecules ()
+  in
+  add_row "PTE" pte_db;
+  finish_table "table1" t;
+  note
+    "paper: D/NC/ED/TD/TS rows average 6-15 nodes, 6-21 edges, density\n\
+     0.06-0.32; PTE is 416 graphs averaging 22.6 nodes at density 0.12.\n"
+
+(* --- Figure 4.2: runtime vs database size ---------------------------------- *)
+
+let fig42 ctx =
+  header "Figure 4.2: running time vs database size (theta=0.2)";
+  let go = go_taxonomy ctx in
+  let t =
+    Table.create
+      [ "DB"; "Graphs"; "Taxogram ms"; "TAcGM ms"; "Baseline ms"; "Patterns" ]
+  in
+  List.iter
+    (fun spec ->
+      let spec, db = build_scaled ctx go spec in
+      let tg_s, tg_n = run_taxogram go db ctx.theta in
+      let ta_status = run_tacgm ctx go db ctx.theta in
+      let bl_status = run_baseline ctx go db ctx.theta in
+      Table.add_row t
+        [
+          spec.Datasets.id;
+          string_of_int (Db.size db);
+          ms tg_s;
+          ta_status;
+          bl_status;
+          string_of_int tg_n;
+        ])
+    Datasets.d_series;
+  finish_table "fig42" t;
+  note
+    "paper shape: Taxogram nearly flat (seconds); TAcGM grows steeply and\n\
+     hits out-of-memory beyond 4000 graphs; the baseline is the slowest\n\
+     completing line.\n"
+
+(* --- Figure 4.3: runtime vs max graph size ---------------------------------- *)
+
+let fig43 ctx =
+  header "Figure 4.3: running time vs max graph size (|D|=4000, theta=0.2)";
+  let go = go_taxonomy ctx in
+  let t =
+    Table.create
+      [ "DB"; "MaxEdges"; "Taxogram ms"; "TAcGM ms"; "Baseline ms"; "Patterns" ]
+  in
+  List.iter
+    (fun spec ->
+      let spec, db = build_scaled ctx go spec in
+      let tg_s, tg_n = run_taxogram go db ctx.theta in
+      let ta_status = run_tacgm ctx go db ctx.theta in
+      let bl_status = run_baseline ctx go db ctx.theta in
+      Table.add_row t
+        [
+          spec.Datasets.id;
+          string_of_int spec.Datasets.max_edges;
+          ms tg_s;
+          ta_status;
+          bl_status;
+          string_of_int tg_n;
+        ])
+    Datasets.nc_series;
+  finish_table "fig43" t;
+  note
+    "paper shape: Taxogram's growth rate is well below TAcGM's, and TAcGM\n\
+     dies (OOM) once graphs exceed 20 edges.\n"
+
+(* --- Figure 4.4: runtime & pattern count vs edge density --------------------- *)
+
+let fig44 ctx =
+  header "Figure 4.4: running time and pattern count vs edge density";
+  let go = go_taxonomy ctx in
+  let t = Table.create [ "DB"; "Density"; "Taxogram ms"; "Patterns" ] in
+  List.iter
+    (fun spec ->
+      let spec, db = build_scaled ctx go spec in
+      let tg_s, tg_n = run_taxogram go db ctx.theta in
+      Table.add_row t
+        [
+          spec.Datasets.id;
+          Printf.sprintf "%.2f" spec.Datasets.edge_density;
+          ms tg_s;
+          string_of_int tg_n;
+        ])
+    Datasets.ed_series;
+  finish_table "fig44" t;
+  note
+    "paper shape: roughly linear up to density 0.10, then superlinear as\n\
+     occurrence indices and the pattern count blow up.\n"
+
+(* --- Figure 4.5: taxonomy depth ---------------------------------------------- *)
+
+let fig45 ctx =
+  header "Figure 4.5: performance vs taxonomy depth (1000 concepts, 2000 rels)";
+  let t = Table.create [ "Depth"; "Taxogram ms"; "Patterns" ] in
+  List.iter
+    (fun depth ->
+      let rng = Prng.of_int (ctx.seed + depth) in
+      let tax =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts = 1000; relationships = 2000; depth }
+      in
+      let sampler = Synth_graph.per_level_labels tax () in
+      let spec = Datasets.scale ctx.scale (Datasets.td_spec ~depth) in
+      let db = Datasets.build rng ~node_label:sampler spec in
+      let tg_s, tg_n = run_taxogram tax db ctx.theta in
+      Table.add_row t [ string_of_int depth; ms tg_s; string_of_int tg_n ])
+    Datasets.td_depths;
+  finish_table "fig45" t;
+  note
+    "paper shape: flat until depth ~13, then the pattern count (and with it\n\
+     the running time) grows steeply; TAcGM cannot run these at all.\n"
+
+(* --- Figure 4.6: taxonomy size ------------------------------------------------ *)
+
+let fig46 ctx =
+  header "Figure 4.6: performance vs taxonomy size (fixed depth 10)";
+  let t = Table.create [ "Concepts"; "Taxogram ms"; "Patterns" ] in
+  List.iter
+    (fun concepts ->
+      let rng = Prng.of_int (ctx.seed + concepts) in
+      let tax =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts; relationships = 2 * concepts; depth = 10 }
+      in
+      let sampler = Synth_graph.uniform_labels tax in
+      let spec = Datasets.scale ctx.scale (Datasets.ts_spec ~concepts) in
+      let db = Datasets.build rng ~node_label:sampler spec in
+      let tg_s, tg_n = run_taxogram tax db ctx.theta in
+      Table.add_row t [ string_of_int concepts; ms tg_s; string_of_int tg_n ])
+    Datasets.ts_concept_counts;
+  finish_table "fig46" t;
+  note
+    "paper shape: running time follows the pattern count, which generally\n\
+     falls as the label vocabulary grows (fewer co-occurrences), with a\n\
+     bump at small-to-mid taxonomy sizes (the paper sees it at 100).\n"
+
+(* --- Figure 4.7: support threshold --------------------------------------------- *)
+
+let fig47 ctx =
+  header "Figure 4.7: Taxogram vs TAcGM at different support thresholds (D4000)";
+  let go = go_taxonomy ctx in
+  let _, db = build_scaled ctx go Datasets.d4000 in
+  let t = Table.create [ "Support"; "Taxogram ms"; "Patterns"; "TAcGM ms" ] in
+  List.iter
+    (fun theta ->
+      let tg_status, tg_n =
+        run_budgeted ~enhancements:Specialize.all_on ctx go db theta
+      in
+      let ta_status = run_tacgm ctx go db theta in
+      Table.add_row t
+        [ Printf.sprintf "%.2f" theta; tg_status; string_of_int tg_n;
+          ta_status ])
+    [ 0.6; 0.5; 0.4; 0.3; 0.2; 0.1; 0.05; 0.02 ];
+  finish_table "fig47" t;
+  note
+    "paper shape: Taxogram grows smoothly down to theta=0.02; TAcGM grows\n\
+     exponentially below 0.3 and fails below 0.2 (out of memory).\n"
+
+(* --- Table 2: pathways ----------------------------------------------------------- *)
+
+let table2 ctx =
+  header "Table 2: conserved pathway fragments across 30 prokaryotes (theta=0.2)";
+  let rng = Prng.of_int ctx.seed in
+  (* the pathway study always uses a full-size GO stand-in, like the paper:
+     generating 7,800 concepts is cheap, and a thinner vocabulary would
+     inflate label co-occurrences *)
+  let go =
+    Tsg_taxonomy.Go_like.generate
+      ~concepts:(max ctx.go_concepts Tsg_taxonomy.Go_like.paper_concepts)
+      (Prng.of_int ctx.seed)
+  in
+  let t =
+    Table.create
+      [ "Pathway"; "Time ms"; "Patterns"; "Paper ms"; "Paper pats";
+        "Avg nodes"; "Avg edges" ]
+  in
+  let results =
+    List.map
+      (fun (spec : Pathways.spec) ->
+        let db = Pathways.generate rng ~taxonomy:go spec in
+        let tg_status, tg_n =
+          run_budgeted ~max_edges:5 ~enhancements:Specialize.all_on ctx go db
+            ctx.theta
+        in
+        (spec, db, tg_status, tg_n))
+      Pathways.table2
+  in
+  List.iter
+    (fun ((spec : Pathways.spec), db, tg_status, tg_n) ->
+      Table.add_row t
+        [
+          spec.Pathways.name;
+          tg_status;
+          string_of_int tg_n;
+          string_of_int spec.Pathways.paper_time_ms;
+          string_of_int spec.Pathways.paper_patterns;
+          Printf.sprintf "%.1f" (Db.avg_nodes db);
+          Printf.sprintf "%.1f" (Db.avg_edges db);
+        ])
+    results;
+  finish_table "table2" t;
+  (* Spearman rank correlation between our pattern counts and the paper's:
+     does the conservation ordering survive the simulation? *)
+  let ours = List.map (fun (_, _, _, n) -> float_of_int n) results in
+  let papers =
+    List.map
+      (fun ((s : Pathways.spec), _, _, _) ->
+        float_of_int s.Pathways.paper_patterns)
+      results
+  in
+  let rank xs =
+    List.map
+      (fun x -> float_of_int (List.length (List.filter (fun y -> y < x) xs)))
+      xs
+  in
+  let ra = rank ours and rb = rank papers in
+  let n = float_of_int (List.length ra) in
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. n in
+  let ma = mean ra and mb = mean rb in
+  let cov =
+    List.fold_left2 (fun acc a b -> acc +. ((a -. ma) *. (b -. mb))) 0.0 ra rb
+  in
+  let sd xs m =
+    sqrt (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs)
+  in
+  let denom = sd ra ma *. sd rb mb in
+  if denom > 0.0 then
+    note
+      "rank correlation of pattern counts with the paper's Table 2: %.2f\n\
+     \  (the conservation ordering, e.g. Nitrogen metabolism near the top,\n\
+     \  should be broadly preserved)\n"
+      (cov /. denom)
+
+(* --- Figure 4.8: PTE ---------------------------------------------------------------- *)
+
+let fig48 ctx =
+  header "Figure 4.8: performance on (simulated) PTE chemical data";
+  let tax = Tsg_taxonomy.Atom_taxonomy.create () in
+  let db =
+    Pte.generate (Prng.of_int ctx.seed) ~taxonomy:tax
+      ~molecules:ctx.pte_molecules ()
+  in
+  note "molecules=%d avg_nodes=%.1f avg_edges=%.1f%s\n" (Db.size db)
+    (Db.avg_nodes db) (Db.avg_edges db)
+    (match ctx.pte_max_edges with
+    | Some m -> Printf.sprintf " (patterns capped at %d edges)" m
+    | None -> "");
+  let t = Table.create [ "Support*100"; "Taxogram ms"; "Patterns" ] in
+  List.iter
+    (fun theta ->
+      let tg_status, tg_n =
+        run_budgeted ?max_edges:ctx.pte_max_edges
+          ~enhancements:Specialize.all_on ctx tax db theta
+      in
+      Table.add_row t
+        [ Printf.sprintf "%.0f" (100.0 *. theta); tg_status;
+          string_of_int tg_n ])
+    [ 0.6; 0.5; 0.3 ];
+  finish_table "fig48" t;
+  note
+    "paper shape: both running time and pattern count explode even at high\n\
+     supports (10,000 patterns at support 30) because C/H/O dominate the\n\
+     molecules.\n"
+
+(* --- Ablation: the Section 3 efficiency enhancements one by one -------------- *)
+
+let ablation ctx =
+  header "Ablation: Section 3 enhancements (a)-(d) on D3000";
+  let go = go_taxonomy ctx in
+  let _, db = build_scaled ctx go (List.nth Datasets.d_series 2) in
+  let t =
+    Table.create
+      [ "Configuration"; "Time ms"; "Intersections"; "Visited"; "Patterns" ]
+  in
+  let run name enhancements =
+    let config =
+      { Taxogram.min_support = ctx.theta; max_edges = None; enhancements }
+    in
+    let r = Taxogram.run_streaming ~config go db (fun _ -> ()) in
+    Table.add_row t
+      [
+        name;
+        ms r.Taxogram.total_seconds;
+        string_of_int r.Taxogram.spec_stats.Specialize.intersections;
+        string_of_int r.Taxogram.spec_stats.Specialize.visited;
+        string_of_int r.Taxogram.pattern_count;
+      ]
+  in
+  run "all enhancements" Specialize.all_on;
+  run "without (a) child pruning"
+    { Specialize.all_on with child_pruning = false };
+  run "without (b) label prefilter"
+    { Specialize.all_on with label_prefilter = false };
+  run "without (c) start preprocess"
+    { Specialize.all_on with start_preprocess = false };
+  run "without (d) collapse"
+    { Specialize.all_on with collapse_equal_children = false };
+  run "none (baseline)" Specialize.all_off;
+  finish_table "ablation" t;
+  note
+    "every configuration returns the identical pattern set (tested); the\n\
+     table shows what each pruning rule saves.\n";
+  (* step-2 miner choice: gSpan (depth-first) vs the FSG-style level-wise
+     miner -- identical output, different cost profile *)
+  let t2 = Table.create [ "Step-2 miner"; "Time ms"; "Patterns" ] in
+  List.iter
+    (fun (name, miner) ->
+      let config =
+        {
+          Taxogram.min_support = ctx.theta;
+          max_edges = Some 4;
+          enhancements = Specialize.all_on;
+        }
+      in
+      let r =
+        Taxogram.run_streaming ~config ~class_miner:miner go db (fun _ -> ())
+      in
+      Table.add_row t2
+        [ name; ms r.Taxogram.total_seconds;
+          string_of_int r.Taxogram.pattern_count ])
+    [ ("gSpan (depth-first)", `Gspan); ("FSG-style (level-wise)", `Level_wise) ];
+  finish_table "ablation_miner" t2
+
+(* --- Parallel speedup (opt-in: --only parallel) --------------------------------- *)
+
+let parallel_exp ctx =
+  header "Parallel step 3: speedup over sequential (beyond the paper)";
+  (* the deep-taxonomy regime of Figure 4.5, where specialized-pattern
+     enumeration dominates the run *)
+  let depth = 13 in
+  let rng = Prng.of_int (ctx.seed + depth) in
+  let go =
+    Tsg_taxonomy.Synth_taxonomy.generate rng
+      { concepts = 1000; relationships = 2000; depth }
+  in
+  let sampler = Synth_graph.per_level_labels go () in
+  let spec = Datasets.scale ctx.scale (Datasets.td_spec ~depth) in
+  let db = Datasets.build rng ~node_label:sampler spec in
+  let config =
+    { Taxogram.min_support = ctx.theta; max_edges = None;
+      enhancements = Specialize.all_on }
+  in
+  let t = Table.create [ "Mode"; "Total ms"; "Enumerate ms"; "Patterns" ] in
+  let seq = Taxogram.run_streaming ~config go db (fun _ -> ()) in
+  Table.add_row t
+    [ "sequential"; ms seq.Taxogram.total_seconds;
+      ms seq.Taxogram.enumerate_seconds;
+      string_of_int seq.Taxogram.pattern_count ];
+  List.iter
+    (fun domains ->
+      let r = Taxogram.run_parallel ~config ~domains go db in
+      Table.add_row t
+        [ Printf.sprintf "parallel x%d" domains;
+          ms r.Taxogram.total_seconds;
+          ms r.Taxogram.enumerate_seconds;
+          string_of_int r.Taxogram.pattern_count ])
+    [ 2; 4; 8 ];
+  finish_table "parallel" t;
+  note
+    "identical pattern sets (tested). Speedup needs real cores: this host\n\
+     reports %d; with a single CPU the extra domains are pure overhead.\n\
+     Pattern classes are the parallel unit, so skew toward one huge class\n\
+     also bounds the gain.\n"
+    (Domain.recommended_domain_count ())
+
+(* --- Bechamel micro-suite ------------------------------------------------------------ *)
+
+let micro ctx =
+  let open Bechamel in
+  let go = go_taxonomy { ctx with go_concepts = 300 } in
+  let db =
+    Synth_graph.generate (Prng.of_int ctx.seed)
+      {
+        Synth_graph.graph_count = 20;
+        max_edges = 10;
+        edge_density = 0.25;
+        edge_label_count = 5;
+        node_label = Synth_graph.uniform_labels go;
+      }
+  in
+  let a = Tsg_util.Bitset.full 4096 in
+  let b = Tsg_util.Bitset.create 4096 in
+  List.iter (Tsg_util.Bitset.set b) (List.init 1024 (fun i -> 4 * i));
+  let pattern_graph =
+    Graph.build ~labels:[| 0; 0; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ]
+  in
+  let root_pattern =
+    Graph.relabel pattern_graph (fun _ -> List.hd (Taxonomy.roots go))
+  in
+  let tests =
+    [
+      Test.make ~name:"bitset-intersection"
+        (Staged.stage (fun () -> ignore (Tsg_util.Bitset.inter_cardinal a b)));
+      Test.make ~name:"min-dfs-code"
+        (Staged.stage (fun () -> ignore (Tsg_gspan.Min_code.minimum pattern_graph)));
+      Test.make ~name:"generalized-subiso"
+        (Staged.stage (fun () ->
+             ignore
+               (Tsg_iso.Gen_iso.subgraph_isomorphic go ~pattern:root_pattern
+                  ~target:(Db.get db 0))));
+      Test.make ~name:"taxogram-20-graphs"
+        (Staged.stage (fun () -> ignore (run_taxogram go db 0.3)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  header "Bechamel micro-benchmarks (ns/run, OLS on monotonic clock)";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name m ->
+          let ols =
+            Analyze.one
+              (Analyze.ols ~r_square:false ~bootstrap:0
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock m
+          in
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (est :: _) -> Printf.sprintf "%12.0f ns/run" est
+            | _ -> "         n/a"
+          in
+          Printf.printf "  %-24s %s\n" name estimate)
+        results)
+    tests
+
+(* --- driver ---------------------------------------------------------------------------- *)
+
+(* not in the default sweep (it is additional to the paper); run with
+   --only parallel *)
+let optional_experiments = [ ("parallel", parallel_exp) ]
+
+let all_experiments =
+  [
+    ("table1", table1);
+    ("fig42", fig42);
+    ("fig43", fig43);
+    ("fig44", fig44);
+    ("fig45", fig45);
+    ("fig46", fig46);
+    ("fig47", fig47);
+    ("table2", table2);
+    ("fig48", fig48);
+    ("ablation", ablation);
+  ]
+
+let () =
+  let full = ref false in
+  let only = ref [] in
+  let run_micro = ref false in
+  let scale = ref None in
+  let seed = ref None in
+  let spec =
+    [
+      ("--full", Arg.Set full, " paper-scale parameters (slow)");
+      ( "--only",
+        Arg.String (fun s -> only := String.split_on_char ',' s),
+        " comma-separated experiment ids (table1,fig42..fig48,table2)" );
+      ("--micro", Arg.Set run_micro, " run the Bechamel micro-suite");
+      ( "--scale",
+        Arg.Float (fun f -> scale := Some f),
+        " database-size multiplier (default 0.03)" );
+      ("--seed", Arg.Int (fun i -> seed := Some i), " generator seed");
+      ( "--csv",
+        Arg.String (fun d -> csv_dir := Some d),
+        " also write each table as CSV into this directory" );
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "taxogram benchmark harness";
+  let ctx = if !full then full_ctx else default_ctx in
+  let ctx = match !scale with Some s -> { ctx with scale = s } | None -> ctx in
+  let ctx = match !seed with Some s -> { ctx with seed = s } | None -> ctx in
+  Printf.printf
+    "taxogram benchmarks: scale=%.3f go_concepts=%d seed=%d theta=%.2f\n"
+    ctx.scale ctx.go_concepts ctx.seed ctx.theta;
+  if !run_micro then micro ctx
+  else
+    let selected =
+      match !only with
+      | [] -> all_experiments
+      | ids ->
+        List.map
+          (fun id ->
+            match
+              List.assoc_opt id (all_experiments @ optional_experiments)
+            with
+            | Some f -> (id, f)
+            | None ->
+              Printf.eprintf "unknown experiment id: %s\n" id;
+              exit 2)
+          ids
+    in
+    List.iter (fun (_, f) -> f ctx) selected

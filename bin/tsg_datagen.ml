@@ -1,0 +1,136 @@
+(* tsg-datagen: generate taxonomy-superimposed graph datasets to files.
+
+     tsg-datagen synth --graphs 500 --out-db d.db --out-taxonomy d.tax
+     tsg-datagen pathways --pathway "Citrate cycle (TCA cycle)" ...
+     tsg-datagen pte --molecules 416 ... *)
+
+module Db = Tsg_graph.Db
+module Label = Tsg_graph.Label
+module Serial = Tsg_graph.Serial
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
+module Prng = Tsg_util.Prng
+module Synth_graph = Tsg_data.Synth_graph
+module Pathways = Tsg_data.Pathways
+module Pte = Tsg_data.Pte
+
+open Cmdliner
+
+let edge_label_table n = Label.of_names (List.init n (Printf.sprintf "e%d"))
+
+let write ~out_db ~out_tax taxonomy edge_labels db =
+  Taxonomy_io.save out_tax taxonomy;
+  Serial.save_db out_db ~node_labels:(Taxonomy.labels taxonomy) ~edge_labels db;
+  Printf.printf "wrote %d graphs to %s and %d concepts to %s\n" (Db.size db)
+    out_db
+    (Taxonomy.label_count taxonomy)
+    out_tax;
+  0
+
+(* common options *)
+let out_db_arg =
+  Arg.(value & opt string "graphs.db" & info [ "out-db" ] ~docv:"FILE")
+
+let out_tax_arg =
+  Arg.(value & opt string "labels.tax" & info [ "out-taxonomy" ] ~docv:"FILE")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N")
+
+(* synth subcommand *)
+let synth out_db out_tax seed graphs max_edges density edge_labels concepts
+    depth go directed =
+  let rng = Prng.of_int seed in
+  let taxonomy =
+    if go then Tsg_taxonomy.Go_like.generate ~concepts rng
+    else
+      Tsg_taxonomy.Synth_taxonomy.generate rng
+        { concepts; relationships = 2 * concepts; depth }
+  in
+  let params =
+    {
+      Synth_graph.graph_count = graphs;
+      max_edges;
+      edge_density = density;
+      edge_label_count = edge_labels;
+      node_label = Synth_graph.uniform_labels taxonomy;
+    }
+  in
+  if directed then begin
+    let digraphs = Synth_graph.generate_directed rng params in
+    Taxonomy_io.save out_tax taxonomy;
+    Serial.save_digraphs out_db
+      ~node_labels:(Taxonomy.labels taxonomy)
+      ~arc_labels:(edge_label_table edge_labels)
+      digraphs;
+    Printf.printf "wrote %d directed graphs to %s and %d concepts to %s\n"
+      (List.length digraphs) out_db
+      (Taxonomy.label_count taxonomy)
+      out_tax;
+    0
+  end
+  else
+    write ~out_db ~out_tax taxonomy (edge_label_table edge_labels)
+      (Synth_graph.generate rng params)
+
+let synth_cmd =
+  let doc = "synthetic database over a synthetic (or GO-like) taxonomy" in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(
+      const synth $ out_db_arg $ out_tax_arg $ seed_arg
+      $ Arg.(value & opt int 1000 & info [ "graphs" ] ~docv:"N")
+      $ Arg.(value & opt int 20 & info [ "max-edges" ] ~docv:"N")
+      $ Arg.(value & opt float 0.27 & info [ "density" ] ~docv:"D")
+      $ Arg.(value & opt int 10 & info [ "edge-labels" ] ~docv:"N")
+      $ Arg.(value & opt int 800 & info [ "concepts" ] ~docv:"N")
+      $ Arg.(value & opt int 10 & info [ "depth" ] ~docv:"N")
+      $ Arg.(value & flag & info [ "go" ] ~doc:"GO-like taxonomy shape")
+      $ Arg.(value & flag & info [ "directed" ]
+             ~doc:"emit a directed database ('a' lines)"))
+
+(* pathways subcommand *)
+let pathways out_db out_tax seed organisms concepts pathway =
+  let rng = Prng.of_int seed in
+  let taxonomy = Tsg_taxonomy.Go_like.generate ~concepts rng in
+  let spec =
+    match
+      List.find_opt (fun s -> s.Pathways.name = pathway) Pathways.table2
+    with
+    | Some s -> s
+    | None ->
+      prerr_endline ("unknown pathway: " ^ pathway);
+      prerr_endline "known pathways:";
+      List.iter (fun s -> prerr_endline ("  " ^ s.Pathways.name)) Pathways.table2;
+      exit 2
+  in
+  let db = Pathways.generate rng ~taxonomy ~organisms spec in
+  write ~out_db ~out_tax taxonomy (edge_label_table 1) db
+
+let pathways_cmd =
+  let doc = "simulated KEGG pathway versions across organisms (Table 2)" in
+  Cmd.v (Cmd.info "pathways" ~doc)
+    Term.(
+      const pathways $ out_db_arg $ out_tax_arg $ seed_arg
+      $ Arg.(value & opt int 30 & info [ "organisms" ] ~docv:"N")
+      $ Arg.(value & opt int 800 & info [ "concepts" ] ~docv:"N")
+      $ Arg.(value & opt string "Citrate cycle (TCA cycle)"
+             & info [ "pathway" ] ~docv:"NAME"))
+
+(* pte subcommand *)
+let pte out_db out_tax seed molecules =
+  let rng = Prng.of_int seed in
+  let taxonomy = Tsg_taxonomy.Atom_taxonomy.create () in
+  let db = Pte.generate rng ~taxonomy ~molecules () in
+  write ~out_db ~out_tax taxonomy (Label.of_names Pte.bond_label_names) db
+
+let pte_cmd =
+  let doc = "simulated PTE carcinogenicity molecules (Figure 4.8)" in
+  Cmd.v (Cmd.info "pte" ~doc)
+    Term.(
+      const pte $ out_db_arg $ out_tax_arg $ seed_arg
+      $ Arg.(value & opt int Pte.paper_graph_count & info [ "molecules" ] ~docv:"N"))
+
+let cmd =
+  let doc = "generate taxonomy-superimposed graph datasets" in
+  Cmd.group (Cmd.info "tsg-datagen" ~doc) [ synth_cmd; pathways_cmd; pte_cmd ]
+
+let () = exit (Cmd.eval' cmd)

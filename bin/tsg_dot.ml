@@ -1,0 +1,60 @@
+(* tsg-dot: render mined patterns (and the taxonomy regions they cover) as
+   Graphviz DOT files.
+
+     tsg-mine --db d.db --taxonomy d.tax --out patterns.tsg
+     tsg-dot  --patterns patterns.tsg --taxonomy d.tax --out-dir dot/ --top 10 *)
+
+module Graph = Tsg_graph.Graph
+module Label = Tsg_graph.Label
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
+module Pattern = Tsg_core.Pattern
+module Pattern_io = Tsg_core.Pattern_io
+
+open Cmdliner
+
+let run patterns_path tax_path out_dir top =
+  let taxonomy = Taxonomy_io.load tax_path in
+  let node_labels = Taxonomy.labels taxonomy in
+  let edge_labels = Label.create () in
+  let patterns, db_size =
+    Pattern_io.load ~node_labels ~edge_labels patterns_path
+  in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let selected =
+    patterns
+    |> List.sort (fun (a : Pattern.t) b ->
+           compare b.Pattern.support_count a.Pattern.support_count)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  let covered = ref [] in
+  List.iteri
+    (fun i (p : Pattern.t) ->
+      let name =
+        Printf.sprintf "pattern %d (support %d/%d)" i p.Pattern.support_count
+          db_size
+      in
+      let path = Filename.concat out_dir (Printf.sprintf "pattern_%03d.dot" i) in
+      Tsg_graph.Dot.save path ~name ~node_labels ~edge_labels p.Pattern.graph;
+      covered :=
+        Array.to_list (Graph.node_labels p.Pattern.graph) @ !covered)
+    selected;
+  let highlight = List.sort_uniq compare !covered in
+  Tsg_taxonomy.Taxonomy_dot.save
+    (Filename.concat out_dir "taxonomy.dot")
+    ~name:"taxonomy (pattern labels highlighted)" ~highlight taxonomy;
+  Printf.printf "wrote %d pattern files and taxonomy.dot to %s\n"
+    (List.length selected) out_dir;
+  0
+
+let cmd =
+  let doc = "render mined patterns and their taxonomy coverage as DOT" in
+  Cmd.v (Cmd.info "tsg-dot" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & opt (some file) None & info [ "patterns" ] ~docv:"FILE")
+      $ Arg.(required & opt (some file) None & info [ "taxonomy" ] ~docv:"FILE")
+      $ Arg.(value & opt string "dot" & info [ "out-dir" ] ~docv:"DIR")
+      $ Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"))
+
+let () = exit (Cmd.eval' cmd)

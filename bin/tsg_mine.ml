@@ -1,0 +1,225 @@
+(* tsg-mine: mine a taxonomy-superimposed graph database from files.
+
+     tsg-mine --db pathways.db --taxonomy go.tax --support 0.2
+     tsg-mine --db pte.db --taxonomy atoms.tax --algorithm tacgm --limit 20 *)
+
+module Db = Tsg_graph.Db
+module Label = Tsg_graph.Label
+module Serial = Tsg_graph.Serial
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
+module Pattern = Tsg_core.Pattern
+module Taxogram = Tsg_core.Taxogram
+module Tacgm = Tsg_core.Tacgm
+module Naive = Tsg_core.Naive
+module Specialize = Tsg_core.Specialize
+
+open Cmdliner
+
+type algorithm = Alg_taxogram | Alg_baseline | Alg_tacgm | Alg_naive
+
+let algorithm_conv =
+  let parse = function
+    | "taxogram" -> Ok Alg_taxogram
+    | "baseline" -> Ok Alg_baseline
+    | "tacgm" -> Ok Alg_tacgm
+    | "naive" -> Ok Alg_naive
+    | s -> Error (`Msg ("unknown algorithm: " ^ s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Alg_taxogram -> "taxogram"
+      | Alg_baseline -> "baseline"
+      | Alg_tacgm -> "tacgm"
+      | Alg_naive -> "naive")
+  in
+  Arg.conv (parse, print)
+
+let load_inputs db_path tax_path =
+  let taxonomy = Taxonomy_io.load tax_path in
+  let edge_labels = Label.create () in
+  let db =
+    Serial.load_db ~node_labels:(Taxonomy.labels taxonomy) ~edge_labels db_path
+  in
+  (* every node label read from the db must already be a taxonomy concept;
+     Serial interns unknown names, which would leave them outside the DAG *)
+  let known = Taxonomy.label_count taxonomy in
+  Db.iteri
+    (fun gid g ->
+      Array.iter
+        (fun l ->
+          if l >= known then
+            failwith
+              (Printf.sprintf
+                 "graph %d uses label %s which is not in the taxonomy" gid
+                 (Label.name (Taxonomy.labels taxonomy) l)))
+        (Tsg_graph.Graph.node_labels g))
+    db;
+  (taxonomy, db)
+
+let run_directed db_path tax_path support max_edges limit quiet =
+  let taxonomy = Taxonomy_io.load tax_path in
+  let env = Tsg_core.Directed.prepare taxonomy in
+  let arc_labels = Label.create () in
+  let digraphs =
+    Serial.load_digraphs ~node_labels:(Taxonomy.labels taxonomy) ~arc_labels
+      db_path
+  in
+  Printf.printf "directed database: %d graphs, taxonomy: %d concepts\n%!"
+    (List.length digraphs)
+    (Taxonomy.label_count taxonomy);
+  let t = Tsg_util.Timer.start () in
+  let max_arcs = max_edges in
+  let patterns =
+    Tsg_core.Directed.mine ~min_support:support ?max_arcs env digraphs
+  in
+  let elapsed = Tsg_util.Timer.elapsed_s t in
+  let sorted =
+    List.sort
+      (fun (a : Tsg_core.Directed.pattern) b ->
+        compare b.Tsg_core.Directed.support_count
+          a.Tsg_core.Directed.support_count)
+      patterns
+  in
+  Printf.printf "%d directed patterns in %.3fs (support >= %.2f)\n"
+    (List.length sorted) elapsed support;
+  if not quiet then begin
+    let shown =
+      match limit with
+      | Some l -> List.filteri (fun i _ -> i < l) sorted
+      | None -> sorted
+    in
+    let names = Taxonomy.labels (Tsg_core.Directed.taxonomy env) in
+    List.iter
+      (fun p ->
+        Format.printf "  %a@." (Tsg_core.Directed.pp_pattern ~names) p)
+      shown
+  end;
+  0
+
+let run db_path tax_path support algorithm max_edges limit quiet directed out
+    parallel =
+  if directed then run_directed db_path tax_path support max_edges limit quiet
+  else
+  let taxonomy, db = load_inputs db_path tax_path in
+  Printf.printf "database: %d graphs, taxonomy: %d concepts (%d levels)\n%!"
+    (Db.size db)
+    (Taxonomy.label_count taxonomy)
+    (Taxonomy.level_count taxonomy);
+  let patterns, elapsed =
+    match algorithm with
+    | Alg_taxogram | Alg_baseline ->
+      let enhancements =
+        if algorithm = Alg_taxogram then Specialize.all_on
+        else Specialize.all_off
+      in
+      let config = { Taxogram.min_support = support; max_edges; enhancements } in
+      let r =
+        if parallel then Taxogram.run_parallel ~config taxonomy db
+        else Taxogram.run ~config taxonomy db
+      in
+      (r.Taxogram.patterns, r.Taxogram.total_seconds)
+    | Alg_tacgm ->
+      let r = Tacgm.run ?max_edges ~min_support:support taxonomy db in
+      (match r.Tacgm.outcome with
+      | Tacgm.Completed -> ()
+      | Tacgm.Out_of_memory -> prerr_endline "tacgm: embedding budget exceeded"
+      | Tacgm.Timed_out -> prerr_endline "tacgm: time budget exceeded");
+      (r.Tacgm.patterns, r.Tacgm.total_seconds)
+    | Alg_naive ->
+      let max_edges = Option.value ~default:3 max_edges in
+      let t = Tsg_util.Timer.start () in
+      let ps = Naive.mine ~max_edges ~min_support:support taxonomy db in
+      (ps, Tsg_util.Timer.elapsed_s t)
+  in
+  let sorted =
+    List.sort
+      (fun (a : Pattern.t) b -> compare b.Pattern.support_count a.Pattern.support_count)
+      patterns
+  in
+  Printf.printf "%d patterns in %.3fs (support >= %.2f)\n" (List.length sorted)
+    elapsed support;
+  (match out with
+  | Some path ->
+    let edge_labels = Label.create () in
+    (* intern enough edge-label names for every id used by the patterns *)
+    let max_edge_label =
+      List.fold_left
+        (fun acc (p : Pattern.t) ->
+          Array.fold_left
+            (fun acc (_, _, l) -> max acc l)
+            acc
+            (Tsg_graph.Graph.edges p.Pattern.graph))
+        (-1) sorted
+    in
+    for i = 0 to max_edge_label do
+      ignore (Label.intern edge_labels (Printf.sprintf "e%d" i))
+    done;
+    Tsg_core.Pattern_io.save path
+      ~node_labels:(Taxonomy.labels taxonomy)
+      ~edge_labels ~db_size:(Db.size db) sorted;
+    Printf.printf "patterns written to %s\n" path
+  | None -> ());
+  if not quiet then begin
+    let shown = match limit with Some l -> List.filteri (fun i _ -> i < l) sorted | None -> sorted in
+    let names = Taxonomy.labels taxonomy in
+    List.iter (fun p -> print_endline ("  " ^ Pattern.to_string ~names p)) shown;
+    match limit with
+    | Some l when List.length sorted > l ->
+      Printf.printf "  ... (%d more; raise --limit)\n" (List.length sorted - l)
+    | _ -> ()
+  end;
+  0
+
+let db_arg =
+  Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE"
+         ~doc:"Graph database in gSpan-style text format (see tsg-datagen).")
+
+let tax_arg =
+  Arg.(required & opt (some file) None & info [ "taxonomy" ] ~docv:"FILE"
+         ~doc:"Label taxonomy (c/i line format).")
+
+let support_arg =
+  Arg.(value & opt float 0.2 & info [ "support"; "s" ] ~docv:"THETA"
+         ~doc:"Minimum support threshold in [0,1].")
+
+let algorithm_arg =
+  Arg.(value & opt algorithm_conv Alg_taxogram & info [ "algorithm"; "a" ]
+         ~docv:"ALG" ~doc:"One of taxogram, baseline, tacgm, naive.")
+
+let max_edges_arg =
+  Arg.(value & opt (some int) None & info [ "max-edges" ] ~docv:"N"
+         ~doc:"Cap patterns at $(docv) edges.")
+
+let limit_arg =
+  Arg.(value & opt (some int) (Some 50) & info [ "limit" ] ~docv:"N"
+         ~doc:"Print at most $(docv) patterns (highest support first).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the summary line.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Also write the mined patterns to $(docv) (tsg-dot input).")
+
+let parallel_arg =
+  Arg.(value & flag & info [ "parallel" ]
+         ~doc:"Enumerate specialized patterns on all cores (taxogram and \
+               baseline algorithms only).")
+
+let directed_arg =
+  Arg.(value & flag & info [ "directed" ]
+         ~doc:"Treat the database as directed ('a' lines); --max-edges then \
+               counts arcs. The algorithm is always taxogram in this mode.")
+
+let cmd =
+  let doc = "mine frequent patterns from a taxonomy-superimposed graph database" in
+  Cmd.v
+    (Cmd.info "tsg-mine" ~doc)
+    Term.(
+      const run $ db_arg $ tax_arg $ support_arg $ algorithm_arg
+      $ max_edges_arg $ limit_arg $ quiet_arg $ directed_arg $ out_arg
+      $ parallel_arg)
+
+let () = exit (Cmd.eval' cmd)

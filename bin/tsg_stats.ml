@@ -1,0 +1,52 @@
+(* tsg-stats: report Table 1-style statistics for a dataset on disk.
+
+     tsg-stats --db graphs.db --taxonomy labels.tax *)
+
+module Db = Tsg_graph.Db
+module Label = Tsg_graph.Label
+module Serial = Tsg_graph.Serial
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
+
+open Cmdliner
+
+let run db_path tax_path =
+  let taxonomy = Taxonomy_io.load tax_path in
+  let edge_labels = Label.create () in
+  let db =
+    Serial.load_db ~node_labels:(Taxonomy.labels taxonomy) ~edge_labels db_path
+  in
+  let s = Db.statistics db in
+  Printf.printf "database %s\n" db_path;
+  Printf.printf "  graphs:               %d\n" s.Db.graphs;
+  Printf.printf "  avg graph size:       %.2f nodes, %.2f edges\n"
+    s.Db.avg_nodes s.Db.avg_edges;
+  Printf.printf "  max graph size:       %d nodes, %d edges\n"
+    (Db.max_graph_nodes db) (Db.max_graph_edges db);
+  Printf.printf "  distinct node labels: %d\n" s.Db.distinct_labels;
+  Printf.printf "  distinct edge labels: %d\n"
+    (List.length (Db.distinct_edge_labels db));
+  Printf.printf "  avg edge density:     %.3f\n" s.Db.avg_density;
+  Printf.printf "taxonomy %s\n" tax_path;
+  Printf.printf "  concepts:             %d\n" (Taxonomy.label_count taxonomy);
+  Printf.printf "  is-a relationships:   %d\n"
+    (Taxonomy.relationship_count taxonomy);
+  Printf.printf "  levels:               %d\n" (Taxonomy.level_count taxonomy);
+  Printf.printf "  roots / leaves:       %d / %d\n"
+    (List.length (Taxonomy.roots taxonomy))
+    (List.length (Taxonomy.leaves taxonomy));
+  Printf.printf "  avg strict ancestors: %.2f\n"
+    (Taxonomy.avg_strict_ancestors taxonomy);
+  0
+
+let db_arg =
+  Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE")
+
+let tax_arg =
+  Arg.(required & opt (some file) None & info [ "taxonomy" ] ~docv:"FILE")
+
+let cmd =
+  let doc = "dataset and taxonomy statistics (Table 1 columns)" in
+  Cmd.v (Cmd.info "tsg-stats" ~doc) Term.(const run $ db_arg $ tax_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,64 @@
+(* Chemical substructure mining under the atom taxonomy (the paper's PTE
+   study, Figure 4.8, simulated).
+
+   Molecules are graphs of atoms; the Figure 4.1 taxonomy groups atoms into
+   halogens, metals, aromatic atoms, and so on. Taxonomy-superimposed mining
+   surfaces fragments like "halogen bonded to carbon" that exact-label
+   mining would fragment across F/Cl/Br/I variants.
+
+     dune exec examples/chemical_mining.exe *)
+
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+module Pte = Tsg_data.Pte
+module Taxogram = Tsg_core.Taxogram
+module Pattern = Tsg_core.Pattern
+
+let () =
+  let taxonomy = Tsg_taxonomy.Atom_taxonomy.create () in
+  let rng = Prng.of_int 416 in
+  let db = Pte.generate rng ~taxonomy ~molecules:150 () in
+  Printf.printf "molecules: %d, avg %.1f atoms / %.1f bonds\n\n" (Db.size db)
+    (Db.avg_nodes db) (Db.avg_edges db);
+
+  (* the paper's observation: pattern count explodes as support drops, even
+     at high thresholds, because C/H/O dominate *)
+  Printf.printf "%10s %10s %10s\n" "support" "patterns" "time ms";
+  List.iter
+    (fun theta ->
+      let config =
+        { Taxogram.default_config with min_support = theta; max_edges = Some 4 }
+      in
+      let r = Taxogram.run ~config taxonomy db in
+      Printf.printf "%10.2f %10d %10.0f\n" theta r.Taxogram.pattern_count
+        (1000.0 *. r.Taxogram.total_seconds))
+    [ 0.8; 0.6; 0.4 ];
+
+  (* fish out patterns that use grouped (non-leaf) labels: these are the
+     fragments only taxonomy-aware mining can report *)
+  let config =
+    { Taxogram.default_config with min_support = 0.1; max_edges = Some 2 }
+  in
+  let r = Taxogram.run ~config taxonomy db in
+  let names = Taxonomy.labels taxonomy in
+  let grouped (p : Pattern.t) =
+    let g = p.Pattern.graph in
+    let uses_group = ref false in
+    let uses_halogen = ref false in
+    for v = 0 to Graph.node_count g - 1 do
+      let l = Graph.node_label g v in
+      if not (Taxonomy.is_leaf taxonomy l) then uses_group := true;
+      if Taxonomy.name taxonomy l = "Halogen" then uses_halogen := true
+    done;
+    !uses_group && !uses_halogen
+  in
+  let interesting = List.filter grouped r.Taxogram.patterns in
+  Printf.printf
+    "\ngeneralized halogen fragments at support 0.10 (invisible to exact mining):\n";
+  interesting
+  |> List.sort (fun (a : Pattern.t) b ->
+         compare b.Pattern.support_count a.Pattern.support_count)
+  |> List.filteri (fun i _ -> i < 8)
+  |> List.iter (fun p -> print_endline ("  " ^ Pattern.to_string ~names p))

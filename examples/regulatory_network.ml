@@ -1,0 +1,67 @@
+(* Directed mining: regulatory-motif discovery across signaling networks.
+
+   Regulation is inherently directed (kinase -> transcription factor is not
+   transcription factor -> kinase), so this example exercises the directed
+   mode the paper describes but never evaluates: arcs are activation (0) or
+   inhibition (1), node labels come from a small protein-function taxonomy.
+
+     dune exec examples/regulatory_network.exe *)
+
+module Digraph = Tsg_graph.Digraph
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Directed = Tsg_core.Directed
+
+let activation = 0
+
+let inhibition = 1
+
+let () =
+  let tax =
+    Taxonomy.build
+      ~names:
+        [ "protein"; "enzyme"; "regulator"; "kinase"; "phosphatase";
+          "transcription factor"; "repressor" ]
+      ~is_a:
+        [
+          ("enzyme", "protein"); ("regulator", "protein");
+          ("kinase", "enzyme"); ("phosphatase", "enzyme");
+          ("transcription factor", "regulator"); ("repressor", "regulator");
+        ]
+  in
+  let id n = Taxonomy.id_of_name tax n in
+  let env = Directed.prepare tax in
+
+  (* three observed signaling cascades from different conditions: each has
+     some enzyme activating some regulator, with varying specifics *)
+  let cascade1 =
+    Digraph.build
+      ~labels:[| id "kinase"; id "transcription factor"; id "repressor" |]
+      ~arcs:[ (0, 1, activation); (1, 2, inhibition) ]
+  in
+  let cascade2 =
+    Digraph.build
+      ~labels:[| id "phosphatase"; id "repressor" |]
+      ~arcs:[ (0, 1, activation) ]
+  in
+  let cascade3 =
+    Digraph.build
+      ~labels:[| id "kinase"; id "repressor"; id "kinase" |]
+      ~arcs:[ (0, 1, activation); (2, 1, inhibition) ]
+  in
+  let networks = [ cascade1; cascade2; cascade3 ] in
+
+  Printf.printf "mining %d cascades for conserved regulatory motifs...\n\n"
+    (List.length networks);
+  let names = Taxonomy.labels (Directed.taxonomy env) in
+  List.iter
+    (fun theta ->
+      let patterns = Directed.mine ~min_support:theta env networks in
+      Printf.printf "support >= %.2f: %d motifs\n" theta (List.length patterns);
+      List.iter
+        (fun p ->
+          Format.printf "  %a@." (Directed.pp_pattern ~names) p)
+        patterns)
+    [ 1.0; 0.66 ];
+  print_endline
+    "\narc labels: activation = plain, inhibition = /1; note the motifs are\n\
+     directed — enzyme -> regulator, never the reverse."

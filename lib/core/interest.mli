@@ -1,0 +1,46 @@
+(** Taxonomy-based interestingness, after Srikant & Agrawal (VLDB'95), whose
+    generalized association-rule mining the paper credits as the origin of
+    taxonomy-based data mining.
+
+    A specialized pattern is only informative when its support deviates from
+    what its generalization already predicts: if label [l] accounts for a
+    fraction [f(l)/f(parent l)] of its parent's occurrences, then
+    specializing one node of a pattern is {e expected} to scale the
+    pattern's support by that fraction. The interest ratio of a pattern is
+    its actual support over the smallest such expectation across its
+    single-step generalizations; a pattern is {e R-interesting} when the
+    ratio is at least [R] (Srikant & Agrawal use R = 1.1). *)
+
+type ranked = {
+  pattern : Pattern.t;
+  ratio : float;
+      (** actual / expected support; [infinity] for patterns with no
+          generalization (all labels are roots) *)
+}
+
+val label_frequencies :
+  Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Db.t -> int array
+(** Generalized size-1 frequency per taxonomy label: the number of graphs
+    containing a node whose label descends from it. *)
+
+val ratio :
+  Tsg_taxonomy.Taxonomy.t ->
+  Tsg_graph.Db.t ->
+  freq:int array ->
+  ?support_of:(Tsg_graph.Graph.t -> int option) ->
+  Pattern.t ->
+  float
+(** Minimum actual/expected ratio over all single-step generalizations of
+    the pattern. [support_of] can serve generalization supports from an
+    already-mined set (canonical-key lookup); missing ones are recomputed
+    with generalized subgraph-isomorphism tests. *)
+
+val rank :
+  ?r:float ->
+  Tsg_taxonomy.Taxonomy.t ->
+  Tsg_graph.Db.t ->
+  Pattern.t list ->
+  ranked list
+(** All patterns with ratio at least [r] (default 1.0), most interesting
+    first. Generalization supports are looked up within the given list
+    before falling back to recomputation. *)

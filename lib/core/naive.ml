@@ -1,0 +1,115 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Bitset = Tsg_util.Bitset
+module Gen_iso = Tsg_iso.Gen_iso
+module Min_code = Tsg_gspan.Min_code
+
+let subgraph_of_edge_set g indices =
+  let all = Graph.edges g in
+  let chosen = List.map (fun i -> all.(i)) indices in
+  let nodes =
+    List.sort_uniq compare
+      (List.concat_map (fun (u, v, _) -> [ u; v ]) chosen)
+  in
+  let remap = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.add remap v i) nodes;
+  let labels =
+    Array.of_list (List.map (fun v -> Graph.node_label g v) nodes)
+  in
+  let edges =
+    List.map
+      (fun (u, v, l) -> (Hashtbl.find remap u, Hashtbl.find remap v, l))
+      chosen
+  in
+  Graph.build ~labels ~edges
+
+let connected_subgraphs ~max_edges g =
+  let all = Graph.edges g in
+  let m = Array.length all in
+  let touches nodes (u, v, _) = List.mem u nodes || List.mem v nodes in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  (* breadth-first growth of connected edge sets, deduplicated by their
+     sorted index list *)
+  let rec grow indices nodes =
+    let key = List.sort compare indices in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := key :: !out;
+      if List.length indices < max_edges then
+        for i = 0 to m - 1 do
+          if (not (List.mem i indices)) && touches nodes all.(i) then begin
+            let u, v, _ = all.(i) in
+            let nodes' =
+              List.sort_uniq compare (u :: v :: nodes)
+            in
+            grow (i :: indices) nodes'
+          end
+        done
+    end
+  in
+  if max_edges >= 1 then
+    for i = 0 to m - 1 do
+      let u, v, _ = all.(i) in
+      grow [ i ] [ u; v ]
+    done;
+  List.rev_map (subgraph_of_edge_set g) !out
+
+let generalizations taxonomy g =
+  let n = Graph.node_count g in
+  let choices =
+    Array.init n (fun v -> Taxonomy.ancestors taxonomy (Graph.node_label g v))
+  in
+  let out = ref [] in
+  let labels = Array.make n (-1) in
+  let rec assign v =
+    if v = n then out := Graph.relabel g (fun i -> labels.(i)) :: !out
+    else
+      List.iter
+        (fun l ->
+          labels.(v) <- l;
+          assign (v + 1))
+        choices.(v)
+  in
+  assign 0;
+  !out
+
+let mine ~max_edges ~min_support taxonomy db =
+  let min_count = Db.support_count_to_threshold db min_support in
+  let candidates = Hashtbl.create 1024 in
+  Db.iteri
+    (fun _ g ->
+      List.iter
+        (fun sub ->
+          List.iter
+            (fun cand ->
+              let key = Min_code.canonical_key cand in
+              if not (Hashtbl.mem candidates key) then
+                Hashtbl.add candidates key cand)
+            (generalizations taxonomy sub))
+        (connected_subgraphs ~max_edges g))
+    db;
+  let frequent =
+    Hashtbl.fold
+      (fun key cand acc ->
+        let set = Gen_iso.support_set taxonomy ~pattern:cand db in
+        if Bitset.cardinal set >= min_count then
+          (key, Pattern.make ~db_size:(Db.size db) cand set) :: acc
+        else acc)
+      candidates []
+  in
+  let over_generalized (key, (p : Pattern.t)) =
+    List.exists
+      (fun (key', (q : Pattern.t)) ->
+        key <> key'
+        && p.support_count = q.support_count
+        && Pattern.node_count p = Pattern.node_count q
+        && Pattern.edge_count p = Pattern.edge_count q
+        && Gen_iso.graph_isomorphic taxonomy p.graph q.graph)
+      frequent
+  in
+  frequent
+  |> List.filter (fun entry -> not (over_generalized entry))
+  |> List.map snd
+  |> Pattern.sort

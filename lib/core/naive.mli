@@ -1,0 +1,30 @@
+(** Executable specification of taxonomy-superimposed graph mining.
+
+    Straight from the Section 2 definitions, with no cleverness: enumerate
+    every connected subgraph of every database graph (up to a size bound),
+    close the candidate set under label generalization, compute every
+    support with generalized subgraph-isomorphism tests, keep the frequent
+    candidates, and drop the over-generalized ones by pairwise comparison
+    within structural classes.
+
+    Exponential in everything — usable only on small inputs — but it is the
+    ground truth the efficient miners are property-tested against. *)
+
+val mine :
+  max_edges:int ->
+  min_support:float ->
+  Tsg_taxonomy.Taxonomy.t ->
+  Tsg_graph.Db.t ->
+  Pattern.t list
+(** Minimal and complete pattern set with supports, sorted canonically. *)
+
+val connected_subgraphs :
+  max_edges:int -> Tsg_graph.Graph.t -> Tsg_graph.Graph.t list
+(** All connected subgraphs with 1..[max_edges] edges (node sets induced by
+    the chosen edge sets), each listed once per distinct edge set. Exposed
+    for tests. *)
+
+val generalizations :
+  Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Graph.t -> Tsg_graph.Graph.t list
+(** Every relabeling of the graph where each node label is replaced by one
+    of its ancestors (the graph itself included). Exposed for tests. *)

@@ -1,0 +1,103 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Label = Tsg_graph.Label
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Bitset = Tsg_util.Bitset
+module Gspan = Tsg_gspan.Gspan
+
+type t = {
+  class_graph : Graph.t;
+  class_support_set : Bitset.t;
+  occ_count : int;
+  occ_gid : int array;
+  entries : (Label.id, Bitset.t) Hashtbl.t array;
+  all_occs : Bitset.t;
+  db_size : int;
+  mutable stamp : int;
+  seen : int array; (* per graph id: last stamp that touched it *)
+}
+
+let build ~taxonomy ~original ?(keep_label = fun _ -> true)
+    (p : Gspan.pattern) =
+  let positions = Graph.node_count p.graph in
+  let embeddings = Array.of_list p.embeddings in
+  let occ_count = Array.length embeddings in
+  let occ_gid = Array.map (fun e -> e.Gspan.graph_id) embeddings in
+  let entries = Array.init positions (fun _ -> Hashtbl.create 16) in
+  Array.iteri
+    (fun occ (e : Gspan.embedding) ->
+      let g = Db.get original e.graph_id in
+      for pos = 0 to positions - 1 do
+        let original_label = Graph.node_label g e.map.(pos) in
+        let class_label = Graph.node_label p.graph pos in
+        let table = entries.(pos) in
+        Bitset.iter
+          (fun anc ->
+            if anc = class_label || keep_label anc then begin
+              let set =
+                match Hashtbl.find_opt table anc with
+                | Some s -> s
+                | None ->
+                  let s = Bitset.create occ_count in
+                  Hashtbl.add table anc s;
+                  s
+              in
+              Bitset.set set occ
+            end)
+          (Taxonomy.ancestor_set taxonomy original_label)
+      done)
+    embeddings;
+  let all_occs = Bitset.full occ_count in
+  {
+    class_graph = p.graph;
+    class_support_set = Bitset.copy p.support_set;
+    occ_count;
+    occ_gid;
+    entries;
+    all_occs;
+    db_size = Db.size original;
+    stamp = 0;
+    seen = Array.make (Db.size original) (-1);
+  }
+
+let occurrence_set t ~position label =
+  Hashtbl.find_opt t.entries.(position) label
+
+let covered_labels t ~position =
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.entries.(position) []
+  |> List.sort compare
+
+let distinct_graph_count t occs =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let count = ref 0 in
+  Bitset.iter
+    (fun occ ->
+      let gid = t.occ_gid.(occ) in
+      if t.seen.(gid) <> stamp then begin
+        t.seen.(gid) <- stamp;
+        incr count
+      end)
+    occs;
+  !count
+
+let graph_set t occs =
+  let set = Bitset.create t.db_size in
+  Bitset.iter (fun occ -> Bitset.set set t.occ_gid.(occ)) occs;
+  set
+
+type size = { positions : int; entries : int; set_members : int }
+
+let size (t : t) =
+  let entries = ref 0 and set_members = ref 0 in
+  Array.iter
+    (fun table ->
+      entries := !entries + Hashtbl.length table;
+      Hashtbl.iter (fun _ s -> set_members := !set_members + Bitset.cardinal s)
+        table)
+    t.entries;
+  {
+    positions = Array.length t.entries;
+    entries = !entries;
+    set_members = !set_members;
+  }

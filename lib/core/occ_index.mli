@@ -1,0 +1,61 @@
+(** Taxonomy-projected occurrence indices (paper Section 3, Step 2).
+
+    For a pattern class (a frequent pattern of the relabeled database), the
+    occurrence index assigns to each pattern node position an {e occurrence
+    index entry}: a projection of the taxonomy onto the labels covered by the
+    class at that position, where every label carries the bitset of
+    occurrence ids whose original label at that position descends from it.
+
+    A single generalized-isomorphism test result (one gSpan embedding) is
+    thereby shared by every member of the pattern class: the occurrence set
+    of any specialized pattern is an intersection of per-position label sets
+    (Lemma 7), with no further isomorphism tests or database scans. *)
+
+type t = {
+  class_graph : Tsg_graph.Graph.t;
+      (** most general member of the class; node ids are positions *)
+  class_support_set : Tsg_util.Bitset.t;  (** over database graph ids *)
+  occ_count : int;
+  occ_gid : int array;  (** occurrence id -> database graph id *)
+  entries : (Tsg_graph.Label.id, Tsg_util.Bitset.t) Hashtbl.t array;
+      (** per position: covered label -> occurrence set (the OIE) *)
+  all_occs : Tsg_util.Bitset.t;  (** the full occurrence set of the class *)
+  db_size : int;
+  mutable stamp : int;  (** internal, for {!distinct_graph_count} *)
+  seen : int array;  (** internal scratch, stamped per graph id *)
+}
+
+val build :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  original:Tsg_graph.Db.t ->
+  ?keep_label:(Tsg_graph.Label.id -> bool) ->
+  Tsg_gspan.Gspan.pattern ->
+  t
+(** Build the index from a pattern of the relabeled database and the
+    {e original} database (for original labels). [keep_label] implements
+    enhancement (b): ancestor labels failing it are left out of the entries
+    (default: keep everything). The position's own class label is always
+    kept. *)
+
+val occurrence_set : t -> position:int -> Tsg_graph.Label.id -> Tsg_util.Bitset.t option
+(** [OcS] of a label within a position's entry. *)
+
+val covered_labels : t -> position:int -> Tsg_graph.Label.id list
+(** Labels present in the position's entry, sorted. *)
+
+val distinct_graph_count : t -> Tsg_util.Bitset.t -> int
+(** Number of distinct database graphs among an occurrence set — the support
+    numerator. Uses a generation-stamped scratch array; not thread-safe. *)
+
+val graph_set : t -> Tsg_util.Bitset.t -> Tsg_util.Bitset.t
+(** Distinct database graph ids of an occurrence set, as a bitset over the
+    database. *)
+
+(** Size accounting — the quantities the paper's Lemmas 4 and 5 bound. *)
+type size = {
+  positions : int;
+  entries : int;  (** OIE labels across all positions *)
+  set_members : int;  (** total occurrence-set members (set bits) *)
+}
+
+val size : t -> size

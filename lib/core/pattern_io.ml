@@ -1,0 +1,118 @@
+module Graph = Tsg_graph.Graph
+module Label = Tsg_graph.Label
+module Bitset = Tsg_util.Bitset
+
+let to_string ~node_labels ~edge_labels ~db_size patterns =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun index (p : Pattern.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "p # %d support %d/%d\n" index p.Pattern.support_count
+           db_size);
+      let g = p.Pattern.graph in
+      for v = 0 to Graph.node_count g - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "v %d %s\n" v
+             (Label.name node_labels (Graph.node_label g v)))
+      done;
+      Array.iter
+        (fun (u, v, l) ->
+          Buffer.add_string buf
+            (Printf.sprintf "e %d %d %s\n" u v (Label.name edge_labels l)))
+        (Graph.edges g))
+    patterns;
+  Buffer.contents buf
+
+let save path ~node_labels ~edge_labels ~db_size patterns =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ~node_labels ~edge_labels ~db_size patterns))
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type partial = {
+  support : int;
+  mutable labels : (int * Label.id) list;
+  mutable edges : (int * int * Label.id) list;
+}
+
+let parse ~node_labels ~edge_labels text =
+  let patterns = ref [] in
+  let db_size = ref 0 in
+  let current = ref None in
+  let lineno = ref 0 in
+  let close_current () =
+    match !current with
+    | None -> ()
+    | Some p ->
+      let count =
+        List.fold_left (fun acc (v, _) -> max acc (v + 1)) 0 p.labels
+      in
+      let labels = Array.make count (-1) in
+      List.iter
+        (fun (v, l) ->
+          if v < 0 || labels.(v) <> -1 then
+            fail !lineno (Printf.sprintf "bad or duplicate node %d" v)
+          else labels.(v) <- l)
+        p.labels;
+      Array.iteri
+        (fun v l ->
+          if l = -1 then fail !lineno (Printf.sprintf "missing node %d" v))
+        labels;
+      let graph =
+        try Graph.build ~labels ~edges:p.edges
+        with Invalid_argument msg -> fail !lineno msg
+      in
+      (* the support set's membership is not recorded; restore cardinality *)
+      let set = Bitset.create (max !db_size p.support) in
+      for i = 0 to p.support - 1 do
+        Bitset.set set i
+      done;
+      patterns := Pattern.make ~db_size:!db_size graph set :: !patterns;
+      current := None
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         incr lineno;
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line with
+           | [ "p"; "#"; _; "support"; frac ] -> (
+             close_current ();
+             match String.split_on_char '/' frac with
+             | [ num; den ] -> (
+               match (int_of_string_opt num, int_of_string_opt den) with
+               | Some support, Some size when support >= 0 && size >= support ->
+                 db_size := size;
+                 current := Some { support; labels = []; edges = [] }
+               | _ -> fail !lineno ("bad support " ^ frac))
+             | _ -> fail !lineno ("bad support " ^ frac))
+           | [ "v"; v; name ] -> (
+             match (!current, int_of_string_opt v) with
+             | None, _ -> fail !lineno "'v' before any 'p' header"
+             | _, None -> fail !lineno ("bad node index " ^ v)
+             | Some p, Some v ->
+               p.labels <- (v, Label.intern node_labels name) :: p.labels)
+           | [ "e"; u; v; name ] -> (
+             match (!current, int_of_string_opt u, int_of_string_opt v) with
+             | None, _, _ -> fail !lineno "'e' before any 'p' header"
+             | _, None, _ | _, _, None -> fail !lineno "bad edge endpoints"
+             | Some p, Some u, Some v ->
+               p.edges <- (u, v, Label.intern edge_labels name) :: p.edges)
+           | _ -> fail !lineno ("unrecognized line: " ^ line));
+  close_current ();
+  (List.rev !patterns, !db_size)
+
+let load ~node_labels ~edge_labels path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse ~node_labels ~edge_labels text

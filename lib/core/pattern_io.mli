@@ -1,0 +1,43 @@
+(** Text serialization of mined pattern sets, for CLI pipelines
+    (mine to a file, render or post-process later).
+
+    {v
+    p # <index> support <count>/<db-size>
+    v <node> <node-label-name>
+    e <node> <node> <edge-label-name>
+    v}
+
+    The support {e set} is not serialized — only its cardinality — so a
+    reloaded pattern's [support_set] holds the right number of bits but
+    synthetic ids ([0..count-1]). *)
+
+val to_string :
+  node_labels:Tsg_graph.Label.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  db_size:int ->
+  Pattern.t list ->
+  string
+
+val save :
+  string ->
+  node_labels:Tsg_graph.Label.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  db_size:int ->
+  Pattern.t list ->
+  unit
+
+exception Parse_error of int * string
+
+val parse :
+  node_labels:Tsg_graph.Label.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  string ->
+  Pattern.t list * int
+(** Patterns plus the recorded database size.
+    @raise Parse_error on malformed input. *)
+
+val load :
+  node_labels:Tsg_graph.Label.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  string ->
+  Pattern.t list * int

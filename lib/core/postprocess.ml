@@ -1,0 +1,30 @@
+module Bitset = Tsg_util.Bitset
+module Gen_iso = Tsg_iso.Gen_iso
+
+let strictly_larger (p : Pattern.t) (q : Pattern.t) =
+  Pattern.edge_count q >= Pattern.edge_count p
+  && Pattern.node_count q >= Pattern.node_count p
+  && (Pattern.edge_count q > Pattern.edge_count p
+     || Pattern.node_count q > Pattern.node_count p)
+
+let is_subsumed_by taxonomy (p : Pattern.t) (q : Pattern.t) =
+  strictly_larger p q
+  && Gen_iso.subgraph_isomorphic taxonomy ~pattern:p.Pattern.graph
+       ~target:q.Pattern.graph
+
+let closed taxonomy patterns =
+  List.filter
+    (fun (p : Pattern.t) ->
+      not
+        (List.exists
+           (fun (q : Pattern.t) ->
+             Bitset.equal p.Pattern.support_set q.Pattern.support_set
+             && is_subsumed_by taxonomy p q)
+           patterns))
+    patterns
+
+let maximal taxonomy patterns =
+  List.filter
+    (fun (p : Pattern.t) ->
+      not (List.exists (fun q -> is_subsumed_by taxonomy p q) patterns))
+    patterns

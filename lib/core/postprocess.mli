@@ -1,0 +1,27 @@
+(** Post-filters over mined pattern sets.
+
+    Taxogram's output is already minimal along the
+    generalization/specialization axis (no over-generalized patterns). These
+    filters additionally condense it along the {e structural} axis, in the
+    spirit of CloseGraph (Yan & Han, KDD'03) which the paper discusses as
+    related work: a small pattern occurring in exactly the graphs of a
+    bigger pattern carries no extra information.
+
+    Both filters are quadratic in the pattern count with a generalized
+    subgraph-isomorphism test per surviving comparison — intended for
+    result-set sizes, not for use inside the mining loop. *)
+
+val closed :
+  Tsg_taxonomy.Taxonomy.t -> Pattern.t list -> Pattern.t list
+(** Keep a pattern unless the set contains a strictly larger pattern with
+    the {e same support set} in which it generalized-subgraph-embeds. *)
+
+val maximal :
+  Tsg_taxonomy.Taxonomy.t -> Pattern.t list -> Pattern.t list
+(** Keep only patterns that generalized-subgraph-embed in no strictly larger
+    pattern of the set (regardless of support). *)
+
+val is_subsumed_by :
+  Tsg_taxonomy.Taxonomy.t -> Pattern.t -> Pattern.t -> bool
+(** [is_subsumed_by t p q]: is [q] strictly larger and does [p] embed in it
+    (taxonomy-aware)? Exposed for tests. *)

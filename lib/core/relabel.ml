@@ -1,0 +1,8 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+
+let graph taxonomy g =
+  Graph.relabel g (fun v -> Taxonomy.most_general taxonomy (Graph.node_label g v))
+
+let db taxonomy d = Db.map (graph taxonomy) d

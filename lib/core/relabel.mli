@@ -1,0 +1,12 @@
+(** Step 1 of Taxogram: relabeling the input database.
+
+    Every vertex label is replaced by the most general ancestor of its label
+    in the taxonomy, collapsing each pattern class onto its most general
+    member. The original database is kept alongside so later stages can
+    recover original labels per occurrence. *)
+
+val graph : Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Graph.t -> Tsg_graph.Graph.t
+
+val db : Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Db.t -> Tsg_graph.Db.t
+(** Most-generalized copy [D_mg] of the database. Time and space O(|D| *
+    |G_max|) as in the paper's Step 1 analysis. *)

@@ -1,0 +1,62 @@
+(** Step 3 of Taxogram: enumerating specialized patterns from a pattern
+    class via its occurrence index, while eliminating over-generalized
+    patterns (paper Section 3, Step 3).
+
+    Starting from the most general member of the class, node positions are
+    specialized left-to-right (the processed-node-set discipline: once a
+    later position has been touched, earlier positions are frozen — this is
+    the paper's PNS), each step replacing a position's label by one of its
+    children in the occurrence index entry and intersecting occurrence sets
+    (Lemma 7). A pattern is over-generalized iff some single child
+    replacement at {e any} position — frozen ones included, which is the
+    paper's PNS follow-up check — preserves its support. Labels reachable
+    through several DAG paths are deduplicated with a visited set (the
+    paper's "visited vertex labels ... are marked"). *)
+
+type enhancements = {
+  child_pruning : bool;
+      (** (a): stop descending below a child whose pattern is infrequent *)
+  label_prefilter : bool;
+      (** (b): drop globally-infrequent taxonomy labels from occurrence
+          indices (consumed by {!Taxogram} when building indices) *)
+  start_preprocess : bool;
+      (** (c): advance a position's start label to a descendant with an
+          identical occurrence set before enumerating (only when that
+          descendant dominates every covered label of the position, which
+          keeps the step complete on DAG taxonomies) *)
+  collapse_equal_children : bool;
+      (** (d): skip a label whose occurrence set equals one of its
+          children's, exposing its children directly *)
+}
+
+val all_on : enhancements
+
+val all_off : enhancements
+(** The paper's baseline: Taxogram without the efficiency enhancements. *)
+
+type stats = {
+  mutable intersections : int;  (** occurrence-set intersections performed *)
+  mutable visited : int;  (** patterns whose support was computed *)
+  mutable emitted : int;
+  mutable over_generalized : int;  (** visited patterns found over-general *)
+}
+
+val fresh_stats : unit -> stats
+
+exception Out_of_time
+(** Raised by {!enumerate} when the time budget runs out mid-class. *)
+
+val enumerate :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  min_support:int ->
+  enhancements:enhancements ->
+  ?stats:stats ->
+  ?budget:Tsg_util.Timer.Budget.budget ->
+  Occ_index.t ->
+  (Pattern.t -> unit) ->
+  unit
+(** Emit every non-over-generalized pattern of the class with support at
+    least [min_support] (an absolute graph count) — the class's most general
+    member included when it qualifies.
+    @raise Out_of_time when [budget] (default unlimited) expires; patterns
+    already emitted stand. *)

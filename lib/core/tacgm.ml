@@ -1,0 +1,261 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Bitset = Tsg_util.Bitset
+module Timer = Tsg_util.Timer
+module Gen_iso = Tsg_iso.Gen_iso
+module Min_code = Tsg_gspan.Min_code
+
+type outcome = Completed | Out_of_memory | Timed_out
+
+type result = {
+  patterns : Pattern.t list;
+  outcome : outcome;
+  iso_tests : int;
+  embeddings_stored_peak : int;
+  levels_completed : int;
+  total_seconds : float;
+}
+
+exception Abort of outcome
+
+type level_entry = {
+  key : string;
+  graph : Graph.t;
+  support_set : Bitset.t;
+}
+
+let frequent_edge_labels db ~min_count =
+  let counts = Hashtbl.create 32 in
+  Db.iteri
+    (fun _ g ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace counts l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+        (List.sort_uniq compare
+           (Array.to_list (Array.map (fun (_, _, l) -> l) (Graph.edges g)))))
+    db;
+  Hashtbl.fold (fun l c acc -> if c >= min_count then l :: acc else acc)
+    counts []
+  |> List.sort compare
+
+(* level-1 candidates straight from the data: every generalization of every
+   database edge over the frequent label set *)
+let seed_candidates taxonomy db keep_label =
+  let seen = Hashtbl.create 256 in
+  Db.iteri
+    (fun _ g ->
+      Array.iter
+        (fun (u, v, le) ->
+          let lu = Graph.node_label g u and lv = Graph.node_label g v in
+          Bitset.iter
+            (fun a ->
+              if keep_label a then
+                Bitset.iter
+                  (fun b ->
+                    if keep_label b then begin
+                      let a, b = if a <= b then (a, b) else (b, a) in
+                      let cand =
+                        Graph.build ~labels:[| a; b |] ~edges:[ (0, 1, le) ]
+                      in
+                      let key = Min_code.canonical_key cand in
+                      if not (Hashtbl.mem seen key) then
+                        Hashtbl.add seen key cand
+                    end)
+                  (Taxonomy.ancestor_set taxonomy lv))
+            (Taxonomy.ancestor_set taxonomy lu))
+        (Graph.edges g))
+    db;
+  Hashtbl.fold (fun key g acc -> (key, g) :: acc) seen []
+
+(* one-edge extensions of a frequent pattern: a new labeled node hung off
+   any existing node, or a closing edge between non-adjacent nodes *)
+let extensions graph ~node_labels ~edge_labels =
+  let n = Graph.node_count graph in
+  let labels = Graph.node_labels graph in
+  let base_edges = Array.to_list (Graph.edges graph) in
+  let out = ref [] in
+  List.iter
+    (fun le ->
+      for u = 0 to n - 1 do
+        List.iter
+          (fun a ->
+            let cand =
+              Graph.build
+                ~labels:(Array.append labels [| a |])
+                ~edges:((u, n, le) :: base_edges)
+            in
+            out := cand :: !out)
+          node_labels;
+        for v = u + 1 to n - 1 do
+          if not (Graph.has_edge graph u v) then begin
+            let cand =
+              Graph.build ~labels ~edges:((u, v, le) :: base_edges)
+            in
+            out := cand :: !out
+          end
+        done
+      done)
+    edge_labels;
+  !out
+
+(* every connected one-edge-removed subgraph, for Apriori pruning *)
+let connected_subpatterns graph =
+  let edges = Graph.edges graph in
+  let m = Array.length edges in
+  let out = ref [] in
+  for drop = 0 to m - 1 do
+    let kept = ref [] in
+    Array.iteri (fun i e -> if i <> drop then kept := e :: !kept) edges;
+    let touched = Array.make (Graph.node_count graph) false in
+    List.iter
+      (fun (a, b, _) ->
+        touched.(a) <- true;
+        touched.(b) <- true)
+      !kept;
+    (* drop endpoints that became isolated *)
+    let nodes = ref [] in
+    Array.iteri (fun i t -> if t then nodes := i :: !nodes) touched;
+    let nodes = List.rev !nodes in
+    if nodes <> [] then begin
+      let remap = Hashtbl.create 8 in
+      List.iteri (fun idx node -> Hashtbl.add remap node idx) nodes;
+      let labels =
+        Array.of_list (List.map (fun node -> Graph.node_label graph node) nodes)
+      in
+      let sub_edges =
+        List.map
+          (fun (a, b, l) -> (Hashtbl.find remap a, Hashtbl.find remap b, l))
+          !kept
+      in
+      let sub = Graph.build ~labels ~edges:sub_edges in
+      if Graph.is_connected sub then out := sub :: !out
+    end
+  done;
+  !out
+
+let run ?max_edges ?(embedding_budget = 10_000_000)
+    ?(time_budget = Timer.Budget.unlimited) ~min_support taxonomy db =
+  let timer = Timer.start () in
+  let max_edges = Option.value ~default:max_int max_edges in
+  let min_count = Db.support_count_to_threshold db min_support in
+  let iso_tests = ref 0 in
+  let peak = ref 0 in
+  let levels = ref 0 in
+  let all_frequent : level_entry list ref = ref [] in
+  let keep_label =
+    Taxogram.frequent_label_filter taxonomy db ~min_support:min_count
+  in
+  let edge_labels = frequent_edge_labels db ~min_count in
+  let node_labels =
+    List.filter keep_label
+      (List.init (Taxonomy.label_count taxonomy) (fun i -> i))
+  in
+  let check_time () =
+    if Timer.Budget.exceeded time_budget then raise (Abort Timed_out)
+  in
+  (* support + stored-embedding accounting for one level *)
+  let evaluate_level candidates =
+    let stored = ref 0 in
+    let entries =
+      List.filter_map
+        (fun (key, graph) ->
+          check_time ();
+          let set = Bitset.create (Db.size db) in
+          Db.iteri
+            (fun gid target ->
+              incr iso_tests;
+              let count =
+                Gen_iso.count_embeddings ~limit:1_000_000 taxonomy
+                  ~pattern:graph target
+              in
+              if count > 0 then begin
+                Bitset.set set gid;
+                stored := !stored + count;
+                if !stored > embedding_budget then
+                  raise (Abort Out_of_memory)
+              end)
+            db;
+          if Bitset.cardinal set >= min_count then
+            Some { key; graph; support_set = set }
+          else None)
+        candidates
+    in
+    peak := max !peak !stored;
+    entries
+  in
+  let outcome = ref Completed in
+  (try
+     let level = ref (evaluate_level (seed_candidates taxonomy db keep_label)) in
+     let edge_count = ref 1 in
+     while !level <> [] && !edge_count <= max_edges do
+       incr levels;
+       all_frequent := !level @ !all_frequent;
+       if !edge_count = max_edges then level := []
+       else begin
+         let freq_keys = Hashtbl.create 256 in
+         List.iter (fun e -> Hashtbl.replace freq_keys e.key ()) !level;
+         let seen = Hashtbl.create 1024 in
+         let candidates = ref [] in
+         List.iter
+           (fun entry ->
+             check_time ();
+             List.iter
+               (fun cand ->
+                 let key = Min_code.canonical_key cand in
+                 if not (Hashtbl.mem seen key) then begin
+                   Hashtbl.add seen key ();
+                   (* Apriori: all connected one-edge-removed subpatterns
+                      must be frequent *)
+                   let prunable =
+                     List.exists
+                       (fun sub ->
+                         Graph.edge_count sub = !edge_count
+                         && not
+                              (Hashtbl.mem freq_keys
+                                 (Min_code.canonical_key sub)))
+                       (connected_subpatterns cand)
+                   in
+                   if not prunable then candidates := (key, cand) :: !candidates
+                 end)
+               (extensions entry.graph ~node_labels ~edge_labels))
+           !level;
+         level := evaluate_level !candidates;
+         incr edge_count
+       end
+     done
+   with Abort reason -> outcome := reason);
+  (* over-generalization filter: pairwise within structural classes, each
+     check its own isomorphism test — the repeated work Taxogram avoids *)
+  let frequent = !all_frequent in
+  let patterns =
+    List.filter_map
+      (fun (p : level_entry) ->
+        let p_nodes = Graph.node_count p.graph in
+        let p_edges = Graph.edge_count p.graph in
+        let p_sup = Bitset.cardinal p.support_set in
+        let over_generalized =
+          List.exists
+            (fun (q : level_entry) ->
+              q.key <> p.key
+              && Graph.node_count q.graph = p_nodes
+              && Graph.edge_count q.graph = p_edges
+              && Bitset.cardinal q.support_set = p_sup
+              &&
+              (incr iso_tests;
+               Gen_iso.graph_isomorphic taxonomy p.graph q.graph))
+            frequent
+        in
+        if over_generalized then None
+        else Some (Pattern.make ~db_size:(Db.size db) p.graph p.support_set))
+      frequent
+  in
+  {
+    patterns = Pattern.sort patterns;
+    outcome = !outcome;
+    iso_tests = !iso_tests;
+    embeddings_stored_peak = !peak;
+    levels_completed = !levels;
+    total_seconds = Timer.elapsed_s timer;
+  }

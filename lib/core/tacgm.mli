@@ -1,0 +1,38 @@
+(** TAcGM: the bottom-up comparator (Inokuchi's generalized AcGM, ICDM'04,
+    as reimplemented for the paper's evaluation).
+
+    Breadth-first, level-wise mining directly in the generalized pattern
+    space: level-k candidates are built by extending frequent (k-1)-edge
+    patterns with one edge over {e all} frequent taxonomy labels, Apriori
+    pruning discards candidates with an infrequent sub-pattern, and every
+    surviving candidate's support is computed with its own generalized
+    subgraph-isomorphism tests — a pattern and each of its generalizations
+    are processed independently, so shared occurrences are re-tested per
+    pattern (the cost Taxogram eliminates, paper Example 1.2).
+
+    Like the original, the level-wise regime must hold every pattern of a
+    level plus its embeddings at once; an explicit embedding budget
+    reproduces the paper's out-of-memory failures. *)
+
+type outcome = Completed | Out_of_memory | Timed_out
+
+type result = {
+  patterns : Pattern.t list;  (** minimal and complete iff [Completed] *)
+  outcome : outcome;
+  iso_tests : int;  (** generalized (sub)graph isomorphism tests performed *)
+  embeddings_stored_peak : int;  (** max embeddings held across one level *)
+  levels_completed : int;
+  total_seconds : float;
+}
+
+val run :
+  ?max_edges:int ->
+  ?embedding_budget:int ->
+  ?time_budget:Tsg_util.Timer.Budget.budget ->
+  min_support:float ->
+  Tsg_taxonomy.Taxonomy.t ->
+  Tsg_graph.Db.t ->
+  result
+(** Defaults: unbounded size, an embedding budget of [10_000_000]
+    (the 4 GB-heap stand-in), no time budget. On [Completed] the pattern
+    set equals Taxogram's. *)

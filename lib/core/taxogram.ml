@@ -1,0 +1,212 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Bitset = Tsg_util.Bitset
+module Timer = Tsg_util.Timer
+module Gspan = Tsg_gspan.Gspan
+
+type config = {
+  min_support : float;
+  max_edges : int option;
+  enhancements : Specialize.enhancements;
+}
+
+let default_config =
+  { min_support = 0.2; max_edges = None; enhancements = Specialize.all_on }
+
+let baseline_config = { default_config with enhancements = Specialize.all_off }
+
+type result = {
+  patterns : Pattern.t list;
+  class_count : int;
+  pattern_count : int;
+  completed : bool;
+  relabel_seconds : float;
+  mining_seconds : float;
+  enumerate_seconds : float;
+  total_seconds : float;
+  spec_stats : Specialize.stats;
+  oi_entries : int;
+  oi_set_members : int;
+}
+
+exception Out_of_time_in_mining
+
+let frequent_label_filter taxonomy db ~min_support =
+  let n = Taxonomy.label_count taxonomy in
+  let counts = Array.make n 0 in
+  let stamp = Array.make n (-1) in
+  Db.iteri
+    (fun gid g ->
+      List.iter
+        (fun l ->
+          Bitset.iter
+            (fun anc ->
+              if stamp.(anc) <> gid then begin
+                stamp.(anc) <- gid;
+                counts.(anc) <- counts.(anc) + 1
+              end)
+            (Taxonomy.ancestor_set taxonomy l))
+        (Graph.distinct_node_labels g))
+    db;
+  fun l -> l >= 0 && l < n && counts.(l) >= min_support
+
+type class_miner = [ `Gspan | `Level_wise ]
+
+let run_streaming ?(config = default_config)
+    ?(budget = Timer.Budget.unlimited) ?(class_miner = `Gspan) taxonomy db
+    emit =
+  let total_timer = Timer.start () in
+  let relabeled, relabel_seconds = Timer.time (fun () -> Relabel.db taxonomy db) in
+  let min_support_count = Db.support_count_to_threshold db config.min_support in
+  let keep_label =
+    if config.enhancements.Specialize.label_prefilter then
+      Some (frequent_label_filter taxonomy db ~min_support:min_support_count)
+    else None
+  in
+  let spec_stats = Specialize.fresh_stats () in
+  let class_count = ref 0 in
+  let pattern_count = ref 0 in
+  let enumerate_seconds = ref 0.0 in
+  let oi_entries = ref 0 in
+  let oi_set_members = ref 0 in
+  let mining_timer = Timer.start () in
+  let mine_classes =
+    match class_miner with
+    | `Gspan -> Gspan.mine
+    | `Level_wise -> Tsg_gspan.Level_miner.mine
+  in
+  let completed =
+    try
+      mine_classes ?max_edges:config.max_edges ~min_support:min_support_count
+        relabeled (fun class_pattern ->
+          if Timer.Budget.exceeded budget then raise Out_of_time_in_mining;
+          incr class_count;
+          let oi =
+            Occ_index.build ~taxonomy ~original:db ?keep_label class_pattern
+          in
+          let sz = Occ_index.size oi in
+          oi_entries := !oi_entries + sz.Occ_index.entries;
+          oi_set_members := !oi_set_members + sz.Occ_index.set_members;
+          let t = Timer.start () in
+          Fun.protect
+            ~finally:(fun () ->
+              enumerate_seconds := !enumerate_seconds +. Timer.elapsed_s t)
+            (fun () ->
+              Specialize.enumerate ~taxonomy ~min_support:min_support_count
+                ~enhancements:config.enhancements ~stats:spec_stats ~budget oi
+                (fun p ->
+                  incr pattern_count;
+                  emit p)));
+      true
+    with Out_of_time_in_mining | Specialize.Out_of_time -> false
+  in
+  let mining_total = Timer.elapsed_s mining_timer in
+  {
+    patterns = [];
+    class_count = !class_count;
+    pattern_count = !pattern_count;
+    completed;
+    relabel_seconds;
+    mining_seconds = mining_total -. !enumerate_seconds;
+    enumerate_seconds = !enumerate_seconds;
+    total_seconds = Timer.elapsed_s total_timer;
+    spec_stats;
+    oi_entries = !oi_entries;
+    oi_set_members = !oi_set_members;
+  }
+
+let run_parallel ?(config = default_config) ?domains taxonomy db =
+  let total_timer = Timer.start () in
+  let relabeled, relabel_seconds = Timer.time (fun () -> Relabel.db taxonomy db) in
+  let min_support_count = Db.support_count_to_threshold db config.min_support in
+  let keep_label =
+    if config.enhancements.Specialize.label_prefilter then
+      Some (frequent_label_filter taxonomy db ~min_support:min_support_count)
+    else None
+  in
+  (* step 2, sequential: collect every class's occurrence index *)
+  let mining_timer = Timer.start () in
+  let indices = ref [] in
+  Gspan.mine ?max_edges:config.max_edges ~min_support:min_support_count
+    relabeled (fun class_pattern ->
+      indices :=
+        Occ_index.build ~taxonomy ~original:db ?keep_label class_pattern
+        :: !indices);
+  let mining_seconds = Timer.elapsed_s mining_timer in
+  let class_list = Array.of_list (List.rev !indices) in
+  let class_count = Array.length class_list in
+  let oi_entries = ref 0 in
+  let oi_set_members = ref 0 in
+  Array.iter
+    (fun oi ->
+      let sz = Occ_index.size oi in
+      oi_entries := !oi_entries + sz.Occ_index.entries;
+      oi_set_members := !oi_set_members + sz.Occ_index.set_members)
+    class_list;
+  (* step 3, parallel: one worker per domain pulls classes off a shared
+     counter; per-domain outputs and stats merge at the end *)
+  let domains =
+    let d =
+      Option.value ~default:(min 8 (Domain.recommended_domain_count ())) domains
+    in
+    max 1 (min d (max 1 class_count))
+  in
+  let enumerate_timer = Timer.start () in
+  let next = Atomic.make 0 in
+  let worker () =
+    let stats = Specialize.fresh_stats () in
+    let acc = ref [] in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < class_count then begin
+        Specialize.enumerate ~taxonomy ~min_support:min_support_count
+          ~enhancements:config.enhancements ~stats class_list.(i) (fun p ->
+            acc := p :: !acc);
+        loop ()
+      end
+    in
+    loop ();
+    (stats, !acc)
+  in
+  let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  let first = worker () in
+  let results = first :: List.map Domain.join handles in
+  let enumerate_seconds = Timer.elapsed_s enumerate_timer in
+  let spec_stats = Specialize.fresh_stats () in
+  let patterns =
+    List.concat_map
+      (fun ((s : Specialize.stats), acc) ->
+        spec_stats.Specialize.intersections <-
+          spec_stats.Specialize.intersections + s.Specialize.intersections;
+        spec_stats.Specialize.visited <-
+          spec_stats.Specialize.visited + s.Specialize.visited;
+        spec_stats.Specialize.emitted <-
+          spec_stats.Specialize.emitted + s.Specialize.emitted;
+        spec_stats.Specialize.over_generalized <-
+          spec_stats.Specialize.over_generalized + s.Specialize.over_generalized;
+        acc)
+      results
+    |> Pattern.sort
+  in
+  {
+    patterns;
+    class_count;
+    pattern_count = List.length patterns;
+    completed = true;
+    relabel_seconds;
+    mining_seconds;
+    enumerate_seconds;
+    total_seconds = Timer.elapsed_s total_timer;
+    spec_stats;
+    oi_entries = !oi_entries;
+    oi_set_members = !oi_set_members;
+  }
+
+let run ?config ?budget ?class_miner taxonomy db =
+  let acc = ref [] in
+  let result =
+    run_streaming ?config ?budget ?class_miner taxonomy db (fun p ->
+        acc := p :: !acc)
+  in
+  { result with patterns = List.rev !acc }

@@ -1,0 +1,99 @@
+(** The Taxogram algorithm (paper Section 3): taxonomy-superimposed graph
+    mining in three steps.
+
+    + {b Relabel} every vertex with the most general ancestor of its label,
+      producing the most-generalized database [D_mg] (originals kept).
+    + {b Mine pattern classes}: run gSpan over [D_mg]; every frequent
+      pattern of [D_mg] is the most general member of a pattern class, and
+      its embeddings are turned into a taxonomy-projected occurrence index.
+    + {b Enumerate specialized patterns} per class from the occurrence index
+      alone — bitset intersections instead of isomorphism tests — while
+      eliminating over-generalized patterns.
+
+    The result is minimal (no over-generalized patterns, Lemma 8) and
+    complete (all non-over-generalized patterns with sufficient support,
+    Lemma 9). *)
+
+type config = {
+  min_support : float;  (** the paper's theta, in [0, 1] *)
+  max_edges : int option;  (** optional cap on pattern size *)
+  enhancements : Specialize.enhancements;
+}
+
+val default_config : config
+(** theta = 0.2 (the paper's usual setting), no size cap, all enhancements
+    on. *)
+
+val baseline_config : config
+(** The paper's "baseline" comparator: identical pipeline, all Section 3
+    efficiency enhancements off. *)
+
+type result = {
+  patterns : Pattern.t list;
+  class_count : int;  (** frequent pattern classes found in step 2 *)
+  pattern_count : int;
+  completed : bool;  (** [false] when a time budget cut mining short *)
+  relabel_seconds : float;
+  mining_seconds : float;  (** step 2: gSpan + occurrence-index building *)
+  enumerate_seconds : float;  (** step 3 *)
+  total_seconds : float;
+  spec_stats : Specialize.stats;
+  oi_entries : int;
+      (** occurrence-index labels built across all classes (Lemma 4's
+          space driver) *)
+  oi_set_members : int;  (** total occurrence-set members across all OIs *)
+}
+
+type class_miner = [ `Gspan | `Level_wise ]
+(** Which general-purpose miner powers Step 2: gSpan (depth-first, the
+    paper's choice) or the FSG-style level-wise miner — the paper notes any
+    of them can be extended with occurrence indices, and the outputs are
+    identical (property-tested). *)
+
+val run :
+  ?config:config ->
+  ?budget:Tsg_util.Timer.Budget.budget ->
+  ?class_miner:class_miner ->
+  Tsg_taxonomy.Taxonomy.t ->
+  Tsg_graph.Db.t ->
+  result
+(** Mine the database against the taxonomy. Every node label of every graph
+    must be a label of the taxonomy. When [budget] (default unlimited)
+    expires the run stops early with [completed = false] and the patterns
+    found so far. *)
+
+val run_streaming :
+  ?config:config ->
+  ?budget:Tsg_util.Timer.Budget.budget ->
+  ?class_miner:class_miner ->
+  Tsg_taxonomy.Taxonomy.t ->
+  Tsg_graph.Db.t ->
+  (Pattern.t -> unit) ->
+  result
+(** As {!run} but delivering patterns through a callback as classes complete
+    (the result's [patterns] list is left empty). Memory stays proportional
+    to one pattern class at a time, as in the paper's Step 2 analysis. *)
+
+val run_parallel :
+  ?config:config ->
+  ?domains:int ->
+  Tsg_taxonomy.Taxonomy.t ->
+  Tsg_graph.Db.t ->
+  result
+(** Multicore variant (beyond the paper, whose implementation was
+    single-threaded Java): Step 2 runs sequentially but materializes every
+    pattern class with its occurrence index, then Step 3 enumerates the
+    classes across [domains] OCaml domains (default:
+    [Domain.recommended_domain_count ()], capped at 8). Trades the
+    one-class-at-a-time memory profile for parallel specialization. The
+    pattern set equals {!run}'s (order canonicalized); [spec_stats] are
+    summed across domains and [enumerate_seconds] is wall-clock, not CPU
+    time. *)
+
+val frequent_label_filter :
+  Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Db.t -> min_support:int ->
+  (Tsg_graph.Label.id -> bool)
+(** Enhancement (b)'s predicate: keep a taxonomy label iff nodes labeled
+    with it {e or any descendant} occur in at least [min_support] distinct
+    graphs (its generalized size-1 support). Upward-closed, so pruned
+    occurrence indices stay connected. *)

@@ -1,0 +1,67 @@
+module Prng = Tsg_util.Prng
+
+type spec = {
+  id : string;
+  graph_count : int;
+  max_edges : int;
+  edge_density : float;
+  edge_label_count : int;
+}
+
+let mk id graph_count max_edges edge_density =
+  { id; graph_count; max_edges; edge_density; edge_label_count = 10 }
+
+let d_series =
+  List.map
+    (fun n -> mk (Printf.sprintf "D%d" n) n 20 0.27)
+    [ 1000; 2000; 3000; 4000; 5000 ]
+
+let nc_series =
+  (* Table 1 reports the density falling as graphs grow: 0.32 .. 0.20 *)
+  List.map2
+    (fun max_edges density ->
+      mk (Printf.sprintf "NC%d" max_edges) 4000 max_edges density)
+    [ 10; 20; 30; 40 ]
+    [ 0.32; 0.27; 0.23; 0.20 ]
+
+let ed_series =
+  (* max_edges tuned so the average edge count matches Table 1's rows *)
+  List.map2
+    (fun tag (density, max_edges) ->
+      mk ("ED" ^ tag) 3000 max_edges density)
+    [ "06"; "09"; "10"; "11" ]
+    [ (0.06, 12); (0.09, 16); (0.10, 17); (0.11, 20) ]
+
+let td_depths = [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
+
+let td_spec ~depth = mk (Printf.sprintf "TD%d" depth) 4000 40 0.20
+
+let ts_concept_counts = [ 25; 50; 100; 200; 400; 800; 1600; 3200 ]
+
+let ts_spec ~concepts = mk (Printf.sprintf "TS%d" concepts) 4000 40 0.20
+
+let d4000 = List.nth d_series 3
+
+let scale factor spec =
+  {
+    spec with
+    graph_count =
+      max 10 (int_of_float (Float.round (factor *. float_of_int spec.graph_count)));
+  }
+
+let build rng ~node_label spec =
+  Synth_graph.generate rng
+    {
+      Synth_graph.graph_count = spec.graph_count;
+      max_edges = spec.max_edges;
+      edge_density = spec.edge_density;
+      edge_label_count = spec.edge_label_count;
+      node_label;
+    }
+
+let all =
+  d_series @ nc_series @ ed_series
+  @ List.map (fun depth -> td_spec ~depth) td_depths
+  @ List.map (fun concepts -> ts_spec ~concepts) ts_concept_counts
+
+let find id = List.find_opt (fun s -> s.id = id) all

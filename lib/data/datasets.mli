@@ -1,0 +1,56 @@
+(** The named synthetic datasets of the paper's Table 1.
+
+    Each spec carries the generator parameters that reproduce the table's
+    rows (database size, per-graph edge cap, edge density, edge-label
+    count). Taxonomies are chosen by the experiment: the D/NC/ED series use
+    the GO-like taxonomy, TD/TS use synthetic taxonomies of varying
+    depth/size, PTE uses the atom taxonomy (see {!Pathways} and {!Pte} for
+    the real-data stand-ins). *)
+
+type spec = {
+  id : string;
+  graph_count : int;
+  max_edges : int;
+  edge_density : float;
+  edge_label_count : int;
+}
+
+val d_series : spec list
+(** D1000 .. D5000 — varying database size (Figure 4.2); max 20 edges,
+    density 0.27, 10 edge labels. *)
+
+val nc_series : spec list
+(** NC10 .. NC40 — varying max graph size (Figure 4.3); 4000 graphs. *)
+
+val ed_series : spec list
+(** ED06 .. ED11 — varying edge density (Figure 4.4); 3000 graphs. *)
+
+val td_depths : int list
+(** 5 .. 15, the taxonomy depths of Figure 4.5. *)
+
+val td_spec : depth:int -> spec
+(** TD<depth> — 4000 graphs, max 40 edges, density 0.2 (Figure 4.5). *)
+
+val ts_concept_counts : int list
+(** 25, 50, ..., 3200 — the taxonomy sizes of Figure 4.6. *)
+
+val ts_spec : concepts:int -> spec
+(** TS<concepts> (Figure 4.6). *)
+
+val d4000 : spec
+(** The Figure 4.7 support-threshold dataset. *)
+
+val scale : float -> spec -> spec
+(** Scale the database size (for quick benchmark runs); keeps at least 10
+    graphs. *)
+
+val build :
+  Tsg_util.Prng.t ->
+  node_label:(Tsg_util.Prng.t -> Tsg_graph.Label.id) ->
+  spec ->
+  Tsg_graph.Db.t
+
+val find : string -> spec option
+(** Look up any series spec by its Table 1 id (e.g. ["NC30"]). *)
+
+val all : spec list

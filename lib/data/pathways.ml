@@ -1,0 +1,153 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+
+type spec = {
+  name : string;
+  paper_time_ms : int;
+  paper_patterns : int;
+  avg_nodes : float;
+  avg_edges : float;
+}
+
+let table2 =
+  [
+    ("Vitamin B6 metabolism", 119, 2, 7.03, 4.03);
+    ("Inositol phosphate metabolism", 140, 7, 4.33, 3.33);
+    ("Sulfur metabolism", 156, 7, 5.17, 3.23);
+    ("Benzoate degradation via hydroxylation", 206, 60, 7.60, 5.30);
+    ("Riboflavin metabolism", 210, 12, 7.63, 4.73);
+    ("Nicotinate and nicotinamide metabolism", 216, 36, 6.67, 4.40);
+    ("Thiamine metabolism", 259, 23, 4.57, 3.60);
+    ("Lysine biosynthesis", 314, 61, 8.73, 7.67);
+    ("Pentose and glucuronate interconversions", 323, 56, 10.83, 6.70);
+    ("Synthesis and degradation of ketone bodies", 353, 31, 4.97, 4.10);
+    ("Histidine metabolism", 361, 79, 8.83, 6.60);
+    ("Tyrosine metabolism", 529, 57, 7.93, 6.13);
+    ("Phenylalanine metabolism", 613, 32, 5.80, 4.40);
+    ("Nucleotide sugars metabolism", 693, 106, 7.57, 6.30);
+    ("Aminosugars metabolism", 808, 168, 8.20, 6.60);
+    ("Citrate cycle (TCA cycle)", 1011, 174, 10.80, 8.63);
+    ("Glyoxylate and dicarboxylate metabolism", 1036, 233, 9.10, 7.53);
+    ("Selenoamino acid metabolism", 1046, 152, 6.90, 6.50);
+    ("Valine, leucine and isoleucine biosynthesis", 1069, 75, 5.23, 4.70);
+    ("Butanoate metabolism", 1789, 287, 10.57, 8.80);
+    ("beta-Alanine metabolism", 3562, 661, 5.10, 5.60);
+    ("Glycerolipid metabolism", 6872, 219, 8.10, 7.23);
+    ("Biosynthesis of steroids", 10609, 830, 7.97, 8.87);
+    ("Nitrogen metabolism", 62777, 1486, 7.20, 7.27);
+    ("Pantothenate and CoA biosynthesis", 215047, 142, 10.43, 9.53);
+  ]
+  |> List.map (fun (name, t, p, n, e) ->
+         {
+           name;
+           paper_time_ms = t;
+           paper_patterns = p;
+           avg_nodes = n;
+           avg_edges = e;
+         })
+
+let paper_organism_count = 30
+
+(* Map the paper's pattern counts (2 .. 1486) onto a conservation level:
+   more shared patterns across organisms = higher conservation. *)
+let conservation spec =
+  let lo = log10 2.0 and hi = log10 1486.0 in
+  let x = (log10 (float_of_int (max 2 spec.paper_patterns)) -. lo) /. (hi -. lo) in
+  0.30 +. (0.62 *. Float.max 0.0 (Float.min 1.0 x))
+
+let random_connected_graph rng ~nodes ~edges ~label =
+  let n = max 2 nodes in
+  let m = max (n - 1) (min edges (n * (n - 1) / 2)) in
+  let labels = Array.init n (fun _ -> label rng) in
+  let edge_set = Hashtbl.create m in
+  let out = ref [] in
+  let add u v =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem edge_set key) then begin
+      Hashtbl.add edge_set key ();
+      out := (u, v, 0) :: !out;
+      true
+    end
+    else false
+  in
+  for v = 1 to n - 1 do
+    ignore (add v (Prng.int rng v))
+  done;
+  let added = ref (n - 1) in
+  let attempts = ref 0 in
+  while !added < m && !attempts < 30 * m do
+    incr attempts;
+    if add (Prng.int rng n) (Prng.int rng n) then incr added
+  done;
+  Graph.build ~labels ~edges:!out
+
+(* A "functionally similar" enzyme: re-specialize the template label under
+   an ancestor one or two levels up, landing on a leaf again. *)
+let similar_label rng taxonomy l =
+  let hops = 1 + Prng.int rng 2 in
+  let rec up l k =
+    if k = 0 then l
+    else
+      match Taxonomy.parents taxonomy l with
+      | [] -> l
+      | ps -> up (List.nth ps (Prng.int rng (List.length ps))) (k - 1)
+  in
+  let anc = up l hops in
+  let rec down l =
+    match Taxonomy.children taxonomy l with
+    | [] -> l
+    | cs -> down (List.nth cs (Prng.int rng (List.length cs)))
+  in
+  down anc
+
+let organism_variant rng taxonomy ~conservation ~random_leaf template =
+  let n = Graph.node_count template in
+  let labels =
+    Array.init n (fun v ->
+        let l = Graph.node_label template v in
+        if Prng.bernoulli rng conservation then
+          (* conserved reaction: usually the very same functional
+             annotation, sometimes an organism-specific enzyme from the
+             same function family *)
+          if Prng.bernoulli rng 0.3 then l
+          else similar_label rng taxonomy l
+        else random_leaf rng)
+  in
+  (* structural variation: organisms lose reactions (edges) in proportion
+     to how weakly conserved the pathway is, and occasionally gain one *)
+  let keep_edge = 0.55 +. (0.45 *. conservation) in
+  let edges =
+    ref
+      (List.filter
+         (fun _ -> Prng.bernoulli rng keep_edge)
+         (Array.to_list (Graph.edges template)))
+  in
+  if Prng.bernoulli rng 0.3 then begin
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if
+      u <> v
+      && not
+           (List.exists
+              (fun (a, b, _) -> (a = u && b = v) || (a = v && b = u))
+              !edges)
+    then edges := (u, v, 0) :: !edges
+  end;
+  Graph.build ~labels ~edges:!edges
+
+let generate rng ~taxonomy ?(organisms = paper_organism_count) spec =
+  let random_leaf = Synth_graph.leaf_labels taxonomy () in
+  let template =
+    random_connected_graph rng
+      ~nodes:(int_of_float (Float.round spec.avg_nodes))
+      ~edges:(int_of_float (Float.round spec.avg_edges))
+      ~label:random_leaf
+  in
+  let conservation = conservation spec in
+  Db.of_array
+    (Array.init organisms (fun _ ->
+         organism_variant rng taxonomy ~conservation ~random_leaf template))
+
+let generate_all rng ~taxonomy ?organisms () =
+  List.map (fun spec -> (spec, generate rng ~taxonomy ?organisms spec)) table2

@@ -1,0 +1,85 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+
+let paper_graph_count = 416
+
+let bond_label_names = [ "single"; "double"; "aromatic" ]
+
+let single = 0
+
+let double_ = 1
+
+let aromatic_bond = 2
+
+type builder = {
+  mutable labels : int list; (* reversed *)
+  mutable edges : (int * int * int) list;
+  mutable count : int;
+}
+
+let add_node b l =
+  b.labels <- l :: b.labels;
+  b.count <- b.count + 1;
+  b.count - 1
+
+let add_edge b u v l = b.edges <- (u, v, l) :: b.edges
+
+let molecule rng taxonomy =
+  let id n = Taxonomy.id_of_name taxonomy n in
+  let c = id "C" and h = id "H" and o = id "O" and n_ = id "N" in
+  let s = id "S" and p = id "P" in
+  let c_arom = id "c" and n_arom = id "n" in
+  let halogens = [| id "F"; id "Cl"; id "Br"; id "I" |] in
+  let b = { labels = []; edges = []; count = 0 } in
+  (* carbon backbone chain *)
+  let backbone_len = 3 + Prng.int rng 6 in
+  let backbone =
+    Array.init backbone_len (fun _ -> add_node b c)
+  in
+  for i = 1 to backbone_len - 1 do
+    let bond = if Prng.bernoulli rng 0.15 then double_ else single in
+    add_edge b backbone.(i - 1) backbone.(i) bond
+  done;
+  (* aromatic ring fused to the backbone *)
+  if Prng.bernoulli rng 0.6 then begin
+    let ring =
+      Array.init 6 (fun _ ->
+          add_node b (if Prng.bernoulli rng 0.12 then n_arom else c_arom))
+    in
+    for i = 0 to 5 do
+      add_edge b ring.(i) ring.((i + 1) mod 6) aromatic_bond
+    done;
+    add_edge b ring.(0) (Prng.choose rng backbone) single
+  end;
+  (* substituents on backbone carbons *)
+  Array.iter
+    (fun carbon ->
+      let hydrogens = Prng.int rng 3 in
+      for _ = 1 to hydrogens do
+        add_edge b (add_node b h) carbon single
+      done;
+      if Prng.bernoulli rng 0.30 then begin
+        let hetero =
+          let r = Prng.float rng 1.0 in
+          if r < 0.55 then o
+          else if r < 0.80 then n_
+          else if r < 0.90 then s
+          else p
+        in
+        let bond = if hetero = o && Prng.bernoulli rng 0.4 then double_ else single in
+        add_edge b (add_node b hetero) carbon bond
+      end;
+      if Prng.bernoulli rng 0.06 then
+        add_edge b (add_node b (Prng.choose rng halogens)) carbon single)
+    backbone;
+  (* occasional backbone ring closure *)
+  if backbone_len >= 5 && Prng.bernoulli rng 0.25 then
+    add_edge b backbone.(0) backbone.(backbone_len - 1) single;
+  Graph.build
+    ~labels:(Array.of_list (List.rev b.labels))
+    ~edges:b.edges
+
+let generate rng ~taxonomy ?(molecules = paper_graph_count) () =
+  Db.of_array (Array.init molecules (fun _ -> molecule rng taxonomy))

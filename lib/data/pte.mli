@@ -1,0 +1,25 @@
+(** Simulated PTE/NTP carcinogenicity molecules (paper Section 4.2, Fig 4.8).
+
+    The real Predictive Toxicology Challenge set (416 molecular structures,
+    atoms as nodes, bonds as edges) is not available offline. This generator
+    produces molecule-like graphs under the Figure 4.1 atom taxonomy
+    ({!Tsg_taxonomy.Atom_taxonomy}): carbon backbones with hydrogens and
+    occasional hetero-atom substituents, aromatic rings of lower-case
+    aromatic atoms, and rare halogens/metals. As in the paper's data, C, H
+    and O dominate — which is exactly what makes the pattern count explode
+    at high support thresholds (the paper's Figure 4.8 observation). *)
+
+val paper_graph_count : int
+(** 416. *)
+
+val bond_label_names : string list
+(** ["single"; "double"; "aromatic"] — edge label ids 0, 1, 2. *)
+
+val generate :
+  Tsg_util.Prng.t ->
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  ?molecules:int ->
+  unit ->
+  Tsg_graph.Db.t
+(** [taxonomy] must be {!Tsg_taxonomy.Atom_taxonomy.create}'s;
+    [molecules] defaults to {!paper_graph_count}. *)

@@ -1,0 +1,104 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+
+type params = {
+  graph_count : int;
+  max_edges : int;
+  edge_density : float;
+  edge_label_count : int;
+  node_label : Prng.t -> Tsg_graph.Label.id;
+}
+
+let generate_graph rng ~max_edges ~edge_density ~edge_label_count ~node_label =
+  if max_edges < 1 then invalid_arg "Synth_graph: max_edges must be >= 1";
+  if edge_density <= 0.0 || edge_density > 1.0 then
+    invalid_arg "Synth_graph: edge_density must be in (0, 1]";
+  let target_edges = 1 + Prng.int rng max_edges in
+  (* density = 2m/n^2  =>  n = sqrt(2m / density); sparse graphs may come
+     out disconnected, exactly like the paper's ED series (14 nodes but
+     only ~7 edges at density 0.06) *)
+  let n =
+    int_of_float
+      (Float.round (sqrt (2.0 *. float_of_int target_edges /. edge_density)))
+  in
+  let n = max 2 n in
+  let m = min target_edges (n * (n - 1) / 2) in
+  let labels = Array.init n (fun _ -> node_label rng) in
+  let edge_set = Hashtbl.create m in
+  let edges = ref [] in
+  let add u v =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem edge_set key) then begin
+      Hashtbl.add edge_set key ();
+      edges := (u, v, Prng.int rng edge_label_count) :: !edges;
+      true
+    end
+    else false
+  in
+  (* when the density allows a spanning tree, lay one down first so that
+     denser regimes (the D/NC/TD/TS series) yield mostly-connected graphs;
+     below that, scatter the edges uniformly *)
+  if m >= n - 1 then
+    for v = 1 to n - 1 do
+      ignore (add v (Prng.int rng v))
+    done;
+  let added = ref (List.length !edges) in
+  let attempts = ref 0 in
+  while !added < m && !attempts < 50 * (m + 1) do
+    incr attempts;
+    if add (Prng.int rng n) (Prng.int rng n) then incr added
+  done;
+  Graph.build ~labels ~edges:!edges
+
+let generate rng p =
+  Db.of_array
+    (Array.init p.graph_count (fun _ ->
+         generate_graph rng ~max_edges:p.max_edges
+           ~edge_density:p.edge_density ~edge_label_count:p.edge_label_count
+           ~node_label:p.node_label))
+
+let generate_directed rng p =
+  List.init p.graph_count (fun _ ->
+      let g =
+        generate_graph rng ~max_edges:p.max_edges
+          ~edge_density:p.edge_density ~edge_label_count:p.edge_label_count
+          ~node_label:p.node_label
+      in
+      let arcs =
+        Array.to_list (Graph.edges g)
+        |> List.map (fun (u, v, l) ->
+               if Prng.bool rng then (u, v, l) else (v, u, l))
+      in
+      Tsg_graph.Digraph.build ~labels:(Graph.node_labels g) ~arcs)
+
+let real_labels taxonomy =
+  List.filter
+    (fun l -> not (Taxonomy.is_artificial taxonomy l))
+    (List.init (Taxonomy.label_count taxonomy) (fun i -> i))
+
+let uniform_labels taxonomy =
+  let pool = Array.of_list (real_labels taxonomy) in
+  fun rng -> Prng.choose rng pool
+
+let per_level_labels taxonomy () =
+  let by_level = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let d = Taxonomy.depth taxonomy l in
+      Hashtbl.replace by_level d
+        (l :: Option.value ~default:[] (Hashtbl.find_opt by_level d)))
+    (real_labels taxonomy);
+  let levels =
+    Hashtbl.fold (fun _ ls acc -> Array.of_list ls :: acc) by_level []
+    |> Array.of_list
+  in
+  fun rng -> Prng.choose rng (Prng.choose rng levels)
+
+let leaf_labels taxonomy () =
+  let pool =
+    Array.of_list
+      (List.filter (fun l -> Taxonomy.is_leaf taxonomy l) (real_labels taxonomy))
+  in
+  fun rng -> Prng.choose rng pool

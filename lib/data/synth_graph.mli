@@ -1,0 +1,49 @@
+(** Synthetic graph-database generator (paper Section 4.1).
+
+    The paper's generator takes a label taxonomy, maximum node and edge
+    counts, and an edge-density parameter (Wörlein et al.'s
+    [2 * edges / nodes^2]); node labels are drawn from the taxonomy, edge
+    labels from a fixed-size set. Each graph picks an edge count up to the
+    maximum, derives its node count from the density target, and is built as
+    a random spanning tree plus random extra edges (so graphs are
+    connected). *)
+
+type params = {
+  graph_count : int;
+  max_edges : int;  (** per-graph edge-count cap (>= 1) *)
+  edge_density : float;  (** target [2E/N^2], in (0, 1] *)
+  edge_label_count : int;  (** distinct edge labels (>= 1) *)
+  node_label : Tsg_util.Prng.t -> Tsg_graph.Label.id;
+      (** node-label sampler (see {!samplers}) *)
+}
+
+val generate : Tsg_util.Prng.t -> params -> Tsg_graph.Db.t
+
+val generate_graph :
+  Tsg_util.Prng.t ->
+  max_edges:int ->
+  edge_density:float ->
+  edge_label_count:int ->
+  node_label:(Tsg_util.Prng.t -> Tsg_graph.Label.id) ->
+  Tsg_graph.Graph.t
+(** One connected graph under the same regime. *)
+
+val generate_directed :
+  Tsg_util.Prng.t -> params -> Tsg_graph.Digraph.t list
+(** As {!generate}, orienting every generated edge uniformly at random —
+    the directed-database counterpart used by the directed-mining mode. *)
+
+(** {2:samplers Node-label samplers} *)
+
+val uniform_labels : Tsg_taxonomy.Taxonomy.t -> Tsg_util.Prng.t -> Tsg_graph.Label.id
+(** Uniform over every (non-artificial) taxonomy label. *)
+
+val per_level_labels :
+  Tsg_taxonomy.Taxonomy.t -> unit -> Tsg_util.Prng.t -> Tsg_graph.Label.id
+(** Pick a taxonomy level uniformly, then a label uniformly within it — the
+    paper's sampling for the taxonomy-depth experiments. The [unit]
+    argument builds the per-level tables once. *)
+
+val leaf_labels : Tsg_taxonomy.Taxonomy.t -> unit -> Tsg_util.Prng.t -> Tsg_graph.Label.id
+(** Uniform over leaves (annotation-style labeling: real data annotates with
+    the most specific concepts). *)

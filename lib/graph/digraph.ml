@@ -1,0 +1,106 @@
+type node = int
+
+type arc = node * node * Label.id
+
+type t = {
+  labels : Label.id array;
+  out_adj : (node * Label.id) array array;
+  in_adj : (node * Label.id) array array;
+  arcs : arc array;
+}
+
+let build ~labels ~arcs =
+  let n = Array.length labels in
+  let seen = Hashtbl.create (List.length arcs) in
+  List.iter
+    (fun (u, v, _) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Digraph.build: arc (%d,%d) out of range [0,%d)" u v n);
+      if u = v then
+        invalid_arg (Printf.sprintf "Digraph.build: self loop at node %d" u);
+      if Hashtbl.mem seen (u, v) then
+        invalid_arg (Printf.sprintf "Digraph.build: duplicate arc (%d,%d)" u v);
+      Hashtbl.add seen (u, v) ())
+    arcs;
+  let arcs = Array.of_list arcs in
+  Array.sort compare arcs;
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v, _) ->
+      out_deg.(u) <- out_deg.(u) + 1;
+      in_deg.(v) <- in_deg.(v) + 1)
+    arcs;
+  let out_adj = Array.init n (fun i -> Array.make out_deg.(i) (0, 0)) in
+  let in_adj = Array.init n (fun i -> Array.make in_deg.(i) (0, 0)) in
+  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v, l) ->
+      out_adj.(u).(out_fill.(u)) <- (v, l);
+      out_fill.(u) <- out_fill.(u) + 1;
+      in_adj.(v).(in_fill.(v)) <- (u, l);
+      in_fill.(v) <- in_fill.(v) + 1)
+    arcs;
+  { labels = Array.copy labels; out_adj; in_adj; arcs }
+
+let node_count g = Array.length g.labels
+
+let arc_count g = Array.length g.arcs
+
+let node_label g v = g.labels.(v)
+
+let node_labels g = Array.copy g.labels
+
+let arcs g = Array.copy g.arcs
+
+let out_neighbors g v = g.out_adj.(v)
+
+let in_neighbors g v = g.in_adj.(v)
+
+let out_degree g v = Array.length g.out_adj.(v)
+
+let in_degree g v = Array.length g.in_adj.(v)
+
+let has_arc g ~src ~dst = Array.exists (fun (w, _) -> w = dst) g.out_adj.(src)
+
+let arc_label g ~src ~dst =
+  Option.map snd (Array.find_opt (fun (w, _) -> w = dst) g.out_adj.(src))
+
+let is_weakly_connected g =
+  let n = node_count g in
+  if n <= 1 then true
+  else begin
+    let visited = Array.make n false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    visited.(0) <- true;
+    let count = ref 0 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      incr count;
+      let visit (w, _) =
+        if not visited.(w) then begin
+          visited.(w) <- true;
+          Queue.add w queue
+        end
+      in
+      Array.iter visit g.out_adj.(v);
+      Array.iter visit g.in_adj.(v)
+    done;
+    !count = n
+  end
+
+let distinct_node_labels g =
+  List.sort_uniq compare (Array.to_list g.labels)
+
+let equal a b = a.labels = b.labels && a.arcs = b.arcs
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d nodes, %d arcs@," (node_count g)
+    (arc_count g);
+  Array.iteri (fun v l -> Format.fprintf ppf "  node %d label %d@," v l)
+    g.labels;
+  Array.iter
+    (fun (u, v, l) -> Format.fprintf ppf "  arc %d->%d label %d@," u v l)
+    g.arcs;
+  Format.fprintf ppf "@]"

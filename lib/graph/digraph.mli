@@ -1,0 +1,52 @@
+(** Directed labeled graphs.
+
+    The paper notes Taxogram handles directed graphs even though its
+    gSpan-based implementation (and therefore its evaluation) was restricted
+    to undirected ones. This substrate plus {!Tsg_core.Directed} closes that
+    gap. Simple digraphs: at most one arc per ordered node pair, no self
+    loops; antiparallel arcs ([u -> v] and [v -> u]) are allowed. *)
+
+type node = int
+
+type arc = node * node * Label.id
+(** [(source, target, label)]. *)
+
+type t
+
+val build : labels:Label.id array -> arcs:arc list -> t
+(** @raise Invalid_argument on self loops, duplicate ordered pairs, or
+    out-of-range endpoints. *)
+
+val node_count : t -> int
+
+val arc_count : t -> int
+
+val node_label : t -> node -> Label.id
+
+val node_labels : t -> Label.id array
+
+val arcs : t -> arc array
+(** Sorted by (source, target); fresh copy. *)
+
+val out_neighbors : t -> node -> (node * Label.id) array
+(** Shared array — do not mutate. *)
+
+val in_neighbors : t -> node -> (node * Label.id) array
+
+val out_degree : t -> node -> int
+
+val in_degree : t -> node -> int
+
+val has_arc : t -> src:node -> dst:node -> bool
+
+val arc_label : t -> src:node -> dst:node -> Label.id option
+
+val is_weakly_connected : t -> bool
+
+val distinct_node_labels : t -> Label.id list
+
+val equal : t -> t -> bool
+(** Identity-mapping structural equality, not isomorphism (for an
+    isomorphism-invariant key see [Tsg_core.Directed.canonical_key]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_label table id =
+  match table with
+  | Some t when id >= 0 && id < Label.size t -> Label.name t id
+  | _ -> string_of_int id
+
+let graph ?(name = "G") ?node_labels ?edge_labels g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
+  for v = 0 to Graph.node_count g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" v
+         (escape (render_label node_labels (Graph.node_label g v))))
+  done;
+  Array.iter
+    (fun (u, v, l) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [label=\"%s\"];\n" u v
+           (escape (render_label edge_labels l))))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path ?name ?node_labels ?edge_labels g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (graph ?name ?node_labels ?edge_labels g))

@@ -1,0 +1,19 @@
+(** Graphviz DOT rendering of graphs (and, in {!Tsg_taxonomy}, taxonomies)
+    for eyeballing mined patterns. *)
+
+val graph :
+  ?name:string ->
+  ?node_labels:Label.t ->
+  ?edge_labels:Label.t ->
+  Graph.t ->
+  string
+(** [graph g] is a DOT [graph] block; label tables, when given, render names
+    instead of numeric ids. *)
+
+val save :
+  string ->
+  ?name:string ->
+  ?node_labels:Label.t ->
+  ?edge_labels:Label.t ->
+  Graph.t ->
+  unit

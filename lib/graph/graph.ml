@@ -1,0 +1,160 @@
+type node = int
+
+type edge = node * node * Label.id
+
+type t = {
+  labels : Label.id array;
+  adj : (node * Label.id) array array;
+  edges : edge array;
+}
+
+let normalize (u, v, l) = if u <= v then (u, v, l) else (v, u, l)
+
+let build ~labels ~edges =
+  let n = Array.length labels in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v, _) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Graph.build: edge (%d,%d) out of range [0,%d)" u v n);
+      if u = v then
+        invalid_arg (Printf.sprintf "Graph.build: self loop at node %d" u);
+      let key = if u < v then (u, v) else (v, u) in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Graph.build: duplicate edge (%d,%d)" u v);
+      Hashtbl.add seen key ())
+    edges;
+  let edges = Array.of_list (List.map normalize edges) in
+  Array.sort compare edges;
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v, _) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun i -> Array.make deg.(i) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v, l) ->
+      adj.(u).(fill.(u)) <- (v, l);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, l);
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  { labels = Array.copy labels; adj; edges }
+
+let empty = { labels = [||]; adj = [||]; edges = [||] }
+
+let node_count g = Array.length g.labels
+
+let edge_count g = Array.length g.edges
+
+let node_label g v = g.labels.(v)
+
+let node_labels g = Array.copy g.labels
+
+let edges g = Array.copy g.edges
+
+let neighbors g v = g.adj.(v)
+
+let degree g v = Array.length g.adj.(v)
+
+let has_edge g u v = Array.exists (fun (w, _) -> w = v) g.adj.(u)
+
+let edge_label g u v =
+  let found = Array.find_opt (fun (w, _) -> w = v) g.adj.(u) in
+  Option.map snd found
+
+let edge_density g =
+  let n = node_count g in
+  if n = 0 then 0.0
+  else 2.0 *. float_of_int (edge_count g) /. float_of_int (n * n)
+
+let bfs_reach g start =
+  let n = node_count g in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  visited.(start) <- true;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    Array.iter
+      (fun (w, _) ->
+        if not visited.(w) then begin
+          visited.(w) <- true;
+          Queue.add w queue
+        end)
+      g.adj.(v)
+  done;
+  (visited, !count)
+
+let is_connected g =
+  let n = node_count g in
+  n <= 1 || snd (bfs_reach g 0) = n
+
+let relabel g f =
+  {
+    g with
+    labels = Array.init (node_count g) (fun v -> f v);
+  }
+
+let induced g nodes =
+  let keep = Array.of_list nodes in
+  let n = Array.length keep in
+  let old_to_new = Hashtbl.create n in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem old_to_new v then
+        invalid_arg "Graph.induced: duplicate node"
+      else Hashtbl.add old_to_new v i)
+    keep;
+  let labels = Array.map (fun v -> g.labels.(v)) keep in
+  let edges =
+    Array.fold_left
+      (fun acc (u, v, l) ->
+        match (Hashtbl.find_opt old_to_new u, Hashtbl.find_opt old_to_new v)
+        with
+        | Some u', Some v' -> (u', v', l) :: acc
+        | _ -> acc)
+      [] g.edges
+  in
+  (build ~labels ~edges, keep)
+
+let connected_components g =
+  let n = node_count g in
+  let seen = Array.make n false in
+  let components = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let visited, _ = bfs_reach g v in
+      let members = ref [] in
+      for w = n - 1 downto 0 do
+        if visited.(w) && not seen.(w) then begin
+          seen.(w) <- true;
+          members := w :: !members
+        end
+      done;
+      components := !members :: !components
+    end
+  done;
+  List.rev !components
+
+let distinct_node_labels g =
+  List.sort_uniq compare (Array.to_list g.labels)
+
+let fold_edges f g init =
+  Array.fold_left (fun acc (u, v, l) -> f u v l acc) init g.edges
+
+let equal a b = a.labels = b.labels && a.edges = b.edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges@," (node_count g)
+    (edge_count g);
+  Array.iteri (fun v l -> Format.fprintf ppf "  node %d label %d@," v l)
+    g.labels;
+  Array.iter (fun (u, v, l) -> Format.fprintf ppf "  edge %d-%d label %d@," u v l)
+    g.edges;
+  Format.fprintf ppf "@]"

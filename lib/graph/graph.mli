@@ -1,0 +1,71 @@
+(** Undirected labeled graphs.
+
+    A graph [G(V, E, L, lambda)] in the paper's notation: every node carries a
+    node-label id and every edge an edge-label id (interpret ids against
+    whichever {!Label.t} tables the application owns). Simple graphs only: no
+    self loops, no parallel edges. Graphs are immutable once built. *)
+
+type node = int
+(** Dense node index, [0 .. node_count-1]. *)
+
+type edge = node * node * Label.id
+(** Endpoints with [fst < snd], plus the edge label. *)
+
+type t
+
+val build : labels:Label.id array -> edges:(node * node * Label.id) list -> t
+(** [build ~labels ~edges] is the graph on [Array.length labels] nodes.
+    Endpoint order within an edge is irrelevant.
+    @raise Invalid_argument on self loops, duplicate edges, or out-of-range
+    endpoints. *)
+
+val empty : t
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val node_label : t -> node -> Label.id
+
+val node_labels : t -> Label.id array
+(** Fresh copy of the label assignment. *)
+
+val edges : t -> edge array
+(** Fresh copy, endpoints normalized with [fst < snd]. *)
+
+val neighbors : t -> node -> (node * Label.id) array
+(** Adjacent nodes with the connecting edge's label (shared array — do not
+    mutate). *)
+
+val degree : t -> node -> int
+
+val has_edge : t -> node -> node -> bool
+
+val edge_label : t -> node -> node -> Label.id option
+
+val edge_density : t -> float
+(** [2 * edge_count / node_count^2], the density measure of Wörlein et al.
+    used throughout the paper's evaluation; [0.] for the empty graph. *)
+
+val is_connected : t -> bool
+(** True for the empty and one-node graph. *)
+
+val relabel : t -> (node -> Label.id) -> t
+(** Same structure, node labels replaced. *)
+
+val induced : t -> node list -> t * node array
+(** [induced g nodes] is the subgraph induced by [nodes] (which must be
+    distinct) together with the map from new node index to old. *)
+
+val connected_components : t -> node list list
+
+val distinct_node_labels : t -> Label.id list
+(** Sorted, without duplicates. *)
+
+val fold_edges : (node -> node -> Label.id -> 'a -> 'a) -> t -> 'a -> 'a
+
+val equal : t -> t -> bool
+(** Structural equality under the identity node mapping (same labels, same
+    edge set) — {e not} isomorphism. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type id = int
+
+type t = {
+  by_name : (string, id) Hashtbl.t;
+  mutable by_id : string array;
+  mutable size : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 16 ""; size = 0 }
+
+let size t = t.size
+
+let grow t =
+  if t.size = Array.length t.by_id then begin
+    let bigger = Array.make (max 16 (2 * t.size)) "" in
+    Array.blit t.by_id 0 bigger 0 t.size;
+    t.by_id <- bigger
+  end
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+    grow t;
+    let id = t.size in
+    t.by_id.(id) <- name;
+    t.size <- t.size + 1;
+    Hashtbl.add t.by_name name id;
+    id
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t name =
+  match find t name with Some id -> id | None -> raise Not_found
+
+let name t id =
+  if id < 0 || id >= t.size then
+    invalid_arg (Printf.sprintf "Label.name: id %d out of range" id);
+  t.by_id.(id)
+
+let mem t n = Hashtbl.mem t.by_name n
+
+let names t = Array.sub t.by_id 0 t.size
+
+let of_names list =
+  let t = create () in
+  List.iter
+    (fun n ->
+      if mem t n then invalid_arg ("Label.of_names: duplicate name " ^ n)
+      else ignore (intern t n))
+    list;
+  t

@@ -1,0 +1,34 @@
+(** Interned label tables.
+
+    Node and edge labels are strings at the API boundary but dense integer
+    ids everywhere inside the miners; a table owns the bijection. *)
+
+type id = int
+(** Dense identifier, [0 .. size-1]. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val intern : t -> string -> id
+(** Id of the given name, allocating a fresh id on first sight. *)
+
+val find : t -> string -> id option
+(** Id of the given name if already interned. *)
+
+val find_exn : t -> string -> id
+(** @raise Not_found when the name was never interned. *)
+
+val name : t -> id -> string
+(** @raise Invalid_argument on an out-of-range id. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string array
+(** All names indexed by id; fresh array. *)
+
+val of_names : string list -> t
+(** Table pre-populated in list order.
+    @raise Invalid_argument on duplicate names. *)

@@ -1,0 +1,185 @@
+let write_graph buf ~node_labels ~edge_labels index g =
+  Buffer.add_string buf (Printf.sprintf "t # %d\n" index);
+  for v = 0 to Graph.node_count g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "v %d %s\n" v (Label.name node_labels (Graph.node_label g v)))
+  done;
+  Array.iter
+    (fun (u, v, l) ->
+      Buffer.add_string buf
+        (Printf.sprintf "e %d %d %s\n" u v (Label.name edge_labels l)))
+    (Graph.edges g)
+
+let write_db buf ~node_labels ~edge_labels db =
+  Db.iteri (fun i g -> write_graph buf ~node_labels ~edge_labels i g) db
+
+let db_to_string ~node_labels ~edge_labels db =
+  let buf = Buffer.create 4096 in
+  write_db buf ~node_labels ~edge_labels db;
+  Buffer.contents buf
+
+let save_db path ~node_labels ~edge_labels db =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (db_to_string ~node_labels ~edge_labels db))
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type partial = {
+  mutable labels : (int * Label.id) list;
+  mutable edges : (int * int * Label.id) list;
+}
+
+let finish line p =
+  let count =
+    List.fold_left (fun acc (v, _) -> max acc (v + 1)) 0 p.labels
+  in
+  let labels = Array.make count (-1) in
+  List.iter
+    (fun (v, l) ->
+      if v < 0 then fail line (Printf.sprintf "negative node index %d" v)
+      else if labels.(v) <> -1 then
+        fail line (Printf.sprintf "duplicate node %d" v)
+      else labels.(v) <- l)
+    p.labels;
+  Array.iteri
+    (fun v l -> if l = -1 then fail line (Printf.sprintf "missing node %d" v))
+    labels;
+  try Graph.build ~labels ~edges:p.edges
+  with Invalid_argument msg -> fail line msg
+
+let parse_db ~node_labels ~edge_labels text =
+  let graphs = ref [] in
+  let current = ref None in
+  let lineno = ref 0 in
+  let close_current () =
+    match !current with
+    | None -> ()
+    | Some p ->
+      graphs := finish !lineno p :: !graphs;
+      current := None
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         incr lineno;
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line with
+           | "t" :: _ ->
+             close_current ();
+             current := Some { labels = []; edges = [] }
+           | [ "v"; v; name ] -> (
+             match (!current, int_of_string_opt v) with
+             | None, _ -> fail !lineno "'v' before any 't' header"
+             | _, None -> fail !lineno ("bad node index " ^ v)
+             | Some p, Some v ->
+               p.labels <- (v, Label.intern node_labels name) :: p.labels)
+           | [ "e"; u; v; name ] -> (
+             match (!current, int_of_string_opt u, int_of_string_opt v) with
+             | None, _, _ -> fail !lineno "'e' before any 't' header"
+             | _, None, _ | _, _, None -> fail !lineno "bad edge endpoints"
+             | Some p, Some u, Some v ->
+               p.edges <- (u, v, Label.intern edge_labels name) :: p.edges)
+           | _ -> fail !lineno ("unrecognized line: " ^ line));
+  close_current ();
+  Db.of_list (List.rev !graphs)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_db ~node_labels ~edge_labels path =
+  parse_db ~node_labels ~edge_labels (read_file path)
+
+(* --- directed databases --------------------------------------------------- *)
+
+let digraphs_to_string ~node_labels ~arc_labels digraphs =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun index g ->
+      Buffer.add_string buf (Printf.sprintf "t # %d\n" index);
+      for v = 0 to Digraph.node_count g - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "v %d %s\n" v
+             (Label.name node_labels (Digraph.node_label g v)))
+      done;
+      Array.iter
+        (fun (u, v, l) ->
+          Buffer.add_string buf
+            (Printf.sprintf "a %d %d %s\n" u v (Label.name arc_labels l)))
+        (Digraph.arcs g))
+    digraphs;
+  Buffer.contents buf
+
+let save_digraphs path ~node_labels ~arc_labels digraphs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (digraphs_to_string ~node_labels ~arc_labels digraphs))
+
+let finish_digraph line p =
+  let count =
+    List.fold_left (fun acc (v, _) -> max acc (v + 1)) 0 p.labels
+  in
+  let labels = Array.make count (-1) in
+  List.iter
+    (fun (v, l) ->
+      if v < 0 then fail line (Printf.sprintf "negative node index %d" v)
+      else if labels.(v) <> -1 then
+        fail line (Printf.sprintf "duplicate node %d" v)
+      else labels.(v) <- l)
+    p.labels;
+  Array.iteri
+    (fun v l -> if l = -1 then fail line (Printf.sprintf "missing node %d" v))
+    labels;
+  try Digraph.build ~labels ~arcs:p.edges
+  with Invalid_argument msg -> fail line msg
+
+let parse_digraphs ~node_labels ~arc_labels text =
+  let graphs = ref [] in
+  let current = ref None in
+  let lineno = ref 0 in
+  let close_current () =
+    match !current with
+    | None -> ()
+    | Some p ->
+      graphs := finish_digraph !lineno p :: !graphs;
+      current := None
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         incr lineno;
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line with
+           | "t" :: _ ->
+             close_current ();
+             current := Some { labels = []; edges = [] }
+           | [ "v"; v; name ] -> (
+             match (!current, int_of_string_opt v) with
+             | None, _ -> fail !lineno "'v' before any 't' header"
+             | _, None -> fail !lineno ("bad node index " ^ v)
+             | Some p, Some v ->
+               p.labels <- (v, Label.intern node_labels name) :: p.labels)
+           | [ "a"; u; v; name ] -> (
+             match (!current, int_of_string_opt u, int_of_string_opt v) with
+             | None, _, _ -> fail !lineno "'a' before any 't' header"
+             | _, None, _ | _, _, None -> fail !lineno "bad arc endpoints"
+             | Some p, Some u, Some v ->
+               p.edges <- (u, v, Label.intern arc_labels name) :: p.edges)
+           | [ "e"; _; _; _ ] ->
+             fail !lineno "'e' line in a directed database (expected 'a')"
+           | _ -> fail !lineno ("unrecognized line: " ^ line));
+  close_current ();
+  List.rev !graphs
+
+let load_digraphs ~node_labels ~arc_labels path =
+  parse_digraphs ~node_labels ~arc_labels (read_file path)

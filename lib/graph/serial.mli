@@ -1,0 +1,48 @@
+(** Text serialization of graph databases in a gSpan-style line format.
+
+    {v
+    t # <graph-index>
+    v <node> <node-label-name>
+    e <node> <node> <edge-label-name>
+    v}
+
+    Labels are written by name so files are self-describing; reading interns
+    names into caller-supplied tables. *)
+
+val write_db :
+  Buffer.t -> node_labels:Label.t -> edge_labels:Label.t -> Db.t -> unit
+
+val db_to_string : node_labels:Label.t -> edge_labels:Label.t -> Db.t -> string
+
+val save_db :
+  string -> node_labels:Label.t -> edge_labels:Label.t -> Db.t -> unit
+(** Write to a file path. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_db : node_labels:Label.t -> edge_labels:Label.t -> string -> Db.t
+(** Parse the serialized form, interning label names into the given tables.
+    @raise Parse_error on malformed input. *)
+
+val load_db : node_labels:Label.t -> edge_labels:Label.t -> string -> Db.t
+(** Read from a file path. *)
+
+(** {1 Directed databases}
+
+    Same line format with [a <src> <dst> <arc-label-name>] lines instead of
+    [e] lines. *)
+
+val digraphs_to_string :
+  node_labels:Label.t -> arc_labels:Label.t -> Digraph.t list -> string
+
+val save_digraphs :
+  string -> node_labels:Label.t -> arc_labels:Label.t -> Digraph.t list -> unit
+
+val parse_digraphs :
+  node_labels:Label.t -> arc_labels:Label.t -> string -> Digraph.t list
+(** @raise Parse_error on malformed input (including [e] lines: directed
+    and undirected databases are distinct formats). *)
+
+val load_digraphs :
+  node_labels:Label.t -> arc_labels:Label.t -> string -> Digraph.t list

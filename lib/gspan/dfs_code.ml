@@ -1,0 +1,131 @@
+module Graph = Tsg_graph.Graph
+
+type edge = {
+  from_i : int;
+  to_i : int;
+  from_label : Tsg_graph.Label.id;
+  edge_label : Tsg_graph.Label.id;
+  to_label : Tsg_graph.Label.id;
+}
+
+type t = edge array
+
+let is_forward e = e.to_i > e.from_i
+
+let is_backward e = not (is_forward e)
+
+let compare_labels a b =
+  match compare a.from_label b.from_label with
+  | 0 -> (
+    match compare a.edge_label b.edge_label with
+    | 0 -> compare a.to_label b.to_label
+    | c -> c)
+  | c -> c
+
+(* gSpan's edge order: see Yan & Han 2002, Section "DFS Lexicographic
+   Order". For edges extending the same prefix:
+   - backward vs backward: smaller target first, then labels;
+   - forward vs forward: larger source first (same target: the new node),
+     then labels;
+   - backward (i1,j1) vs forward (i2,j2): backward first iff i1 < j2;
+     the reverse comparison: forward first iff j1 <= i2. *)
+let compare_edge a b =
+  match (is_forward a, is_forward b) with
+  | false, false -> (
+    match compare a.to_i b.to_i with
+    | 0 -> (
+      match compare a.from_i b.from_i with
+      | 0 -> compare_labels a b
+      | c -> c)
+    | c -> c)
+  | true, true -> (
+    match compare a.to_i b.to_i with
+    | 0 -> (
+      match compare b.from_i a.from_i with
+      | 0 -> compare_labels a b
+      | c -> c)
+    | c -> c)
+  | false, true -> if a.from_i < b.to_i then -1 else 1
+  | true, false -> if a.to_i <= b.from_i then -1 else 1
+
+let compare (a : t) (b : t) =
+  let na = Array.length a and nb = Array.length b in
+  let rec go k =
+    if k = na && k = nb then 0
+    else if k = na then -1
+    else if k = nb then 1
+    else
+      match compare_edge a.(k) b.(k) with 0 -> go (k + 1) | c -> c
+  in
+  go 0
+
+let node_count code =
+  Array.fold_left (fun acc e -> max acc (max e.from_i e.to_i + 1)) 0 code
+
+let edge_count = Array.length
+
+let rightmost code =
+  Array.fold_left (fun acc e -> max acc e.to_i) 0 code
+
+let rightmost_path code =
+  (* walk forward edges backward from the rightmost node to the root *)
+  let target = rightmost code in
+  let rec climb node acc =
+    if node = 0 then List.rev (0 :: acc)
+    else
+      let parent =
+        Array.fold_left
+          (fun found e ->
+            if is_forward e && e.to_i = node then Some e.from_i else found)
+          None code
+      in
+      match parent with
+      | Some p -> climb p (node :: acc)
+      | None -> List.rev (node :: acc)
+  in
+  (* climb accumulates top-down, so reversing inside yields rightmost-first *)
+  climb target []
+
+let label_of code i =
+  let found =
+    Array.fold_left
+      (fun acc e ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if e.from_i = i then Some e.from_label
+          else if e.to_i = i then Some e.to_label
+          else None)
+      None code
+  in
+  match found with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Dfs_code.label_of: index %d unused" i)
+
+let has_edge code i j =
+  Array.exists
+    (fun e ->
+      (e.from_i = i && e.to_i = j) || (e.from_i = j && e.to_i = i))
+    code
+
+let to_graph code =
+  let n = node_count code in
+  let labels = Array.make n (-1) in
+  Array.iter
+    (fun e ->
+      labels.(e.from_i) <- e.from_label;
+      labels.(e.to_i) <- e.to_label)
+    code;
+  let edges =
+    Array.to_list (Array.map (fun e -> (e.from_i, e.to_i, e.edge_label)) code)
+  in
+  Graph.build ~labels ~edges
+
+let pp ppf code =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "(%d,%d,%d,%d,%d)@," e.from_i e.to_i e.from_label
+        e.edge_label e.to_label)
+    code;
+  Format.fprintf ppf "@]"

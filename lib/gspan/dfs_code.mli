@@ -1,0 +1,58 @@
+(** DFS codes — gSpan's canonical representation of connected labeled graphs
+    (Yan & Han, ICDM 2002).
+
+    A DFS code is the edge sequence of a depth-first traversal; each edge is
+    a 5-tuple [(i, j, l_i, l_e, l_j)] of the DFS discovery indices of its
+    endpoints and the node/edge labels. An edge is {e forward} when it
+    discovers a new node ([j = max-so-far + 1]) and {e backward} otherwise
+    ([j < i]). The total order on codes (lexicographic over the edge order
+    below) defines the {e minimum} DFS code, which is canonical: two graphs
+    are isomorphic iff their minimum codes are equal. *)
+
+type edge = {
+  from_i : int;
+  to_i : int;
+  from_label : Tsg_graph.Label.id;
+  edge_label : Tsg_graph.Label.id;
+  to_label : Tsg_graph.Label.id;
+}
+
+type t = edge array
+(** Edges in DFS order. The empty array is the empty code. *)
+
+val is_forward : edge -> bool
+
+val is_backward : edge -> bool
+
+val compare_edge : edge -> edge -> int
+(** gSpan's edge order [<_e]:
+    backward edges precede forward edges growing from deeper anchors;
+    among forward edges, deeper anchors come first; among backward edges,
+    earlier targets come first; ties break on the label triple. Only
+    meaningful for edges extending the same code prefix. *)
+
+val compare : t -> t -> int
+(** Lexicographic extension of {!compare_edge}; a proper prefix precedes. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val rightmost : t -> int
+(** Highest DFS index; [0] for the empty code (a single-node code). *)
+
+val rightmost_path : t -> int list
+(** DFS indices from the rightmost node up to the root, rightmost first.
+    E.g. [[3; 1; 0]]. *)
+
+val label_of : t -> int -> Tsg_graph.Label.id
+(** Node label carried by the code for a DFS index. *)
+
+val has_edge : t -> int -> int -> bool
+(** Does the code contain an edge between these DFS indices (either
+    direction)? *)
+
+val to_graph : t -> Tsg_graph.Graph.t
+(** The graph spelled by the code; node ids are DFS indices. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Bitset = Tsg_util.Bitset
+
+type embedding = { graph_id : int; map : int array }
+
+type pattern = {
+  code : Dfs_code.t;
+  graph : Tsg_graph.Graph.t;
+  support_set : Bitset.t;
+  support : int;
+  embeddings : embedding list;
+}
+
+let mapped emb node = Array.exists (fun v -> v = node) emb.map
+
+(* Group candidate extension edges, accumulating embeddings per edge. *)
+module Edge_key = struct
+  type t = Dfs_code.edge
+
+  let compare = Dfs_code.compare_edge
+end
+
+module Edge_map = Map.Make (Edge_key)
+
+let support_of_embeddings db embs =
+  let set = Bitset.create (Db.size db) in
+  List.iter (fun e -> Bitset.set set e.graph_id) embs;
+  set
+
+let single_edge_seeds db =
+  let table = Hashtbl.create 256 in
+  Db.iteri
+    (fun gid g ->
+      Array.iter
+        (fun (u, v, le) ->
+          let lu = Graph.node_label g u and lv = Graph.node_label g v in
+          let orientations =
+            if lu < lv then [ (u, v, lu, lv) ]
+            else if lv < lu then [ (v, u, lv, lu) ]
+            else [ (u, v, lu, lv); (v, u, lv, lu) ]
+          in
+          List.iter
+            (fun (a, b, la, lb) ->
+              let key = (la, le, lb) in
+              let emb = { graph_id = gid; map = [| a; b |] } in
+              let existing =
+                Option.value ~default:[] (Hashtbl.find_opt table key)
+              in
+              Hashtbl.replace table key (emb :: existing))
+            orientations)
+        (Graph.edges g))
+    db;
+  Hashtbl.fold (fun key embs acc -> (key, List.rev embs) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let extensions code embeddings db =
+  let rpath = Dfs_code.rightmost_path code in
+  let r = List.hd rpath in
+  let nodes_so_far = Dfs_code.node_count code in
+  let back_targets =
+    List.filter
+      (fun i -> i <> r && not (Dfs_code.has_edge code r i))
+      (List.sort compare (List.tl rpath))
+  in
+  let table = ref Edge_map.empty in
+  let add edge emb =
+    table :=
+      Edge_map.update edge
+        (function None -> Some [ emb ] | Some l -> Some (emb :: l))
+        !table
+  in
+  List.iter
+    (fun emb ->
+      let g = Db.get db emb.graph_id in
+      (* backward extensions from the rightmost node *)
+      List.iter
+        (fun i ->
+          match Graph.edge_label g emb.map.(r) emb.map.(i) with
+          | Some le ->
+            add
+              {
+                Dfs_code.from_i = r;
+                to_i = i;
+                from_label = Dfs_code.label_of code r;
+                edge_label = le;
+                to_label = Dfs_code.label_of code i;
+              }
+              emb
+          | None -> ())
+        back_targets;
+      (* forward extensions from every rightmost-path node *)
+      List.iter
+        (fun i ->
+          Array.iter
+            (fun (w, le) ->
+              if not (mapped emb w) then
+                add
+                  {
+                    Dfs_code.from_i = i;
+                    to_i = nodes_so_far;
+                    from_label = Dfs_code.label_of code i;
+                    edge_label = le;
+                    to_label = Graph.node_label g w;
+                  }
+                  { emb with map = Array.append emb.map [| w |] })
+            (Graph.neighbors g emb.map.(i)))
+        rpath)
+    embeddings;
+  Edge_map.bindings !table
+  |> List.map (fun (edge, embs) -> (edge, List.rev embs))
+
+let mine ?max_edges ~min_support db report =
+  if min_support < 1 then invalid_arg "Gspan.mine: min_support must be >= 1";
+  let max_edges = Option.value ~default:max_int max_edges in
+  if max_edges < 1 then ()
+  else begin
+    (* [grow] is only entered with a frequent, minimal code *)
+    let rec grow code embeddings support_set =
+      report
+        {
+          code;
+          graph = Dfs_code.to_graph code;
+          support_set;
+          support = Bitset.cardinal support_set;
+          embeddings;
+        };
+      if Array.length code < max_edges then
+        List.iter
+          (fun (edge, embs) ->
+            let set = support_of_embeddings db embs in
+            if Bitset.cardinal set >= min_support then begin
+              let code' = Array.append code [| edge |] in
+              if Min_code.is_min code' then grow code' embs set
+            end)
+          (extensions code embeddings db)
+    in
+    List.iter
+      (fun ((la, le, lb), embs) ->
+        let set = support_of_embeddings db embs in
+        if Bitset.cardinal set >= min_support then
+          let edge =
+            {
+              Dfs_code.from_i = 0;
+              to_i = 1;
+              from_label = la;
+              edge_label = le;
+              to_label = lb;
+            }
+          in
+          grow [| edge |] embs set)
+      (single_edge_seeds db)
+  end
+
+let mine_list ?max_edges ~min_support db =
+  let acc = ref [] in
+  mine ?max_edges ~min_support db (fun p ->
+      acc := { p with embeddings = p.embeddings } :: !acc);
+  List.rev !acc
+
+let frequent_labels ~min_support db =
+  let counts = Hashtbl.create 256 in
+  Db.iteri
+    (fun _ g ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace counts l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+        (Graph.distinct_node_labels g))
+    db;
+  Hashtbl.fold
+    (fun l c acc -> if c >= min_support then l :: acc else acc)
+    counts []
+  |> List.sort compare

@@ -1,0 +1,41 @@
+(** gSpan: frequent connected-subgraph mining over a graph database
+    (Yan & Han, ICDM 2002) — the general-purpose miner Taxogram's Step 2
+    extends.
+
+    Depth-first pattern growth: each frequent pattern is visited exactly once
+    (duplicates are cut by the minimum-DFS-code test), and only one pattern's
+    embedding list is alive per recursion branch, which is the memory profile
+    the paper contrasts with the level-wise TAcGM. *)
+
+type embedding = {
+  graph_id : int;
+  map : int array;  (** pattern DFS index -> node of the database graph *)
+}
+
+type pattern = {
+  code : Dfs_code.t;
+  graph : Tsg_graph.Graph.t;  (** node ids are DFS indices *)
+  support_set : Tsg_util.Bitset.t;  (** database graph ids *)
+  support : int;  (** [Bitset.cardinal support_set] *)
+  embeddings : embedding list;
+      (** all occurrences; persistent (maps are never mutated after being
+          reported) *)
+}
+
+val mine :
+  ?max_edges:int ->
+  min_support:int ->
+  Tsg_graph.Db.t ->
+  (pattern -> unit) ->
+  unit
+(** [mine ~min_support db report] calls [report] once per frequent connected
+    pattern with at least one edge and at most [max_edges] edges (default:
+    unbounded). [min_support] is an absolute graph count, at least 1.
+    Patterns arrive in DFS (minimum-code lexicographic) order. *)
+
+val mine_list :
+  ?max_edges:int -> min_support:int -> Tsg_graph.Db.t -> pattern list
+(** Collect reported patterns (embedding lists copied so they stay valid). *)
+
+val frequent_labels : min_support:int -> Tsg_graph.Db.t -> Tsg_graph.Label.id list
+(** Node labels occurring in at least [min_support] distinct graphs. *)

@@ -1,0 +1,169 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Bitset = Tsg_util.Bitset
+module Subiso = Tsg_iso.Subiso
+
+let embeddings_of db pattern =
+  let out = ref [] in
+  Db.iteri
+    (fun gid target ->
+      Subiso.iter_embeddings ~pattern ~target (fun map ->
+          out := { Gspan.graph_id = gid; map = Array.copy map } :: !out))
+    db;
+  List.rev !out
+
+let support_set db embeddings =
+  let set = Bitset.create (Db.size db) in
+  List.iter (fun e -> Bitset.set set e.Gspan.graph_id) embeddings;
+  set
+
+(* one-edge extensions over the frequent label vocabulary *)
+let extensions graph ~node_labels ~edge_labels =
+  let n = Graph.node_count graph in
+  let labels = Graph.node_labels graph in
+  let base = Array.to_list (Graph.edges graph) in
+  let out = ref [] in
+  List.iter
+    (fun le ->
+      for u = 0 to n - 1 do
+        List.iter
+          (fun a ->
+            out :=
+              Graph.build
+                ~labels:(Array.append labels [| a |])
+                ~edges:((u, n, le) :: base)
+              :: !out)
+          node_labels;
+        for v = u + 1 to n - 1 do
+          if not (Graph.has_edge graph u v) then
+            out := Graph.build ~labels ~edges:((u, v, le) :: base) :: !out
+        done
+      done)
+    edge_labels;
+  !out
+
+(* connected one-edge-removed subpatterns, for the Apriori check *)
+let sub_patterns graph =
+  let edges = Graph.edges graph in
+  let out = ref [] in
+  Array.iteri
+    (fun drop _ ->
+      let kept = ref [] in
+      Array.iteri (fun i e -> if i <> drop then kept := e :: !kept) edges;
+      let touched = Array.make (Graph.node_count graph) false in
+      List.iter
+        (fun (a, b, _) ->
+          touched.(a) <- true;
+          touched.(b) <- true)
+        !kept;
+      let nodes = ref [] in
+      Array.iteri (fun i t -> if t then nodes := i :: !nodes) touched;
+      let nodes = List.rev !nodes in
+      if nodes <> [] then begin
+        let remap = Hashtbl.create 8 in
+        List.iteri (fun idx node -> Hashtbl.add remap node idx) nodes;
+        let labels =
+          Array.of_list
+            (List.map (fun node -> Graph.node_label graph node) nodes)
+        in
+        let sub_edges =
+          List.map
+            (fun (a, b, l) -> (Hashtbl.find remap a, Hashtbl.find remap b, l))
+            !kept
+        in
+        let sub = Graph.build ~labels ~edges:sub_edges in
+        if Graph.is_connected sub then out := sub :: !out
+      end)
+    edges;
+  !out
+
+let distinct_edge_labels db =
+  let seen = Hashtbl.create 16 in
+  Db.iteri
+    (fun _ g ->
+      Array.iter
+        (fun (_, _, l) -> Hashtbl.replace seen l ())
+        (Graph.edges g))
+    db;
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) seen [])
+
+let level_one db =
+  let seen = Hashtbl.create 128 in
+  Db.iteri
+    (fun _ g ->
+      Array.iter
+        (fun (u, v, le) ->
+          let lu = Graph.node_label g u and lv = Graph.node_label g v in
+          let a, b = if lu <= lv then (lu, lv) else (lv, lu) in
+          let cand = Graph.build ~labels:[| a; b |] ~edges:[ (0, 1, le) ] in
+          let key = Min_code.canonical_key cand in
+          if not (Hashtbl.mem seen key) then Hashtbl.add seen key cand)
+        (Graph.edges g))
+    db;
+  Hashtbl.fold (fun key cand acc -> (key, cand) :: acc) seen []
+  |> List.sort compare
+
+let mine ?max_edges ~min_support db report =
+  if min_support < 1 then
+    invalid_arg "Level_miner.mine: min_support must be >= 1";
+  let max_edges = Option.value ~default:max_int max_edges in
+  if max_edges >= 1 then begin
+    let node_labels = Gspan.frequent_labels ~min_support db in
+    let edge_labels = distinct_edge_labels db in
+    let evaluate (key, cand) =
+      let embeddings = embeddings_of db cand in
+      let set = support_set db embeddings in
+      if Bitset.cardinal set >= min_support then
+        Some (key, cand, embeddings, set)
+      else None
+    in
+    let level = ref (List.filter_map evaluate (level_one db)) in
+    let edge_count = ref 1 in
+    while !level <> [] do
+      List.iter
+        (fun (_, cand, embeddings, set) ->
+          report
+            {
+              Gspan.code = Min_code.minimum cand;
+              graph = cand;
+              support_set = set;
+              support = Bitset.cardinal set;
+              embeddings;
+            })
+        !level;
+      if !edge_count >= max_edges then level := []
+      else begin
+        let freq_keys = Hashtbl.create 256 in
+        List.iter (fun (key, _, _, _) -> Hashtbl.replace freq_keys key ()) !level;
+        let seen = Hashtbl.create 1024 in
+        let candidates = ref [] in
+        List.iter
+          (fun (_, parent, _, _) ->
+            List.iter
+              (fun cand ->
+                let key = Min_code.canonical_key cand in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  let prunable =
+                    List.exists
+                      (fun sub ->
+                        Graph.edge_count sub = !edge_count
+                        && not
+                             (Hashtbl.mem freq_keys
+                                (Min_code.canonical_key sub)))
+                      (sub_patterns cand)
+                  in
+                  if not prunable then candidates := (key, cand) :: !candidates
+                end)
+              (extensions parent ~node_labels ~edge_labels))
+          !level;
+        level := List.filter_map evaluate !candidates;
+        incr edge_count
+      end
+    done
+  end
+
+let mine_list ?max_edges ~min_support db =
+  let acc = ref [] in
+  mine ?max_edges ~min_support db (fun p -> acc := p :: !acc);
+  List.rev !acc

@@ -1,0 +1,27 @@
+(** FSG-style level-wise frequent-subgraph miner.
+
+    The paper notes that {e any} of the general-purpose miners (FSG, gSpan,
+    FFSM) can be extended into Taxogram's Step 2; this is the breadth-first
+    alternative, in the style of FSG (Kuramochi & Karypis, ICDM'01):
+    level-k candidates are one-edge extensions of frequent (k-1)-edge
+    patterns, deduplicated by canonical form, Apriori-pruned, and supported
+    by explicit subgraph-isomorphism embedding enumeration.
+
+    Produces exactly the same patterns (same {!Gspan.pattern} records, same
+    embedding semantics) as {!Gspan.mine} — property-tested equal — while
+    exhibiting the level-wise memory profile: all patterns of a level plus
+    their embeddings are alive at once. *)
+
+val mine :
+  ?max_edges:int ->
+  min_support:int ->
+  Tsg_graph.Db.t ->
+  (Gspan.pattern -> unit) ->
+  unit
+(** As {!Gspan.mine}; patterns arrive level by level (1-edge patterns
+    first). The [code] field of reported patterns is the minimum DFS code
+    of the pattern graph (whose node numbering may differ from the graph's —
+    use [graph] and [embeddings], which agree with each other). *)
+
+val mine_list :
+  ?max_edges:int -> min_support:int -> Tsg_graph.Db.t -> Gspan.pattern list

@@ -1,0 +1,23 @@
+(** Minimum DFS codes: canonical forms and the gSpan canonicity test.
+
+    The minimum DFS code of a connected labeled graph is built edge by edge,
+    keeping every embedding of the current minimal prefix and choosing, at
+    each step, the smallest extension under {!Dfs_code.compare_edge} over all
+    surviving embeddings (backward extensions always beat forward ones;
+    forward extensions from deeper rightmost-path anchors beat shallower
+    ones; labels break ties). *)
+
+val minimum : Tsg_graph.Graph.t -> Dfs_code.t
+(** Minimum DFS code of a connected graph. The single-node graph yields the
+    empty code; @raise Invalid_argument on disconnected or empty graphs. *)
+
+val is_min : Dfs_code.t -> bool
+(** Is this code the minimum code of the graph it spells? The test runs the
+    incremental construction against the candidate and stops at the first
+    smaller step, which makes it cheap for the rejected-duplicate case that
+    dominates mining. The empty code is minimal. *)
+
+val canonical_key : Tsg_graph.Graph.t -> string
+(** Injective-on-isomorphism-classes key: the minimum code serialized to a
+    string, prefixed by the node label for single-node graphs. Two connected
+    graphs get equal keys iff they are isomorphic (labels included). *)

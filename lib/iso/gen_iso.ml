@@ -1,0 +1,44 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Bitset = Tsg_util.Bitset
+
+let spec taxonomy =
+  {
+    Matcher.node_ok =
+      (fun pattern_label target_label ->
+        Taxonomy.is_ancestor taxonomy ~anc:pattern_label target_label);
+    edge_ok = ( = );
+  }
+
+let subgraph_isomorphic taxonomy ~pattern ~target =
+  Matcher.exists (spec taxonomy) ~pattern ~target
+
+let count_embeddings ?limit taxonomy ~pattern target =
+  Matcher.count_embeddings ?limit (spec taxonomy) ~pattern ~target
+
+let iter_embeddings ?limit taxonomy ~pattern ~target f =
+  Matcher.iter_embeddings ?limit (spec taxonomy) ~pattern ~target f
+
+let graph_isomorphic taxonomy g1 g2 =
+  Matcher.exists_bijective (spec taxonomy) ~pattern:g1 ~target:g2
+
+let support_count taxonomy ~pattern db =
+  Db.fold
+    (fun acc g ->
+      if subgraph_isomorphic taxonomy ~pattern ~target:g then acc + 1 else acc)
+    0 db
+
+let support taxonomy ~pattern db =
+  if Db.size db = 0 then 0.0
+  else
+    float_of_int (support_count taxonomy ~pattern db)
+    /. float_of_int (Db.size db)
+
+let support_set taxonomy ~pattern db =
+  let set = Bitset.create (Db.size db) in
+  Db.iteri
+    (fun i g ->
+      if subgraph_isomorphic taxonomy ~pattern ~target:g then Bitset.set set i)
+    db;
+  set

@@ -1,0 +1,53 @@
+(** Generalized (taxonomy-aware) isomorphism tests (paper Section 2).
+
+    A pattern node labeled [l] matches a target node labeled [l'] when [l]
+    is an ancestor of [l'] in the taxonomy (reflexively) — i.e. the pattern
+    is the generalization, the database graph the specialization. Edge labels
+    still compare exactly (the paper's taxonomy covers node labels only). *)
+
+val spec : Tsg_taxonomy.Taxonomy.t -> Matcher.spec
+
+val subgraph_isomorphic :
+  Tsg_taxonomy.Taxonomy.t ->
+  pattern:Tsg_graph.Graph.t ->
+  target:Tsg_graph.Graph.t ->
+  bool
+(** [subgraph_isomorphic t ~pattern ~target]: is [target] generalized
+    subgraph isomorphic to [pattern] — does [pattern] occur in [target]? *)
+
+val count_embeddings :
+  ?limit:int ->
+  Tsg_taxonomy.Taxonomy.t ->
+  pattern:Tsg_graph.Graph.t ->
+  Tsg_graph.Graph.t ->
+  int
+(** [count_embeddings t ~pattern target]. *)
+
+val iter_embeddings :
+  ?limit:int ->
+  Tsg_taxonomy.Taxonomy.t ->
+  pattern:Tsg_graph.Graph.t ->
+  target:Tsg_graph.Graph.t ->
+  (int array -> unit) ->
+  unit
+
+val graph_isomorphic :
+  Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Graph.t -> Tsg_graph.Graph.t -> bool
+(** The paper's [G1 IS_GEN_ISO G2]: a node bijection from [G1] to [G2] with
+    every [G1] label an ancestor of its image's label and every [G1] edge
+    mapped onto a [G2] edge. Not commutative. *)
+
+val support_count :
+  Tsg_taxonomy.Taxonomy.t -> pattern:Tsg_graph.Graph.t -> Tsg_graph.Db.t -> int
+(** Number of database graphs in which [pattern] occurs (the numerator of
+    the paper's support). *)
+
+val support :
+  Tsg_taxonomy.Taxonomy.t -> pattern:Tsg_graph.Graph.t -> Tsg_graph.Db.t -> float
+
+val support_set :
+  Tsg_taxonomy.Taxonomy.t ->
+  pattern:Tsg_graph.Graph.t ->
+  Tsg_graph.Db.t ->
+  Tsg_util.Bitset.t
+(** Bitset over graph indices — the paper's [GenSet]. *)

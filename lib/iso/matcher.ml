@@ -1,0 +1,153 @@
+module Graph = Tsg_graph.Graph
+
+type spec = {
+  node_ok : Tsg_graph.Label.id -> Tsg_graph.Label.id -> bool;
+  edge_ok : Tsg_graph.Label.id -> Tsg_graph.Label.id -> bool;
+}
+
+let equal_labels = { node_ok = ( = ); edge_ok = ( = ) }
+
+(* Static matching order: start from a max-degree node, then repeatedly pick
+   an unplaced node adjacent to a placed one (highest degree first), falling
+   back to any unplaced node for disconnected patterns. For each position we
+   record the constraints against earlier positions. *)
+type plan_step = {
+  pnode : int;
+  anchor : int option; (* earlier position whose image we expand from *)
+  checks : (int * Tsg_graph.Label.id) list;
+      (* (earlier position, required edge label) — includes the anchor *)
+}
+
+let plan pattern =
+  let n = Graph.node_count pattern in
+  let placed_pos = Array.make n (-1) in
+  let order = Array.make n 0 in
+  let chosen = Array.make n false in
+  let pick_best candidates =
+    List.fold_left
+      (fun best v ->
+        match best with
+        | None -> Some v
+        | Some b -> if Graph.degree pattern v > Graph.degree pattern b then Some v else best)
+      None candidates
+  in
+  let unplaced_adjacent () =
+    let cs = ref [] in
+    for v = 0 to n - 1 do
+      if not chosen.(v) then
+        if Array.exists (fun (w, _) -> chosen.(w)) (Graph.neighbors pattern v)
+        then cs := v :: !cs
+    done;
+    !cs
+  in
+  let any_unplaced () =
+    let cs = ref [] in
+    for v = 0 to n - 1 do
+      if not chosen.(v) then cs := v :: !cs
+    done;
+    !cs
+  in
+  let steps = ref [] in
+  for pos = 0 to n - 1 do
+    let candidates =
+      match unplaced_adjacent () with [] -> any_unplaced () | cs -> cs
+    in
+    let v = Option.get (pick_best candidates) in
+    chosen.(v) <- true;
+    placed_pos.(v) <- pos;
+    order.(pos) <- v;
+    let checks =
+      Array.fold_left
+        (fun acc (w, lbl) ->
+          if chosen.(w) && placed_pos.(w) < pos then (placed_pos.(w), lbl) :: acc
+          else acc)
+        []
+        (Graph.neighbors pattern v)
+    in
+    let anchor = match checks with [] -> None | (p, _) :: _ -> Some p in
+    steps := { pnode = v; anchor; checks } :: !steps
+  done;
+  (order, Array.of_list (List.rev !steps))
+
+exception Stop
+
+let search ?limit spec ~pattern ~target ~bijective emit =
+  let np = Graph.node_count pattern in
+  let nt = Graph.node_count target in
+  if bijective && np <> nt then ()
+  else if np > nt then ()
+  else if np = 0 then emit [||]
+  else begin
+    let _, steps = plan pattern in
+    let image = Array.make np (-1) in (* position -> target node *)
+    let used = Array.make nt false in
+    let emitted = ref 0 in
+    let assignment () =
+      let a = Array.make np (-1) in
+      Array.iteri (fun pos step -> a.(step.pnode) <- image.(pos)) steps;
+      a
+    in
+    let feasible step tnode =
+      (not used.(tnode))
+      && spec.node_ok
+           (Graph.node_label pattern step.pnode)
+           (Graph.node_label target tnode)
+      && List.for_all
+           (fun (pos, plbl) ->
+             match Graph.edge_label target tnode image.(pos) with
+             | Some tlbl -> spec.edge_ok plbl tlbl
+             | None -> false)
+           step.checks
+    in
+    let rec extend pos =
+      if pos = np then begin
+        emit (assignment ());
+        incr emitted;
+        match limit with
+        | Some l when !emitted >= l -> raise Stop
+        | _ -> ()
+      end
+      else begin
+        let step = steps.(pos) in
+        let try_node tnode =
+          if feasible step tnode then begin
+            image.(pos) <- tnode;
+            used.(tnode) <- true;
+            extend (pos + 1);
+            used.(tnode) <- false;
+            image.(pos) <- -1
+          end
+        in
+        match step.anchor with
+        | Some apos ->
+          Array.iter
+            (fun (tnode, _) -> try_node tnode)
+            (Graph.neighbors target image.(apos))
+        | None ->
+          for tnode = 0 to nt - 1 do
+            try_node tnode
+          done
+      end
+    in
+    (try extend 0 with Stop -> ())
+  end
+
+let iter_embeddings ?limit spec ~pattern ~target f =
+  search ?limit spec ~pattern ~target ~bijective:false f
+
+let exists spec ~pattern ~target =
+  let found = ref false in
+  search ~limit:1 spec ~pattern ~target ~bijective:false (fun _ ->
+      found := true);
+  !found
+
+let count_embeddings ?limit spec ~pattern ~target =
+  let count = ref 0 in
+  search ?limit spec ~pattern ~target ~bijective:false (fun _ -> incr count);
+  !count
+
+let exists_bijective spec ~pattern ~target =
+  let found = ref false in
+  search ~limit:1 spec ~pattern ~target ~bijective:true (fun _ ->
+      found := true);
+  !found

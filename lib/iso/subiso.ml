@@ -1,0 +1,22 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+
+let spec = Matcher.equal_labels
+
+let exists ~pattern ~target = Matcher.exists spec ~pattern ~target
+
+let count_embeddings ?limit ~pattern target =
+  Matcher.count_embeddings ?limit spec ~pattern ~target
+
+let iter_embeddings ?limit ~pattern ~target f =
+  Matcher.iter_embeddings ?limit spec ~pattern ~target f
+
+let isomorphic a b =
+  Graph.node_count a = Graph.node_count b
+  && Graph.edge_count a = Graph.edge_count b
+  && Matcher.exists_bijective spec ~pattern:a ~target:b
+
+let support_count ~pattern db =
+  Db.fold
+    (fun acc g -> if exists ~pattern ~target:g then acc + 1 else acc)
+    0 db

@@ -1,0 +1,21 @@
+(** Exact (label-equality) subgraph isomorphism. *)
+
+val exists : pattern:Tsg_graph.Graph.t -> target:Tsg_graph.Graph.t -> bool
+
+val count_embeddings :
+  ?limit:int -> pattern:Tsg_graph.Graph.t -> Tsg_graph.Graph.t -> int
+(** [count_embeddings ~pattern target]. *)
+
+val iter_embeddings :
+  ?limit:int ->
+  pattern:Tsg_graph.Graph.t ->
+  target:Tsg_graph.Graph.t ->
+  (int array -> unit) ->
+  unit
+
+val isomorphic : Tsg_graph.Graph.t -> Tsg_graph.Graph.t -> bool
+(** Exact graph isomorphism (same node and edge counts, bijection preserving
+    labels and edges). *)
+
+val support_count : pattern:Tsg_graph.Graph.t -> Tsg_graph.Db.t -> int
+(** Number of database graphs containing at least one embedding. *)

@@ -1,0 +1,41 @@
+let groupings =
+  [
+    ("Aromatic", "Atom");
+    ("NonAromatic", "Atom");
+    ("Halogen", "NonAromatic");
+    ("Metal", "NonAromatic");
+    ("NonMetal", "NonAromatic");
+  ]
+
+let aromatic = [ "c"; "n"; "o"; "s" ]
+
+let halogens = [ "F"; "Cl"; "Br"; "I" ]
+
+let metals = [ "Na"; "K"; "Ca"; "Zn"; "Cu"; "Pb"; "Sn"; "Ba" ]
+
+let organic = [ "C"; "H"; "O"; "N"; "S"; "P" ]
+
+let other_nonmetals = [ "As"; "Te" ]
+
+let create () =
+  let names =
+    [ "Atom" ]
+    @ List.map fst groupings
+    @ aromatic @ halogens @ metals @ organic @ other_nonmetals
+  in
+  let leaf_edges =
+    List.map (fun a -> (a, "Aromatic")) aromatic
+    @ List.map (fun a -> (a, "Halogen")) halogens
+    @ List.map (fun a -> (a, "Metal")) metals
+    @ List.map (fun a -> (a, "NonMetal")) (organic @ other_nonmetals)
+  in
+  Taxonomy.build ~names ~is_a:(groupings @ leaf_edges)
+
+let ids t names = List.map (Taxonomy.id_of_name t) names
+
+let atom_labels t =
+  ids t (aromatic @ halogens @ metals @ organic @ other_nonmetals)
+
+let aromatic_labels t = ids t aromatic
+
+let organic_labels t = ids t organic

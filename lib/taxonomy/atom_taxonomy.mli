@@ -1,0 +1,18 @@
+(** The atom taxonomy for the PTE carcinogenicity dataset (paper Figure 4.1).
+
+    Leaf-level letters are atom labels; upper levels are logical groupings of
+    atoms by similarity. Lower-case letters stand for aromatic atoms,
+    upper-case for non-aromatic ones. The paper's figure is reconstructed
+    here: a single [Atom] root over aromatic/non-aromatic branches, with
+    halogens, metals and non-metals grouped under the non-aromatic branch —
+    24 atom labels, matching Table 1's "Dist. Label Count" for PTE. *)
+
+val create : unit -> Taxonomy.t
+
+val atom_labels : Taxonomy.t -> Tsg_graph.Label.id list
+(** The leaf labels — the only ones that appear on molecule nodes. *)
+
+val aromatic_labels : Taxonomy.t -> Tsg_graph.Label.id list
+
+val organic_labels : Taxonomy.t -> Tsg_graph.Label.id list
+(** C, H, O, N, S, P — the labels that dominate the molecules. *)

@@ -1,0 +1,45 @@
+module Prng = Tsg_util.Prng
+
+let paper_concepts = 7800
+
+let paper_depth = 14
+
+let generate ?(concepts = paper_concepts) ?(depth = paper_depth)
+    ?(multi_parent_fraction = 0.15) rng =
+  if concepts < 1 then invalid_arg "Go_like.generate: concepts must be >= 1";
+  let widths = Synth_taxonomy.level_widths rng ~concepts ~depth in
+  let depth = Array.length widths in
+  let level_start = Array.make depth 0 in
+  for lvl = 1 to depth - 1 do
+    level_start.(lvl) <- level_start.(lvl - 1) + widths.(lvl - 1)
+  done;
+  let level_of = Array.make concepts 0 in
+  for lvl = 0 to depth - 1 do
+    for i = level_start.(lvl) to level_start.(lvl) + widths.(lvl) - 1 do
+      level_of.(i) <- lvl
+    done
+  done;
+  let node_at_level lvl = level_start.(lvl) + Prng.int rng widths.(lvl) in
+  let edge_set = Hashtbl.create (4 * concepts) in
+  let edges = ref [] in
+  let add_edge child parent =
+    if child <> parent && not (Hashtbl.mem edge_set (child, parent)) then begin
+      Hashtbl.add edge_set (child, parent) ();
+      edges := (child, parent) :: !edges
+    end
+  in
+  for v = 1 to concepts - 1 do
+    add_edge v (node_at_level (level_of.(v) - 1));
+    (* GO terms are frequently multi-parent: add a second, possibly
+       shallower, parent for a fraction of concepts *)
+    if level_of.(v) >= 2 && Prng.bernoulli rng multi_parent_fraction then begin
+      let parent_lvl = Prng.int rng level_of.(v) in
+      add_edge v (node_at_level parent_lvl)
+    end
+  done;
+  let go_name v = Printf.sprintf "GO:%07d" v in
+  let names = List.init concepts go_name in
+  let is_a = List.map (fun (c, p) -> (go_name c, go_name p)) !edges in
+  Taxonomy.build ~names ~is_a
+
+let scaled rng concepts = generate ~concepts rng

@@ -1,0 +1,26 @@
+(** Synthetic stand-in for the Gene Ontology molecular-function subontology.
+
+    The paper uses GO molecular function (~7,800 concepts, 14 levels, DAG) as
+    the label taxonomy for most synthetic-graph experiments and for the
+    pathway study. The real ontology is not available offline, so this
+    generator produces a taxonomy with GO-like shape: 14 levels, a population
+    profile that peaks at mid depth, and a fraction of multi-parent concepts
+    (GO terms frequently have 2+ parents).
+
+    Concept names are ["GO:0000000" ...]-styled for recognisability. *)
+
+val paper_concepts : int
+(** 7800 — the concept count the paper quotes. *)
+
+val paper_depth : int
+(** 14 levels. *)
+
+val generate :
+  ?concepts:int -> ?depth:int -> ?multi_parent_fraction:float ->
+  Tsg_util.Prng.t -> Taxonomy.t
+(** Defaults: [concepts = paper_concepts], [depth = paper_depth],
+    [multi_parent_fraction = 0.15]. *)
+
+val scaled : Tsg_util.Prng.t -> int -> Taxonomy.t
+(** [scaled rng concepts] keeps the 14-level GO shape at a smaller size
+    (depth shrinks only when [concepts] cannot populate 14 levels). *)

@@ -1,0 +1,101 @@
+module Prng = Tsg_util.Prng
+
+type params = { concepts : int; relationships : int; depth : int }
+
+let default = { concepts = 1000; relationships = 2000; depth = 10 }
+
+(* Level 0 is the single root. The remaining concepts are spread over levels
+   1..depth-1 with weights that rise towards the middle levels and taper at
+   the bottom, echoing ontology level-population profiles such as GO's. *)
+let level_widths rng ~concepts ~depth =
+  if concepts < 1 then invalid_arg "Synth_taxonomy: concepts must be >= 1";
+  if depth < 1 then invalid_arg "Synth_taxonomy: depth must be >= 1";
+  let depth = min depth concepts in
+  let widths = Array.make depth 0 in
+  widths.(0) <- (if depth = 1 then concepts else 1);
+  let remaining = concepts - 1 in
+  if depth > 1 then begin
+    (* one concept per level to keep every level populated *)
+    for lvl = 1 to depth - 1 do
+      widths.(lvl) <- 1
+    done;
+    let spare = remaining - (depth - 1) in
+    if spare > 0 then begin
+      let weight lvl =
+        let x = float_of_int lvl /. float_of_int (depth - 1) in
+        0.25 +. (x *. (1.8 -. x))
+      in
+      let total = ref 0.0 in
+      for lvl = 1 to depth - 1 do
+        total := !total +. weight lvl
+      done;
+      let assigned = ref 0 in
+      for lvl = 1 to depth - 1 do
+        let share =
+          int_of_float (float_of_int spare *. weight lvl /. !total)
+        in
+        widths.(lvl) <- widths.(lvl) + share;
+        assigned := !assigned + share
+      done;
+      (* distribute rounding leftovers at random levels *)
+      for _ = 1 to spare - !assigned do
+        let lvl = 1 + Prng.int rng (depth - 1) in
+        widths.(lvl) <- widths.(lvl) + 1
+      done
+    end
+  end;
+  widths
+
+let generate rng { concepts; relationships; depth } =
+  let widths = level_widths rng ~concepts ~depth in
+  let depth = Array.length widths in
+  let names = List.init concepts (fun i -> Printf.sprintf "c%d" i) in
+  (* concept ids laid out level by level *)
+  let level_start = Array.make depth 0 in
+  for lvl = 1 to depth - 1 do
+    level_start.(lvl) <- level_start.(lvl - 1) + widths.(lvl - 1)
+  done;
+  let level_of = Array.make concepts 0 in
+  for lvl = 0 to depth - 1 do
+    for i = level_start.(lvl) to level_start.(lvl) + widths.(lvl) - 1 do
+      level_of.(i) <- lvl
+    done
+  done;
+  let node_at_level lvl = level_start.(lvl) + Prng.int rng widths.(lvl) in
+  let edges = ref [] in
+  let edge_set = Hashtbl.create (2 * relationships) in
+  let add_edge child parent =
+    if child <> parent && not (Hashtbl.mem edge_set (child, parent)) then begin
+      Hashtbl.add edge_set (child, parent) ();
+      edges := (child, parent) :: !edges;
+      true
+    end
+    else false
+  in
+  (* tree backbone: each concept below the root level gets a parent one
+     level up (a depth-1 taxonomy is a flat label set with no edges) *)
+  for v = 1 to concepts - 1 do
+    if level_of.(v) >= 1 then
+      ignore (add_edge v (node_at_level (level_of.(v) - 1)))
+  done;
+  let tree_edges = concepts - 1 in
+  let wanted_extra = max 0 (relationships - tree_edges) in
+  (* extra DAG edges: child at level >= 2 to a parent at any shallower level *)
+  if depth > 2 then begin
+    let added = ref 0 in
+    let attempts = ref 0 in
+    let max_attempts = 20 * (wanted_extra + 1) in
+    while !added < wanted_extra && !attempts < max_attempts do
+      incr attempts;
+      let child_lvl = 2 + Prng.int rng (depth - 2) in
+      if widths.(child_lvl) > 0 then begin
+        let child = node_at_level child_lvl in
+        let parent_lvl = Prng.int rng child_lvl in
+        let parent = node_at_level parent_lvl in
+        if add_edge child parent then incr added
+      end
+    done
+  end;
+  let names_idx v = Printf.sprintf "c%d" v in
+  let is_a = List.map (fun (c, p) -> (names_idx c, names_idx p)) !edges in
+  Taxonomy.build ~names ~is_a

@@ -1,0 +1,30 @@
+(** Synthetic taxonomy generator (paper Section 4.1).
+
+    The paper's generator is parameterized by taxonomy size (number of
+    concepts and of relationships among them) and by taxonomy depth (number
+    of levels). Concepts are arranged into levels; every non-root concept
+    gets one tree parent on the previous level, and extra is-a relationships
+    (up to the requested relationship count) connect concepts to additional
+    parents on any strictly shallower level, making the result a DAG. *)
+
+type params = {
+  concepts : int;  (** number of labels, at least 1 *)
+  relationships : int;
+    (** total is-a edge target; at least [concepts - depth] tree edges are
+        always created, extra edges are added up to this count *)
+  depth : int;  (** number of levels, at least 1 *)
+}
+
+val default : params
+(** 1000 concepts, 2000 relationships, depth 10 — the paper's Figure 4.5
+    configuration. *)
+
+val generate : Tsg_util.Prng.t -> params -> Taxonomy.t
+(** Single-root taxonomy honouring [params] as closely as the shape allows
+    (the relationship count is clamped to what a DAG of that size/depth can
+    host). Concept names are ["c0" .. "cN"]. *)
+
+val level_widths : Tsg_util.Prng.t -> concepts:int -> depth:int -> int array
+(** The per-level concept counts used by {!generate}: level 0 holds the
+    single root; remaining concepts spread over levels with a mild widening
+    then narrowing profile, every level non-empty. Exposed for tests. *)

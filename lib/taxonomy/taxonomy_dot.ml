@@ -1,0 +1,38 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(name = "taxonomy") ?(highlight = []) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=BT;\n";
+  for l = 0 to Taxonomy.label_count t - 1 do
+    let attrs =
+      if List.mem l highlight then
+        " style=filled fillcolor=lightblue"
+      else if Taxonomy.is_artificial t l then " style=dashed"
+      else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  c%d [label=\"%s\"%s];\n" l
+         (escape (Taxonomy.name t l))
+         attrs)
+  done;
+  for l = 0 to Taxonomy.label_count t - 1 do
+    List.iter
+      (fun p -> Buffer.add_string buf (Printf.sprintf "  c%d -> c%d;\n" l p))
+      (Taxonomy.parents t l)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path ?name ?highlight t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?name ?highlight t))

@@ -1,0 +1,9 @@
+(** Graphviz DOT rendering of taxonomies (is-a edges point from child up to
+    parent, drawn top-down). *)
+
+val render : ?name:string -> ?highlight:Taxonomy.id list -> Taxonomy.t -> string
+(** [highlight] labels are drawn filled — handy for showing which concepts a
+    mined pattern covers. *)
+
+val save :
+  string -> ?name:string -> ?highlight:Taxonomy.id list -> Taxonomy.t -> unit

@@ -1,0 +1,51 @@
+let to_string t =
+  let buf = Buffer.create 4096 in
+  for l = 0 to Taxonomy.label_count t - 1 do
+    if not (Taxonomy.is_artificial t l) then
+      Buffer.add_string buf (Printf.sprintf "c %s\n" (Taxonomy.name t l))
+  done;
+  for l = 0 to Taxonomy.label_count t - 1 do
+    if not (Taxonomy.is_artificial t l) then
+      List.iter
+        (fun p ->
+          if not (Taxonomy.is_artificial t p) then
+            Buffer.add_string buf
+              (Printf.sprintf "i %s %s\n" (Taxonomy.name t l)
+                 (Taxonomy.name t p)))
+        (Taxonomy.parents t l)
+  done;
+  Buffer.contents buf
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+exception Parse_error of int * string
+
+let parse text =
+  let names = ref [] in
+  let edges = ref [] in
+  let lineno = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         incr lineno;
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line with
+           | [ "c"; name ] -> names := name :: !names
+           | [ "i"; child; parent ] -> edges := (child, parent) :: !edges
+           | _ -> raise (Parse_error (!lineno, "unrecognized line: " ^ line)));
+  try Taxonomy.build ~names:(List.rev !names) ~is_a:(List.rev !edges)
+  with Invalid_argument msg -> raise (Parse_error (0, msg))
+
+let load path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse text

@@ -1,0 +1,23 @@
+(** Text serialization of taxonomies.
+
+    Line format, one record per line:
+    {v
+    c <concept-name>
+    i <child-name> <parent-name>
+    v}
+
+    Concept names must not contain whitespace. Artificial roots synthesized
+    at build time are {e not} written: they are recreated by [parse]. *)
+
+val to_string : Taxonomy.t -> string
+
+val save : string -> Taxonomy.t -> unit
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Taxonomy.t
+(** @raise Parse_error on malformed input (including unknown names, cycles,
+    duplicates — reported with line 0 when structural). *)
+
+val load : string -> Taxonomy.t

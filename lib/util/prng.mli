@@ -1,0 +1,46 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    All dataset generators take an explicit generator so that every dataset in
+    the experiment suite is reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with a 64-bit value. *)
+
+val of_int : int -> t
+
+val split : t -> t
+(** Independent child generator; advances the parent. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n-1]; requires [n > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive; requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample : t -> 'a array -> int -> 'a list
+(** [sample t arr k] draws [k] elements without replacement
+    (requires [k <= Array.length arr]). *)
+
+val geometric : t -> float -> int
+(** [geometric t p] counts failures before the first success of a
+    Bernoulli([p]) sequence; requires [0 < p <= 1]. *)

@@ -1,0 +1,45 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let mean_int xs = mean (List.map float_of_int xs)
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> nan
+  | s ->
+    let n = List.length s in
+    let nth i = List.nth s i in
+    if n mod 2 = 1 then nth (n / 2)
+    else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+let stddev xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let minimum = function [] -> nan | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function [] -> nan | x :: xs -> List.fold_left Float.max x xs
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> nan
+  | s ->
+    let n = List.length s in
+    let rank =
+      int_of_float (Float.round (p /. 100.0 *. float_of_int (n - 1)))
+    in
+    List.nth s (max 0 (min (n - 1) rank))
+
+let round_to d x =
+  let f = 10.0 ** float_of_int d in
+  Float.round (x *. f) /. f

@@ -1,0 +1,97 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> (
+      match headers with
+      | [] -> []
+      | _ :: rest -> Left :: List.map (fun _ -> Right) rest)
+  in
+  { headers; aligns; rows = [] }
+
+let width t = List.length t.headers
+
+let add_row t cells =
+  let n = width t in
+  let len = List.length cells in
+  let cells =
+    if len >= n then cells
+    else cells @ List.init (n - len) (fun _ -> "")
+  in
+  t.rows <- cells :: t.rows
+
+let add_int_row t label ints =
+  add_row t (label :: List.map string_of_int ints)
+
+let pad align w s =
+  let n = String.length s in
+  if n >= w then s
+  else
+    let fill = String.make (w - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let widths =
+    List.mapi
+      (fun i _ ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          0 all)
+      t.headers
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i in
+          let a = try List.nth t.aligns i with _ -> Left in
+          pad a w cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  String.concat "\n"
+    ((render_row t.headers :: sep :: List.map render_row rows) @ [])
+
+let print t = print_endline (render t)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line t.headers :: List.rev_map line t.rows) ^ "\n"
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

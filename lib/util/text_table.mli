@@ -1,0 +1,29 @@
+(** Aligned plain-text tables for the benchmark harness output.
+
+    The harness prints the same rows/series the paper's tables and figures
+    report; this module renders them legibly on a terminal. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table; [aligns] defaults to left for the first
+    column and right for the rest. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** Label cell followed by integer cells. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV (header row first; cells with commas, quotes or
+    newlines are quoted). *)
+
+val save_csv : t -> string -> unit

@@ -1,0 +1,30 @@
+type t = float
+
+let now () = Unix.gettimeofday ()
+
+let start () = now ()
+
+let elapsed_s t = now () -. t
+
+let elapsed_ms t = 1000.0 *. elapsed_s t
+
+let time f =
+  let t = start () in
+  let x = f () in
+  (x, elapsed_s t)
+
+module Budget = struct
+  type budget = Unlimited | Deadline of float
+
+  let unlimited = Unlimited
+
+  let of_seconds s = Deadline (now () +. s)
+
+  let exceeded = function
+    | Unlimited -> false
+    | Deadline d -> now () > d
+
+  let remaining_s = function
+    | Unlimited -> infinity
+    | Deadline d -> Float.max 0.0 (d -. now ())
+end

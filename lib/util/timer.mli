@@ -1,0 +1,27 @@
+(** Wall-clock timing and watchdog budgets for the experiment harness. *)
+
+type t
+
+val start : unit -> t
+
+val elapsed_s : t -> float
+
+val elapsed_ms : t -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns the elapsed wall-clock seconds. *)
+
+(** A deadline that long-running algorithms poll so that a comparator that
+    would run for hours (as TAcGM does in the paper) can be cut off and
+    reported as "did not finish". *)
+module Budget : sig
+  type budget
+
+  val unlimited : budget
+
+  val of_seconds : float -> budget
+
+  val exceeded : budget -> bool
+
+  val remaining_s : budget -> float
+end

@@ -1,0 +1,326 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+module Synth_graph = Tsg_data.Synth_graph
+module Datasets = Tsg_data.Datasets
+module Pathways = Tsg_data.Pathways
+module Pte = Tsg_data.Pte
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let go_taxonomy seed = Tsg_taxonomy.Go_like.generate ~concepts:300 (Prng.of_int seed)
+
+(* --- Synth_graph ----------------------------------------------------------- *)
+
+let small_params tax =
+  {
+    Synth_graph.graph_count = 40;
+    max_edges = 12;
+    edge_density = 0.25;
+    edge_label_count = 5;
+    node_label = Synth_graph.uniform_labels tax;
+  }
+
+let test_synth_graph_shape () =
+  let tax = go_taxonomy 1 in
+  let rng = Prng.of_int 2 in
+  let db = Synth_graph.generate rng (small_params tax) in
+  check int "graph count" 40 (Db.size db);
+  Db.iteri
+    (fun _ g ->
+      check bool "edge cap" true (Graph.edge_count g <= 12);
+      check bool "at least one edge" true (Graph.edge_count g >= 1);
+      Array.iter
+        (fun (_, _, l) -> check bool "edge label range" true (l >= 0 && l < 5))
+        (Graph.edges g);
+      Array.iter
+        (fun l ->
+          check bool "node label in taxonomy" true
+            (l >= 0 && l < Taxonomy.label_count tax))
+        (Graph.node_labels g))
+    db
+
+let test_synth_graph_determinism () =
+  let tax = go_taxonomy 1 in
+  let gen seed =
+    let db = Synth_graph.generate (Prng.of_int seed) (small_params tax) in
+    Db.fold (fun acc g -> Array.to_list (Graph.edges g) :: acc) [] db
+  in
+  check bool "same seed" true (gen 5 = gen 5);
+  check bool "different seeds" true (gen 5 <> gen 6)
+
+let test_synth_graph_density_tracks_target () =
+  let tax = go_taxonomy 1 in
+  let at density =
+    let rng = Prng.of_int 3 in
+    let db =
+      Synth_graph.generate rng
+        { (small_params tax) with edge_density = density; graph_count = 150 }
+    in
+    Db.avg_edge_density db
+  in
+  let low = at 0.08 and high = at 0.4 in
+  check bool "denser parameter gives denser graphs" true (low < high)
+
+let test_synth_graph_validation () =
+  let tax = go_taxonomy 1 in
+  let rng = Prng.of_int 4 in
+  Alcotest.check_raises "bad max_edges"
+    (Invalid_argument "Synth_graph: max_edges must be >= 1") (fun () ->
+      ignore (Synth_graph.generate rng { (small_params tax) with max_edges = 0 }));
+  Alcotest.check_raises "bad density"
+    (Invalid_argument "Synth_graph: edge_density must be in (0, 1]") (fun () ->
+      ignore
+        (Synth_graph.generate rng { (small_params tax) with edge_density = 0.0 }))
+
+let test_samplers () =
+  let tax = go_taxonomy 7 in
+  let rng = Prng.of_int 8 in
+  let uniform = Synth_graph.uniform_labels tax in
+  let per_level = Synth_graph.per_level_labels tax () in
+  let leaves = Synth_graph.leaf_labels tax () in
+  for _ = 1 to 200 do
+    let u = uniform rng and p = per_level rng and l = leaves rng in
+    check bool "uniform in range" true (u >= 0 && u < Taxonomy.label_count tax);
+    check bool "per-level in range" true (p >= 0 && p < Taxonomy.label_count tax);
+    check bool "leaf sampler yields leaves" true (Taxonomy.is_leaf tax l)
+  done;
+  (* per-level sampling hits shallow levels far more often than uniform *)
+  let shallow sampler =
+    let rng = Prng.of_int 99 in
+    let hits = ref 0 in
+    for _ = 1 to 2000 do
+      if Taxonomy.depth tax (sampler rng) <= 1 then incr hits
+    done;
+    !hits
+  in
+  check bool "per-level over-samples shallow labels" true
+    (shallow per_level > 2 * shallow uniform)
+
+let test_synth_directed () =
+  let tax = go_taxonomy 1 in
+  let rng = Prng.of_int 21 in
+  let digraphs = Synth_graph.generate_directed rng (small_params tax) in
+  check int "count" 40 (List.length digraphs);
+  List.iter
+    (fun d ->
+      check bool "arc cap" true (Tsg_graph.Digraph.arc_count d <= 12);
+      check bool "at least one arc" true (Tsg_graph.Digraph.arc_count d >= 1);
+      Array.iter
+        (fun l ->
+          check bool "labels in taxonomy" true
+            (l >= 0 && l < Taxonomy.label_count tax))
+        (Tsg_graph.Digraph.node_labels d))
+    digraphs;
+  (* orientation is random: across the corpus both directions occur *)
+  let forward = ref 0 and backward = ref 0 in
+  List.iter
+    (fun d ->
+      Array.iter
+        (fun (u, v, _) -> if u < v then incr forward else incr backward)
+        (Tsg_graph.Digraph.arcs d))
+    digraphs;
+  check bool "both orientations present" true (!forward > 0 && !backward > 0)
+
+(* --- Datasets --------------------------------------------------------------- *)
+
+let test_dataset_specs () =
+  check int "five D sets" 5 (List.length Datasets.d_series);
+  check int "four NC sets" 4 (List.length Datasets.nc_series);
+  check int "four ED sets" 4 (List.length Datasets.ed_series);
+  check int "eleven TD depths" 11 (List.length Datasets.td_depths);
+  check int "eight TS sizes" 8 (List.length Datasets.ts_concept_counts);
+  let d1000 = List.hd Datasets.d_series in
+  check Alcotest.string "id" "D1000" d1000.Datasets.id;
+  check int "graphs" 1000 d1000.Datasets.graph_count;
+  check int "max edges" 20 d1000.Datasets.max_edges;
+  check int "edge labels" 10 d1000.Datasets.edge_label_count;
+  check Alcotest.string "d4000" "D4000" Datasets.d4000.Datasets.id;
+  check int "d4000 size" 4000 Datasets.d4000.Datasets.graph_count
+
+let test_dataset_find_scale () =
+  (match Datasets.find "NC30" with
+  | Some s ->
+    check int "nc30 max edges" 30 s.Datasets.max_edges;
+    check int "nc30 graphs" 4000 s.Datasets.graph_count
+  | None -> Alcotest.fail "NC30 missing");
+  check bool "unknown" true (Datasets.find "XX" = None);
+  let scaled = Datasets.scale 0.01 Datasets.d4000 in
+  check int "scaled" 40 scaled.Datasets.graph_count;
+  let tiny = Datasets.scale 0.0001 Datasets.d4000 in
+  check int "floor of 10" 10 tiny.Datasets.graph_count
+
+let test_dataset_build () =
+  let tax = go_taxonomy 1 in
+  let rng = Prng.of_int 5 in
+  let spec = Datasets.scale 0.01 (List.hd Datasets.d_series) in
+  let db = Datasets.build rng ~node_label:(Synth_graph.uniform_labels tax) spec in
+  check int "built size" spec.Datasets.graph_count (Db.size db)
+
+(* --- Pathways ---------------------------------------------------------------- *)
+
+let test_pathways_table () =
+  check int "25 pathways" 25 (List.length Pathways.table2);
+  let names = List.map (fun s -> s.Pathways.name) Pathways.table2 in
+  check bool "nitrogen present" true (List.mem "Nitrogen metabolism" names);
+  check int "organisms" 30 Pathways.paper_organism_count;
+  List.iter
+    (fun s ->
+      let c = Pathways.conservation s in
+      check bool "conservation in band" true (c >= 0.30 && c <= 0.92))
+    Pathways.table2;
+  (* more paper patterns => at least as much conservation *)
+  let by_patterns =
+    List.sort
+      (fun a b -> compare a.Pathways.paper_patterns b.Pathways.paper_patterns)
+      Pathways.table2
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      Pathways.conservation a <= Pathways.conservation b +. 1e-9
+      && monotone rest
+    | _ -> true
+  in
+  check bool "conservation monotone in pattern count" true
+    (monotone by_patterns)
+
+let test_pathways_generate () =
+  let tax = go_taxonomy 9 in
+  let rng = Prng.of_int 10 in
+  let spec = List.hd Pathways.table2 in
+  let db = Pathways.generate rng ~taxonomy:tax ~organisms:12 spec in
+  check int "twelve organisms" 12 (Db.size db);
+  Db.iteri
+    (fun _ g ->
+      Array.iter
+        (fun l -> check bool "leaf labels" true (Taxonomy.is_leaf tax l))
+        (Graph.node_labels g))
+    db;
+  check bool "sizes near the template" true
+    (Db.avg_nodes db >= spec.Pathways.avg_nodes -. 2.0
+    && Db.avg_nodes db <= spec.Pathways.avg_nodes +. 2.0)
+
+let test_pathways_generate_all () =
+  let tax = go_taxonomy 11 in
+  let rng = Prng.of_int 12 in
+  let all = Pathways.generate_all rng ~taxonomy:tax ~organisms:3 () in
+  check int "all 25" 25 (List.length all);
+  List.iter (fun (_, db) -> check int "three organisms" 3 (Db.size db)) all
+
+let test_pathways_conservation_effect () =
+  (* high conservation should leave more shared generalized structure *)
+  let tax = go_taxonomy 13 in
+  let patterns_of spec seed =
+    let rng = Prng.of_int seed in
+    let db = Pathways.generate rng ~taxonomy:tax ~organisms:8 spec in
+    let r =
+      Tsg_core.Taxogram.run
+        ~config:
+          {
+            Tsg_core.Taxogram.min_support = 0.5;
+            max_edges = Some 3;
+            enhancements = Tsg_core.Specialize.all_on;
+          }
+        tax db
+    in
+    r.Tsg_core.Taxogram.pattern_count
+  in
+  let low_spec =
+    List.find (fun s -> s.Pathways.paper_patterns = 2) Pathways.table2
+  in
+  let high_spec =
+    List.find (fun s -> s.Pathways.paper_patterns = 1486) Pathways.table2
+  in
+  (* average over a few seeds to keep the comparison stable *)
+  let avg spec =
+    List.fold_left ( + ) 0 (List.map (patterns_of spec) [ 1; 2; 3 ]) / 3
+  in
+  check bool "conserved pathway yields more patterns" true
+    (avg high_spec >= avg low_spec)
+
+(* --- Pte ---------------------------------------------------------------------- *)
+
+let test_pte_shape () =
+  let tax = Tsg_taxonomy.Atom_taxonomy.create () in
+  let rng = Prng.of_int 14 in
+  let db = Pte.generate rng ~taxonomy:tax ~molecules:60 () in
+  check int "sixty molecules" 60 (Db.size db);
+  let atoms = Tsg_taxonomy.Atom_taxonomy.atom_labels tax in
+  Db.iteri
+    (fun _ g ->
+      check bool "connected" true (Graph.is_connected g);
+      Array.iter
+        (fun l -> check bool "atom labels only" true (List.mem l atoms))
+        (Graph.node_labels g);
+      Array.iter
+        (fun (_, _, l) -> check bool "bond labels 0..2" true (l >= 0 && l <= 2))
+        (Graph.edges g))
+    db
+
+let test_pte_distribution () =
+  let tax = Tsg_taxonomy.Atom_taxonomy.create () in
+  let rng = Prng.of_int 15 in
+  let db = Pte.generate rng ~taxonomy:tax ~molecules:120 () in
+  let c = Taxonomy.id_of_name tax "C" in
+  let h = Taxonomy.id_of_name tax "H" in
+  let carom = Taxonomy.id_of_name tax "c" in
+  let total = ref 0 and ch = ref 0 in
+  Db.iteri
+    (fun _ g ->
+      Array.iter
+        (fun l ->
+          incr total;
+          if l = c || l = h || l = carom then incr ch)
+        (Graph.node_labels g))
+    db;
+  check bool "C/H dominate" true
+    (float_of_int !ch /. float_of_int !total > 0.5);
+  check bool "molecule-scale graphs" true
+    (Db.avg_nodes db > 8.0 && Db.avg_nodes db < 40.0);
+  check int "default molecule count is the paper's" 416 Pte.paper_graph_count
+
+let test_pte_determinism () =
+  let tax = Tsg_taxonomy.Atom_taxonomy.create () in
+  let gen seed =
+    let db = Pte.generate (Prng.of_int seed) ~taxonomy:tax ~molecules:10 () in
+    Db.fold (fun acc g -> Graph.node_labels g :: acc) [] db
+  in
+  check bool "deterministic" true (gen 3 = gen 3)
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "synth_graph",
+        [
+          Alcotest.test_case "shape" `Quick test_synth_graph_shape;
+          Alcotest.test_case "determinism" `Quick test_synth_graph_determinism;
+          Alcotest.test_case "density tracks target" `Quick
+            test_synth_graph_density_tracks_target;
+          Alcotest.test_case "validation" `Quick test_synth_graph_validation;
+          Alcotest.test_case "samplers" `Quick test_samplers;
+          Alcotest.test_case "directed generator" `Quick test_synth_directed;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "table 1 specs" `Quick test_dataset_specs;
+          Alcotest.test_case "find/scale" `Quick test_dataset_find_scale;
+          Alcotest.test_case "build" `Quick test_dataset_build;
+        ] );
+      ( "pathways",
+        [
+          Alcotest.test_case "table 2" `Quick test_pathways_table;
+          Alcotest.test_case "generate" `Quick test_pathways_generate;
+          Alcotest.test_case "generate all" `Quick test_pathways_generate_all;
+          Alcotest.test_case "conservation effect" `Slow
+            test_pathways_conservation_effect;
+        ] );
+      ( "pte",
+        [
+          Alcotest.test_case "shape" `Quick test_pte_shape;
+          Alcotest.test_case "distribution" `Quick test_pte_distribution;
+          Alcotest.test_case "determinism" `Quick test_pte_determinism;
+        ] );
+    ]

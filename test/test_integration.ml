@@ -1,0 +1,254 @@
+(* End-to-end scenarios across libraries: generated data through the full
+   Taxogram pipeline, with supports, minimality and completeness re-verified
+   from first principles, plus serialization in the loop. *)
+
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Label = Tsg_graph.Label
+module Serial = Tsg_graph.Serial
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Bitset = Tsg_util.Bitset
+module Prng = Tsg_util.Prng
+module Gen_iso = Tsg_iso.Gen_iso
+module Pattern = Tsg_core.Pattern
+module Taxogram = Tsg_core.Taxogram
+module Tacgm = Tsg_core.Tacgm
+module Naive = Tsg_core.Naive
+module Specialize = Tsg_core.Specialize
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+
+let config ?(max_edges = Some 3) theta =
+  { Taxogram.min_support = theta; max_edges; enhancements = Specialize.all_on }
+
+let verify_supports tax db (patterns : Pattern.t list) =
+  List.iter
+    (fun (p : Pattern.t) ->
+      let recount = Gen_iso.support_set tax ~pattern:p.Pattern.graph db in
+      check bool "support set re-verified" true
+        (Bitset.equal recount p.Pattern.support_set))
+    patterns
+
+let verify_minimal tax (patterns : Pattern.t list) =
+  List.iter
+    (fun (p : Pattern.t) ->
+      let dominated =
+        List.exists
+          (fun (q : Pattern.t) ->
+            Pattern.key p <> Pattern.key q
+            && p.Pattern.support_count = q.Pattern.support_count
+            && Pattern.node_count p = Pattern.node_count q
+            && Pattern.edge_count p = Pattern.edge_count q
+            && Gen_iso.graph_isomorphic tax p.Pattern.graph q.Pattern.graph)
+          patterns
+      in
+      check bool "not over-generalized" true (not dominated))
+    patterns
+
+(* --- pathway scenario ------------------------------------------------------ *)
+
+let test_pathway_end_to_end () =
+  let rng = Prng.of_int 21 in
+  let tax = Tsg_taxonomy.Go_like.generate ~concepts:250 rng in
+  let spec =
+    List.find
+      (fun s -> s.Tsg_data.Pathways.name = "Citrate cycle (TCA cycle)")
+      Tsg_data.Pathways.table2
+  in
+  let db = Tsg_data.Pathways.generate rng ~taxonomy:tax ~organisms:10 spec in
+  let theta = 0.4 in
+  let r = Taxogram.run ~config:(config theta) tax db in
+  check bool "finds conserved annotation patterns" true
+    (r.Taxogram.pattern_count > 0);
+  let min_count = Db.support_count_to_threshold db theta in
+  List.iter
+    (fun (p : Pattern.t) ->
+      check bool "support above threshold" true
+        (p.Pattern.support_count >= min_count);
+      check bool "pattern has an edge" true (Pattern.edge_count p >= 1);
+      check bool "pattern connected" true (Graph.is_connected p.Pattern.graph))
+    r.Taxogram.patterns;
+  verify_supports tax db r.Taxogram.patterns;
+  verify_minimal tax r.Taxogram.patterns
+
+(* --- chemical scenario ------------------------------------------------------ *)
+
+let test_pte_end_to_end () =
+  let tax = Tsg_taxonomy.Atom_taxonomy.create () in
+  let rng = Prng.of_int 22 in
+  let db = Tsg_data.Pte.generate rng ~taxonomy:tax ~molecules:40 () in
+  let r = Taxogram.run ~config:(config ~max_edges:(Some 2) 0.6) tax db in
+  check bool "frequent chemical fragments exist" true
+    (r.Taxogram.pattern_count > 0);
+  verify_supports tax db r.Taxogram.patterns;
+  verify_minimal tax r.Taxogram.patterns;
+  (* generalized mining must find at least as many 1-edge patterns as exact
+     mining does, structure for structure *)
+  let exact =
+    Tsg_gspan.Gspan.mine_list
+      ~max_edges:2
+      ~min_support:(Db.support_count_to_threshold db 0.6)
+      db
+  in
+  check bool "taxonomy adds patterns over exact mining" true
+    (r.Taxogram.pattern_count >= List.length exact)
+
+(* --- serialization in the pipeline ------------------------------------------ *)
+
+let test_serialize_then_mine () =
+  let rng = Prng.of_int 23 in
+  let tax = Tsg_taxonomy.Go_like.generate ~concepts:120 rng in
+  let sampler = Tsg_data.Synth_graph.uniform_labels tax in
+  let db =
+    Tsg_data.Synth_graph.generate rng
+      {
+        Tsg_data.Synth_graph.graph_count = 25;
+        max_edges = 8;
+        edge_density = 0.3;
+        edge_label_count = 3;
+        node_label = sampler;
+      }
+  in
+  let node_labels = Taxonomy.labels tax in
+  let edge_labels = Label.of_names [ "e0"; "e1"; "e2" ] in
+  let text = Serial.db_to_string ~node_labels ~edge_labels db in
+  let db' = Serial.parse_db ~node_labels ~edge_labels text in
+  let a = Taxogram.run ~config:(config 0.3) tax db in
+  let b = Taxogram.run ~config:(config 0.3) tax db' in
+  check bool "mining unchanged by (de)serialization" true
+    (Pattern.equal_sets a.Taxogram.patterns b.Taxogram.patterns)
+
+(* --- three miners on one realistic instance ---------------------------------- *)
+
+let test_three_miners_agree_realistic () =
+  let rng = Prng.of_int 24 in
+  let tax =
+    Tsg_taxonomy.Synth_taxonomy.generate rng
+      { concepts = 40; relationships = 60; depth = 4 }
+  in
+  let sampler = Tsg_data.Synth_graph.uniform_labels tax in
+  let db =
+    Tsg_data.Synth_graph.generate rng
+      {
+        Tsg_data.Synth_graph.graph_count = 15;
+        max_edges = 6;
+        edge_density = 0.3;
+        edge_label_count = 2;
+        node_label = sampler;
+      }
+  in
+  let theta = 0.3 in
+  let taxogram = (Taxogram.run ~config:(config theta) tax db).Taxogram.patterns in
+  let baseline =
+    (Taxogram.run
+       ~config:{ (config theta) with enhancements = Specialize.all_off }
+       tax db)
+      .Taxogram.patterns
+  in
+  let tacgm = Tacgm.run ~max_edges:3 ~min_support:theta tax db in
+  check bool "tacgm completed" true (tacgm.Tacgm.outcome = Tacgm.Completed);
+  check bool "taxogram = baseline" true (Pattern.equal_sets taxogram baseline);
+  check bool "taxogram = tacgm" true
+    (Pattern.equal_sets taxogram tacgm.Tacgm.patterns);
+  verify_supports tax db taxogram
+
+(* --- completeness against the naive specification ----------------------------- *)
+
+let test_completeness_small_realistic () =
+  let rng = Prng.of_int 25 in
+  let tax =
+    Tsg_taxonomy.Synth_taxonomy.generate rng
+      { concepts = 12; relationships = 16; depth = 3 }
+  in
+  let sampler = Tsg_data.Synth_graph.uniform_labels tax in
+  let db =
+    Tsg_data.Synth_graph.generate rng
+      {
+        Tsg_data.Synth_graph.graph_count = 5;
+        max_edges = 4;
+        edge_density = 0.4;
+        edge_label_count = 2;
+        node_label = sampler;
+      }
+  in
+  let naive = Naive.mine ~max_edges:3 ~min_support:0.4 tax db in
+  let r = Taxogram.run ~config:(config 0.4) tax db in
+  check bool "complete and minimal vs specification" true
+    (Pattern.equal_sets naive r.Taxogram.patterns)
+
+(* --- multi-root taxonomy end to end ------------------------------------------- *)
+
+let test_multi_root_end_to_end () =
+  (* two ontology roots whose subtrees overlap on a shared concept *)
+  let tax =
+    Taxonomy.build
+      ~names:[ "process"; "function"; "kinase"; "transferase"; "binding" ]
+      ~is_a:
+        [
+          ("kinase", "process"); ("kinase", "function");
+          ("transferase", "function"); ("binding", "process");
+        ]
+  in
+  let id n = Taxonomy.id_of_name tax n in
+  let g labels edges = Graph.build ~labels ~edges in
+  let db =
+    Db.of_list
+      [
+        g [| id "kinase"; id "binding" |] [ (0, 1, 0) ];
+        g [| id "transferase"; id "binding" |] [ (0, 1, 0) ];
+      ]
+  in
+  let r = Taxogram.run ~config:(config 1.0) tax db in
+  (* the artificial root makes 'function-?' and 'process-?' classes minable;
+     kinase is under both roots *)
+  check bool "patterns found across roots" true (r.Taxogram.pattern_count > 0);
+  verify_supports tax db r.Taxogram.patterns;
+  verify_minimal tax r.Taxogram.patterns;
+  let naive = Naive.mine ~max_edges:3 ~min_support:1.0 tax db in
+  check bool "matches specification" true
+    (Pattern.equal_sets naive r.Taxogram.patterns)
+
+(* --- figure 4.7 microcosm: lower support never loses patterns ------------------ *)
+
+let test_support_monotonicity () =
+  let rng = Prng.of_int 26 in
+  let tax = Tsg_taxonomy.Go_like.generate ~concepts:150 rng in
+  let sampler = Tsg_data.Synth_graph.uniform_labels tax in
+  let db =
+    Tsg_data.Synth_graph.generate rng
+      {
+        Tsg_data.Synth_graph.graph_count = 20;
+        max_edges = 6;
+        edge_density = 0.3;
+        edge_label_count = 3;
+        node_label = sampler;
+      }
+  in
+  let count theta =
+    (Taxogram.run ~config:(config theta) tax db).Taxogram.pattern_count
+  in
+  let c6 = count 0.6 and c4 = count 0.4 and c2 = count 0.2 in
+  check bool "pattern count grows as support drops" true (c6 <= c4 && c4 <= c2)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "pathway end-to-end" `Quick
+            test_pathway_end_to_end;
+          Alcotest.test_case "pte end-to-end" `Quick test_pte_end_to_end;
+          Alcotest.test_case "serialize then mine" `Quick
+            test_serialize_then_mine;
+          Alcotest.test_case "three miners agree" `Quick
+            test_three_miners_agree_realistic;
+          Alcotest.test_case "completeness vs naive" `Quick
+            test_completeness_small_realistic;
+          Alcotest.test_case "multi-root end-to-end" `Quick
+            test_multi_root_end_to_end;
+          Alcotest.test_case "support monotonicity" `Quick
+            test_support_monotonicity;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Matcher = Tsg_iso.Matcher
+module Subiso = Tsg_iso.Subiso
+module Gen_iso = Tsg_iso.Gen_iso
+module Bitset = Tsg_util.Bitset
+module Prng = Tsg_util.Prng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let g ~labels ~edges = Graph.build ~labels ~edges
+
+(* target: a labeled house — triangle (0,1,2) on a square base (1,2,3,4) *)
+let house () =
+  g
+    ~labels:[| 0; 1; 1; 2; 2 |]
+    ~edges:
+      [ (0, 1, 0); (0, 2, 0); (1, 2, 0); (1, 3, 0); (2, 4, 0); (3, 4, 0) ]
+
+(* --- exact subgraph isomorphism ------------------------------------------ *)
+
+let test_subiso_positive () =
+  let target = house () in
+  let edge01 = g ~labels:[| 0; 1 |] ~edges:[ (0, 1, 0) ] in
+  check bool "single edge" true (Subiso.exists ~pattern:edge01 ~target);
+  let triangle = g ~labels:[| 0; 1; 1 |] ~edges:[ (0, 1, 0); (0, 2, 0); (1, 2, 0) ] in
+  check bool "triangle" true (Subiso.exists ~pattern:triangle ~target);
+  let path = g ~labels:[| 2; 1; 0 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  check bool "path through labels 2-1-0" true
+    (Subiso.exists ~pattern:path ~target)
+
+let test_subiso_negative () =
+  let target = house () in
+  let wrong_label = g ~labels:[| 0; 3 |] ~edges:[ (0, 1, 0) ] in
+  check bool "label missing" false (Subiso.exists ~pattern:wrong_label ~target);
+  let wrong_edge_label = g ~labels:[| 0; 1 |] ~edges:[ (0, 1, 9) ] in
+  check bool "edge label mismatch" false
+    (Subiso.exists ~pattern:wrong_edge_label ~target);
+  let square_of_zeros =
+    g ~labels:[| 0; 0; 0; 0 |]
+      ~edges:[ (0, 1, 0); (1, 2, 0); (2, 3, 0); (0, 3, 0) ]
+  in
+  check bool "no 0-labeled square" false
+    (Subiso.exists ~pattern:square_of_zeros ~target);
+  let too_big = g ~labels:(Array.make 6 0) ~edges:[ (0, 1, 0) ] in
+  check bool "pattern larger than target" false
+    (Subiso.exists ~pattern:too_big ~target)
+
+let test_subiso_non_induced () =
+  (* pattern is a path 1-0-1; target triangle has an extra 1-1 edge, which a
+     non-induced match must tolerate *)
+  let target = g ~labels:[| 0; 1; 1 |] ~edges:[ (0, 1, 0); (0, 2, 0); (1, 2, 0) ] in
+  let path = g ~labels:[| 1; 0; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  check bool "non-induced match" true (Subiso.exists ~pattern:path ~target)
+
+let test_subiso_injective () =
+  (* path of two distinct nodes cannot fold onto one target node *)
+  let target = g ~labels:[| 0; 1 |] ~edges:[ (0, 1, 0) ] in
+  let vee = g ~labels:[| 1; 0; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  check bool "injective mapping required" false
+    (Subiso.exists ~pattern:vee ~target)
+
+let test_count_embeddings () =
+  let target = g ~labels:[| 0; 0; 0 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  let edge = g ~labels:[| 0; 0 |] ~edges:[ (0, 1, 0) ] in
+  (* two edges, each matched in both orientations *)
+  check int "automorphic embeddings" 4 (Subiso.count_embeddings ~pattern:edge target);
+  check int "limited" 2 (Subiso.count_embeddings ~limit:2 ~pattern:edge target);
+  let empty_pattern = Graph.empty in
+  check int "empty pattern has one embedding" 1
+    (Subiso.count_embeddings ~pattern:empty_pattern target)
+
+let test_embeddings_are_valid () =
+  let target = house () in
+  let pattern = g ~labels:[| 1; 1; 2 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  let count = ref 0 in
+  Subiso.iter_embeddings ~pattern ~target (fun a ->
+      incr count;
+      check int "assignment length" 3 (Array.length a);
+      Array.iteri
+        (fun p t ->
+          check int "labels preserved" (Graph.node_label pattern p)
+            (Graph.node_label target t))
+        a;
+      Array.iter
+        (fun (u, v, l) ->
+          check (Alcotest.option int) "edges preserved" (Some l)
+            (Graph.edge_label target a.(u) a.(v)))
+        (Graph.edges pattern));
+  check bool "found some" true (!count > 0)
+
+let test_isomorphic () =
+  let a = g ~labels:[| 0; 1; 2 |] ~edges:[ (0, 1, 5); (1, 2, 6) ] in
+  let b = g ~labels:[| 2; 1; 0 |] ~edges:[ (1, 0, 6); (2, 1, 5) ] in
+  check bool "permuted" true (Subiso.isomorphic a b);
+  let c = g ~labels:[| 0; 1; 2 |] ~edges:[ (0, 1, 5); (0, 2, 6) ] in
+  check bool "different shape" false (Subiso.isomorphic a c);
+  (* same degree sequence, different structure: C6 vs two C3 *)
+  let c6 =
+    g ~labels:(Array.make 6 0)
+      ~edges:[ (0, 1, 0); (1, 2, 0); (2, 3, 0); (3, 4, 0); (4, 5, 0); (0, 5, 0) ]
+  in
+  let c3c3 =
+    g ~labels:(Array.make 6 0)
+      ~edges:[ (0, 1, 0); (1, 2, 0); (0, 2, 0); (3, 4, 0); (4, 5, 0); (3, 5, 0) ]
+  in
+  check bool "C6 vs 2xC3" false (Subiso.isomorphic c6 c3c3)
+
+let test_support_count () =
+  let db =
+    Db.of_list
+      [
+        g ~labels:[| 0; 1 |] ~edges:[ (0, 1, 0) ];
+        g ~labels:[| 1; 0 |] ~edges:[ (0, 1, 0) ];
+        g ~labels:[| 0; 2 |] ~edges:[ (0, 1, 0) ];
+      ]
+  in
+  let p = g ~labels:[| 0; 1 |] ~edges:[ (0, 1, 0) ] in
+  check int "two graphs contain it" 2 (Subiso.support_count ~pattern:p db)
+
+(* --- generalized isomorphism --------------------------------------------- *)
+
+(* function -> {transport, catalysis}; transport -> {carrier, cation};
+   catalysis -> {helicase}; helicase -> {dna_helicase} *)
+let bio_taxonomy () =
+  Taxonomy.build
+    ~names:
+      [ "function"; "transport"; "catalysis"; "carrier"; "cation";
+        "helicase"; "dna_helicase" ]
+    ~is_a:
+      [
+        ("transport", "function"); ("catalysis", "function");
+        ("carrier", "transport"); ("cation", "transport");
+        ("helicase", "catalysis"); ("dna_helicase", "helicase");
+      ]
+
+let test_gen_direction () =
+  let t = bio_taxonomy () in
+  let id n = Taxonomy.id_of_name t n in
+  let specific = g ~labels:[| id "carrier"; id "dna_helicase" |] ~edges:[ (0, 1, 0) ] in
+  let general = g ~labels:[| id "transport"; id "helicase" |] ~edges:[ (0, 1, 0) ] in
+  check bool "general pattern matches specific target" true
+    (Gen_iso.subgraph_isomorphic t ~pattern:general ~target:specific);
+  check bool "specific pattern does not match general target" false
+    (Gen_iso.subgraph_isomorphic t ~pattern:specific ~target:general);
+  check bool "reflexive labels still match" true
+    (Gen_iso.subgraph_isomorphic t ~pattern:specific ~target:specific)
+
+let test_gen_edge_labels_exact () =
+  let t = bio_taxonomy () in
+  let id n = Taxonomy.id_of_name t n in
+  let target = g ~labels:[| id "carrier"; id "helicase" |] ~edges:[ (0, 1, 1) ] in
+  let pattern = g ~labels:[| id "transport"; id "catalysis" |] ~edges:[ (0, 1, 2) ] in
+  check bool "edge labels are not generalized" false
+    (Gen_iso.subgraph_isomorphic t ~pattern ~target)
+
+let test_gen_support () =
+  let t = bio_taxonomy () in
+  let id n = Taxonomy.id_of_name t n in
+  let db =
+    Db.of_list
+      [
+        g ~labels:[| id "carrier"; id "dna_helicase" |] ~edges:[ (0, 1, 0) ];
+        g ~labels:[| id "cation"; id "helicase" |] ~edges:[ (0, 1, 0) ];
+        g ~labels:[| id "carrier"; id "cation" |] ~edges:[ (0, 1, 0) ];
+      ]
+  in
+  let p = g ~labels:[| id "transport"; id "helicase" |] ~edges:[ (0, 1, 0) ] in
+  check int "gen support count" 2 (Gen_iso.support_count t ~pattern:p db);
+  check (Alcotest.float 1e-9) "gen support" (2.0 /. 3.0)
+    (Gen_iso.support t ~pattern:p db);
+  check (Alcotest.list int) "gen support set" [ 0; 1 ]
+    (Bitset.to_list (Gen_iso.support_set t ~pattern:p db))
+
+let test_gen_graph_isomorphic () =
+  let t = bio_taxonomy () in
+  let id n = Taxonomy.id_of_name t n in
+  let general = g ~labels:[| id "transport"; id "helicase" |] ~edges:[ (0, 1, 0) ] in
+  let specific = g ~labels:[| id "dna_helicase"; id "carrier" |] ~edges:[ (0, 1, 0) ] in
+  check bool "general IS_GEN_ISO specific" true
+    (Gen_iso.graph_isomorphic t general specific);
+  check bool "not commutative" false
+    (Gen_iso.graph_isomorphic t specific general);
+  (* node counts must agree for a bijection *)
+  let bigger =
+    g ~labels:[| id "carrier"; id "helicase"; id "cation" |]
+      ~edges:[ (0, 1, 0); (1, 2, 0) ]
+  in
+  check bool "size mismatch" false (Gen_iso.graph_isomorphic t general bigger)
+
+let test_gen_count_embeddings () =
+  let t = bio_taxonomy () in
+  let id n = Taxonomy.id_of_name t n in
+  let target =
+    g
+      ~labels:[| id "carrier"; id "cation"; id "helicase" |]
+      ~edges:[ (0, 2, 0); (1, 2, 0) ]
+  in
+  let p = g ~labels:[| id "transport"; id "catalysis" |] ~edges:[ (0, 1, 0) ] in
+  check int "two transport-catalysis embeddings" 2
+    (Gen_iso.count_embeddings t ~pattern:p target)
+
+(* --- properties ----------------------------------------------------------- *)
+
+let arb_seed = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+(* random taxonomy + random target; pattern built by picking a connected
+   subgraph of the target and generalizing its labels: must always match *)
+let planted_pattern_prop =
+  QCheck.Test.make ~name:"generalized planted pattern always matches"
+    ~count:200 arb_seed (fun seed ->
+      let rng = Prng.of_int seed in
+      let tax =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts = 10; relationships = 14; depth = 3 }
+      in
+      let nlabels = Taxonomy.label_count tax in
+      let n = 3 + Prng.int rng 4 in
+      let labels = Array.init n (fun _ -> Prng.int rng nlabels) in
+      let edges = ref [] in
+      for v = 1 to n - 1 do
+        edges := (v, Prng.int rng v, Prng.int rng 2) :: !edges
+      done;
+      let target = g ~labels ~edges:!edges in
+      (* take the subtree rooted at node 0..k as a connected subgraph *)
+      let k = 1 + Prng.int rng (n - 1) in
+      let sub_edges =
+        List.filter (fun (u, v, _) -> u <= k && v <= k) !edges
+      in
+      let sub_labels =
+        Array.init (k + 1) (fun v ->
+            (* generalize: replace by a random ancestor *)
+            let l = labels.(v) in
+            let ancs = Array.of_list (Taxonomy.ancestors tax l) in
+            Prng.choose rng ancs)
+      in
+      let pattern = g ~labels:sub_labels ~edges:sub_edges in
+      Gen_iso.subgraph_isomorphic tax ~pattern ~target)
+
+(* exact matching is generalized matching under a flat taxonomy *)
+let flat_taxonomy_prop =
+  QCheck.Test.make ~name:"flat taxonomy = exact matching" ~count:200 arb_seed
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let flat =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts = 5; relationships = 0; depth = 1 }
+      in
+      let mk () =
+        let n = 2 + Prng.int rng 3 in
+        let labels = Array.init n (fun _ -> Prng.int rng 5) in
+        let edges = ref [] in
+        for v = 1 to n - 1 do
+          edges := (v, Prng.int rng v, 0) :: !edges
+        done;
+        g ~labels ~edges:!edges
+      in
+      let pattern = mk () and target = mk () in
+      Gen_iso.subgraph_isomorphic flat ~pattern ~target
+      = Subiso.exists ~pattern ~target)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "iso"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "positive" `Quick test_subiso_positive;
+          Alcotest.test_case "negative" `Quick test_subiso_negative;
+          Alcotest.test_case "non-induced" `Quick test_subiso_non_induced;
+          Alcotest.test_case "injective" `Quick test_subiso_injective;
+          Alcotest.test_case "count embeddings" `Quick test_count_embeddings;
+          Alcotest.test_case "embeddings valid" `Quick
+            test_embeddings_are_valid;
+          Alcotest.test_case "graph isomorphism" `Quick test_isomorphic;
+          Alcotest.test_case "support count" `Quick test_support_count;
+        ] );
+      ( "generalized",
+        [
+          Alcotest.test_case "direction" `Quick test_gen_direction;
+          Alcotest.test_case "edge labels exact" `Quick
+            test_gen_edge_labels_exact;
+          Alcotest.test_case "support" `Quick test_gen_support;
+          Alcotest.test_case "IS_GEN_ISO" `Quick test_gen_graph_isomorphic;
+          Alcotest.test_case "count embeddings" `Quick
+            test_gen_count_embeddings;
+        ] );
+      ("properties", qsuite [ planted_pattern_prop; flat_taxonomy_prop ]);
+    ]

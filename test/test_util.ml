@@ -1,0 +1,329 @@
+module Bitset = Tsg_util.Bitset
+module Prng = Tsg_util.Prng
+module Stats = Tsg_util.Stats
+module Text_table = Tsg_util.Text_table
+module Timer = Tsg_util.Timer
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- Bitset -------------------------------------------------------------- *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 100 in
+  check bool "fresh is empty" true (Bitset.is_empty b);
+  check int "capacity" 100 (Bitset.capacity b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 64;
+  Bitset.set b 99;
+  check bool "mem 0" true (Bitset.mem b 0);
+  check bool "mem 63" true (Bitset.mem b 63);
+  check bool "mem 64" true (Bitset.mem b 64);
+  check bool "mem 99" true (Bitset.mem b 99);
+  check bool "not mem 1" false (Bitset.mem b 1);
+  check int "cardinal" 4 (Bitset.cardinal b);
+  Bitset.unset b 63;
+  check bool "unset" false (Bitset.mem b 63);
+  check int "cardinal after unset" 3 (Bitset.cardinal b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "set out of range" (Invalid_argument
+    "Bitset: index 10 out of bounds (capacity 10)") (fun () -> Bitset.set b 10);
+  Alcotest.check_raises "negative" (Invalid_argument
+    "Bitset: index -1 out of bounds (capacity 10)") (fun () ->
+      ignore (Bitset.mem b (-1)))
+
+let test_bitset_zero_capacity () =
+  let b = Bitset.create 0 in
+  check bool "empty" true (Bitset.is_empty b);
+  check int "cardinal" 0 (Bitset.cardinal b);
+  check bool "equal itself" true (Bitset.equal b (Bitset.create 0))
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 10 [ 1; 3; 5; 7 ] in
+  let b = Bitset.of_list 10 [ 3; 4; 5; 9 ] in
+  check (Alcotest.list int) "inter" [ 3; 5 ] (Bitset.to_list (Bitset.inter a b));
+  check (Alcotest.list int) "union" [ 1; 3; 4; 5; 7; 9 ]
+    (Bitset.to_list (Bitset.union a b));
+  check (Alcotest.list int) "diff" [ 1; 7 ] (Bitset.to_list (Bitset.diff a b));
+  check int "inter_cardinal" 2 (Bitset.inter_cardinal a b);
+  check bool "subset no" false (Bitset.subset a b);
+  check bool "subset yes" true (Bitset.subset (Bitset.of_list 10 [ 3; 5 ]) a);
+  check bool "subset self" true (Bitset.subset a a)
+
+let test_bitset_inter_into_aliasing () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 2; 3; 4 ] in
+  Bitset.inter_into ~dst:a a b;
+  check (Alcotest.list int) "dst aliases a" [ 2; 3 ] (Bitset.to_list a)
+
+let test_bitset_copy_independent () =
+  let a = Bitset.of_list 10 [ 1 ] in
+  let b = Bitset.copy a in
+  Bitset.set b 2;
+  check bool "copy does not leak" false (Bitset.mem a 2);
+  check bool "copy has both" true (Bitset.mem b 1 && Bitset.mem b 2)
+
+let test_bitset_full_clear_choose () =
+  let b = Bitset.full 70 in
+  check int "full cardinal" 70 (Bitset.cardinal b);
+  check (Alcotest.option int) "choose smallest" (Some 0) (Bitset.choose b);
+  Bitset.unset b 0;
+  check (Alcotest.option int) "choose next" (Some 1) (Bitset.choose b);
+  Bitset.clear b;
+  check bool "cleared" true (Bitset.is_empty b);
+  check (Alcotest.option int) "choose empty" None (Bitset.choose b)
+
+let test_bitset_iter_order () =
+  let b = Bitset.of_list 200 [ 150; 3; 64; 127 ] in
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  check (Alcotest.list int) "ascending" [ 3; 64; 127; 150 ] (List.rev !seen)
+
+let test_bitset_exists_forall () =
+  let b = Bitset.of_list 10 [ 2; 4; 6 ] in
+  check bool "exists even" true (Bitset.exists (fun i -> i mod 2 = 0) b);
+  check bool "exists odd" false (Bitset.exists (fun i -> i mod 2 = 1) b);
+  check bool "forall even" true (Bitset.for_all (fun i -> i mod 2 = 0) b);
+  check bool "forall >2" false (Bitset.for_all (fun i -> i > 2) b)
+
+let test_bitset_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  Alcotest.check_raises "inter mismatch"
+    (Invalid_argument "Bitset.inter: capacity mismatch") (fun () ->
+      ignore (Bitset.inter a b))
+
+(* model-based property: bitset ops agree with a set-of-ints model *)
+module Int_set = Set.Make (Int)
+
+let bitset_model_prop =
+  QCheck.Test.make ~name:"bitset agrees with Set model" ~count:200
+    QCheck.(pair (list (int_bound 99)) (list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      let ma = Int_set.of_list xs and mb = Int_set.of_list ys in
+      let eq bs m = Bitset.to_list bs = Int_set.elements m in
+      eq (Bitset.inter a b) (Int_set.inter ma mb)
+      && eq (Bitset.union a b) (Int_set.union ma mb)
+      && eq (Bitset.diff a b) (Int_set.diff ma mb)
+      && Bitset.cardinal a = Int_set.cardinal ma
+      && Bitset.subset a b = Int_set.subset ma mb
+      && Bitset.inter_cardinal a b = Int_set.cardinal (Int_set.inter ma mb))
+
+(* --- Prng ---------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.of_int 1234 and b = Prng.of_int 1234 in
+  let seq r = List.init 20 (fun _ -> Prng.int r 1000) in
+  check (Alcotest.list int) "same seed same stream" (seq a) (seq b)
+
+let test_prng_different_seeds () =
+  let a = Prng.of_int 1 and b = Prng.of_int 2 in
+  let seq r = List.init 20 (fun _ -> Prng.int r 1_000_000) in
+  check bool "different" true (seq a <> seq b)
+
+let test_prng_split () =
+  let parent = Prng.of_int 99 in
+  let child = Prng.split parent in
+  let a = List.init 10 (fun _ -> Prng.int parent 1000) in
+  let b = List.init 10 (fun _ -> Prng.int child 1000) in
+  check bool "streams differ" true (a <> b)
+
+let test_prng_copy () =
+  let a = Prng.of_int 5 in
+  ignore (Prng.int a 10);
+  let b = Prng.copy a in
+  check int "copy continues identically" (Prng.int a 1000) (Prng.int b 1000)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.of_int 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array int) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_sample () =
+  let rng = Prng.of_int 8 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Prng.sample rng arr 10 in
+  check int "length" 10 (List.length s);
+  check int "distinct" 10 (List.length (List.sort_uniq compare s))
+
+let test_prng_degenerate () =
+  let rng = Prng.of_int 4 in
+  check int "int 1 is 0" 0 (Prng.int rng 1);
+  check int "int_in singleton" 7 (Prng.int_in rng 7 7);
+  check bool "bernoulli 0" false (Prng.bernoulli rng 0.0);
+  check int "geometric p=1" 0 (Prng.geometric rng 1.0);
+  Alcotest.check_raises "int 0 rejected"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let prng_bounds_prop =
+  QCheck.Test.make ~name:"Prng.int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Prng.of_int seed in
+      let x = Prng.int rng n in
+      0 <= x && x < n)
+
+let prng_float_prop =
+  QCheck.Test.make ~name:"Prng.float within [0,x)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.0))
+    (fun (seed, x) ->
+      let rng = Prng.of_int seed in
+      let f = Prng.float rng x in
+      0.0 <= f && f < x)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let flt = Alcotest.float 1e-9
+
+let test_stats_mean_median () =
+  check flt "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check flt "mean_int" 2.0 (Stats.mean_int [ 1; 2; 3 ]);
+  check flt "median odd" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  check flt "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check bool "mean empty nan" true (Float.is_nan (Stats.mean []));
+  check bool "median empty nan" true (Float.is_nan (Stats.median []))
+
+let test_stats_stddev () =
+  check flt "constant" 0.0 (Stats.stddev [ 2.0; 2.0; 2.0 ]);
+  check (Alcotest.float 1e-6) "known" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_min_max_percentile () =
+  let xs = [ 3.0; 1.0; 4.0; 1.5; 9.0 ] in
+  check flt "min" 1.0 (Stats.minimum xs);
+  check flt "max" 9.0 (Stats.maximum xs);
+  check flt "p0" 1.0 (Stats.percentile 0.0 xs);
+  check flt "p100" 9.0 (Stats.percentile 100.0 xs);
+  check flt "p50 = median elt" 3.0 (Stats.percentile 50.0 xs)
+
+let test_stats_round_to () =
+  check flt "2 places" 3.14 (Stats.round_to 2 3.14159);
+  check flt "0 places" 3.0 (Stats.round_to 0 3.14159)
+
+(* --- Text_table ---------------------------------------------------------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_render () =
+  let t = Text_table.create [ "name"; "value" ] in
+  Text_table.add_row t [ "alpha"; "1" ];
+  Text_table.add_row t [ "b"; "22" ];
+  let rendered = Text_table.render t in
+  check bool "aligned header" true
+    (String.length (List.hd (String.split_on_char '\n' rendered)) > 10);
+  check bool "contains alpha" true
+    (String.length rendered > 0
+    && contains rendered "alpha")
+
+let test_table_short_rows_padded () =
+  let t = Text_table.create [ "a"; "b"; "c" ] in
+  Text_table.add_row t [ "only" ];
+  let lines = String.split_on_char '\n' (Text_table.render t) in
+  check int "three lines" 3 (List.length lines);
+  let widths = List.map String.length lines in
+  check bool "all lines same width" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_csv () =
+  let t = Text_table.create [ "name"; "value" ] in
+  Text_table.add_row t [ "plain"; "1" ];
+  Text_table.add_row t [ "with,comma"; "say \"hi\"" ];
+  let csv = Text_table.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check int "three lines" 3 (List.length lines);
+  check Alcotest.string "header" "name,value" (List.nth lines 0);
+  check Alcotest.string "plain row" "plain,1" (List.nth lines 1);
+  check Alcotest.string "quoted row" "\"with,comma\",\"say \"\"hi\"\"\""
+    (List.nth lines 2)
+
+let test_table_int_row () =
+  let t = Text_table.create [ "id"; "x"; "y" ] in
+  Text_table.add_int_row t "row" [ 10; 20 ];
+  check bool "renders ints" true (contains (Text_table.render t) "20")
+
+(* --- Timer --------------------------------------------------------------- *)
+
+let test_timer_budget () =
+  check bool "unlimited" false (Timer.Budget.exceeded Timer.Budget.unlimited);
+  check bool "unlimited remaining" true
+    (Timer.Budget.remaining_s Timer.Budget.unlimited = infinity);
+  let b = Timer.Budget.of_seconds (-1.0) in
+  check bool "past deadline" true (Timer.Budget.exceeded b);
+  check flt "no remaining" 0.0 (Timer.Budget.remaining_s b)
+
+let test_timer_monotone () =
+  let t = Timer.start () in
+  let a = Timer.elapsed_s t in
+  let b = Timer.elapsed_s t in
+  check bool "non-negative, monotone" true (a >= 0.0 && b >= a);
+  let x, dt = Timer.time (fun () -> 42) in
+  check int "time returns value" 42 x;
+  check bool "time non-negative" true (dt >= 0.0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "zero capacity" `Quick test_bitset_zero_capacity;
+          Alcotest.test_case "set ops" `Quick test_bitset_set_ops;
+          Alcotest.test_case "inter_into aliasing" `Quick
+            test_bitset_inter_into_aliasing;
+          Alcotest.test_case "copy independent" `Quick
+            test_bitset_copy_independent;
+          Alcotest.test_case "full/clear/choose" `Quick
+            test_bitset_full_clear_choose;
+          Alcotest.test_case "iter order" `Quick test_bitset_iter_order;
+          Alcotest.test_case "exists/forall" `Quick test_bitset_exists_forall;
+          Alcotest.test_case "capacity mismatch" `Quick
+            test_bitset_capacity_mismatch;
+        ]
+        @ qsuite [ bitset_model_prop ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_different_seeds;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_prng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_prng_sample;
+          Alcotest.test_case "degenerate params" `Quick test_prng_degenerate;
+        ]
+        @ qsuite [ prng_bounds_prop; prng_float_prop ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_stats_mean_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min/max/percentile" `Quick
+            test_stats_min_max_percentile;
+          Alcotest.test_case "round_to" `Quick test_stats_round_to;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "short rows padded" `Quick
+            test_table_short_rows_padded;
+          Alcotest.test_case "int rows" `Quick test_table_int_row;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "budget" `Quick test_timer_budget;
+          Alcotest.test_case "monotone" `Quick test_timer_monotone;
+        ] );
+    ]
