@@ -1,0 +1,29 @@
+.PHONY: all build test check bench examples clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# everything the repo can build (libraries, binaries, tests, benches,
+# examples), the full test suite, and the examples as a smoke test
+check:
+	dune build @all
+	dune runtest
+	$(MAKE) examples
+
+examples:
+	@for e in quickstart pathway_mining chemical_mining taxonomy_explore \
+	          regulatory_network annotation_study; do \
+	  echo "== examples/$$e =="; \
+	  dune exec examples/$$e.exe > /dev/null || exit 1; \
+	done
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -540,6 +540,101 @@ let parallel_exp ctx =
      also bounds the gain.\n"
     (Domain.recommended_domain_count ())
 
+(* --- Query serving: store build, prefilter, cache (lib/query) ----------------- *)
+
+let query_exp ctx =
+  header "Query serving: store build, prefilter selectivity, LRU cache";
+  let module Store = Tsg_query.Store in
+  let module Engine = Tsg_query.Engine in
+  let go = go_taxonomy ctx in
+  let _, db = build_scaled ctx go (List.hd Datasets.d_series) in
+  let config =
+    { Taxogram.min_support = ctx.theta; max_edges = Some 4;
+      enhancements = Specialize.all_on }
+  in
+  let patterns = (Taxogram.run ~config go db).Taxogram.patterns in
+  let store, build_s =
+    Timer.time (fun () ->
+        Store.build ~taxonomy:go ~db ~db_size:(Db.size db) patterns)
+  in
+  (* every database graph doubles as a query *)
+  let queries = Db.to_list db in
+  let nq = List.length queries in
+  let time_queries engine =
+    let _, s =
+      Timer.time (fun () ->
+          List.iter (fun q -> ignore (Engine.contains engine q)) queries)
+    in
+    1000.0 *. s /. float_of_int (max 1 nq)
+  in
+  (* cold: cache disabled, every query pays prefilter + iso; warm: a
+     primed cache answers by minimum-DFS-code lookup *)
+  let uncached =
+    Engine.create ~cache_capacity:0 ~metrics:(Tsg_util.Metrics.create ()) store
+  in
+  let cold_ms = time_queries uncached in
+  let cached =
+    Engine.create ~cache_capacity:(4 * nq)
+      ~metrics:(Tsg_util.Metrics.create ()) store
+  in
+  ignore (time_queries cached);
+  let warm_ms = time_queries cached in
+  let candidate_total =
+    List.fold_left
+      (fun acc q ->
+        acc + Tsg_util.Bitset.cardinal (Store.candidates store q))
+      0 queries
+  in
+  let brute_total = nq * Store.size store in
+  let avg total = float_of_int total /. float_of_int (max 1 nq) in
+  let ratio =
+    if brute_total = 0 then 1.0
+    else float_of_int candidate_total /. float_of_int brute_total
+  in
+  let speedup = if warm_ms > 0.0 then cold_ms /. warm_ms else infinity in
+  let t = Table.create [ "Measure"; "Value" ] in
+  Table.add_row t [ "patterns in store"; string_of_int (Store.size store) ];
+  Table.add_row t [ "store build ms"; Printf.sprintf "%.1f" (1000.0 *. build_s) ];
+  Table.add_row t [ "queries"; string_of_int nq ];
+  Table.add_row t [ "cold ms/query"; Printf.sprintf "%.3f" cold_ms ];
+  Table.add_row t [ "warm ms/query"; Printf.sprintf "%.3f" warm_ms ];
+  Table.add_row t [ "cold/warm speedup"; Printf.sprintf "%.1fx" speedup ];
+  Table.add_row t
+    [ "prefilter candidates/query"; Printf.sprintf "%.1f" (avg candidate_total) ];
+  Table.add_row t
+    [ "brute-force candidates/query"; Printf.sprintf "%.1f" (avg brute_total) ];
+  Table.add_row t [ "prefilter ratio"; Printf.sprintf "%.3f" ratio ];
+  Table.add_row t
+    [ "warm cache hit rate"; Printf.sprintf "%.2f" (Engine.cache_hit_rate cached) ];
+  finish_table "query" t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"patterns\": %d,\n\
+      \  \"db_size\": %d,\n\
+      \  \"store_build_ms\": %.3f,\n\
+      \  \"queries\": %d,\n\
+      \  \"cold_ms_per_query\": %.4f,\n\
+      \  \"warm_ms_per_query\": %.4f,\n\
+      \  \"cold_warm_speedup\": %.2f,\n\
+      \  \"prefilter_candidates_per_query\": %.2f,\n\
+      \  \"brute_candidates_per_query\": %.2f,\n\
+      \  \"prefilter_ratio\": %.4f,\n\
+      \  \"warm_cache_hit_rate\": %.4f\n\
+       }\n"
+      (Store.size store) (Db.size db) (1000.0 *. build_s) nq cold_ms warm_ms
+      speedup (avg candidate_total) (avg brute_total) ratio
+      (Engine.cache_hit_rate cached)
+  in
+  let oc = open_out "BENCH_query.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  note
+    "wrote BENCH_query.json; the cold/warm gap is the LRU cache, the\n\
+     prefilter ratio is the share of the store the inverted indexes leave\n\
+     for real generalized-subiso tests.\n"
+
 (* --- Bechamel micro-suite ------------------------------------------------------------ *)
 
 let micro ctx =
@@ -620,6 +715,7 @@ let all_experiments =
     ("table2", table2);
     ("fig48", fig48);
     ("ablation", ablation);
+    ("query", query_exp);
   ]
 
 let () =

@@ -200,8 +200,9 @@ let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the summary line.")
 
 let out_arg =
-  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
-         ~doc:"Also write the mined patterns to $(docv) (tsg-dot input).")
+  Arg.(value & opt (some string) None & info [ "out"; "save" ] ~docv:"FILE"
+         ~doc:"Also write the mined patterns to $(docv) (Pattern_io format, \
+               readable by tsg-serve and tsg-dot).")
 
 let parallel_arg =
   Arg.(value & flag & info [ "parallel" ]

@@ -1,0 +1,138 @@
+(* tsg-serve: serve queries over mined pattern sets without re-mining.
+
+     tsg-mine --db d.db --taxonomy d.tax --save patterns.pat
+     tsg-serve --patterns patterns.pat --taxonomy d.tax < requests.txt
+     tsg-serve --patterns a.pat --patterns b.pat --taxonomy d.tax \
+       --db d.db --requests warmup.txt --requests run.txt
+
+   Reads the newline protocol (see lib/query/protocol.mli) from request
+   files, or stdin when none are given, and prints the metrics table on
+   shutdown. *)
+
+module Label = Tsg_graph.Label
+module Serial = Tsg_graph.Serial
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
+module Store = Tsg_query.Store
+module Engine = Tsg_query.Engine
+module Serve = Tsg_query.Serve
+module Metrics = Tsg_util.Metrics
+
+open Cmdliner
+
+let run patterns tax_path db_path requests domains cache quiet =
+  let taxonomy = Taxonomy_io.load tax_path in
+  let edge_labels = Label.create () in
+  let db =
+    Option.map
+      (fun path ->
+        Serial.load_db ~node_labels:(Taxonomy.labels taxonomy) ~edge_labels
+          path)
+      db_path
+  in
+  let store =
+    try Store.load ~taxonomy ~edge_labels ?db patterns with
+    | Invalid_argument msg ->
+      prerr_endline ("tsg-serve: " ^ msg);
+      exit 2
+    | Tsg_core.Pattern_io.Parse_error (line, msg) ->
+      Printf.eprintf "tsg-serve: bad pattern file, line %d: %s\n" line msg;
+      exit 2
+  in
+  Printf.eprintf
+    "tsg-serve: %d patterns over %d concepts (db size %d), cache %d, %d \
+     domains\n\
+     %!"
+    (Store.size store)
+    (Taxonomy.label_count taxonomy)
+    (Store.db_size store) cache domains;
+  let metrics = Metrics.create () in
+  let engine = Engine.create ~cache_capacity:cache ~metrics store in
+  let serve ic = Serve.run ~domains ~engine ~edge_labels ic stdout in
+  let outcome =
+    match requests with
+    | [] -> serve stdin
+    | paths ->
+      List.fold_left
+        (fun (acc : Serve.outcome) path ->
+          if acc.Serve.quit then acc
+          else
+            let ic = open_in path in
+            let o =
+              Fun.protect ~finally:(fun () -> close_in ic) (fun () -> serve ic)
+            in
+            {
+              Serve.requests = acc.Serve.requests + o.Serve.requests;
+              errors = acc.Serve.errors + o.Serve.errors;
+              quit = o.Serve.quit;
+            })
+        { Serve.requests = 0; errors = 0; quit = false }
+        paths
+  in
+  if not quiet then begin
+    print_endline "begin stats";
+    Metrics.print metrics;
+    print_endline "end stats"
+  end;
+  Printf.eprintf "tsg-serve: %d requests (%d errors), cache hit rate %.1f%%\n"
+    outcome.Serve.requests outcome.Serve.errors
+    (100.0 *. Engine.cache_hit_rate engine);
+  if outcome.Serve.errors > 0 then 1 else 0
+
+let patterns_arg =
+  Arg.(
+    non_empty & opt_all file []
+    & info [ "patterns"; "p" ] ~docv:"FILE"
+        ~doc:
+          "Pattern set written by tsg-mine --save (repeatable; sets are \
+           merged).")
+
+let tax_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "taxonomy" ] ~docv:"FILE" ~doc:"Label taxonomy (c/i line format).")
+
+let db_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "db" ] ~docv:"FILE"
+        ~doc:
+          "The database the patterns were mined from; enables top-k by \
+           interest.")
+
+let requests_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "requests" ] ~docv:"FILE"
+        ~doc:
+          "Request file in the serve protocol (repeatable, served in order); \
+           stdin when absent.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int (min 8 (Domain.recommended_domain_count ()))
+    & info [ "domains" ] ~docv:"N" ~doc:"Size of the worker-domain pool.")
+
+let cache_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"LRU result-cache capacity (0 disables caching).")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ] ~doc:"Skip the metrics table on shutdown.")
+
+let cmd =
+  let doc = "serve contains/by-label/top-k queries over mined pattern sets" in
+  Cmd.v
+    (Cmd.info "tsg-serve" ~doc)
+    Term.(
+      const run $ patterns_arg $ tax_arg $ db_arg $ requests_arg $ domains_arg
+      $ cache_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

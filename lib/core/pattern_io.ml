@@ -2,6 +2,49 @@ module Graph = Tsg_graph.Graph
 module Label = Tsg_graph.Label
 module Bitset = Tsg_util.Bitset
 
+(* Label names are arbitrary strings, but the format is space-split and
+   line-oriented: escape whitespace and '%' as %XX, and spell the empty
+   name as a bare "%" so every name serializes to a non-empty token. *)
+let escape_name name =
+  if name = "" then "%"
+  else if
+    String.for_all
+      (fun c -> not (c = '%' || c = ' ' || c = '\t' || c = '\n' || c = '\r'))
+      name
+  then name
+  else begin
+    let buf = Buffer.create (String.length name + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' | ' ' | '\t' | '\n' | '\r' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      name;
+    Buffer.contents buf
+  end
+
+let unescape_name token =
+  if token = "%" then ""
+  else if not (String.contains token '%') then token
+  else begin
+    let buf = Buffer.create (String.length token) in
+    let n = String.length token in
+    let i = ref 0 in
+    while !i < n do
+      (match token.[!i] with
+      | '%' ->
+        if !i + 2 >= n then invalid_arg "truncated %XX escape";
+        (match int_of_string_opt ("0x" ^ String.sub token (!i + 1) 2) with
+        | Some code -> Buffer.add_char buf (Char.chr code)
+        | None -> invalid_arg "bad %XX escape");
+        i := !i + 2
+      | c -> Buffer.add_char buf c);
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
 let to_string ~node_labels ~edge_labels ~db_size patterns =
   let buf = Buffer.create 4096 in
   List.iteri
@@ -13,12 +56,13 @@ let to_string ~node_labels ~edge_labels ~db_size patterns =
       for v = 0 to Graph.node_count g - 1 do
         Buffer.add_string buf
           (Printf.sprintf "v %d %s\n" v
-             (Label.name node_labels (Graph.node_label g v)))
+             (escape_name (Label.name node_labels (Graph.node_label g v))))
       done;
       Array.iter
         (fun (u, v, l) ->
           Buffer.add_string buf
-            (Printf.sprintf "e %d %d %s\n" u v (Label.name edge_labels l)))
+            (Printf.sprintf "e %d %d %s\n" u v
+               (escape_name (Label.name edge_labels l))))
         (Graph.edges g))
     patterns;
   Buffer.contents buf
@@ -33,6 +77,10 @@ let save path ~node_labels ~edge_labels ~db_size patterns =
 exception Parse_error of int * string
 
 let fail line msg = raise (Parse_error (line, msg))
+
+let unescape lineno token =
+  try unescape_name token
+  with Invalid_argument msg -> fail lineno (msg ^ " in " ^ token)
 
 type partial = {
   support : int;
@@ -97,13 +145,15 @@ let parse ~node_labels ~edge_labels text =
              | None, _ -> fail !lineno "'v' before any 'p' header"
              | _, None -> fail !lineno ("bad node index " ^ v)
              | Some p, Some v ->
-               p.labels <- (v, Label.intern node_labels name) :: p.labels)
+               p.labels <- (v, Label.intern node_labels (unescape !lineno name))
+                           :: p.labels)
            | [ "e"; u; v; name ] -> (
              match (!current, int_of_string_opt u, int_of_string_opt v) with
              | None, _, _ -> fail !lineno "'e' before any 'p' header"
              | _, None, _ | _, _, None -> fail !lineno "bad edge endpoints"
              | Some p, Some u, Some v ->
-               p.edges <- (u, v, Label.intern edge_labels name) :: p.edges)
+               p.edges <- (u, v, Label.intern edge_labels (unescape !lineno name))
+                          :: p.edges)
            | _ -> fail !lineno ("unrecognized line: " ^ line));
   close_current ();
   (List.rev !patterns, !db_size)

@@ -9,7 +9,11 @@
 
     The support {e set} is not serialized — only its cardinality — so a
     reloaded pattern's [support_set] holds the right number of bits but
-    synthetic ids ([0..count-1]). *)
+    synthetic ids ([0..count-1]).
+
+    Label names are escaped on write: whitespace and ['%'] become [%XX]
+    hex escapes and the empty name is spelled as a bare ["%"], so any
+    interned name round-trips through the space-split line format. *)
 
 val to_string :
   node_labels:Tsg_graph.Label.t ->

@@ -1,0 +1,121 @@
+module Bitset = Tsg_util.Bitset
+module Metrics = Tsg_util.Metrics
+module Timer = Tsg_util.Timer
+module Graph = Tsg_graph.Graph
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Gen_iso = Tsg_iso.Gen_iso
+module Pattern = Tsg_core.Pattern
+
+type t = {
+  store : Store.t;
+  cache : int list Lru.t;
+  cache_lock : Mutex.t;
+  metrics : Metrics.t;
+  c_contains : Metrics.counter;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_candidates : Metrics.counter;
+  c_iso_tests : Metrics.counter;
+  c_by_label : Metrics.counter;
+  c_top_k : Metrics.counter;
+  h_contains : Metrics.histogram;
+  h_by_label : Metrics.histogram;
+  h_top_k : Metrics.histogram;
+}
+
+let create ?(cache_capacity = 1024) ~metrics store =
+  {
+    store;
+    cache = Lru.create ~capacity:cache_capacity;
+    cache_lock = Mutex.create ();
+    metrics;
+    c_contains = Metrics.counter metrics "contains.queries";
+    c_hits = Metrics.counter metrics "cache.hits";
+    c_misses = Metrics.counter metrics "cache.misses";
+    c_candidates = Metrics.counter metrics "contains.candidates";
+    c_iso_tests = Metrics.counter metrics "contains.iso_tests";
+    c_by_label = Metrics.counter metrics "by_label.queries";
+    c_top_k = Metrics.counter metrics "top_k.queries";
+    h_contains = Metrics.histogram metrics "latency.contains";
+    h_by_label = Metrics.histogram metrics "latency.by_label";
+    h_top_k = Metrics.histogram metrics "latency.top_k";
+  }
+
+let store t = t.store
+
+let metrics t = t.metrics
+
+let cache_key g =
+  if Graph.node_count g > 0 && Graph.is_connected g then
+    Tsg_gspan.Min_code.canonical_key g
+  else
+    (* disconnected targets get a representation-keyed (still sound, merely
+       less shareable) cache entry *)
+    Format.asprintf "raw:%a" Graph.pp g
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let timed h f =
+  let timer = Timer.start () in
+  Fun.protect ~finally:(fun () -> Metrics.observe h (Timer.elapsed_s timer)) f
+
+let scan t target set =
+  let taxonomy = Store.taxonomy t.store in
+  let tested = ref 0 in
+  let hits =
+    Bitset.fold
+      (fun i acc ->
+        incr tested;
+        let pattern = (Store.pattern t.store i).Pattern.graph in
+        if Gen_iso.subgraph_isomorphic taxonomy ~pattern ~target then i :: acc
+        else acc)
+      set []
+  in
+  (List.rev hits, !tested)
+
+let contains t target =
+  Metrics.incr t.c_contains;
+  timed t.h_contains (fun () ->
+      let key = cache_key target in
+      match locked t.cache_lock (fun () -> Lru.find t.cache key) with
+      | Some ids ->
+        Metrics.incr t.c_hits;
+        ids
+      | None ->
+        Metrics.incr t.c_misses;
+        let cands = Store.candidates t.store target in
+        Metrics.incr ~n:(Bitset.cardinal cands) t.c_candidates;
+        let ids, tested = scan t target cands in
+        Metrics.incr ~n:tested t.c_iso_tests;
+        locked t.cache_lock (fun () -> Lru.add t.cache key ids);
+        ids)
+
+let contains_brute t target =
+  fst (scan t target (Bitset.full (Store.size t.store)))
+
+let by_label t l =
+  Metrics.incr t.c_by_label;
+  timed t.h_by_label (fun () -> Bitset.to_list (Store.mentioning t.store l))
+
+let top_k t ~k order =
+  Metrics.incr t.c_top_k;
+  timed t.h_top_k (fun () ->
+      let take n arr to_pair =
+        let n = max 0 (min n (Array.length arr)) in
+        List.init n (fun i -> to_pair arr.(i))
+      in
+      match order with
+      | `Support ->
+        take k (Store.by_support t.store) (fun i ->
+            (i, (Store.pattern t.store i).Pattern.support))
+      | `Interest -> (
+        match Store.by_interest t.store with
+        | Some scored -> take k scored Fun.id
+        | None ->
+          failwith
+            "top-k by interest needs the originating database (build the \
+             store with ~db / serve with --db)"))
+
+let cache_hit_rate t = Metrics.hit_rate ~hits:t.c_hits ~misses:t.c_misses

@@ -1,0 +1,57 @@
+(** The query engine: containment, taxonomy-aware label lookup and top-k
+    over a {!Store}, with an LRU result cache and {!Tsg_util.Metrics}
+    instrumentation.
+
+    [contains] answers "which stored patterns occur in this graph?" — the
+    same generalized-subgraph-isomorphism question Taxogram's Step 3
+    avoids per specialization, answered here per query: the store's
+    inverted indexes prefilter candidates, {!Tsg_iso.Gen_iso} decides the
+    survivors, and results are cached under the query graph's minimum DFS
+    code so isomorphic repeats skip isomorphism entirely.
+
+    All query functions are safe to call concurrently from multiple
+    domains (the cache is mutex-protected; the store and taxonomy are
+    immutable). *)
+
+type t
+
+val create : ?cache_capacity:int -> metrics:Tsg_util.Metrics.t -> Store.t -> t
+(** [cache_capacity] defaults to 1024 cached result lists; [0] disables
+    caching. *)
+
+val store : t -> Store.t
+
+val metrics : t -> Tsg_util.Metrics.t
+
+(** {1 Queries}
+
+    Results are pattern ids into the store, ascending. *)
+
+val contains : t -> Tsg_graph.Graph.t -> int list
+(** Every stored pattern generalized-subgraph-isomorphic into the given
+    target graph. Counters: [contains.queries], [cache.hits],
+    [cache.misses], [contains.candidates], [contains.iso_tests];
+    histogram: [latency.contains]. *)
+
+val contains_brute : t -> Tsg_graph.Graph.t -> int list
+(** As {!contains} but scanning every stored pattern with
+    {!Tsg_iso.Gen_iso} — no prefilter, no cache, no metrics. The test and
+    benchmark oracle. *)
+
+val by_label : t -> Tsg_graph.Label.id -> int list
+(** Patterns mentioning the label or any taxonomy descendant of it.
+    Counter: [by_label.queries]; histogram: [latency.by_label]. *)
+
+val top_k : t -> k:int -> [ `Support | `Interest ] -> (int * float) list
+(** Highest-scored [k] patterns with their scores — support fraction or
+    {!Tsg_core.Interest} ratio. Counter: [top_k.queries]; histogram:
+    [latency.top_k].
+    @raise Failure for [`Interest] when the store was built without its
+    originating database. *)
+
+val cache_key : Tsg_graph.Graph.t -> string
+(** The cache key used by {!contains}: the canonical minimum DFS code for
+    connected graphs (isomorphism-invariant), a structural rendering
+    otherwise. *)
+
+val cache_hit_rate : t -> float

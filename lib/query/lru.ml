@@ -1,0 +1,80 @@
+(* Hash table plus intrusive doubly-linked list in recency order. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards MRU *)
+  mutable next : 'a node option;  (* towards LRU *)
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable first : 'a node option;  (* most recently used *)
+  mutable last : 'a node option;  (* least recently used *)
+}
+
+let create ~capacity =
+  { cap = capacity; table = Hashtbl.create 64; first = None; last = None }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let detach t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.first <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  n.prev <- None;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some n ->
+    detach t n;
+    push_front t n;
+    Some n.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_last t =
+  match t.last with
+  | None -> ()
+  | Some n ->
+    detach t n;
+    Hashtbl.remove t.table n.key
+
+let add t key value =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.table key with
+    | Some n ->
+      n.value <- value;
+      detach t n;
+      push_front t n
+    | None ->
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      if Hashtbl.length t.table > t.cap then evict_last t
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.first <- None;
+  t.last <- None
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.first

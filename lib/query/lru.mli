@@ -1,0 +1,31 @@
+(** String-keyed LRU cache with a fixed capacity.
+
+    Backs the query-result cache of {!Engine}: keys are canonical minimum
+    DFS codes of query graphs, so isomorphic queries share an entry. Not
+    thread-safe on its own — callers serialize access (see
+    {!Engine.contains}). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] holds at most [capacity] entries; adding beyond that
+    evicts the least recently used. A non-positive capacity disables the
+    cache ([find] always misses, [add] is a no-op). *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Looking a key up makes it the most recently used. *)
+
+val mem : 'a t -> string -> bool
+(** Membership test without promoting the entry. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; either way the key becomes the most recently used. *)
+
+val clear : 'a t -> unit
+
+val keys : 'a t -> string list
+(** Most recently used first. *)

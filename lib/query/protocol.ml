@@ -1,0 +1,94 @@
+module Graph = Tsg_graph.Graph
+module Label = Tsg_graph.Label
+module Taxonomy = Tsg_taxonomy.Taxonomy
+
+type query =
+  | Contains of Graph.t
+  | By_label of Label.id
+  | Top_k of int * [ `Support | `Interest ]
+  | Stats
+  | Quit
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let split_commas s = String.split_on_char ',' s
+
+let parse_edge ~edge_labels item =
+  let endpoints, label =
+    match String.index_opt item '/' with
+    | None -> (item, 0)
+    | Some i ->
+      ( String.sub item 0 i,
+        Label.intern edge_labels
+          (String.sub item (i + 1) (String.length item - i - 1)) )
+  in
+  match String.split_on_char '-' endpoints with
+  | [ u; v ] -> (
+    match (int_of_string_opt u, int_of_string_opt v) with
+    | Some u, Some v -> (u, v, label)
+    | _ -> fail "bad edge endpoints %S" endpoints)
+  | _ -> fail "bad edge %S (expected u-v or u-v/label)" item
+
+let parse_graph ~taxonomy ~edge_labels labels_spec edges_spec =
+  let labels =
+    split_commas labels_spec
+    |> List.map (fun name ->
+           match Taxonomy.id_of_name taxonomy name with
+           | id -> id
+           | exception Not_found -> fail "unknown node label %S" name)
+    |> Array.of_list
+  in
+  let edges =
+    match edges_spec with
+    | None -> []
+    | Some "-" -> []
+    | Some spec -> List.map (parse_edge ~edge_labels) (split_commas spec)
+  in
+  try Graph.build ~labels ~edges
+  with Invalid_argument msg -> fail "bad graph: %s" msg
+
+let parse ~taxonomy ~edge_labels line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    Some
+      (match String.split_on_char ' ' line with
+      | [ "contains"; labels ] ->
+        Contains (parse_graph ~taxonomy ~edge_labels labels None)
+      | [ "contains"; labels; edges ] ->
+        Contains (parse_graph ~taxonomy ~edge_labels labels (Some edges))
+      | [ "by-label"; name ] -> (
+        match Taxonomy.id_of_name taxonomy name with
+        | id -> By_label id
+        | exception Not_found -> fail "unknown label %S" name)
+      | [ "top-k"; k; order ] -> (
+        let k =
+          match int_of_string_opt k with
+          | Some k when k >= 0 -> k
+          | _ -> fail "bad top-k count %S" k
+        in
+        match order with
+        | "support" -> Top_k (k, `Support)
+        | "interest" -> Top_k (k, `Interest)
+        | _ -> fail "bad top-k order %S (expected support or interest)" order)
+      | [ "stats" ] -> Stats
+      | [ "quit" ] -> Quit
+      | cmd :: _ -> fail "unknown command %S" cmd
+      | [] -> fail "empty request")
+
+let format_graph ~names ~edge_labels g =
+  let labels =
+    List.init (Graph.node_count g) (fun v ->
+        Label.name names (Graph.node_label g v))
+    |> String.concat ","
+  in
+  let edges =
+    Graph.edges g |> Array.to_list
+    |> List.map (fun (u, v, l) ->
+           if l = 0 then Printf.sprintf "%d-%d" u v
+           else Printf.sprintf "%d-%d/%s" u v (Label.name edge_labels l))
+    |> String.concat ","
+  in
+  labels ^ " " ^ (if edges = "" then "-" else edges)

@@ -1,0 +1,45 @@
+(** The newline-delimited text protocol served by [tsg-serve].
+
+    One request per line:
+    {v
+    contains <l0,l1,...> [<u-v[/elabel],...>]   patterns occurring in the graph
+    by-label <label>                            patterns mentioning the label or a descendant
+    top-k <k> support|interest                  highest-scored patterns
+    stats                                       metrics snapshot
+    quit                                        stop serving
+    v}
+
+    A [contains] graph lists its node labels by name (node [i] gets the
+    [i]-th label) and its edges as [u-v] or [u-v/name] pairs; an edgeless
+    graph omits the edge list or writes [-]. Blank lines and lines
+    starting with [#] are ignored. Node labels must be taxonomy concepts;
+    edge-label names are interned on sight (an unseen edge label simply
+    matches no stored pattern). Label names must not contain whitespace,
+    [,], [-] or [/] (true of every taxonomy file — see
+    {!Tsg_taxonomy.Taxonomy_io}). *)
+
+type query =
+  | Contains of Tsg_graph.Graph.t
+  | By_label of Tsg_graph.Label.id
+  | Top_k of int * [ `Support | `Interest ]
+  | Stats
+  | Quit
+
+exception Parse_error of string
+
+val parse :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  string ->
+  query option
+(** [None] for blank lines and comments.
+    @raise Parse_error on malformed requests, unknown commands, or node
+    labels that are not taxonomy concepts. *)
+
+val format_graph :
+  names:Tsg_graph.Label.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  Tsg_graph.Graph.t ->
+  string
+(** The [<labels> <edges>] spelling of a graph, parseable back by
+    {!parse} as the argument of [contains]. *)

@@ -1,0 +1,121 @@
+module Label = Tsg_graph.Label
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Pattern = Tsg_core.Pattern
+module Metrics = Tsg_util.Metrics
+
+type outcome = { requests : int; errors : int; quit : bool }
+
+let result_line ~names ~db_size ?score store id =
+  let p = Store.pattern store id in
+  let score =
+    match score with
+    | None -> ""
+    | Some s -> Printf.sprintf " score %.4f" s
+  in
+  Printf.sprintf "p %d%s support %d/%d %s" id score p.Pattern.support_count
+    db_size
+    (Pattern.to_string ~names p)
+
+let execute engine ~names query =
+  let store = Engine.store engine in
+  let db_size = Store.db_size store in
+  let listing ids line =
+    String.concat "\n"
+      (Printf.sprintf "ok %d" (List.length ids) :: List.map line ids)
+  in
+  match query with
+  | Protocol.Contains g ->
+    let ids = Engine.contains engine g in
+    listing ids (result_line ~names ~db_size store)
+  | Protocol.By_label l ->
+    let ids = Engine.by_label engine l in
+    listing ids (result_line ~names ~db_size store)
+  | Protocol.Top_k (k, order) -> (
+    match Engine.top_k engine ~k order with
+    | scored ->
+      listing scored (fun (id, s) ->
+          result_line ~names ~db_size ~score:s store id)
+    | exception Failure msg -> "error " ^ msg)
+  | Protocol.Stats | Protocol.Quit -> assert false (* barriers; see run *)
+
+(* one response slot per request; workers pull indices off a shared
+   counter exactly like Taxogram.run_parallel's step-3 pool *)
+let flush_batch ~domains ~engine ~names batch =
+  let batch = Array.of_list (List.rev batch) in
+  let n = Array.length batch in
+  let out = Array.make n "" in
+  let fill i =
+    out.(i) <-
+      (match batch.(i) with
+      | `Query q -> execute engine ~names q
+      | `Error msg -> "error " ^ msg)
+  in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then
+    for i = 0 to n - 1 do
+      fill i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          fill i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join handles
+  end;
+  out
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let run ?domains ~engine ~edge_labels ic oc =
+  let domains = Option.value ~default:(default_domains ()) domains in
+  let taxonomy = Store.taxonomy (Engine.store engine) in
+  let names = Taxonomy.labels taxonomy in
+  let requests = ref 0 and errors = ref 0 in
+  let batch = ref [] in
+  let flush () =
+    let responses = flush_batch ~domains ~engine ~names !batch in
+    batch := [];
+    Array.iter
+      (fun r ->
+        if String.length r >= 5 && String.sub r 0 5 = "error" then incr errors;
+        output_string oc r;
+        output_char oc '\n')
+      responses;
+    flush oc
+  in
+  let quit = ref false in
+  (try
+     while not !quit do
+       let line = input_line ic in
+       match Protocol.parse ~taxonomy ~edge_labels line with
+       | None -> ()
+       | Some Protocol.Stats ->
+         incr requests;
+         flush ();
+         output_string oc "begin stats\n";
+         output_string oc (Metrics.render (Engine.metrics engine));
+         output_char oc '\n';
+         output_string oc "end stats\n";
+         Stdlib.flush oc
+       | Some Protocol.Quit ->
+         incr requests;
+         quit := true
+       | Some q ->
+         incr requests;
+         batch := `Query q :: !batch
+       | exception Protocol.Parse_error msg ->
+         incr requests;
+         batch := `Error msg :: !batch
+     done
+   with End_of_file -> ());
+  flush ();
+  { requests = !requests; errors = !errors; quit = !quit }

@@ -1,0 +1,36 @@
+(** The [tsg-serve] request loop: reads the {!Protocol} line protocol
+    from a channel, dispatches query batches across a pool of OCaml 5
+    domains (mirroring [Taxogram.run_parallel]'s shared-counter workers),
+    and writes one response block per request, in request order.
+
+    Consecutive data queries ([contains]/[by-label]/[top-k]) form a batch
+    that is executed in parallel; [stats] and [quit] are barriers — the
+    pending batch is flushed before they are handled, so [stats] reflects
+    every earlier request. Responses:
+
+    {v
+    ok <n>                                  then n result lines:
+    p <id> support <count>/<db-size> <pattern>     (contains, by-label)
+    p <id> score <s> support <count>/<db-size> <pattern>   (top-k)
+    error <message>                         malformed request
+    v}
+
+    [stats] prints the metrics table between [begin stats]/[end stats]
+    markers. *)
+
+type outcome = {
+  requests : int;  (** total requests answered (including errors) *)
+  errors : int;
+  quit : bool;  (** [true] when the stream ended with [quit] *)
+}
+
+val run :
+  ?domains:int ->
+  engine:Engine.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  in_channel ->
+  out_channel ->
+  outcome
+(** [domains] defaults to [Domain.recommended_domain_count ()] capped at
+    8, like [Taxogram.run_parallel]. Parsing (which interns edge labels)
+    stays on the calling domain; only query execution fans out. *)

@@ -1,0 +1,204 @@
+module Bitset = Tsg_util.Bitset
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Pattern = Tsg_core.Pattern
+module Interest = Tsg_core.Interest
+
+type t = {
+  taxonomy : Taxonomy.t;
+  db_size : int;
+  patterns : Pattern.t array;
+  distinct_labels : int array array;  (* per pattern, sorted distinct labels *)
+  generalizing : Bitset.t array;  (* indexed by label id *)
+  mentioning : Bitset.t array;  (* indexed by label id *)
+  at_most_edges : Bitset.t array;  (* indexed by edge count, cumulative *)
+  max_edges : int;
+  by_support : int array;
+  by_interest : (int * float) array option;
+  trivial : Bitset.t;  (* node-less patterns: match any target *)
+}
+
+let build ~taxonomy ?db ~db_size pattern_list =
+  let patterns = Array.of_list pattern_list in
+  let n = Array.length patterns in
+  let labels = Taxonomy.label_count taxonomy in
+  let distinct_labels =
+    Array.map
+      (fun (p : Pattern.t) ->
+        let ls = Graph.distinct_node_labels p.Pattern.graph in
+        List.iter
+          (fun l ->
+            if l < 0 || l >= labels then
+              invalid_arg
+                (Printf.sprintf
+                   "Store.build: pattern label %d is not a taxonomy concept" l))
+          ls;
+        Array.of_list ls)
+      patterns
+  in
+  let generalizing = Array.init labels (fun _ -> Bitset.create n) in
+  let mentioning = Array.init labels (fun _ -> Bitset.create n) in
+  Array.iteri
+    (fun i ls ->
+      Array.iter
+        (fun l ->
+          (* a query label hits patterns labeled with any of its ancestors:
+             expand each pattern label over its descendant closure *)
+          Bitset.iter
+            (fun d -> Bitset.set generalizing.(d) i)
+            (Taxonomy.descendant_set taxonomy l);
+          Bitset.iter
+            (fun a -> Bitset.set mentioning.(a) i)
+            (Taxonomy.ancestor_set taxonomy l))
+        ls)
+    distinct_labels;
+  let max_edges =
+    Array.fold_left (fun acc p -> max acc (Pattern.edge_count p)) 0 patterns
+  in
+  let at_most_edges = Array.init (max_edges + 1) (fun _ -> Bitset.create n) in
+  Array.iteri
+    (fun i p ->
+      for k = Pattern.edge_count p to max_edges do
+        Bitset.set at_most_edges.(k) i
+      done)
+    patterns;
+  let by_support = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c =
+        compare patterns.(b).Pattern.support_count
+          patterns.(a).Pattern.support_count
+      in
+      if c <> 0 then c else compare a b)
+    by_support;
+  let by_interest =
+    match db with
+    | None -> None
+    | Some db ->
+      let freq = Interest.label_frequencies taxonomy db in
+      let by_key = Hashtbl.create (2 * n) in
+      Array.iter
+        (fun (p : Pattern.t) ->
+          Hashtbl.replace by_key (Pattern.key p) p.Pattern.support_count)
+        patterns;
+      let support_of g =
+        Hashtbl.find_opt by_key (Tsg_gspan.Min_code.canonical_key g)
+      in
+      let scored =
+        Array.mapi
+          (fun i p -> (i, Interest.ratio taxonomy db ~freq ~support_of p))
+          patterns
+      in
+      Array.sort
+        (fun (a, ra) (b, rb) ->
+          let c = compare rb ra in
+          if c <> 0 then c else compare a b)
+        scored;
+      Some scored
+  in
+  let trivial = Bitset.create n in
+  Array.iteri
+    (fun i ls -> if Array.length ls = 0 then Bitset.set trivial i)
+    distinct_labels;
+  {
+    taxonomy;
+    db_size;
+    patterns;
+    distinct_labels;
+    generalizing;
+    mentioning;
+    at_most_edges;
+    max_edges;
+    by_support;
+    by_interest;
+    trivial;
+  }
+
+let load ~taxonomy ~edge_labels ?db paths =
+  let node_labels = Taxonomy.labels taxonomy in
+  let known = Taxonomy.label_count taxonomy in
+  let sets =
+    List.map
+      (fun path ->
+        let patterns, size =
+          Tsg_core.Pattern_io.load ~node_labels ~edge_labels path
+        in
+        (* Pattern_io interns unseen names; anything past the taxonomy's
+           label count is not a concept of the DAG *)
+        List.iter
+          (fun (p : Pattern.t) ->
+            Array.iter
+              (fun l ->
+                if l >= known then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Store.load: %s uses label %s which is not in the \
+                        taxonomy"
+                       path
+                       (Tsg_graph.Label.name node_labels l)))
+              (Graph.node_labels p.Pattern.graph))
+          patterns;
+        (patterns, size))
+      paths
+  in
+  let db_size = List.fold_left (fun acc (_, s) -> max acc s) 0 sets in
+  build ~taxonomy ?db ~db_size (List.concat_map fst sets)
+
+let size t = Array.length t.patterns
+
+let db_size t = t.db_size
+
+let taxonomy t = t.taxonomy
+
+let pattern t i = t.patterns.(i)
+
+let patterns t = t.patterns
+
+let empty_of t = Bitset.create (size t)
+
+let generalizing t l =
+  if l >= 0 && l < Array.length t.generalizing then t.generalizing.(l)
+  else empty_of t
+
+let mentioning t l =
+  if l >= 0 && l < Array.length t.mentioning then t.mentioning.(l)
+  else empty_of t
+
+let with_at_most_edges t k =
+  if k < 0 then empty_of t else t.at_most_edges.(min k t.max_edges)
+
+let by_support t = t.by_support
+
+let by_interest t = t.by_interest
+
+let candidates t g =
+  let n = size t in
+  let labels = Taxonomy.label_count t.taxonomy in
+  let qlabels = Graph.distinct_node_labels g in
+  let qset = Bitset.create labels in
+  let union = Bitset.create n in
+  List.iter
+    (fun l ->
+      if l >= 0 && l < labels then begin
+        Bitset.set qset l;
+        Bitset.union_into ~dst:union union t.generalizing.(l)
+      end)
+    qlabels;
+  Bitset.inter_into ~dst:union union (with_at_most_edges t (Graph.edge_count g));
+  (* every distinct pattern label must generalize some query label *)
+  let out = Bitset.create n in
+  Bitset.iter
+    (fun i ->
+      if
+        Pattern.node_count t.patterns.(i) <= Graph.node_count g
+        && Array.for_all
+             (fun l ->
+               Bitset.inter_cardinal (Taxonomy.descendant_set t.taxonomy l) qset
+               > 0)
+             t.distinct_labels.(i)
+      then Bitset.set out i)
+    union;
+  (* a pattern with no nodes occurs in every target *)
+  Bitset.union_into ~dst:out out t.trivial;
+  out

@@ -1,0 +1,93 @@
+(** An indexed, immutable store of mined pattern sets, ready to serve
+    queries without re-mining.
+
+    The store holds the patterns of one or more {!Tsg_core.Pattern_io}
+    pattern sets together with inverted indexes over
+    {!Tsg_util.Bitset}:
+
+    - a {b generalizing} index, label → patterns containing a node whose
+      label is an {e ancestor} of that label (the taxonomy descendant
+      closure is applied at build time, so a query-graph label hits every
+      pattern that could match it) — the candidate prefilter for
+      [contains] queries;
+    - a {b mentioning} index, label → patterns containing a node whose
+      label is a {e descendant} of that label — taxonomy-aware
+      [by-label] lookup ("patterns about [l] or any specialization");
+    - {b edge-count buckets} ([with_at_most_edges]) so [contains]
+      candidates never have more edges than the query graph;
+    - a {b support-sorted order} (and, when the originating database is
+      available, an {!Tsg_core.Interest}-ratio order) for top-k queries.
+
+    Everything is computed at build time; a store is safe to share across
+    OCaml domains. *)
+
+type t
+
+val build :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  ?db:Tsg_graph.Db.t ->
+  db_size:int ->
+  Tsg_core.Pattern.t list ->
+  t
+(** [build ~taxonomy ~db_size patterns]. Every node label of every pattern
+    must be a taxonomy label ([Invalid_argument] otherwise). When [db] —
+    the database the patterns were mined from — is given, interest ratios
+    are precomputed and {!by_interest} becomes available. *)
+
+val load :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  ?db:Tsg_graph.Db.t ->
+  string list ->
+  t
+(** [load ~taxonomy ~edge_labels paths] reads each path with
+    {!Tsg_core.Pattern_io.load} and builds a store over the union; the
+    recorded database size is the maximum across files.
+    @raise Invalid_argument when a file mentions a node label that is not
+    a taxonomy concept. *)
+
+(** {1 Access} *)
+
+val size : t -> int
+
+val db_size : t -> int
+
+val taxonomy : t -> Tsg_taxonomy.Taxonomy.t
+
+val pattern : t -> int -> Tsg_core.Pattern.t
+(** Patterns are identified by dense ids [0 .. size-1], in load order. *)
+
+val patterns : t -> Tsg_core.Pattern.t array
+(** The backing array — do not mutate. *)
+
+(** {1 Indexes}
+
+    Returned bitsets have capacity {!size} and are shared — do not
+    mutate. *)
+
+val generalizing : t -> Tsg_graph.Label.id -> Tsg_util.Bitset.t
+(** [generalizing t l]: patterns with a node label that is a (reflexive)
+    ancestor of [l]. Empty for out-of-taxonomy labels. *)
+
+val mentioning : t -> Tsg_graph.Label.id -> Tsg_util.Bitset.t
+(** [mentioning t l]: patterns with a node label that is a (reflexive)
+    descendant of [l]. Empty for out-of-taxonomy labels. *)
+
+val with_at_most_edges : t -> int -> Tsg_util.Bitset.t
+(** Patterns with at most the given number of edges. *)
+
+val by_support : t -> int array
+(** Pattern ids, highest support first (ids break ties). Shared. *)
+
+val by_interest : t -> (int * float) array option
+(** Pattern ids with their {!Tsg_core.Interest} ratios, highest first;
+    [None] when the store was built without [db]. Shared. *)
+
+val candidates : t -> Tsg_graph.Graph.t -> Tsg_util.Bitset.t
+(** [candidates t g]: a fresh bitset of every pattern that could be
+    generalized-subgraph-isomorphic into target [g] — a superset of the
+    true answer (no false negatives), computed from the indexes alone:
+    the union of {!generalizing} over [g]'s labels, cut down by edge- and
+    node-count bounds and by requiring every distinct pattern label to
+    generalize some label of [g]. Query labels outside the taxonomy
+    contribute nothing (no pattern can match them). *)

@@ -1,0 +1,135 @@
+type counter = { c_name : string; c_lock : Mutex.t; mutable c_value : int }
+
+(* 1-2-5 series of bucket upper bounds, in seconds, plus an overflow
+   bucket; index i counts observations v with bounds.(i-1) < v <= bounds.(i) *)
+let bounds =
+  let decades = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 ] in
+  Array.of_list (List.concat_map (fun d -> [ d; 2.0 *. d; 5.0 *. d ]) decades)
+
+type histogram = {
+  h_name : string;
+  h_lock : Mutex.t;
+  buckets : int array;  (* length = Array.length bounds + 1; last = overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable counters : counter list;  (* reverse registration order *)
+  mutable histograms : histogram list;
+}
+
+let create () = { lock = Mutex.create (); counters = []; histograms = [] }
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let counter t name =
+  locked t.lock (fun () ->
+      match List.find_opt (fun c -> c.c_name = name) t.counters with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c_lock = t.lock; c_value = 0 } in
+        t.counters <- c :: t.counters;
+        c)
+
+let incr ?(n = 1) c =
+  if n < 0 then invalid_arg "Metrics.incr: negative increment";
+  locked c.c_lock (fun () -> c.c_value <- c.c_value + n)
+
+let value c = locked c.c_lock (fun () -> c.c_value)
+
+let hit_rate ~hits ~misses =
+  let h = value hits and m = value misses in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let histogram t name =
+  locked t.lock (fun () ->
+      match List.find_opt (fun h -> h.h_name = name) t.histograms with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            h_lock = t.lock;
+            buckets = Array.make (Array.length bounds + 1) 0;
+            h_count = 0;
+            h_sum = 0.0;
+            h_max = 0.0;
+          }
+        in
+        t.histograms <- h :: t.histograms;
+        h)
+
+let bucket_of v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  locked h.h_lock (fun () ->
+      h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v > h.h_max then h.h_max <- v)
+
+let count h = locked h.h_lock (fun () -> h.h_count)
+
+let sum h = locked h.h_lock (fun () -> h.h_sum)
+
+let mean h =
+  locked h.h_lock (fun () ->
+      if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count)
+
+let percentile h q =
+  if q < 0.0 || q > 100.0 then invalid_arg "Metrics.percentile: q outside [0,100]";
+  locked h.h_lock (fun () ->
+      if h.h_count = 0 then 0.0
+      else begin
+        let target = q /. 100.0 *. float_of_int h.h_count in
+        let acc = ref 0 and i = ref 0 in
+        let n = Array.length h.buckets in
+        while !i < n - 1 && float_of_int (!acc + h.buckets.(!i)) < target do
+          acc := !acc + h.buckets.(!i);
+          i := !i + 1
+        done;
+        if !i >= Array.length bounds then h.h_max else bounds.(!i)
+      end)
+
+let max_value h = locked h.h_lock (fun () -> h.h_max)
+
+let ms s = Printf.sprintf "%.3f" (1000.0 *. s)
+
+let to_table t =
+  let counters, histograms =
+    locked t.lock (fun () -> (List.rev t.counters, List.rev t.histograms))
+  in
+  let table =
+    Text_table.create
+      [ "metric"; "count"; "mean ms"; "p50 ms"; "p95 ms"; "p99 ms"; "max ms" ]
+  in
+  List.iter
+    (fun c -> Text_table.add_row table [ c.c_name; string_of_int (value c) ])
+    counters;
+  List.iter
+    (fun h ->
+      Text_table.add_row table
+        [
+          h.h_name;
+          string_of_int (count h);
+          ms (mean h);
+          ms (percentile h 50.0);
+          ms (percentile h 95.0);
+          ms (percentile h 99.0);
+          ms (max_value h);
+        ])
+    histograms;
+  table
+
+let render t = Text_table.render (to_table t)
+
+let print t = Text_table.print (to_table t)

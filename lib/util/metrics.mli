@@ -1,0 +1,65 @@
+(** Serving-side metrics: monotonic counters and latency histograms.
+
+    The query-serving subsystem ([tsg_query], [tsg-serve]) records cache
+    hits, isomorphism-test counts and per-request latencies here; the
+    registry renders as a {!Text_table} on shutdown or on a [stats]
+    request. All operations are safe to call concurrently from multiple
+    OCaml domains (a single mutex per registry). *)
+
+type t
+(** A registry of named counters and histograms. *)
+
+type counter
+
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** [counter t name] registers (or returns the existing) monotonic counter
+    under [name]. *)
+
+val incr : ?n:int -> counter -> unit
+(** Add [n] (default 1); [n] must be non-negative. *)
+
+val value : counter -> int
+
+val hit_rate : hits:counter -> misses:counter -> float
+(** [hits / (hits + misses)], or [0.] when nothing was recorded. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> histogram
+(** [histogram t name] registers (or returns) a latency histogram under
+    [name]. Observations are in seconds; buckets follow a 1-2-5 series
+    from 1 microsecond to 10 seconds plus an overflow bucket. *)
+
+val observe : histogram -> float -> unit
+(** Record one latency, in seconds. Negative values count as 0. *)
+
+val count : histogram -> int
+
+val sum : histogram -> float
+(** Total observed seconds. *)
+
+val mean : histogram -> float
+(** [0.] when empty. *)
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0, 100]: an upper bound on the [q]-th
+    percentile latency (the bucket boundary the quantile falls under);
+    [0.] when empty. *)
+
+val max_value : histogram -> float
+
+(** {1 Rendering} *)
+
+val to_table : t -> Text_table.t
+(** One row per counter ([name], value) followed by one row per histogram
+    ([name], count, mean/p50/p95/p99/max in milliseconds). *)
+
+val render : t -> string
+
+val print : t -> unit

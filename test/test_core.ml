@@ -674,7 +674,51 @@ let test_pattern_io_errors () =
   expect "v 0 a\n";
   expect "p # 0 support x/2\nv 0 a\n";
   expect "p # 0 support 3/2\nv 0 a\n";
-  expect "p # 0 support 1/2\nnonsense\n"
+  expect "p # 0 support 1/2\nnonsense\n";
+  (* malformed %XX escapes in label names *)
+  expect "p # 0 support 1/2\nv 0 a%2\n";
+  expect "p # 0 support 1/2\nv 0 a%zz\n"
+
+let test_pattern_io_nasty_names () =
+  let node_labels =
+    Tsg_graph.Label.of_names [ "has space"; "100% sure"; "tab\there"; "" ]
+  in
+  let edge_labels = Tsg_graph.Label.of_names [ "e"; "% of total" ] in
+  let mk labels edges support =
+    Pattern.make ~db_size:3 (g ~labels ~edges) (Bitset.of_list 3 support)
+  in
+  let patterns =
+    [
+      mk [| 0; 1 |] [ (0, 1, 1) ] [ 0; 2 ];
+      mk [| 2; 3 |] [ (0, 1, 0) ] [ 1 ];
+    ]
+  in
+  let text =
+    Tsg_core.Pattern_io.to_string ~node_labels ~edge_labels ~db_size:3 patterns
+  in
+  (* reload into FRESH label tables: only the escaping carries the names *)
+  let nl = Tsg_graph.Label.create () and el = Tsg_graph.Label.create () in
+  let loaded, size =
+    Tsg_core.Pattern_io.parse ~node_labels:nl ~edge_labels:el text
+  in
+  check int "db size" 3 size;
+  check int "count" 2 (List.length loaded);
+  List.iter2
+    (fun (a : Pattern.t) (b : Pattern.t) ->
+      check int "supports" a.Pattern.support_count b.Pattern.support_count;
+      let ga = a.Pattern.graph and gb = b.Pattern.graph in
+      for v = 0 to Graph.node_count ga - 1 do
+        check Alcotest.string "node name survives"
+          (Tsg_graph.Label.name node_labels (Graph.node_label ga v))
+          (Tsg_graph.Label.name nl (Graph.node_label gb v))
+      done;
+      Array.iter2
+        (fun (_, _, la) (_, _, lb) ->
+          check Alcotest.string "edge name survives"
+            (Tsg_graph.Label.name edge_labels la)
+            (Tsg_graph.Label.name el lb))
+        (Graph.edges ga) (Graph.edges gb))
+    patterns loaded
 
 (* --- Interest ----------------------------------------------------------------- *)
 
@@ -885,6 +929,35 @@ let interest_nonnegative_prop =
       && List.for_all (fun x -> x.Tsg_core.Interest.ratio >= 0.0) ranked
       && sorted ranked)
 
+(* save/load is the identity on mined pattern sets, including when label
+   names need escaping; the support set itself is not serialized, so
+   compare keys and cardinalities *)
+let pattern_io_roundtrip_prop =
+  QCheck.Test.make ~name:"pattern_io round-trips mined sets" ~count:60
+    arb_instance (fun (seed, k) ->
+      let rng = Prng.of_int seed in
+      let tax, db = random_instance rng in
+      let patterns =
+        (Taxogram.run ~config:(config (theta_of k)) tax db).Taxogram.patterns
+      in
+      QCheck.assume (patterns <> []);
+      let node_labels = Taxonomy.labels tax in
+      let edge_labels = Tsg_graph.Label.of_names [ "edge zero"; "100%" ] in
+      let text =
+        Tsg_core.Pattern_io.to_string ~node_labels ~edge_labels
+          ~db_size:(Db.size db) patterns
+      in
+      let loaded, size =
+        Tsg_core.Pattern_io.parse ~node_labels ~edge_labels text
+      in
+      size = Db.size db
+      && List.length loaded = List.length patterns
+      && List.for_all2
+           (fun (a : Pattern.t) (b : Pattern.t) ->
+             Pattern.key a = Pattern.key b
+             && a.Pattern.support_count = b.Pattern.support_count)
+           patterns loaded)
+
 let parallel_equals_sequential_prop =
   QCheck.Test.make ~name:"run_parallel = run on random instances" ~count:30
     arb_instance (fun (seed, k) ->
@@ -978,6 +1051,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_pattern_io_roundtrip;
           Alcotest.test_case "errors" `Quick test_pattern_io_errors;
+          Alcotest.test_case "nasty names" `Quick test_pattern_io_nasty_names;
         ] );
       ( "interest",
         [
@@ -997,6 +1071,7 @@ let () =
             minimality_prop;
             postprocess_sound_prop;
             interest_nonnegative_prop;
+            pattern_io_roundtrip_prop;
             parallel_equals_sequential_prop;
           ] );
     ]

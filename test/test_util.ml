@@ -7,6 +7,12 @@ module Timer = Tsg_util.Timer
 let check = Alcotest.check
 let bool = Alcotest.bool
 let int = Alcotest.int
+let flt = Alcotest.float 1e-9
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* --- Bitset -------------------------------------------------------------- *)
 
@@ -113,6 +119,93 @@ let bitset_model_prop =
       && Bitset.subset a b = Int_set.subset ma mb
       && Bitset.inter_cardinal a b = Int_set.cardinal (Int_set.inter ma mb))
 
+(* iter, fold, to_list, cardinal (pop-count) must all agree on the same
+   population, whatever mix of set/unset produced it *)
+let bitset_iteration_consistency_prop =
+  QCheck.Test.make ~name:"iter/fold/cardinal agree on population" ~count:300
+    QCheck.(pair (int_range 1 130) (list (pair (int_bound 129) bool)))
+    (fun (cap, ops) ->
+      let b = Bitset.create cap in
+      List.iter
+        (fun (i, on) ->
+          let i = i mod cap in
+          if on then Bitset.set b i else Bitset.unset b i)
+        ops;
+      let via_iter = ref [] in
+      Bitset.iter (fun i -> via_iter := i :: !via_iter) b;
+      let via_iter = List.rev !via_iter in
+      let via_fold = List.rev (Bitset.fold (fun i acc -> i :: acc) b []) in
+      let counted = Bitset.fold (fun _ acc -> acc + 1) b 0 in
+      via_iter = via_fold
+      && via_iter = Bitset.to_list b
+      && counted = Bitset.cardinal b
+      && List.for_all (Bitset.mem b) via_iter
+      && via_iter = List.sort_uniq compare via_iter)
+
+let bitset_popcount_ops_prop =
+  QCheck.Test.make ~name:"pop-count distributes over set ops" ~count:300
+    QCheck.(pair (list (int_bound 99)) (list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      let inter = Bitset.cardinal (Bitset.inter a b) in
+      Bitset.inter_cardinal a b = inter
+      && Bitset.cardinal (Bitset.union a b)
+         = Bitset.cardinal a + Bitset.cardinal b - inter
+      && Bitset.cardinal (Bitset.diff a b) = Bitset.cardinal a - inter)
+
+(* --- Metrics -------------------------------------------------------------- *)
+
+module Metrics = Tsg_util.Metrics
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests" in
+  check int "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr ~n:4 c;
+  check int "accumulates" 5 (Metrics.value c);
+  let c' = Metrics.counter m "requests" in
+  Metrics.incr c';
+  check int "same name, same counter" 6 (Metrics.value c);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Metrics.incr: negative increment") (fun () ->
+      Metrics.incr ~n:(-1) c)
+
+let test_metrics_hit_rate () =
+  let m = Metrics.create () in
+  let hits = Metrics.counter m "hits" and misses = Metrics.counter m "misses" in
+  check flt "empty is 0" 0.0 (Metrics.hit_rate ~hits ~misses);
+  Metrics.incr ~n:3 hits;
+  Metrics.incr ~n:1 misses;
+  check flt "3/4" 0.75 (Metrics.hit_rate ~hits ~misses)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "latency" in
+  check int "empty count" 0 (Metrics.count h);
+  check flt "empty mean" 0.0 (Metrics.mean h);
+  check flt "empty percentile" 0.0 (Metrics.percentile h 99.0);
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.1 ];
+  check int "count" 4 (Metrics.count h);
+  check (Alcotest.float 1e-9) "sum" 0.107 (Metrics.sum h);
+  check (Alcotest.float 1e-9) "mean" 0.02675 (Metrics.mean h);
+  check flt "max" 0.1 (Metrics.max_value h);
+  (* bucket upper bounds: the p50 of {1,2,4,100}ms sits in the 2ms bucket *)
+  check flt "p50 bound" 0.002 (Metrics.percentile h 50.0);
+  check bool "p100 covers max" true (Metrics.percentile h 100.0 >= 0.1);
+  Metrics.observe h (-5.0);
+  check int "negative clamps, still counted" 5 (Metrics.count h);
+  check flt "clamped to zero" 0.1 (Metrics.max_value h)
+
+let test_metrics_render () =
+  let m = Metrics.create () in
+  Metrics.incr ~n:7 (Metrics.counter m "cache.hits");
+  Metrics.observe (Metrics.histogram m "latency.contains") 0.003;
+  let rendered = Metrics.render m in
+  check bool "counter row" true (contains rendered "cache.hits");
+  check bool "counter value" true (contains rendered "7");
+  check bool "histogram row" true (contains rendered "latency.contains")
+
 (* --- Prng ---------------------------------------------------------------- *)
 
 let test_prng_deterministic () =
@@ -181,8 +274,6 @@ let prng_float_prop =
 
 (* --- Stats --------------------------------------------------------------- *)
 
-let flt = Alcotest.float 1e-9
-
 let test_stats_mean_median () =
   check flt "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
   check flt "mean_int" 2.0 (Stats.mean_int [ 1; 2; 3 ]);
@@ -208,11 +299,6 @@ let test_stats_round_to () =
   check flt "0 places" 3.0 (Stats.round_to 0 3.14159)
 
 (* --- Text_table ---------------------------------------------------------- *)
-
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
-  nn = 0 || go 0
 
 let test_table_render () =
   let t = Text_table.create [ "name"; "value" ] in
@@ -292,7 +378,19 @@ let () =
           Alcotest.test_case "capacity mismatch" `Quick
             test_bitset_capacity_mismatch;
         ]
-        @ qsuite [ bitset_model_prop ] );
+        @ qsuite
+            [
+              bitset_model_prop;
+              bitset_iteration_consistency_prop;
+              bitset_popcount_ops_prop;
+            ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "hit rate" `Quick test_metrics_hit_rate;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "render" `Quick test_metrics_render;
+        ] );
       ( "prng",
         [
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
