@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples clean
+.PHONY: all build test check bench examples lint clean
 
 all: build
 
@@ -14,6 +14,16 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) examples
+	$(MAKE) lint
+
+# strict warnings-as-errors build, plus tsg-lint over the committed
+# example artifacts (must be finding-free)
+lint:
+	dune build --profile strict @all
+	dune exec -- tsg-lint --strict --deep \
+	  --taxonomy examples/data/demo.tax \
+	  --db examples/data/demo.db \
+	  --patterns examples/data/demo.pat
 
 examples:
 	@for e in quickstart pathway_mining chemical_mining taxonomy_explore \

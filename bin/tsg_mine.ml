@@ -13,6 +13,7 @@ module Taxogram = Tsg_core.Taxogram
 module Tacgm = Tsg_core.Tacgm
 module Naive = Tsg_core.Naive
 module Specialize = Tsg_core.Specialize
+module Diagnostic = Tsg_util.Diagnostic
 
 open Cmdliner
 
@@ -36,27 +37,41 @@ let algorithm_conv =
   in
   Arg.conv (parse, print)
 
+(* fail fast on malformed artifacts, with rule-coded diagnostics; the
+   --no-validate escape hatch skips straight to loading *)
+let validate_inputs db_path tax_path =
+  let c = Diagnostic.collector () in
+  ignore (Tsg_check.Lint.run c ~taxonomy:tax_path ~dbs:[ db_path ] ());
+  if Diagnostic.has_errors c then begin
+    Diagnostic.print stderr c;
+    Printf.eprintf
+      "tsg-mine: validation failed (%s); --no-validate to override\n"
+      (Diagnostic.summary c);
+    exit 2
+  end
+
 let load_inputs db_path tax_path =
-  let taxonomy = Taxonomy_io.load tax_path in
+  let taxonomy =
+    try Taxonomy_io.load tax_path
+    with Taxonomy_io.Parse_error d ->
+      Printf.eprintf "tsg-mine: %s\n" (Diagnostic.to_string d);
+      exit 2
+  in
   let edge_labels = Label.create () in
   let db =
     Serial.load_db ~node_labels:(Taxonomy.labels taxonomy) ~edge_labels db_path
   in
   (* every node label read from the db must already be a taxonomy concept;
      Serial interns unknown names, which would leave them outside the DAG *)
-  let known = Taxonomy.label_count taxonomy in
-  Db.iteri
-    (fun gid g ->
-      Array.iter
-        (fun l ->
-          if l >= known then
-            failwith
-              (Printf.sprintf
-                 "graph %d uses label %s which is not in the taxonomy" gid
-                 (Label.name (Taxonomy.labels taxonomy) l)))
-        (Tsg_graph.Graph.node_labels g))
-    db;
-  (taxonomy, db)
+  let c = Diagnostic.collector () in
+  Tsg_check.Check_db.validate c ~taxonomy db;
+  if Diagnostic.has_errors c then begin
+    Diagnostic.print stderr c;
+    Printf.eprintf "tsg-mine: %s uses labels outside the taxonomy (%s)\n"
+      db_path (Diagnostic.summary c);
+    exit 2
+  end;
+  (taxonomy, db, edge_labels)
 
 let run_directed db_path tax_path support max_edges limit quiet =
   let taxonomy = Taxonomy_io.load tax_path in
@@ -99,10 +114,11 @@ let run_directed db_path tax_path support max_edges limit quiet =
   0
 
 let run db_path tax_path support algorithm max_edges limit quiet directed out
-    parallel =
+    parallel no_validate =
   if directed then run_directed db_path tax_path support max_edges limit quiet
-  else
-  let taxonomy, db = load_inputs db_path tax_path in
+  else begin
+  if not no_validate then validate_inputs db_path tax_path;
+  let taxonomy, db, edge_labels = load_inputs db_path tax_path in
   Printf.printf "database: %d graphs, taxonomy: %d concepts (%d levels)\n%!"
     (Db.size db)
     (Taxonomy.label_count taxonomy)
@@ -142,20 +158,24 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
     elapsed support;
   (match out with
   | Some path ->
-    let edge_labels = Label.create () in
-    (* intern enough edge-label names for every id used by the patterns *)
-    let max_edge_label =
-      List.fold_left
-        (fun acc (p : Pattern.t) ->
-          Array.fold_left
-            (fun acc (_, _, l) -> max acc l)
-            acc
-            (Tsg_graph.Graph.edges p.Pattern.graph))
-        (-1) sorted
-    in
-    for i = 0 to max_edge_label do
-      ignore (Label.intern edge_labels (Printf.sprintf "e%d" i))
-    done;
+    if not no_validate then begin
+      (* make sure we never persist a pattern set that tsg-lint would
+         reject: same checks, before any bytes hit the disk *)
+      let c = Diagnostic.collector () in
+      Tsg_check.Check_patterns.validate c ~taxonomy
+        ~node_labels:(Taxonomy.labels taxonomy)
+        ~db_size:(Db.size db) sorted;
+      if Diagnostic.has_errors c then begin
+        Diagnostic.print stderr c;
+        Printf.eprintf
+          "tsg-mine: refusing to save invalid pattern set (%s); \
+           --no-validate to override\n"
+          (Diagnostic.summary c);
+        exit 2
+      end
+    end;
+    (* save with the db's own edge-label table: pattern edge-label ids are
+       the loader's interning, which need not follow the e0..eN name order *)
     Tsg_core.Pattern_io.save path
       ~node_labels:(Taxonomy.labels taxonomy)
       ~edge_labels ~db_size:(Db.size db) sorted;
@@ -171,6 +191,7 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
     | _ -> ()
   end;
   0
+  end
 
 let db_arg =
   Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE"
@@ -214,6 +235,11 @@ let directed_arg =
          ~doc:"Treat the database as directed ('a' lines); --max-edges then \
                counts arcs. The algorithm is always taxogram in this mode.")
 
+let no_validate_arg =
+  Arg.(value & flag & info [ "no-validate" ]
+         ~doc:"Skip the tsg-lint validation pass over inputs and over the \
+               pattern set written by --save.")
+
 let cmd =
   let doc = "mine frequent patterns from a taxonomy-superimposed graph database" in
   Cmd.v
@@ -221,6 +247,6 @@ let cmd =
     Term.(
       const run $ db_arg $ tax_arg $ support_arg $ algorithm_arg
       $ max_edges_arg $ limit_arg $ quiet_arg $ directed_arg $ out_arg
-      $ parallel_arg)
+      $ parallel_arg $ no_validate_arg)
 
 let () = exit (Cmd.eval' cmd)

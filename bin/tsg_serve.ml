@@ -17,11 +17,31 @@ module Store = Tsg_query.Store
 module Engine = Tsg_query.Engine
 module Serve = Tsg_query.Serve
 module Metrics = Tsg_util.Metrics
+module Diagnostic = Tsg_util.Diagnostic
+module Lint = Tsg_check.Lint
 
 open Cmdliner
 
-let run patterns tax_path db_path requests domains cache quiet =
-  let taxonomy = Taxonomy_io.load tax_path in
+let run patterns tax_path db_path requests domains cache quiet no_validate =
+  (* fail fast on malformed artifacts, with rule-coded diagnostics; the
+     --no-validate escape hatch skips straight to loading *)
+  if not no_validate then begin
+    let c = Diagnostic.collector () in
+    ignore (Lint.run c ~taxonomy:tax_path ~patterns ());
+    if Diagnostic.has_errors c then begin
+      Diagnostic.print stderr c;
+      Printf.eprintf "tsg-serve: validation failed (%s); --no-validate to \
+                      override\n"
+        (Diagnostic.summary c);
+      exit 2
+    end
+  end;
+  let taxonomy =
+    try Taxonomy_io.load tax_path
+    with Taxonomy_io.Parse_error d ->
+      Printf.eprintf "tsg-serve: %s\n" (Diagnostic.to_string d);
+      exit 2
+  in
   let edge_labels = Label.create () in
   let db =
     Option.map
@@ -35,8 +55,8 @@ let run patterns tax_path db_path requests domains cache quiet =
     | Invalid_argument msg ->
       prerr_endline ("tsg-serve: " ^ msg);
       exit 2
-    | Tsg_core.Pattern_io.Parse_error (line, msg) ->
-      Printf.eprintf "tsg-serve: bad pattern file, line %d: %s\n" line msg;
+    | Tsg_core.Pattern_io.Parse_error d ->
+      Printf.eprintf "tsg-serve: %s\n" (Diagnostic.to_string d);
       exit 2
   in
   Printf.eprintf
@@ -127,12 +147,18 @@ let quiet_arg =
     value & flag
     & info [ "quiet"; "q" ] ~doc:"Skip the metrics table on shutdown.")
 
+let no_validate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-validate" ]
+        ~doc:"Skip the tsg-lint validation pass over the input artifacts.")
+
 let cmd =
   let doc = "serve contains/by-label/top-k queries over mined pattern sets" in
   Cmd.v
     (Cmd.info "tsg-serve" ~doc)
     Term.(
       const run $ patterns_arg $ tax_arg $ db_arg $ requests_arg $ domains_arg
-      $ cache_arg $ quiet_arg)
+      $ cache_arg $ quiet_arg $ no_validate_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1058 @@
+p # 0 support 34/40
+v 0 c0
+v 1 c0
+e 0 1 e2
+p # 1 support 33/40
+v 0 c0
+v 1 c0
+e 0 1 e1
+p # 2 support 33/40
+v 0 c0
+v 1 c0
+e 0 1 e0
+p # 3 support 30/40
+v 0 c0
+v 1 c5
+e 0 1 e2
+p # 4 support 29/40
+v 0 c0
+v 1 c3
+e 0 1 e1
+p # 5 support 27/40
+v 0 c0
+v 1 c0
+v 2 c0
+e 0 1 e0
+e 1 2 e2
+p # 6 support 27/40
+v 0 c0
+v 1 c0
+v 2 c0
+e 0 1 e0
+e 1 2 e1
+p # 7 support 26/40
+v 0 c0
+v 1 c2
+e 0 1 e2
+p # 8 support 26/40
+v 0 c0
+v 1 c2
+e 0 1 e1
+p # 9 support 25/40
+v 0 c0
+v 1 c5
+e 0 1 e1
+p # 10 support 25/40
+v 0 c0
+v 1 c0
+v 2 c0
+e 0 1 e1
+e 1 2 e1
+p # 11 support 24/40
+v 0 c0
+v 1 c8
+e 0 1 e1
+p # 12 support 24/40
+v 0 c0
+v 1 c3
+e 0 1 e0
+p # 13 support 23/40
+v 0 c0
+v 1 c0
+v 2 c0
+e 0 1 e1
+e 1 2 e2
+p # 14 support 23/40
+v 0 c0
+v 1 c2
+e 0 1 e0
+p # 15 support 22/40
+v 0 c0
+v 1 c3
+e 0 1 e2
+p # 16 support 22/40
+v 0 c0
+v 1 c8
+e 0 1 e2
+p # 17 support 22/40
+v 0 c0
+v 1 c0
+v 2 c5
+e 0 1 e0
+e 1 2 e2
+p # 18 support 22/40
+v 0 c0
+v 1 c0
+v 2 c3
+e 0 1 e1
+e 1 2 e1
+p # 19 support 21/40
+v 0 c0
+v 1 c5
+e 0 1 e0
+p # 20 support 20/40
+v 0 c2
+v 1 c5
+e 0 1 e2
+p # 21 support 20/40
+v 0 c0
+v 1 c1
+e 0 1 e1
+p # 22 support 19/40
+v 0 c0
+v 1 c7
+e 0 1 e2
+p # 23 support 19/40
+v 0 c0
+v 1 c0
+v 2 c0
+e 0 1 e2
+e 1 2 e2
+p # 24 support 19/40
+v 0 c0
+v 1 c7
+e 0 1 e1
+p # 25 support 18/40
+v 0 c0
+v 1 c1
+e 0 1 e2
+p # 26 support 18/40
+v 0 c0
+v 1 c9
+e 0 1 e1
+p # 27 support 18/40
+v 0 c0
+v 1 c0
+v 2 c2
+e 0 1 e1
+e 1 2 e1
+p # 28 support 18/40
+v 0 c0
+v 1 c8
+e 0 1 e0
+p # 29 support 18/40
+v 0 c0
+v 1 c0
+v 2 c0
+e 0 1 e0
+e 1 2 e0
+p # 30 support 17/40
+v 0 c0
+v 1 c9
+e 0 1 e2
+p # 31 support 17/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e1
+e 1 2 e1
+e 2 3 e2
+p # 32 support 17/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e1
+e 1 3 e2
+p # 33 support 17/40
+v 0 c0
+v 1 c0
+v 2 c2
+e 0 1 e0
+e 1 2 e2
+p # 34 support 17/40
+v 0 c0
+v 1 c11
+e 0 1 e1
+p # 35 support 17/40
+v 0 c0
+v 1 c16
+e 0 1 e1
+p # 36 support 17/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e1
+e 2 3 e1
+p # 37 support 17/40
+v 0 c0
+v 1 c0
+v 2 c3
+e 0 1 e0
+e 1 2 e1
+p # 38 support 17/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e0
+e 0 2 e1
+p # 39 support 16/40
+v 0 c0
+v 1 c16
+e 0 1 e2
+p # 40 support 16/40
+v 0 c0
+v 1 c2
+v 2 c0
+e 0 1 e0
+e 0 2 e2
+p # 41 support 16/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 0 3 e2
+e 1 2 e1
+p # 42 support 16/40
+v 0 c0
+v 1 c0
+v 2 c5
+e 0 1 e1
+e 1 2 e1
+p # 43 support 16/40
+v 0 c0
+v 1 c0
+v 2 c8
+e 0 1 e1
+e 1 2 e1
+p # 44 support 16/40
+v 0 c0
+v 1 c0
+v 2 c2
+e 0 1 e0
+e 1 2 e1
+p # 45 support 16/40
+v 0 c0
+v 1 c9
+e 0 1 e0
+p # 46 support 15/40
+v 0 c3
+v 1 c5
+e 0 1 e2
+p # 47 support 15/40
+v 0 c0
+v 1 c13
+e 0 1 e2
+p # 48 support 15/40
+v 0 c5
+v 1 c8
+e 0 1 e2
+p # 49 support 15/40
+v 0 c0
+v 1 c2
+v 2 c0
+e 0 1 e1
+e 0 2 e2
+p # 50 support 15/40
+v 0 c0
+v 1 c0
+v 2 c8
+e 0 1 e0
+e 1 2 e2
+p # 51 support 15/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e0
+e 0 2 e2
+p # 52 support 15/40
+v 0 c2
+v 1 c5
+e 0 1 e1
+p # 53 support 15/40
+v 0 c0
+v 1 c6
+e 0 1 e1
+p # 54 support 15/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e0
+e 1 2 e1
+p # 55 support 15/40
+v 0 c0
+v 1 c7
+e 0 1 e0
+p # 56 support 14/40
+v 0 c0
+v 1 c11
+e 0 1 e2
+p # 57 support 14/40
+v 0 c0
+v 1 c4
+e 0 1 e2
+p # 58 support 14/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e2
+e 1 2 e2
+p # 59 support 14/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e2
+e 2 3 e2
+p # 60 support 14/40
+v 0 c0
+v 1 c0
+v 2 c2
+e 0 1 e1
+e 1 2 e2
+p # 61 support 14/40
+v 0 c0
+v 1 c0
+v 2 c8
+e 0 1 e1
+e 1 2 e2
+p # 62 support 14/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e1
+e 2 3 e2
+p # 63 support 14/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e0
+e 1 2 e2
+p # 64 support 14/40
+v 0 c0
+v 1 c3
+v 2 c0
+e 0 1 e0
+e 0 2 e2
+p # 65 support 14/40
+v 0 c2
+v 1 c3
+e 0 1 e1
+p # 66 support 14/40
+v 0 c3
+v 1 c5
+e 0 1 e1
+p # 67 support 14/40
+v 0 c0
+v 1 c4
+e 0 1 e1
+p # 68 support 14/40
+v 0 c0
+v 1 c2
+v 2 c0
+e 0 1 e1
+e 1 2 e1
+p # 69 support 14/40
+v 0 c0
+v 1 c2
+v 2 c0
+e 0 1 e0
+e 1 2 e1
+p # 70 support 14/40
+v 0 c0
+v 1 c3
+v 2 c0
+e 0 1 e0
+e 1 2 e1
+p # 71 support 14/40
+v 0 c0
+v 1 c2
+v 2 c0
+e 0 1 e0
+e 0 2 e1
+p # 72 support 14/40
+v 0 c0
+v 1 c3
+v 2 c0
+e 0 1 e0
+e 0 2 e1
+p # 73 support 14/40
+v 0 c0
+v 1 c1
+e 0 1 e0
+p # 74 support 14/40
+v 0 c3
+v 1 c5
+e 0 1 e0
+p # 75 support 14/40
+v 0 c0
+v 1 c16
+e 0 1 e0
+p # 76 support 13/40
+v 0 c0
+v 1 c0
+v 2 c2
+e 0 1 e2
+e 1 2 e2
+p # 77 support 13/40
+v 0 c0
+v 1 c0
+v 2 c5
+e 0 1 e2
+e 1 2 e2
+p # 78 support 13/40
+v 0 c0
+v 1 c2
+v 2 c0
+e 0 1 e1
+e 1 2 e2
+p # 79 support 13/40
+v 0 c0
+v 1 c7
+v 2 c0
+e 0 1 e1
+e 0 2 e2
+p # 80 support 13/40
+v 0 c0
+v 1 c9
+v 2 c0
+e 0 1 e1
+e 0 2 e2
+p # 81 support 13/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e0
+e 2 3 e2
+p # 82 support 13/40
+v 0 c2
+v 1 c2
+e 0 1 e1
+p # 83 support 13/40
+v 0 c2
+v 1 c8
+e 0 1 e1
+p # 84 support 13/40
+v 0 c0
+v 1 c13
+e 0 1 e1
+p # 85 support 13/40
+v 0 c0
+v 1 c0
+v 2 c1
+e 0 1 e1
+e 1 2 e1
+p # 86 support 13/40
+v 0 c0
+v 1 c0
+v 2 c7
+e 0 1 e1
+e 1 2 e1
+p # 87 support 13/40
+v 0 c0
+v 1 c0
+v 2 c9
+e 0 1 e1
+e 1 2 e1
+p # 88 support 13/40
+v 0 c0
+v 1 c8
+v 2 c0
+e 0 1 e0
+e 0 2 e1
+p # 89 support 13/40
+v 0 c0
+v 1 c4
+e 0 1 e0
+p # 90 support 13/40
+v 0 c0
+v 1 c13
+e 0 1 e0
+p # 91 support 12/40
+v 0 c0
+v 1 c6
+e 0 1 e2
+p # 92 support 12/40
+v 0 c0
+v 1 c0
+v 2 c3
+e 0 1 e2
+e 1 2 e2
+p # 93 support 12/40
+v 0 c0
+v 1 c0
+v 2 c8
+e 0 1 e2
+e 1 2 e2
+p # 94 support 12/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e2
+e 1 3 e2
+p # 95 support 12/40
+v 0 c0
+v 1 c0
+v 2 c5
+e 0 1 e1
+e 1 2 e2
+p # 96 support 12/40
+v 0 c0
+v 1 c8
+v 2 c0
+e 0 1 e1
+e 1 2 e2
+p # 97 support 12/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e1
+e 0 2 e2
+p # 98 support 12/40
+v 0 c0
+v 1 c16
+v 2 c0
+e 0 1 e1
+e 0 2 e2
+p # 99 support 12/40
+v 0 c0
+v 1 c0
+v 2 c3
+v 3 c0
+e 0 1 e1
+e 0 3 e2
+e 1 2 e1
+p # 100 support 12/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e1
+e 1 2 e1
+e 1 3 e2
+p # 101 support 12/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c2
+e 0 1 e0
+e 1 2 e1
+e 1 3 e2
+p # 102 support 12/40
+v 0 c0
+v 1 c2
+v 2 c0
+e 0 1 e0
+e 1 2 e2
+p # 103 support 12/40
+v 0 c0
+v 1 c3
+v 2 c0
+e 0 1 e0
+e 1 2 e2
+p # 104 support 12/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c5
+e 0 1 e0
+e 1 2 e0
+e 2 3 e2
+p # 105 support 12/40
+v 0 c2
+v 1 c9
+e 0 1 e1
+p # 106 support 12/40
+v 0 c5
+v 1 c8
+e 0 1 e1
+p # 107 support 12/40
+v 0 c0
+v 1 c0
+v 2 c11
+e 0 1 e1
+e 1 2 e1
+p # 108 support 12/40
+v 0 c0
+v 1 c0
+v 2 c16
+e 0 1 e1
+e 1 2 e1
+p # 109 support 12/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e1
+e 1 3 e1
+p # 110 support 12/40
+v 0 c0
+v 1 c0
+v 2 c5
+e 0 1 e0
+e 1 2 e1
+p # 111 support 12/40
+v 0 c0
+v 1 c0
+v 2 c8
+e 0 1 e0
+e 1 2 e1
+p # 112 support 12/40
+v 0 c0
+v 1 c9
+v 2 c0
+e 0 1 e0
+e 0 2 e1
+p # 113 support 12/40
+v 0 c0
+v 1 c11
+e 0 1 e0
+p # 114 support 12/40
+v 0 c2
+v 1 c5
+e 0 1 e0
+p # 115 support 12/40
+v 0 c0
+v 1 c6
+e 0 1 e0
+p # 116 support 11/40
+v 0 c1
+v 1 c5
+e 0 1 e2
+p # 117 support 11/40
+v 0 c0
+v 1 c19
+e 0 1 e2
+p # 118 support 11/40
+v 0 c2
+v 1 c13
+e 0 1 e2
+p # 119 support 11/40
+v 0 c2
+v 1 c8
+e 0 1 e2
+p # 120 support 11/40
+v 0 c3
+v 1 c8
+e 0 1 e2
+p # 121 support 11/40
+v 0 c0
+v 1 c15
+e 0 1 e2
+p # 122 support 11/40
+v 0 c5
+v 1 c9
+e 0 1 e2
+p # 123 support 11/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e1
+e 1 2 e2
+e 2 3 e2
+p # 124 support 11/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c5
+e 0 1 e0
+e 1 2 e2
+e 2 3 e2
+p # 125 support 11/40
+v 0 c0
+v 1 c0
+v 2 c5
+v 3 c0
+e 0 1 e0
+e 1 2 e2
+e 2 3 e2
+p # 126 support 11/40
+v 0 c0
+v 1 c2
+v 2 c8
+e 0 1 e1
+e 0 2 e2
+p # 127 support 11/40
+v 0 c0
+v 1 c0
+v 2 c9
+e 0 1 e1
+e 1 2 e2
+p # 128 support 11/40
+v 0 c0
+v 1 c3
+v 2 c0
+e 0 1 e1
+e 1 2 e2
+p # 129 support 11/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e1
+e 1 2 e2
+p # 130 support 11/40
+v 0 c0
+v 1 c6
+v 2 c0
+e 0 1 e1
+e 0 2 e2
+p # 131 support 11/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c5
+e 0 1 e0
+e 1 2 e1
+e 1 3 e2
+p # 132 support 11/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e2
+e 2 3 e1
+p # 133 support 11/40
+v 0 c0
+v 1 c0
+v 2 c3
+e 0 1 e0
+e 1 2 e2
+p # 134 support 11/40
+v 0 c0
+v 1 c2
+v 2 c5
+e 0 1 e0
+e 0 2 e2
+p # 135 support 11/40
+v 0 c0
+v 1 c8
+v 2 c0
+e 0 1 e0
+e 1 2 e2
+p # 136 support 11/40
+v 0 c0
+v 1 c5
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 0 3 e1
+e 1 2 e2
+p # 137 support 11/40
+v 0 c2
+v 1 c6
+e 0 1 e1
+p # 138 support 11/40
+v 0 c2
+v 1 c16
+e 0 1 e1
+p # 139 support 11/40
+v 0 c3
+v 1 c9
+e 0 1 e1
+p # 140 support 11/40
+v 0 c0
+v 1 c2
+v 2 c2
+e 0 1 e1
+e 1 2 e1
+p # 141 support 11/40
+v 0 c0
+v 1 c2
+v 2 c3
+e 0 1 e1
+e 1 2 e1
+p # 142 support 11/40
+v 0 c0
+v 1 c0
+v 2 c6
+e 0 1 e1
+e 1 2 e1
+p # 143 support 11/40
+v 0 c0
+v 1 c5
+v 2 c0
+e 0 1 e1
+e 1 2 e1
+p # 144 support 11/40
+v 0 c0
+v 1 c8
+v 2 c0
+e 0 1 e1
+e 1 2 e1
+p # 145 support 11/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e1
+e 1 2 e1
+e 2 3 e1
+p # 146 support 11/40
+v 0 c0
+v 1 c5
+v 2 c5
+e 0 1 e1
+e 1 2 e0
+p # 147 support 11/40
+v 0 c0
+v 1 c8
+v 2 c0
+e 0 1 e0
+e 1 2 e1
+p # 148 support 11/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 1 2 e0
+e 2 3 e1
+p # 149 support 11/40
+v 0 c2
+v 1 c3
+e 0 1 e0
+p # 150 support 11/40
+v 0 c3
+v 1 c8
+e 0 1 e0
+p # 151 support 11/40
+v 0 c5
+v 1 c5
+e 0 1 e0
+p # 152 support 11/40
+v 0 c5
+v 1 c9
+e 0 1 e0
+p # 153 support 11/40
+v 0 c0
+v 1 c0
+v 2 c2
+e 0 1 e0
+e 1 2 e0
+p # 154 support 11/40
+v 0 c0
+v 1 c0
+v 2 c3
+e 0 1 e0
+e 1 2 e0
+p # 155 support 11/40
+v 0 c0
+v 1 c0
+v 2 c5
+e 0 1 e0
+e 1 2 e0
+p # 156 support 11/40
+v 0 c0
+v 1 c0
+v 2 c8
+e 0 1 e0
+e 1 2 e0
+p # 157 support 10/40
+v 0 c5
+v 1 c5
+e 0 1 e2
+p # 158 support 10/40
+v 0 c5
+v 1 c7
+e 0 1 e2
+p # 159 support 10/40
+v 0 c0
+v 1 c5
+v 2 c2
+e 0 1 e2
+e 1 2 e2
+p # 160 support 10/40
+v 0 c0
+v 1 c0
+v 2 c7
+e 0 1 e2
+e 1 2 e2
+p # 161 support 10/40
+v 0 c0
+v 1 c8
+v 2 c0
+e 0 1 e2
+e 1 2 e2
+p # 162 support 10/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c0
+e 0 1 e2
+e 1 2 e2
+e 2 3 e2
+p # 163 support 10/40
+v 0 c0
+v 1 c0
+v 2 c1
+e 0 1 e1
+e 1 2 e2
+p # 164 support 10/40
+v 0 c0
+v 1 c0
+v 2 c3
+e 0 1 e1
+e 1 2 e2
+p # 165 support 10/40
+v 0 c0
+v 1 c2
+v 2 c5
+e 0 1 e1
+e 0 2 e2
+p # 166 support 10/40
+v 0 c0
+v 1 c3
+v 2 c0
+e 0 1 e1
+e 0 2 e2
+p # 167 support 10/40
+v 0 c0
+v 1 c5
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 0 2 e1
+e 2 3 e2
+p # 168 support 10/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c8
+e 0 1 e0
+e 1 2 e1
+e 1 3 e2
+p # 169 support 10/40
+v 0 c0
+v 1 c2
+v 2 c2
+e 0 1 e0
+e 0 2 e2
+p # 170 support 10/40
+v 0 c0
+v 1 c3
+v 2 c2
+e 0 1 e0
+e 0 2 e2
+p # 171 support 10/40
+v 0 c0
+v 1 c5
+v 2 c2
+e 0 1 e0
+e 0 2 e2
+p # 172 support 10/40
+v 0 c0
+v 1 c5
+v 2 c5
+e 0 1 e0
+e 0 2 e2
+p # 173 support 10/40
+v 0 c0
+v 1 c8
+v 2 c0
+e 0 1 e0
+e 0 2 e2
+p # 174 support 10/40
+v 0 c0
+v 1 c0
+v 2 c0
+v 3 c5
+e 0 1 e0
+e 0 3 e2
+e 1 2 e1
+p # 175 support 10/40
+v 0 c0
+v 1 c0
+v 2 c2
+v 3 c0
+e 0 1 e0
+e 0 3 e2
+e 1 2 e1
+p # 176 support 10/40
+v 0 c0
+v 1 c0
+v 2 c3
+v 3 c0
+e 0 1 e0
+e 0 3 e2
+e 1 2 e1
+p # 177 support 10/40
+v 0 c1
+v 1 c9
+e 0 1 e1
+p # 178 support 10/40
+v 0 c3
+v 1 c6
+e 0 1 e1
+p # 179 support 10/40
+v 0 c3
+v 1 c16
+e 0 1 e1
+p # 180 support 10/40
+v 0 c3
+v 1 c8
+e 0 1 e1
+p # 181 support 10/40
+v 0 c7
+v 1 c8
+e 0 1 e1
+p # 182 support 10/40
+v 0 c0
+v 1 c17
+e 0 1 e1
+p # 183 support 10/40
+v 0 c8
+v 1 c9
+e 0 1 e1
+p # 184 support 10/40
+v 0 c0
+v 1 c0
+v 2 c4
+e 0 1 e1
+e 1 2 e1
+p # 185 support 10/40
+v 0 c0
+v 1 c5
+v 2 c0
+v 3 c0
+e 0 1 e0
+e 0 2 e1
+e 2 3 e1
+p # 186 support 10/40
+v 0 c0
+v 1 c5
+v 2 c2
+e 0 1 e0
+e 0 2 e1
+p # 187 support 10/40
+v 0 c0
+v 1 c0
+v 2 c7
+e 0 1 e0
+e 1 2 e1
+p # 188 support 10/40
+v 0 c0
+v 1 c7
+v 2 c0
+e 0 1 e0
+e 1 2 e1
+p # 189 support 10/40
+v 0 c0
+v 1 c9
+v 2 c0
+e 0 1 e0
+e 1 2 e1
+p # 190 support 10/40
+v 0 c0
+v 1 c6
+v 2 c0
+e 0 1 e0
+e 0 2 e1
+p # 191 support 10/40
+v 0 c5
+v 1 c8
+e 0 1 e0

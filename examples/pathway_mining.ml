@@ -8,7 +8,6 @@
 
      dune exec examples/pathway_mining.exe *)
 
-module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Prng = Tsg_util.Prng
 module Pathways = Tsg_data.Pathways

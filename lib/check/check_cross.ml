@@ -1,0 +1,121 @@
+module Diagnostic = Tsg_util.Diagnostic
+module Bitset = Tsg_util.Bitset
+module Graph = Tsg_graph.Graph
+module Label = Tsg_graph.Label
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Gen_iso = Tsg_iso.Gen_iso
+module Pattern = Tsg_core.Pattern
+module Pattern_io = Tsg_core.Pattern_io
+module Store = Tsg_query.Store
+
+let check_closure c ?file ~taxonomy ~db_labels ~node_labels located =
+  let known = Taxonomy.label_count taxonomy in
+  List.iteri
+    (fun i (l : Pattern_io.located) ->
+      let g = l.Pattern_io.pattern.Pattern.graph in
+      List.iter
+        (fun label ->
+          if label >= 0 && label < known then begin
+            let matchable =
+              Bitset.exists
+                (fun d -> Bitset.mem db_labels d)
+                (Taxonomy.descendant_set taxonomy label)
+            in
+            if not matchable then
+              Diagnostic.emitf c ?file ~line:l.Pattern_io.header_line
+                ~rule:"X001" Diagnostic.Warning
+                "pattern #%d: no database label specializes %s — the pattern \
+                 can never match"
+                i
+                (Label.name node_labels label)
+          end)
+        (Graph.distinct_node_labels g))
+    located
+
+let check_store c store =
+  let error fmt = Diagnostic.emitf c ~rule:"X002" Diagnostic.Error fmt in
+  let taxonomy = Store.taxonomy store in
+  let known = Taxonomy.label_count taxonomy in
+  let n = Store.size store in
+  let patterns = Store.patterns store in
+  if Array.length patterns <> n then
+    error "store size %d but %d patterns" n (Array.length patterns);
+  (* distinct node labels per pattern, for re-deriving the label indexes *)
+  let labels_of =
+    Array.map
+      (fun (p : Pattern.t) ->
+        List.filter
+          (fun l -> l >= 0 && l < known)
+          (Graph.distinct_node_labels p.Pattern.graph))
+      patterns
+  in
+  for l = 0 to known - 1 do
+    let expect_gen = Bitset.create n in
+    let expect_men = Bitset.create n in
+    Array.iteri
+      (fun i ls ->
+        List.iter
+          (fun pl ->
+            (* pattern i generalizes l when pl is an ancestor of l;
+               it mentions (a specialization of) l when pl descends from l *)
+            if Taxonomy.is_ancestor taxonomy ~anc:pl l then
+              Bitset.set expect_gen i;
+            if Taxonomy.is_ancestor taxonomy ~anc:l pl then
+              Bitset.set expect_men i)
+          ls)
+      labels_of;
+    if not (Bitset.equal (Store.generalizing store l) expect_gen) then
+      error "generalizing index disagrees at label %s"
+        (Taxonomy.name taxonomy l);
+    if not (Bitset.equal (Store.mentioning store l) expect_men) then
+      error "mentioning index disagrees at label %s" (Taxonomy.name taxonomy l)
+  done;
+  (* edge-count buckets *)
+  Array.iteri
+    (fun i (p : Pattern.t) ->
+      let e = Pattern.edge_count p in
+      if not (Bitset.mem (Store.with_at_most_edges store e) i) then
+        error "pattern #%d (%d edges) missing from its edge bucket" i e;
+      if e > 0 && Bitset.mem (Store.with_at_most_edges store (e - 1)) i then
+        error "pattern #%d (%d edges) present in bucket %d" i e (e - 1))
+    patterns;
+  (* support order: a permutation of 0..n-1, support non-increasing *)
+  let order = Store.by_support store in
+  if Array.length order <> n then
+    error "by_support has %d entries for %d patterns" (Array.length order) n
+  else begin
+    let seen = Array.make n false in
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= n then error "by_support mentions bad id %d" i
+        else if seen.(i) then error "by_support repeats id %d" i
+        else seen.(i) <- true)
+      order;
+    for k = 0 to Array.length order - 2 do
+      let a = order.(k) and b = order.(k + 1) in
+      if
+        a >= 0 && a < n && b >= 0 && b < n
+        && patterns.(a).Pattern.support_count
+           < patterns.(b).Pattern.support_count
+      then
+        error "by_support not sorted: #%d (support %d) before #%d (support %d)"
+          a
+          patterns.(a).Pattern.support_count
+          b
+          patterns.(b).Pattern.support_count
+    done
+  end
+
+let check_supports c ?file ~taxonomy ~db located =
+  List.iteri
+    (fun i (l : Pattern_io.located) ->
+      let p = l.Pattern_io.pattern in
+      let actual =
+        Gen_iso.support_count taxonomy ~pattern:p.Pattern.graph db
+      in
+      if actual <> p.Pattern.support_count then
+        Diagnostic.emitf c ?file ~line:l.Pattern_io.header_line ~rule:"X003"
+          Diagnostic.Error
+          "pattern #%d records support %d but %d database graphs contain it" i
+          p.Pattern.support_count actual)
+    located

@@ -1,0 +1,196 @@
+module Diagnostic = Tsg_util.Diagnostic
+module Bitset = Tsg_util.Bitset
+module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
+
+let check_raw c ?file ?(stats = false) (raw : Taxonomy_io.raw) =
+  let error ?line rule fmt =
+    Diagnostic.emitf c ?file ?line ~rule Diagnostic.Error fmt
+  in
+  let warn ?line rule fmt =
+    Diagnostic.emitf c ?file ?line ~rule Diagnostic.Warning fmt
+  in
+  let info ?line rule fmt =
+    Diagnostic.emitf c ?file ?line ~rule Diagnostic.Info fmt
+  in
+  (* declarations: dense ids for the first occurrence of every name *)
+  let ids = Hashtbl.create 64 in
+  let rev_names = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (name, line) ->
+      match Hashtbl.find_opt ids name with
+      | Some (_, first) ->
+        error ~line "TAX001" "duplicate declaration of %s (first on line %d)"
+          name first
+      | None ->
+        Hashtbl.add ids name (!count, line);
+        rev_names := name :: !rev_names;
+        incr count)
+    raw.Taxonomy_io.decls;
+  let n = !count in
+  let names = Array.of_list (List.rev !rev_names) in
+  (* edges over known, distinct endpoints; duplicates and self edges are
+     reported and then dropped so the structural passes see a simple DAG
+     candidate *)
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  List.iter
+    (fun (child, parent, line) ->
+      let resolve name =
+        match Hashtbl.find_opt ids name with
+        | Some (id, _) -> Some id
+        | None ->
+          error ~line "TAX002" "unknown concept %s in is-a edge" name;
+          None
+      in
+      match (resolve child, resolve parent) with
+      | Some cid, Some pid ->
+        if cid = pid then error ~line "TAX003" "self is-a edge on %s" child
+        else if Hashtbl.mem seen (cid, pid) then
+          error ~line "TAX004" "duplicate is-a edge %s -> %s" child parent
+        else begin
+          Hashtbl.add seen (cid, pid) ();
+          edges := (cid, pid, line) :: !edges
+        end
+      | _ -> ())
+    raw.Taxonomy_io.is_a;
+  let edges = List.rev !edges in
+  let parents = Array.make n [] in
+  let children = Array.make n [] in
+  List.iter
+    (fun (cid, pid, _) ->
+      parents.(cid) <- pid :: parents.(cid);
+      children.(pid) <- cid :: children.(pid))
+    edges;
+  (* acyclicity: Kahn's algorithm peeling childless nodes upward; whatever
+     survives lies on or above a cycle, and every surviving node keeps at
+     least one surviving child, so a child-walk from any survivor must
+     revisit a node — a concrete cycle witness *)
+  let indeg = Array.make n 0 in
+  Array.iter (List.iter (fun p -> indeg.(p) <- indeg.(p) + 1)) parents;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let processed = Array.make n false in
+  let processed_count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    processed.(v) <- true;
+    incr processed_count;
+    List.iter
+      (fun p ->
+        indeg.(p) <- indeg.(p) - 1;
+        if indeg.(p) = 0 then Queue.add p queue)
+      parents.(v)
+  done;
+  let acyclic = !processed_count = n in
+  if not acyclic then begin
+    let start = ref (-1) in
+    for v = n - 1 downto 0 do
+      if not processed.(v) then start := v
+    done;
+    let visited = Array.make n false in
+    let rec walk v trail =
+      if visited.(v) then (v, trail)
+      else begin
+        visited.(v) <- true;
+        match List.find_opt (fun ch -> not processed.(ch)) children.(v) with
+        | Some ch -> walk ch (v :: trail)
+        | None -> assert false
+      end
+    in
+    let repeat, trail = walk !start [] in
+    (* trail is the child-walk newest-first; the segment down to [repeat]
+       is the cycle. Child steps run against is-a edges, so newest-first
+       order spells the witness in is-a (child -> parent) direction. *)
+    let rec take acc = function
+      | [] -> acc
+      | v :: rest -> if v = repeat then v :: acc else take (v :: acc) rest
+    in
+    let cycle = repeat :: List.rev (take [] trail) in
+    let witness = String.concat " -> " (List.map (fun v -> names.(v)) cycle) in
+    let line =
+      match cycle with
+      | first :: second :: _ ->
+        List.find_map
+          (fun (cid, pid, line) ->
+            if cid = first && pid = second then Some line else None)
+          edges
+      | _ -> None
+    in
+    error ?line "TAX005" "is-a cycle: %s" witness
+  end;
+  (* isolated concepts *)
+  if n > 1 then
+    for v = 0 to n - 1 do
+      if parents.(v) = [] && children.(v) = [] then begin
+        let line = snd (Hashtbl.find ids names.(v)) in
+        warn ~line "TAX007" "isolated concept %s (no is-a edge)" names.(v)
+      end
+    done;
+  if acyclic && n > 0 then begin
+    (* ancestors-first topological order (Kahn again, parent -> child) *)
+    let indeg2 = Array.make n 0 in
+    Array.iter (List.iter (fun c -> indeg2.(c) <- indeg2.(c) + 1)) children;
+    let q = Queue.create () in
+    for v = 0 to n - 1 do
+      if indeg2.(v) = 0 then Queue.add v q
+    done;
+    let topo = Array.make n (-1) in
+    let filled = ref 0 in
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      topo.(!filled) <- v;
+      incr filled;
+      List.iter
+        (fun ch ->
+          indeg2.(ch) <- indeg2.(ch) - 1;
+          if indeg2.(ch) = 0 then Queue.add ch q)
+        children.(v)
+    done;
+    (* single-root reachability (paper Section 3, Step 1) *)
+    let roots = List.filter (fun v -> parents.(v) = []) (List.init n Fun.id) in
+    let nroots = List.length roots in
+    if nroots > 1 then begin
+      let index = Hashtbl.create 8 in
+      List.iteri (fun i r -> Hashtbl.add index r i) roots;
+      let sets = Array.init n (fun _ -> Bitset.create nroots) in
+      Array.iter
+        (fun v ->
+          (match Hashtbl.find_opt index v with
+          | Some i -> Bitset.set sets.(v) i
+          | None -> ());
+          List.iter
+            (fun p -> Bitset.union_into ~dst:sets.(v) sets.(v) sets.(p))
+            parents.(v))
+        topo;
+      let multi =
+        Array.fold_left
+          (fun acc s -> if Bitset.cardinal s > 1 then acc + 1 else acc)
+          0 sets
+      in
+      if multi > 0 then
+        info "TAX006"
+          "%d concept%s can reach more than one root; artificial roots will \
+           be synthesized at build time"
+          multi
+          (if multi = 1 then "" else "s")
+    end;
+    if stats then begin
+      let depth = Array.make n 0 in
+      Array.iter
+        (fun v ->
+          List.iter
+            (fun ch -> depth.(ch) <- max depth.(ch) (depth.(v) + 1))
+            children.(v))
+        topo;
+      let max_depth = Array.fold_left max 0 depth in
+      let max_fanout =
+        Array.fold_left (fun acc cs -> max acc (List.length cs)) 0 children
+      in
+      info "TAX008"
+        "%d concepts, %d is-a edges, %d roots, depth %d, max fanout %d" n
+        (List.length edges) (List.length roots) max_depth max_fanout
+    end
+  end

@@ -1,0 +1,24 @@
+(** Lint pass over taxonomy files (rules [TAX001]..[TAX008]).
+
+    Works on the {e raw} parse ({!Tsg_taxonomy.Taxonomy_io.raw}) so that
+    files {!Tsg_taxonomy.Taxonomy.build} would reject — cycles, duplicates,
+    unknown names — are still analyzed end to end, and every finding
+    carries the offending source line.
+
+    Rules (see DESIGN.md for the catalog):
+    - [TAX001] error: duplicate concept declaration
+    - [TAX002] error: is-a edge over an undeclared concept
+    - [TAX003] error: self is-a edge
+    - [TAX004] error: duplicate is-a edge
+    - [TAX005] error: is-a cycle (message carries a cycle witness)
+    - [TAX006] info: labels reaching several roots (artificial roots will
+      be synthesized at build time, paper Section 3 Step 1)
+    - [TAX007] warning: isolated concept (no is-a edge at all)
+    - [TAX008] info: size/depth/fanout statistics (only with [~stats]) *)
+
+val check_raw :
+  Tsg_util.Diagnostic.collector ->
+  ?file:string ->
+  ?stats:bool ->
+  Tsg_taxonomy.Taxonomy_io.raw ->
+  unit

@@ -1,0 +1,34 @@
+(** Driver for the multi-pass artifact linter (the engine behind
+    [tsg-lint] and the load/save-time validation in [tsg-mine] and
+    [tsg-serve]).
+
+    Findings accumulate in a caller-supplied
+    {!Tsg_util.Diagnostic.collector}; nothing here raises on malformed
+    artifacts — parse failures become findings too. Pass order: taxonomy
+    file first (later passes need it), then database files, then pattern
+    files, then cross-artifact checks. Cross checks that need a clean
+    prerequisite (e.g. the {!Tsg_query.Store} round-trip needs an
+    error-free pattern set) are skipped when that prerequisite already has
+    errors. *)
+
+type result = {
+  taxonomy : Tsg_taxonomy.Taxonomy.t option;
+      (** built when the taxonomy file parsed and passed its checks *)
+  db_count : int;  (** database files that parsed *)
+  pattern_count : int;  (** patterns across all parsed pattern files *)
+}
+
+val run :
+  Tsg_util.Diagnostic.collector ->
+  ?taxonomy:string ->
+  ?dbs:string list ->
+  ?patterns:string list ->
+  ?stats:bool ->
+  ?deep:bool ->
+  unit ->
+  result
+(** Lint the given artifact files. [stats] adds info-level statistics
+    findings ([TAX008]/[DB008]/[PAT008]); [deep] additionally recomputes
+    every pattern's support against the database(s) by brute force
+    ([X003] — needs a taxonomy and at least one database). Unreadable
+    files yield an [IO001] error finding. *)

@@ -1,5 +1,4 @@
 module Graph = Tsg_graph.Graph
-module Label = Tsg_graph.Label
 module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset

@@ -17,6 +17,99 @@ type t = {
   seen : int array; (* per graph id: last stamp that touched it *)
 }
 
+let self_check_impl ~taxonomy ~original ~keep_label t =
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+  let lname l = Taxonomy.name taxonomy l in
+  let positions = Graph.node_count t.class_graph in
+  (* brute-force generalized-iso embeddings over the original database *)
+  let maps = ref [] in
+  let bf_count = ref 0 in
+  Db.iteri
+    (fun gid g ->
+      Tsg_iso.Gen_iso.iter_embeddings taxonomy ~pattern:t.class_graph ~target:g
+        (fun map ->
+          incr bf_count;
+          maps := (gid, Array.copy map) :: !maps))
+    original;
+  let maps = List.rev !maps in
+  if !bf_count <> t.occ_count then
+    add "index holds %d occurrences but brute force finds %d embeddings"
+      t.occ_count !bf_count;
+  let db_n = Db.size original in
+  let bf_per_gid = Array.make db_n 0 in
+  List.iter (fun (gid, _) -> bf_per_gid.(gid) <- bf_per_gid.(gid) + 1) maps;
+  let idx_per_gid = Array.make db_n 0 in
+  Array.iter (fun gid -> idx_per_gid.(gid) <- idx_per_gid.(gid) + 1) t.occ_gid;
+  for gid = 0 to db_n - 1 do
+    if bf_per_gid.(gid) <> idx_per_gid.(gid) then
+      add "graph %d: %d occurrences indexed but %d brute-force embeddings" gid
+        idx_per_gid.(gid) bf_per_gid.(gid)
+  done;
+  let support = Bitset.create db_n in
+  List.iter (fun (gid, _) -> Bitset.set support gid) maps;
+  if not (Bitset.equal support t.class_support_set) then
+    add "class support set disagrees with brute-force support set";
+  if Bitset.cardinal t.all_occs <> t.occ_count then
+    add "all_occs holds %d members for %d occurrences"
+      (Bitset.cardinal t.all_occs) t.occ_count;
+  for pos = 0 to positions - 1 do
+    let class_label = Graph.node_label t.class_graph pos in
+    (* expected OIE cardinalities: one count per covered ancestor label *)
+    let expected = Hashtbl.create 16 in
+    List.iter
+      (fun (gid, map) ->
+        let g = Db.get original gid in
+        let original_label = Graph.node_label g map.(pos) in
+        Bitset.iter
+          (fun anc ->
+            if anc = class_label || keep_label anc then
+              Hashtbl.replace expected anc
+                (1 + Option.value ~default:0 (Hashtbl.find_opt expected anc)))
+          (Taxonomy.ancestor_set taxonomy original_label))
+      maps;
+    let table = t.entries.(pos) in
+    Hashtbl.iter
+      (fun l set ->
+        match Hashtbl.find_opt expected l with
+        | None ->
+          add "position %d: label %s indexed but covers no embedding" pos
+            (lname l)
+        | Some n ->
+          if n <> Bitset.cardinal set then
+            add "position %d, label %s: OcS cardinality %d but %d embeddings"
+              pos (lname l) (Bitset.cardinal set) n)
+      table;
+    Hashtbl.iter
+      (fun l n ->
+        if not (Hashtbl.mem table l) then
+          add "position %d: label %s covered by %d embeddings missing from OIE"
+            pos (lname l) n)
+      expected;
+    (* a specialization's occurrence set is contained in its ancestors' *)
+    Hashtbl.iter
+      (fun l set ->
+        Hashtbl.iter
+          (fun l' set' ->
+            if l <> l'
+               && Taxonomy.is_ancestor taxonomy ~anc:l' l
+               && not (Bitset.subset set set')
+            then
+              add "position %d: OcS(%s) not within OcS(ancestor %s)" pos
+                (lname l) (lname l'))
+          table)
+      table
+  done;
+  List.rev !issues
+
+let self_check ~taxonomy ~original ?(keep_label = fun _ -> true) t =
+  self_check_impl ~taxonomy ~original ~keep_label t
+
+(* keep the debug-mode brute-force cross-check affordable *)
+let debug_check_max_occs = 2_000
+
+let debug_check_max_db = 500
+
 let build ~taxonomy ~original ?(keep_label = fun _ -> true)
     (p : Gspan.pattern) =
   let positions = Graph.node_count p.graph in
@@ -48,17 +141,30 @@ let build ~taxonomy ~original ?(keep_label = fun _ -> true)
       done)
     embeddings;
   let all_occs = Bitset.full occ_count in
-  {
-    class_graph = p.graph;
-    class_support_set = Bitset.copy p.support_set;
-    occ_count;
-    occ_gid;
-    entries;
-    all_occs;
-    db_size = Db.size original;
-    stamp = 0;
-    seen = Array.make (Db.size original) (-1);
-  }
+  let t =
+    {
+      class_graph = p.graph;
+      class_support_set = Bitset.copy p.support_set;
+      occ_count;
+      occ_gid;
+      entries;
+      all_occs;
+      db_size = Db.size original;
+      stamp = 0;
+      seen = Array.make (Db.size original) (-1);
+    }
+  in
+  if
+    Tsg_util.Debug.checks_enabled ()
+    && occ_count <= debug_check_max_occs
+    && Db.size original <= debug_check_max_db
+  then begin
+    match self_check_impl ~taxonomy ~original ~keep_label t with
+    | [] -> ()
+    | issues ->
+      failwith ("Occ_index.self_check: " ^ String.concat "; " issues)
+  end;
+  t
 
 let occurrence_set t ~position label =
   Hashtbl.find_opt t.entries.(position) label

@@ -51,6 +51,25 @@ val graph_set : t -> Tsg_util.Bitset.t -> Tsg_util.Bitset.t
 (** Distinct database graph ids of an occurrence set, as a bitset over the
     database. *)
 
+val self_check :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  original:Tsg_graph.Db.t ->
+  ?keep_label:(Tsg_graph.Label.id -> bool) ->
+  t ->
+  string list
+(** Cross-validate the index against brute-force {!Tsg_iso.Gen_iso}
+    embedding enumeration over the original database: total and per-graph
+    occurrence counts, the class support set, every occurrence-index-entry
+    bitset cardinality per position and covered label, and the
+    subset relation between a descendant label's set and its ancestors'.
+    Returns discrepancy descriptions ([[]] when the index is sound).
+    [keep_label] must be the filter the index was built with. Exponential
+    in pattern size — debug/test use only.
+
+    When the [TSG_DEBUG_CHECKS] environment variable is set
+    ({!Tsg_util.Debug.checks_enabled}) and the instance is small, {!build}
+    runs this automatically and raises [Failure] on any discrepancy. *)
+
 (** Size accounting — the quantities the paper's Lemmas 4 and 5 bound. *)
 type size = {
   positions : int;

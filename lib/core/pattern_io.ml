@@ -45,6 +45,41 @@ let unescape_name token =
     Buffer.contents buf
   end
 
+(* node ids in minimum-DFS-code order, so isomorphic patterns serialize
+   identically; disconnected or single-node graphs are left as built *)
+(* Canonical node numbering must depend only on serialized content, not on
+   the caller's edge-label interning order (the minimum DFS code compares
+   edge-label ids): rank this pattern's edge labels by *name*, renumber
+   under the ranks, then map the ranks back. Writer and checker both go
+   through here, so saved artifacts and [PAT002] agree. *)
+let canonical_form ~edge_labels g =
+  if Graph.node_count g <= 1 || not (Graph.is_connected g) then g
+  else begin
+    let remap f gg =
+      Graph.build
+        ~labels:(Graph.node_labels gg)
+        ~edges:
+          (Array.to_list
+             (Array.map (fun (u, v, l) -> (u, v, f l)) (Graph.edges gg)))
+    in
+    let ids =
+      List.sort_uniq Stdlib.compare
+        (Array.to_list (Array.map (fun (_, _, l) -> l) (Graph.edges g)))
+    in
+    let by_name =
+      List.sort
+        (fun a b ->
+          String.compare (Label.name edge_labels a) (Label.name edge_labels b))
+        ids
+    in
+    let rank = Hashtbl.create 8 in
+    List.iteri (fun i id -> Hashtbl.add rank id i) by_name;
+    let unrank = Array.of_list by_name in
+    let ranked = remap (Hashtbl.find rank) g in
+    let canon = Tsg_gspan.Dfs_code.to_graph (Tsg_gspan.Min_code.minimum ranked) in
+    remap (fun r -> unrank.(r)) canon
+  end
+
 let to_string ~node_labels ~edge_labels ~db_size patterns =
   let buf = Buffer.create 4096 in
   List.iteri
@@ -52,7 +87,7 @@ let to_string ~node_labels ~edge_labels ~db_size patterns =
       Buffer.add_string buf
         (Printf.sprintf "p # %d support %d/%d\n" index p.Pattern.support_count
            db_size);
-      let g = p.Pattern.graph in
+      let g = canonical_form ~edge_labels p.Pattern.graph in
       for v = 0 to Graph.node_count g - 1 do
         Buffer.add_string buf
           (Printf.sprintf "v %d %s\n" v
@@ -74,21 +109,32 @@ let save path ~node_labels ~edge_labels ~db_size patterns =
     (fun () ->
       output_string oc (to_string ~node_labels ~edge_labels ~db_size patterns))
 
-exception Parse_error of int * string
+exception Parse_error of Tsg_util.Diagnostic.t
 
-let fail line msg = raise (Parse_error (line, msg))
-
-let unescape lineno token =
-  try unescape_name token
-  with Invalid_argument msg -> fail lineno (msg ^ " in " ^ token)
+type located = {
+  pattern : Pattern.t;
+  header_line : int;
+  recorded_db_size : int;
+}
 
 type partial = {
   support : int;
+  header_line : int;
   mutable labels : (int * Label.id) list;
   mutable edges : (int * int * Label.id) list;
 }
 
-let parse ~node_labels ~edge_labels text =
+let parse_located ?file ~node_labels ~edge_labels text =
+  let fail line msg =
+    raise
+      (Parse_error
+         (Tsg_util.Diagnostic.make ?file ~line ~rule:"PAT009"
+            Tsg_util.Diagnostic.Error msg))
+  in
+  let unescape lineno token =
+    try unescape_name token
+    with Invalid_argument msg -> fail lineno (msg ^ " in " ^ token)
+  in
   let patterns = ref [] in
   let db_size = ref 0 in
   let current = ref None in
@@ -120,7 +166,13 @@ let parse ~node_labels ~edge_labels text =
       for i = 0 to p.support - 1 do
         Bitset.set set i
       done;
-      patterns := Pattern.make ~db_size:!db_size graph set :: !patterns;
+      patterns :=
+        {
+          pattern = Pattern.make ~db_size:!db_size graph set;
+          header_line = p.header_line;
+          recorded_db_size = !db_size;
+        }
+        :: !patterns;
       current := None
   in
   String.split_on_char '\n' text
@@ -137,7 +189,8 @@ let parse ~node_labels ~edge_labels text =
                match (int_of_string_opt num, int_of_string_opt den) with
                | Some support, Some size when support >= 0 && size >= support ->
                  db_size := size;
-                 current := Some { support; labels = []; edges = [] }
+                 current :=
+                   Some { support; header_line = !lineno; labels = []; edges = [] }
                | _ -> fail !lineno ("bad support " ^ frac))
              | _ -> fail !lineno ("bad support " ^ frac))
            | [ "v"; v; name ] -> (
@@ -158,6 +211,10 @@ let parse ~node_labels ~edge_labels text =
   close_current ();
   (List.rev !patterns, !db_size)
 
+let parse ?file ~node_labels ~edge_labels text =
+  let located, db_size = parse_located ?file ~node_labels ~edge_labels text in
+  (List.map (fun l -> l.pattern) located, db_size)
+
 let load ~node_labels ~edge_labels path =
   let ic = open_in path in
   let text =
@@ -165,4 +222,4 @@ let load ~node_labels ~edge_labels path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  parse ~node_labels ~edge_labels text
+  parse ~file:path ~node_labels ~edge_labels text

@@ -1,4 +1,3 @@
-module Prng = Tsg_util.Prng
 
 type spec = {
   id : string;

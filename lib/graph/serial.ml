@@ -88,6 +88,77 @@ let parse_db ~node_labels ~edge_labels text =
   close_current ();
   Db.of_list (List.rev !graphs)
 
+type raw_node = { v_index : int; v_label : string; v_line : int }
+
+type raw_edge = { e_src : int; e_dst : int; e_label : string; e_line : int }
+
+type raw_graph = {
+  g_line : int;
+  g_nodes : raw_node list;
+  g_edges : raw_edge list;
+}
+
+type raw_db = {
+  graphs : raw_graph list;
+  bad_lines : (int * string) list;
+}
+
+let parse_db_raw text =
+  let graphs = ref [] in
+  let bad = ref [] in
+  let current = ref None in
+  let lineno = ref 0 in
+  let close_current () =
+    match !current with
+    | None -> ()
+    | Some g ->
+      graphs :=
+        { g with g_nodes = List.rev g.g_nodes; g_edges = List.rev g.g_edges }
+        :: !graphs;
+      current := None
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         incr lineno;
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line with
+           | "t" :: _ ->
+             close_current ();
+             current := Some { g_line = !lineno; g_nodes = []; g_edges = [] }
+           | [ "v"; v; name ] -> (
+             match (!current, int_of_string_opt v) with
+             | None, _ -> bad := (!lineno, "'v' before any 't' header") :: !bad
+             | _, None -> bad := (!lineno, "bad node index " ^ v) :: !bad
+             | Some g, Some v ->
+               current :=
+                 Some
+                   {
+                     g with
+                     g_nodes =
+                       { v_index = v; v_label = name; v_line = !lineno }
+                       :: g.g_nodes;
+                   })
+           | [ "e"; u; v; name ] -> (
+             match (!current, int_of_string_opt u, int_of_string_opt v) with
+             | None, _, _ ->
+               bad := (!lineno, "'e' before any 't' header") :: !bad
+             | _, None, _ | _, _, None ->
+               bad := (!lineno, "bad edge endpoints") :: !bad
+             | Some g, Some u, Some v ->
+               current :=
+                 Some
+                   {
+                     g with
+                     g_edges =
+                       { e_src = u; e_dst = v; e_label = name; e_line = !lineno }
+                       :: g.g_edges;
+                   })
+           | _ -> bad := (!lineno, "unrecognized line: " ^ line) :: !bad);
+  close_current ();
+  { graphs = List.rev !graphs; bad_lines = List.rev !bad }
+
 let read_file path =
   let ic = open_in path in
   Fun.protect

@@ -28,6 +28,31 @@ val parse_db : node_labels:Label.t -> edge_labels:Label.t -> string -> Db.t
 val load_db : node_labels:Label.t -> edge_labels:Label.t -> string -> Db.t
 (** Read from a file path. *)
 
+(** {1 Raw form}
+
+    The unvalidated content of a database file, with source line numbers —
+    what the lint passes ({!Tsg_check.Check_db}) analyze, so structurally
+    broken files (dangling endpoints, self loops, duplicate edges) can
+    still be read and diagnosed precisely. [parse_db_raw] never raises:
+    lines it cannot make sense of are returned in [bad_lines]. *)
+
+type raw_node = { v_index : int; v_label : string; v_line : int }
+
+type raw_edge = { e_src : int; e_dst : int; e_label : string; e_line : int }
+
+type raw_graph = {
+  g_line : int;  (** line of the [t] header *)
+  g_nodes : raw_node list;  (** in file order *)
+  g_edges : raw_edge list;  (** in file order *)
+}
+
+type raw_db = {
+  graphs : raw_graph list;
+  bad_lines : (int * string) list;  (** line, problem description *)
+}
+
+val parse_db_raw : string -> raw_db
+
 (** {1 Directed databases}
 
     Same line format with [a <src> <dst> <arc-label-name>] lines instead of

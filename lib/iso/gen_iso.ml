@@ -1,4 +1,3 @@
-module Graph = Tsg_graph.Graph
 module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset

@@ -2,7 +2,6 @@ module Bitset = Tsg_util.Bitset
 module Metrics = Tsg_util.Metrics
 module Timer = Tsg_util.Timer
 module Graph = Tsg_graph.Graph
-module Taxonomy = Tsg_taxonomy.Taxonomy
 module Gen_iso = Tsg_iso.Gen_iso
 module Pattern = Tsg_core.Pattern
 

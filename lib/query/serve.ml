@@ -1,4 +1,3 @@
-module Label = Tsg_graph.Label
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Pattern = Tsg_core.Pattern
 module Metrics = Tsg_util.Metrics
@@ -109,7 +108,7 @@ let run ?domains ~engine ~edge_labels ic oc =
        | Some Protocol.Quit ->
          incr requests;
          quit := true
-       | Some q ->
+       | Some (Protocol.(Contains _ | By_label _ | Top_k _) as q) ->
          incr requests;
          batch := `Query q :: !batch
        | exception Protocol.Parse_error msg ->

@@ -1,6 +1,5 @@
 module Bitset = Tsg_util.Bitset
 module Graph = Tsg_graph.Graph
-module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Pattern = Tsg_core.Pattern
 module Interest = Tsg_core.Interest

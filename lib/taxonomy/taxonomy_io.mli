@@ -13,11 +13,37 @@ val to_string : Taxonomy.t -> string
 
 val save : string -> Taxonomy.t -> unit
 
-exception Parse_error of int * string
-(** Line number (1-based) and message. *)
+exception Parse_error of Tsg_util.Diagnostic.t
+(** Carries the offending file (when known), 1-based line, rule code and
+    message. Parse-level problems use rule [TAX009]; structural problems
+    rejected at build time use their lint rule codes ([TAX001]..[TAX005],
+    see DESIGN.md). *)
 
-val parse : string -> Taxonomy.t
-(** @raise Parse_error on malformed input (including unknown names, cycles,
-    duplicates — reported with line 0 when structural). *)
+(** {1 Raw form}
+
+    The unvalidated content of a taxonomy file, with source line numbers —
+    what the lint passes ({!Tsg_check.Check_taxonomy}) analyze, so that
+    structurally-broken files (cycles, duplicates) can still be read and
+    diagnosed precisely. *)
+
+type raw = {
+  decls : (string * int) list;  (** concept name, declaration line *)
+  is_a : (string * string * int) list;  (** child, parent, line *)
+}
+
+val parse_raw : ?file:string -> string -> raw
+(** Line-level parse only; performs no structural validation.
+    @raise Parse_error (rule [TAX009]) on unrecognized lines. *)
+
+val of_raw : ?file:string -> raw -> Taxonomy.t
+(** Validate and build.
+    @raise Parse_error with the first structural problem, located at its
+    source line: duplicate declaration [TAX001], unknown name [TAX002],
+    self is-a [TAX003], duplicate is-a [TAX004], cycle [TAX005]. *)
+
+val parse : ?file:string -> string -> Taxonomy.t
+(** [of_raw ?file (parse_raw ?file text)].
+    @raise Parse_error on malformed input. *)
 
 val load : string -> Taxonomy.t
+(** @raise Parse_error (with the path as file) on malformed input. *)

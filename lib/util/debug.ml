@@ -1,0 +1,7 @@
+let enabled =
+  lazy
+    (match Sys.getenv_opt "TSG_DEBUG_CHECKS" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
+let checks_enabled () = Lazy.force enabled

@@ -1,0 +1,8 @@
+(** Opt-in internal self-checks.
+
+    Expensive invariant checks sprinkled through the hot paths (e.g.
+    {!Tsg_core.Occ_index}'s brute-force cross-validation) only run when the
+    [TSG_DEBUG_CHECKS] environment variable is set to something other than
+    ["0"], [""] or ["false"]. The variable is read once per process. *)
+
+val checks_enabled : unit -> bool

@@ -1,0 +1,129 @@
+type severity = Info | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string option;
+  line : int option;
+  message : string;
+}
+
+let make ?file ?line ~rule severity message =
+  { rule; severity; file; line; message }
+
+let makef ?file ?line ~rule severity fmt =
+  Printf.ksprintf (fun message -> make ?file ?line ~rule severity message) fmt
+
+let with_file file t =
+  match t.file with Some _ -> t | None -> { t with file = Some file }
+
+let to_string t =
+  let loc =
+    match (t.file, t.line) with
+    | Some f, Some l -> Printf.sprintf "%s:%d: " f l
+    | Some f, None -> Printf.sprintf "%s: " f
+    | None, Some l -> Printf.sprintf "line %d: " l
+    | None, None -> ""
+  in
+  Printf.sprintf "%s%s [%s] %s" loc
+    (severity_to_string t.severity)
+    t.rule t.message
+
+let to_machine t =
+  let no_tabs s =
+    String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+  in
+  Printf.sprintf "%s\t%s\t%s\t%s\t%s"
+    (match t.file with Some f -> no_tabs f | None -> "-")
+    (match t.line with Some l -> string_of_int l | None -> "-")
+    (severity_to_string t.severity)
+    t.rule (no_tabs t.message)
+
+let compare a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.rule b.rule in
+      if c <> 0 then c else compare a.message b.message
+
+type collector = {
+  mutable items : t list;  (** reverse emission order *)
+  suppress : (string, unit) Hashtbl.t;
+  mutable errors : int;
+  mutable warnings : int;
+  mutable infos : int;
+  mutable suppressed : int;
+}
+
+let collector ?(suppress = []) () =
+  let table = Hashtbl.create 8 in
+  List.iter (fun rule -> Hashtbl.replace table rule ()) suppress;
+  {
+    items = [];
+    suppress = table;
+    errors = 0;
+    warnings = 0;
+    infos = 0;
+    suppressed = 0;
+  }
+
+let emit c t =
+  if Hashtbl.mem c.suppress t.rule then c.suppressed <- c.suppressed + 1
+  else begin
+    c.items <- t :: c.items;
+    match t.severity with
+    | Error -> c.errors <- c.errors + 1
+    | Warning -> c.warnings <- c.warnings + 1
+    | Info -> c.infos <- c.infos + 1
+  end
+
+let emitf c ?file ?line ~rule severity fmt =
+  Printf.ksprintf (fun message -> emit c (make ?file ?line ~rule severity message)) fmt
+
+let items c = List.stable_sort compare (List.rev c.items)
+
+let error_count c = c.errors
+
+let warning_count c = c.warnings
+
+let info_count c = c.infos
+
+let suppressed_count c = c.suppressed
+
+let has_errors c = c.errors > 0
+
+let max_severity c =
+  if c.errors > 0 then Some Error
+  else if c.warnings > 0 then Some Warning
+  else if c.infos > 0 then Some Info
+  else None
+
+let exit_code c = if c.errors > 0 then 2 else if c.warnings > 0 then 1 else 0
+
+let print ?(machine = false) oc c =
+  let render = if machine then to_machine else to_string in
+  List.iter (fun t -> output_string oc (render t ^ "\n")) (items c)
+
+let summary c =
+  if c.errors = 0 && c.warnings = 0 && c.infos = 0 then "no findings"
+  else begin
+    let part n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
+    let parts =
+      (if c.errors > 0 then [ part c.errors "error" ] else [])
+      @ (if c.warnings > 0 then [ part c.warnings "warning" ] else [])
+      @ if c.infos > 0 then [ part c.infos "info" ] else []
+    in
+    String.concat ", " parts
+  end

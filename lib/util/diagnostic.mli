@@ -1,0 +1,99 @@
+(** Diagnostics: rule-coded findings with source locations.
+
+    The lint passes ([tsg_check], surfaced by [tsg-lint]) and the artifact
+    parsers ({!Tsg_taxonomy.Taxonomy_io}, {!Tsg_core.Pattern_io}) report
+    problems as values of {!t}: a stable rule code (["TAX005"],
+    ["DB002"], ...), a severity, an optional [file:line] location for
+    text-format artifacts, and a human-readable message. A {!collector}
+    accumulates findings, honours per-rule suppression, and renders text or
+    machine-readable output. The rule-code catalog lives in DESIGN.md. *)
+
+type severity = Info | Warning | Error
+
+val severity_to_string : severity -> string
+(** ["info"], ["warning"], ["error"]. *)
+
+val compare_severity : severity -> severity -> int
+(** [Info < Warning < Error]. *)
+
+type t = {
+  rule : string;  (** stable code, e.g. ["TAX005"] *)
+  severity : severity;
+  file : string option;
+  line : int option;  (** 1-based line in [file] *)
+  message : string;
+}
+
+val make :
+  ?file:string -> ?line:int -> rule:string -> severity -> string -> t
+
+val makef :
+  ?file:string ->
+  ?line:int ->
+  rule:string ->
+  severity ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [makef ~rule sev fmt ...] is {!make} over a format string. *)
+
+val with_file : string -> t -> t
+(** Stamp a file name onto a diagnostic that lacks one. *)
+
+val to_string : t -> string
+(** Human form: ["file:line: error [TAX005] message"] (location parts
+    omitted when absent). *)
+
+val to_machine : t -> string
+(** Tab-separated [file line severity rule message] with ["-"] for absent
+    location parts; one line, for toolchain consumption. *)
+
+val compare : t -> t -> int
+(** Orders by file, then line, then rule, then message. *)
+
+(** {1 Collectors} *)
+
+type collector
+
+val collector : ?suppress:string list -> unit -> collector
+(** A fresh collector. Findings whose rule code appears in [suppress] are
+    dropped on {!emit} (case-sensitive). *)
+
+val emit : collector -> t -> unit
+
+val emitf :
+  collector ->
+  ?file:string ->
+  ?line:int ->
+  rule:string ->
+  severity ->
+  ('a, unit, string, unit) format4 ->
+  'a
+
+val items : collector -> t list
+(** Collected findings sorted with {!compare}; suppression already
+    applied. *)
+
+val error_count : collector -> int
+
+val warning_count : collector -> int
+
+val info_count : collector -> int
+
+val suppressed_count : collector -> int
+(** Findings dropped by the suppression list. *)
+
+val has_errors : collector -> bool
+
+val max_severity : collector -> severity option
+(** [None] when nothing was collected. *)
+
+val exit_code : collector -> int
+(** The lint exit convention: [2] with errors, [1] with warnings (but no
+    errors), [0] otherwise — infos never affect the code. *)
+
+val print : ?machine:bool -> out_channel -> collector -> unit
+(** One finding per line ({!to_string}, or {!to_machine} when
+    [machine]). *)
+
+val summary : collector -> string
+(** E.g. ["2 errors, 1 warning"]; ["no findings"] when empty. *)

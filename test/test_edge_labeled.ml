@@ -3,7 +3,6 @@ module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset
 module Edge_labeled = Tsg_core.Edge_labeled
-module Pattern = Tsg_core.Pattern
 
 let check = Alcotest.check
 let bool = Alcotest.bool

@@ -1,7 +1,6 @@
 module Graph = Tsg_graph.Graph
 module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
-module Matcher = Tsg_iso.Matcher
 module Subiso = Tsg_iso.Subiso
 module Gen_iso = Tsg_iso.Gen_iso
 module Bitset = Tsg_util.Bitset

@@ -5,7 +5,6 @@ module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset
 module Prng = Tsg_util.Prng
 module Metrics = Tsg_util.Metrics
-module Gen_iso = Tsg_iso.Gen_iso
 module Pattern = Tsg_core.Pattern
 module Taxogram = Tsg_core.Taxogram
 module Specialize = Tsg_core.Specialize
@@ -369,23 +368,23 @@ let test_protocol_parse () =
   let t = small_taxonomy () in
   let edge_labels = Label.of_names [ "e0"; "e1" ] in
   let parse s = Protocol.parse ~taxonomy:t ~edge_labels s in
-  (match parse "contains d,f 0-1" with
+  (match[@warning "-4"] parse "contains d,f 0-1" with
   | Some (Protocol.Contains g) ->
     check int "nodes" 2 (Graph.node_count g);
     check int "edges" 1 (Graph.edge_count g);
     check int "label 0" (id t "d") (Graph.node_label g 0)
   | _ -> Alcotest.fail "expected contains");
-  (match parse "contains d -" with
+  (match[@warning "-4"] parse "contains d -" with
   | Some (Protocol.Contains g) ->
     check int "single node" 1 (Graph.node_count g);
     check int "edgeless" 0 (Graph.edge_count g)
   | _ -> Alcotest.fail "expected edgeless contains");
-  (match parse "contains d,f,e 0-1/e1,1-2" with
+  (match[@warning "-4"] parse "contains d,f,e 0-1/e1,1-2" with
   | Some (Protocol.Contains g) ->
     check (Alcotest.option int) "edge label" (Some 1) (Graph.edge_label g 0 1);
     check (Alcotest.option int) "default label" (Some 0) (Graph.edge_label g 1 2)
   | _ -> Alcotest.fail "expected labeled contains");
-  (match parse "by-label b" with
+  (match[@warning "-4"] parse "by-label b" with
   | Some (Protocol.By_label l) -> check int "label id" (id t "b") l
   | _ -> Alcotest.fail "expected by-label");
   check bool "top-k support" true
@@ -401,7 +400,7 @@ let test_protocol_errors () =
   let t = small_taxonomy () in
   let edge_labels = Label.create () in
   let expect_error s =
-    match Protocol.parse ~taxonomy:t ~edge_labels s with
+    match[@warning "-4"] Protocol.parse ~taxonomy:t ~edge_labels s with
     | exception Protocol.Parse_error _ -> ()
     | _ -> Alcotest.fail ("expected Parse_error for " ^ s)
   in
@@ -416,7 +415,7 @@ let test_protocol_errors () =
   expect_error "frobnicate";
   (* unseen edge labels are interned, not rejected: the query graph is a
      target, not a pattern *)
-  match Protocol.parse ~taxonomy:t ~edge_labels "contains d,f 0-1/novel" with
+  match[@warning "-4"] Protocol.parse ~taxonomy:t ~edge_labels "contains d,f 0-1/novel" with
   | Some (Protocol.Contains _) ->
     check bool "interned" true (Label.mem edge_labels "novel")
   | _ -> Alcotest.fail "expected contains"
@@ -428,7 +427,7 @@ let test_protocol_format_roundtrip () =
   List.iter
     (fun graph ->
       let spec = Protocol.format_graph ~names ~edge_labels graph in
-      match Protocol.parse ~taxonomy:t ~edge_labels ("contains " ^ spec) with
+      match[@warning "-4"] Protocol.parse ~taxonomy:t ~edge_labels ("contains " ^ spec) with
       | Some (Protocol.Contains g) ->
         check bool ("round-trip " ^ spec) true (Graph.equal graph g)
       | _ -> Alcotest.fail ("no parse for " ^ spec))
