@@ -31,6 +31,7 @@ type ctx = {
   pte_molecules : int;
   pte_max_edges : int option;
   baseline_seconds : float;  (* time budget for enhancement-free runs *)
+  domains_max : int;  (* largest pool size the parallel experiment sweeps *)
 }
 
 let default_ctx =
@@ -44,6 +45,7 @@ let default_ctx =
     pte_molecules = 120;
     pte_max_edges = Some 5;
     baseline_seconds = 120.0;
+    domains_max = 8;
   }
 
 let full_ctx =
@@ -87,9 +89,14 @@ let build_scaled ctx tax spec =
   in
   (spec, db)
 
+(* the paper-reproduction experiments stay on one domain so the numbers
+   remain comparable with the single-threaded Java implementation; the
+   `parallel` experiment is where the pool is measured *)
+let drop (_ : Tsg_core.Pattern.t) = ()
+
 let run_taxogram ?max_edges ?(enhancements = Specialize.all_on) tax db theta =
   let config = { Taxogram.min_support = theta; max_edges; enhancements } in
-  let r = Taxogram.run_streaming ~config tax db (fun _ -> ()) in
+  let r = Taxogram.run ~config ~domains:1 ~sink:(`Stream drop) tax db in
   (r.Taxogram.total_seconds, r.Taxogram.pattern_count)
 
 (* enhancement-free runs can take hours on the larger points (that is the
@@ -99,7 +106,9 @@ let run_budgeted ?max_edges ?(enhancements = Specialize.all_off) ctx tax db
     theta =
   let config = { Taxogram.min_support = theta; max_edges; enhancements } in
   let budget = Timer.Budget.of_seconds ctx.baseline_seconds in
-  let r = Taxogram.run_streaming ~config ~budget tax db (fun _ -> ()) in
+  let r =
+    Taxogram.run ~config ~budget ~domains:1 ~sink:(`Stream drop) tax db
+  in
   let status =
     if r.Taxogram.completed then ms r.Taxogram.total_seconds else "DNF"
   in
@@ -453,7 +462,7 @@ let ablation ctx =
     let config =
       { Taxogram.min_support = ctx.theta; max_edges = None; enhancements }
     in
-    let r = Taxogram.run_streaming ~config go db (fun _ -> ()) in
+    let r = Taxogram.run ~config ~domains:1 ~sink:(`Stream drop) go db in
     Table.add_row t
       [
         name;
@@ -490,7 +499,8 @@ let ablation ctx =
         }
       in
       let r =
-        Taxogram.run_streaming ~config ~class_miner:miner go db (fun _ -> ())
+        Taxogram.run ~config ~class_miner:miner ~domains:1
+          ~sink:(`Stream drop) go db
       in
       Table.add_row t2
         [ name; ms r.Taxogram.total_seconds;
@@ -500,44 +510,133 @@ let ablation ctx =
 
 (* --- Parallel speedup (opt-in: --only parallel) --------------------------------- *)
 
+(* Work-stealing end-to-end runs on the generator's standard workloads:
+   a step-2-heavy regime (the biggest NC point: large graphs make gSpan +
+   occurrence-index construction dominate) and a step-3-heavy one (the
+   deep-taxonomy regime of Figure 4.5, where specialization dominates).
+   Writes BENCH_parallel.json. *)
 let parallel_exp ctx =
-  header "Parallel step 3: speedup over sequential (beyond the paper)";
-  (* the deep-taxonomy regime of Figure 4.5, where specialized-pattern
-     enumeration dominates the run *)
-  let depth = 13 in
-  let rng = Prng.of_int (ctx.seed + depth) in
-  let go =
-    Tsg_taxonomy.Synth_taxonomy.generate rng
-      { concepts = 1000; relationships = 2000; depth }
+  header "Parallel mining: work-stealing pool across Steps 2+3 (beyond the paper)";
+  let domain_counts =
+    let standard = List.filter (fun d -> d <= ctx.domains_max) [ 1; 2; 4; 8 ] in
+    if List.mem ctx.domains_max standard then standard
+    else standard @ [ ctx.domains_max ]
   in
-  let sampler = Synth_graph.per_level_labels go () in
-  let spec = Datasets.scale ctx.scale (Datasets.td_spec ~depth) in
-  let db = Datasets.build rng ~node_label:sampler spec in
+  let workloads =
+    let nc_heavy =
+      let go = go_taxonomy ctx in
+      let spec =
+        List.nth Datasets.nc_series (List.length Datasets.nc_series - 1)
+      in
+      let spec, db = build_scaled ctx go spec in
+      ("step2-heavy " ^ spec.Datasets.id, go, db)
+    in
+    let td_heavy =
+      let depth = 13 in
+      let rng = Prng.of_int (ctx.seed + depth) in
+      let go =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts = 1000; relationships = 2000; depth }
+      in
+      let sampler = Synth_graph.per_level_labels go () in
+      let spec = Datasets.scale ctx.scale (Datasets.td_spec ~depth) in
+      let db = Datasets.build rng ~node_label:sampler spec in
+      ("step3-heavy " ^ spec.Datasets.id, go, db)
+    in
+    [ nc_heavy; td_heavy ]
+  in
   let config =
     { Taxogram.min_support = ctx.theta; max_edges = None;
       enhancements = Specialize.all_on }
   in
-  let t = Table.create [ "Mode"; "Total ms"; "Enumerate ms"; "Patterns" ] in
-  let seq = Taxogram.run_streaming ~config go db (fun _ -> ()) in
-  Table.add_row t
-    [ "sequential"; ms seq.Taxogram.total_seconds;
-      ms seq.Taxogram.enumerate_seconds;
-      string_of_int seq.Taxogram.pattern_count ];
-  List.iter
-    (fun domains ->
-      let r = Taxogram.run_parallel ~config ~domains go db in
-      Table.add_row t
-        [ Printf.sprintf "parallel x%d" domains;
-          ms r.Taxogram.total_seconds;
-          ms r.Taxogram.enumerate_seconds;
-          string_of_int r.Taxogram.pattern_count ])
-    [ 2; 4; 8 ];
+  let t =
+    Table.create
+      [ "Workload"; "Domains"; "Step2 ms"; "Enumerate ms"; "Total ms";
+        "Patterns"; "Identical" ]
+  in
+  let json_workloads =
+    List.map
+      (fun (id, tax, db) ->
+        let reference = ref [] in
+        let rows =
+          List.map
+            (fun domains ->
+              let r = Taxogram.run ~config ~domains ~sink:`Collect tax db in
+              let identical =
+                if domains = 1 then begin
+                  reference := r.Taxogram.patterns;
+                  true
+                end
+                else
+                  Tsg_core.Pattern.equal_sets !reference r.Taxogram.patterns
+              in
+              Table.add_row t
+                [ id; string_of_int domains;
+                  ms r.Taxogram.mining_seconds;
+                  ms r.Taxogram.enumerate_seconds;
+                  ms r.Taxogram.total_seconds;
+                  string_of_int r.Taxogram.pattern_count;
+                  (if identical then "yes" else "NO") ];
+              (domains, r, identical))
+            domain_counts
+        in
+        let find d = List.find_opt (fun (d', _, _) -> d' = d) rows in
+        let speedup field at =
+          match (find 1, find at) with
+          | Some (_, r1, _), Some (_, rn, _) when field rn > 0.0 ->
+            field r1 /. field rn
+          | _ -> 0.0
+        in
+        let step2_x4 = speedup (fun r -> r.Taxogram.mining_seconds) 4 in
+        let total_x4 = speedup (fun r -> r.Taxogram.total_seconds) 4 in
+        let row_json (domains, (r : Taxogram.result), identical) =
+          Printf.sprintf
+            "      { \"domains\": %d, \"step2_ms\": %.3f, \"enumerate_ms\": \
+             %.3f, \"total_ms\": %.3f, \"patterns\": %d, \"classes\": %d, \
+             \"identical_to_domains1\": %b }"
+            domains
+            (1000.0 *. r.Taxogram.mining_seconds)
+            (1000.0 *. r.Taxogram.enumerate_seconds)
+            (1000.0 *. r.Taxogram.total_seconds)
+            r.Taxogram.pattern_count r.Taxogram.class_count identical
+        in
+        Printf.sprintf
+          "    {\n\
+          \      \"id\": %S,\n\
+          \      \"db_size\": %d,\n\
+          \      \"step2_speedup_x4\": %.3f,\n\
+          \      \"total_speedup_x4\": %.3f,\n\
+          \      \"rows\": [\n%s\n      ]\n\
+          \    }"
+          id (Db.size db) step2_x4 total_x4
+          (String.concat ",\n" (List.map row_json rows)))
+      workloads
+  in
   finish_table "parallel" t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"recommended_domains\": %d,\n\
+      \  \"theta\": %.3f,\n\
+      \  \"scale\": %.3f,\n\
+      \  \"domain_counts\": [%s],\n\
+      \  \"workloads\": [\n%s\n  ]\n\
+       }\n"
+      (Domain.recommended_domain_count ())
+      ctx.theta ctx.scale
+      (String.concat ", " (List.map string_of_int domain_counts))
+      (String.concat ",\n" json_workloads)
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
   note
-    "identical pattern sets (tested). Speedup needs real cores: this host\n\
+    "wrote BENCH_parallel.json. Speedup needs real cores: this host\n\
      reports %d; with a single CPU the extra domains are pure overhead.\n\
-     Pattern classes are the parallel unit, so skew toward one huge class\n\
-     also bounds the gain.\n"
+     gSpan seed subtrees are the step-2 parallel unit (stolen in halves\n\
+     when a domain runs dry), so skew toward one huge subtree bounds the\n\
+     gain; classes remain the step-3 unit.\n"
     (Domain.recommended_domain_count ())
 
 (* --- Query serving: store build, prefilter, cache (lib/query) ----------------- *)
@@ -552,7 +651,9 @@ let query_exp ctx =
     { Taxogram.min_support = ctx.theta; max_edges = Some 4;
       enhancements = Specialize.all_on }
   in
-  let patterns = (Taxogram.run ~config go db).Taxogram.patterns in
+  let patterns =
+    (Taxogram.run ~config ~domains:1 ~sink:`Collect go db).Taxogram.patterns
+  in
   let store, build_s =
     Timer.time (fun () ->
         Store.build ~taxonomy:go ~db ~db_size:(Db.size db) patterns)
@@ -724,6 +825,10 @@ let () =
   let run_micro = ref false in
   let scale = ref None in
   let seed = ref None in
+  let theta = ref None in
+  let domains = ref None in
+  let set_theta f = theta := Some f in
+  let set_domains n = domains := Some n in
   let spec =
     [
       ("--full", Arg.Set full, " paper-scale parameters (slow)");
@@ -735,6 +840,15 @@ let () =
         Arg.Float (fun f -> scale := Some f),
         " database-size multiplier (default 0.03)" );
       ("--seed", Arg.Int (fun i -> seed := Some i), " generator seed");
+      ( "--theta",
+        Arg.Float set_theta,
+        " default support threshold (same spelling as tsg-mine)" );
+      ("--support", Arg.Float set_theta, " alias of --theta");
+      ( "--domains",
+        Arg.Int set_domains,
+        " largest pool size the parallel experiment sweeps (same spelling \
+         as tsg-mine and tsg-serve; TSG_DOMAINS is honored when the flag \
+         is absent)" );
       ( "--csv",
         Arg.String (fun d -> csv_dir := Some d),
         " also write each table as CSV into this directory" );
@@ -746,6 +860,17 @@ let () =
   let ctx = if !full then full_ctx else default_ctx in
   let ctx = match !scale with Some s -> { ctx with scale = s } | None -> ctx in
   let ctx = match !seed with Some s -> { ctx with seed = s } | None -> ctx in
+  let ctx = match !theta with Some t -> { ctx with theta = t } | None -> ctx in
+  let ctx =
+    (* --domains caps the sweep; without it, TSG_DOMAINS (via the pool
+       default) can only raise the cap above the built-in 8 *)
+    match !domains with
+    | Some d -> { ctx with domains_max = max 1 d }
+    | None ->
+      { ctx with
+        domains_max = max ctx.domains_max (Tsg_util.Pool.default_domains ())
+      }
+  in
   Printf.printf
     "taxogram benchmarks: scale=%.3f go_concepts=%d seed=%d theta=%.2f\n"
     ctx.scale ctx.go_concepts ctx.seed ctx.theta;

@@ -114,15 +114,24 @@ let run_directed db_path tax_path support max_edges limit quiet =
   0
 
 let run db_path tax_path support algorithm max_edges limit quiet directed out
-    parallel no_validate =
+    domains parallel no_validate =
   if directed then run_directed db_path tax_path support max_edges limit quiet
   else begin
   if not no_validate then validate_inputs db_path tax_path;
   let taxonomy, db, edge_labels = load_inputs db_path tax_path in
-  Printf.printf "database: %d graphs, taxonomy: %d concepts (%d levels)\n%!"
+  (* mining is parallel by default now; --domains overrides the
+     TSG_DOMAINS-aware pool default, and the deprecated --parallel flag is
+     accepted as a no-op alias of that default *)
+  ignore parallel;
+  let domains =
+    Option.value ~default:(Tsg_util.Pool.default_domains ()) domains
+  in
+  Printf.printf
+    "database: %d graphs, taxonomy: %d concepts (%d levels), %d domains\n%!"
     (Db.size db)
     (Taxonomy.label_count taxonomy)
-    (Taxonomy.level_count taxonomy);
+    (Taxonomy.level_count taxonomy)
+    domains;
   let patterns, elapsed =
     match algorithm with
     | Alg_taxogram | Alg_baseline ->
@@ -131,10 +140,7 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
         else Specialize.all_off
       in
       let config = { Taxogram.min_support = support; max_edges; enhancements } in
-      let r =
-        if parallel then Taxogram.run_parallel ~config taxonomy db
-        else Taxogram.run ~config taxonomy db
-      in
+      let r = Taxogram.run ~config ~domains ~sink:`Collect taxonomy db in
       (r.Taxogram.patterns, r.Taxogram.total_seconds)
     | Alg_tacgm ->
       let r = Tacgm.run ?max_edges ~min_support:support taxonomy db in
@@ -202,8 +208,9 @@ let tax_arg =
          ~doc:"Label taxonomy (c/i line format).")
 
 let support_arg =
-  Arg.(value & opt float 0.2 & info [ "support"; "s" ] ~docv:"THETA"
-         ~doc:"Minimum support threshold in [0,1].")
+  Arg.(value & opt float 0.2 & info [ "theta"; "support"; "s" ] ~docv:"THETA"
+         ~doc:"Minimum support threshold in [0,1]. $(b,--support) and \
+               $(b,-s) are kept as aliases of $(b,--theta).")
 
 let algorithm_arg =
   Arg.(value & opt algorithm_conv Alg_taxogram & info [ "algorithm"; "a" ]
@@ -225,10 +232,21 @@ let out_arg =
          ~doc:"Also write the mined patterns to $(docv) (Pattern_io format, \
                readable by tsg-serve and tsg-dot).")
 
+let domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"N"
+           ~env:(Cmd.Env.info "TSG_DOMAINS")
+           ~doc:"Size of the work-stealing domain pool Steps 2 and 3 run \
+                 on (taxogram and baseline algorithms only); 1 selects the \
+                 sequential pipeline. Defaults to $(b,TSG_DOMAINS) when \
+                 set, else the machine's recommended domain count capped \
+                 at 8.")
+
 let parallel_arg =
-  Arg.(value & flag & info [ "parallel" ]
-         ~doc:"Enumerate specialized patterns on all cores (taxogram and \
-               baseline algorithms only).")
+  Arg.(value & flag
+       & info [ "parallel" ]
+           ~deprecated:"use --domains N (mining is parallel by default)"
+           ~doc:"Deprecated no-op alias of the default --domains.")
 
 let directed_arg =
   Arg.(value & flag & info [ "directed" ]
@@ -247,6 +265,6 @@ let cmd =
     Term.(
       const run $ db_arg $ tax_arg $ support_arg $ algorithm_arg
       $ max_edges_arg $ limit_arg $ quiet_arg $ directed_arg $ out_arg
-      $ parallel_arg $ no_validate_arg)
+      $ domains_arg $ parallel_arg $ no_validate_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -133,8 +133,12 @@ let requests_arg =
 let domains_arg =
   Arg.(
     value
-    & opt int (min 8 (Domain.recommended_domain_count ()))
-    & info [ "domains" ] ~docv:"N" ~doc:"Size of the worker-domain pool.")
+    & opt int (Tsg_util.Pool.default_domains ())
+    & info [ "domains" ] ~docv:"N"
+        ~env:(Cmd.Env.info "TSG_DOMAINS")
+        ~doc:"Size of the worker-domain pool. Defaults to $(b,TSG_DOMAINS) \
+              when set, else the machine's recommended domain count capped \
+              at 8 — the same spelling and default as tsg-mine and bench.")
 
 let cache_arg =
   Arg.(

@@ -62,9 +62,10 @@ let () =
     (Taxonomy.name taxonomy motif_a)
     (Taxonomy.name taxonomy motif_b);
 
-  (* 2. mine on all cores *)
+  (* 2. mine on all cores (the pool defaults to TSG_DOMAINS, else the
+     machine's recommended domain count capped at 8) *)
   let config = { Taxogram.default_config with min_support = 0.25 } in
-  let result = Taxogram.run_parallel ~config taxonomy db in
+  let result = Taxogram.run ~config ~sink:`Collect taxonomy db in
   Printf.printf
     "mined %d patterns from %d classes in %.2fs (%d occurrence-set \
      intersections)\n"

@@ -119,7 +119,8 @@ let mine ?(min_support = 0.2) ?max_arcs
   in
   let out = ref [] in
   let _ =
-    Taxogram.run_streaming ~config env.taxonomy db (fun (p : Pattern.t) ->
+    Taxogram.run ~config ~domains:1 env.taxonomy db
+      ~sink:(`Stream (fun (p : Pattern.t) ->
         match decode env p.Pattern.graph with
         | Some dg ->
           out :=
@@ -130,7 +131,7 @@ let mine ?(min_support = 0.2) ?max_arcs
               support_set = p.Pattern.support_set;
             }
             :: !out
-        | None -> ())
+        | None -> ()))
   in
   List.rev !out
 

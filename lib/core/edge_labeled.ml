@@ -171,7 +171,8 @@ let mine ?(min_support = 0.2) ?max_edges ?(enhancements = Specialize.all_on)
   in
   let out = ref [] in
   let _ =
-    Taxogram.run_streaming ~config env.taxonomy db (fun (p : Pattern.t) ->
+    Taxogram.run ~config ~domains:1 env.taxonomy db
+      ~sink:(`Stream (fun (p : Pattern.t) ->
         match decode env p.Pattern.graph with
         | Some g ->
           out :=
@@ -182,6 +183,6 @@ let mine ?(min_support = 0.2) ?max_edges ?(enhancements = Specialize.all_on)
               support_set = p.Pattern.support_set;
             }
             :: !out
-        | None -> ())
+        | None -> ()))
   in
   List.rev !out

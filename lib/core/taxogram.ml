@@ -3,6 +3,7 @@ module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset
 module Timer = Tsg_util.Timer
+module Pool = Tsg_util.Pool
 module Gspan = Tsg_gspan.Gspan
 
 type config = {
@@ -28,7 +29,10 @@ type result = {
   spec_stats : Specialize.stats;
   oi_entries : int;
   oi_set_members : int;
+  covered_graph_count : int;
 }
+
+type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
 
 exception Out_of_time_in_mining
 
@@ -53,57 +57,121 @@ let frequent_label_filter taxonomy db ~min_support =
 
 type class_miner = [ `Gspan | `Level_wise ]
 
-let run_streaming ?(config = default_config)
-    ?(budget = Timer.Budget.unlimited) ?(class_miner = `Gspan) taxonomy db
-    emit =
+let add_stats (dst : Specialize.stats) (s : Specialize.stats) =
+  dst.Specialize.intersections <-
+    dst.Specialize.intersections + s.Specialize.intersections;
+  dst.Specialize.visited <- dst.Specialize.visited + s.Specialize.visited;
+  dst.Specialize.emitted <- dst.Specialize.emitted + s.Specialize.emitted;
+  dst.Specialize.over_generalized <-
+    dst.Specialize.over_generalized + s.Specialize.over_generalized
+
+let keep_label_of config taxonomy db ~min_support =
+  if config.enhancements.Specialize.label_prefilter then
+    Some (frequent_label_filter taxonomy db ~min_support)
+  else None
+
+(* --- sequential path (domains = 1) ----------------------------------- *)
+
+(* Identical to the pre-redesign streaming pipeline, except that work is
+   committed at root granularity (a gSpan seed subtree, or one level-wise
+   class): under a budgeted [`Collect] run, a root cut short discards its
+   partial work so the reported set is always a prefix of the canonical
+   root sequence — the same rule the pool path applies at its join. *)
+let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
   let total_timer = Timer.start () in
-  let relabeled, relabel_seconds = Timer.time (fun () -> Relabel.db taxonomy db) in
+  let relabeled, relabel_seconds =
+    Timer.time (fun () -> Relabel.db taxonomy db)
+  in
   let min_support_count = Db.support_count_to_threshold db config.min_support in
   let keep_label =
-    if config.enhancements.Specialize.label_prefilter then
-      Some (frequent_label_filter taxonomy db ~min_support:min_support_count)
-    else None
+    keep_label_of config taxonomy db ~min_support:min_support_count
   in
+  let db_size = Db.size db in
   let spec_stats = Specialize.fresh_stats () in
   let class_count = ref 0 in
   let pattern_count = ref 0 in
   let enumerate_seconds = ref 0.0 in
   let oi_entries = ref 0 in
   let oi_set_members = ref 0 in
+  let covered = Bitset.create db_size in
+  let collected = ref [] in
+  (* per-root scratch, committed only when the root completes *)
+  let r_classes = ref 0 in
+  let r_entries = ref 0 in
+  let r_members = ref 0 in
+  let r_enum = ref 0.0 in
+  let r_patterns = ref [] in
+  let r_stats = ref (Specialize.fresh_stats ()) in
+  let r_covered = Bitset.create db_size in
+  let commit_root () =
+    class_count := !class_count + !r_classes;
+    oi_entries := !oi_entries + !r_entries;
+    oi_set_members := !oi_set_members + !r_members;
+    enumerate_seconds := !enumerate_seconds +. !r_enum;
+    add_stats spec_stats !r_stats;
+    Bitset.union_into ~dst:covered covered r_covered;
+    (match sink with
+    | `Collect ->
+      pattern_count := !pattern_count + List.length !r_patterns;
+      collected := List.rev_append !r_patterns !collected
+    | `Stream _ -> ());
+    r_classes := 0;
+    r_entries := 0;
+    r_members := 0;
+    r_enum := 0.0;
+    r_patterns := [];
+    r_stats := Specialize.fresh_stats ();
+    Bitset.clear r_covered
+  in
   let mining_timer = Timer.start () in
-  let mine_classes =
-    match class_miner with
-    | `Gspan -> Gspan.mine
-    | `Level_wise -> Tsg_gspan.Level_miner.mine
+  let process_class (class_pattern : Gspan.pattern) =
+    if Timer.Budget.exceeded budget then raise Out_of_time_in_mining;
+    incr r_classes;
+    Bitset.union_into ~dst:r_covered r_covered
+      class_pattern.Gspan.support_set;
+    let oi =
+      Occ_index.build ~taxonomy ~original:db ?keep_label class_pattern
+    in
+    let sz = Occ_index.size oi in
+    r_entries := !r_entries + sz.Occ_index.entries;
+    r_members := !r_members + sz.Occ_index.set_members;
+    let t = Timer.start () in
+    Fun.protect
+      ~finally:(fun () -> r_enum := !r_enum +. Timer.elapsed_s t)
+      (fun () ->
+        Specialize.enumerate ~taxonomy ~min_support:min_support_count
+          ~enhancements:config.enhancements ~stats:!r_stats ~budget oi
+          (fun p ->
+            match sink with
+            | `Stream emit ->
+              incr pattern_count;
+              emit p
+            | `Collect -> r_patterns := p :: !r_patterns))
   in
   let completed =
     try
-      mine_classes ?max_edges:config.max_edges ~min_support:min_support_count
-        relabeled (fun class_pattern ->
-          if Timer.Budget.exceeded budget then raise Out_of_time_in_mining;
-          incr class_count;
-          let oi =
-            Occ_index.build ~taxonomy ~original:db ?keep_label class_pattern
-          in
-          let sz = Occ_index.size oi in
-          oi_entries := !oi_entries + sz.Occ_index.entries;
-          oi_set_members := !oi_set_members + sz.Occ_index.set_members;
-          let t = Timer.start () in
-          Fun.protect
-            ~finally:(fun () ->
-              enumerate_seconds := !enumerate_seconds +. Timer.elapsed_s t)
-            (fun () ->
-              Specialize.enumerate ~taxonomy ~min_support:min_support_count
-                ~enhancements:config.enhancements ~stats:spec_stats ~budget oi
-                (fun p ->
-                  incr pattern_count;
-                  emit p)));
+      (match class_miner with
+      | `Gspan ->
+        List.iter
+          (fun subtree ->
+            subtree process_class;
+            commit_root ())
+          (Gspan.mine_tasks ?max_edges:config.max_edges
+             ~min_support:min_support_count relabeled)
+      | `Level_wise ->
+        Tsg_gspan.Level_miner.mine ?max_edges:config.max_edges
+          ~min_support:min_support_count relabeled (fun cp ->
+            process_class cp;
+            commit_root ()));
       true
     with Out_of_time_in_mining | Specialize.Out_of_time -> false
   in
   let mining_total = Timer.elapsed_s mining_timer in
   {
-    patterns = [];
+    patterns =
+      (match sink with
+      | `Collect -> Pattern.sort !collected
+      | `Stream _ -> []);
     class_count = !class_count;
     pattern_count = !pattern_count;
     completed;
@@ -114,99 +182,229 @@ let run_streaming ?(config = default_config)
     spec_stats;
     oi_entries = !oi_entries;
     oi_set_members = !oi_set_members;
+    covered_graph_count = Bitset.cardinal covered;
   }
 
-let run_parallel ?(config = default_config) ?domains taxonomy db =
+(* --- pool path (domains > 1) ------------------------------------------ *)
+
+(* Every pool task returns one of these; results merge at the join, where
+   bitset unions and stat sums replace any hot-path locking. *)
+type task_outcome = {
+  t_ok : bool;  (* subtree explored / class enumerated to completion *)
+  t_classes : int;
+  t_patterns : Pattern.t list;  (* newest first; spec tasks only *)
+  t_stats : Specialize.stats option;
+  t_enum_s : float;
+  t_entries : int;
+  t_members : int;
+  t_covered : Bitset.t option;
+}
+
+let mining_outcome ~ok ~classes ~entries ~members ~covered =
+  {
+    t_ok = ok;
+    t_classes = classes;
+    t_patterns = [];
+    t_stats = None;
+    t_enum_s = 0.0;
+    t_entries = entries;
+    t_members = members;
+    t_covered = Some covered;
+  }
+
+let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
   let total_timer = Timer.start () in
-  let relabeled, relabel_seconds = Timer.time (fun () -> Relabel.db taxonomy db) in
+  let relabeled, relabel_seconds =
+    Timer.time (fun () -> Relabel.db taxonomy db)
+  in
   let min_support_count = Db.support_count_to_threshold db config.min_support in
   let keep_label =
-    if config.enhancements.Specialize.label_prefilter then
-      Some (frequent_label_filter taxonomy db ~min_support:min_support_count)
-    else None
+    keep_label_of config taxonomy db ~min_support:min_support_count
   in
-  (* step 2, sequential: collect every class's occurrence index *)
-  let mining_timer = Timer.start () in
-  let indices = ref [] in
-  Gspan.mine ?max_edges:config.max_edges ~min_support:min_support_count
-    relabeled (fun class_pattern ->
-      indices :=
-        Occ_index.build ~taxonomy ~original:db ?keep_label class_pattern
-        :: !indices);
-  let mining_seconds = Timer.elapsed_s mining_timer in
-  let class_list = Array.of_list (List.rev !indices) in
-  let class_count = Array.length class_list in
-  let oi_entries = ref 0 in
-  let oi_set_members = ref 0 in
-  Array.iter
-    (fun oi ->
-      let sz = Occ_index.size oi in
-      oi_entries := !oi_entries + sz.Occ_index.entries;
-      oi_set_members := !oi_set_members + sz.Occ_index.set_members)
-    class_list;
-  (* step 3, parallel: one worker per domain pulls classes off a shared
-     counter; per-domain outputs and stats merge at the end *)
-  let domains =
-    let d =
-      Option.value ~default:(min 8 (Domain.recommended_domain_count ())) domains
-    in
-    max 1 (min d (max 1 class_count))
-  in
-  let enumerate_timer = Timer.start () in
-  let next = Atomic.make 0 in
-  let worker () =
+  let db_size = Db.size db in
+  let pool = Pool.create ~domains () in
+  let emit_mutex = Mutex.create () in
+  let stream_classes = Atomic.make 0 in
+  let stream_emitted = Atomic.make 0 in
+  (* step-3 work for one occurrence index; forked from mining tasks *)
+  let specialize oi _ctx =
     let stats = Specialize.fresh_stats () in
     let acc = ref [] in
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < class_count then begin
+    let t = Timer.start () in
+    let ok =
+      match
         Specialize.enumerate ~taxonomy ~min_support:min_support_count
-          ~enhancements:config.enhancements ~stats class_list.(i) (fun p ->
-            acc := p :: !acc);
-        loop ()
-      end
+          ~enhancements:config.enhancements ~stats ~budget oi (fun p ->
+            match sink with
+            | `Collect -> acc := p :: !acc
+            | `Stream emit ->
+              Atomic.incr stream_emitted;
+              Mutex.lock emit_mutex;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock emit_mutex)
+                (fun () -> emit p))
+      with
+      | () -> true
+      | exception Specialize.Out_of_time -> false
     in
-    loop ();
-    (stats, !acc)
+    {
+      t_ok = ok;
+      t_classes = 0;
+      t_patterns = !acc;
+      t_stats = Some stats;
+      t_enum_s = Timer.elapsed_s t;
+      t_entries = 0;
+      t_members = 0;
+      t_covered = None;
+    }
   in
-  let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-  let first = worker () in
-  let results = first :: List.map Domain.join handles in
-  let enumerate_seconds = Timer.elapsed_s enumerate_timer in
+  (* step-2 work shared by both miners: project one mined class into its
+     occurrence index on this domain, then hand it to a spec worker *)
+  let index_class ~covered ~entries ~members ctx (cp : Gspan.pattern) =
+    Bitset.union_into ~dst:covered covered cp.Gspan.support_set;
+    let oi = Occ_index.build ~taxonomy ~original:db ?keep_label cp in
+    let sz = Occ_index.size oi in
+    entries := !entries + sz.Occ_index.entries;
+    members := !members + sz.Occ_index.set_members;
+    (match sink with
+    | `Stream _ -> Atomic.incr stream_classes
+    | `Collect -> ());
+    Pool.fork ctx (specialize oi)
+  in
+  let mining_timer = Timer.start () in
+  let mining_wall = Atomic.make 0.0 in
+  let outcomes, mining_ok, mining_seconds =
+    match class_miner with
+    | `Gspan ->
+      (* each frequent 1-edge DFS-code root is a task; its subtree is
+         explored and indexed on whichever domain runs (or steals) it *)
+      let subtrees =
+        Gspan.mine_tasks ?max_edges:config.max_edges
+          ~min_support:min_support_count relabeled
+      in
+      let mining_left = Atomic.make (List.length subtrees) in
+      let root_task subtree ctx =
+        let classes = ref 0 in
+        let entries = ref 0 in
+        let members = ref 0 in
+        let covered = Bitset.create db_size in
+        let ok =
+          try
+            subtree (fun cp ->
+                if Timer.Budget.exceeded budget then
+                  raise Out_of_time_in_mining;
+                incr classes;
+                index_class ~covered ~entries ~members ctx cp);
+            true
+          with Out_of_time_in_mining -> false
+        in
+        if Atomic.fetch_and_add mining_left (-1) = 1 then
+          Atomic.set mining_wall (Timer.elapsed_s mining_timer);
+        mining_outcome ~ok ~classes:!classes ~entries:!entries
+          ~members:!members ~covered
+      in
+      let outcomes = Pool.run pool (List.map root_task subtrees) in
+      (outcomes, true, Atomic.get mining_wall)
+    | `Level_wise ->
+      (* the level-wise miner is inherently breadth-first and sequential;
+         classes stream out of it into per-class pool tasks (index +
+         specialize), so step 3 still fans out across the pool *)
+      let classes = ref [] in
+      let mining_ok =
+        try
+          Tsg_gspan.Level_miner.mine ?max_edges:config.max_edges
+            ~min_support:min_support_count relabeled (fun cp ->
+              if Timer.Budget.exceeded budget then raise Out_of_time_in_mining;
+              classes := cp :: !classes);
+          true
+        with Out_of_time_in_mining -> false
+      in
+      let mining_seconds = Timer.elapsed_s mining_timer in
+      let class_task cp ctx =
+        let entries = ref 0 in
+        let members = ref 0 in
+        let covered = Bitset.create db_size in
+        index_class ~covered ~entries ~members ctx cp;
+        mining_outcome ~ok:true ~classes:1 ~entries:!entries
+          ~members:!members ~covered
+      in
+      let outcomes = Pool.run pool (List.map class_task (List.rev !classes)) in
+      (outcomes, mining_ok, mining_seconds)
+  in
+  (* the join: results arrive sorted by deterministic task id. A root is
+     complete when its mining task and every spec task it forked finished;
+     only the maximal complete prefix of roots is reported, so what a
+     budgeted [`Collect] run returns is a prefix of the canonical root
+     sequence no matter how work was scheduled or stolen. *)
+  let root = function [] -> 0 | i :: _ -> i in
+  let first_bad =
+    List.fold_left
+      (fun acc (id, o) -> if o.t_ok then acc else min acc (root id))
+      max_int outcomes
+  in
+  let included = List.filter (fun (id, _) -> root id < first_bad) outcomes in
+  let completed = mining_ok && first_bad = max_int in
   let spec_stats = Specialize.fresh_stats () in
+  let class_count = ref 0 in
+  let oi_entries = ref 0 in
+  let oi_set_members = ref 0 in
+  let enumerate_seconds = ref 0.0 in
+  let covered = Bitset.create db_size in
+  let patterns_rev = ref [] in
+  List.iter
+    (fun (_, o) ->
+      class_count := !class_count + o.t_classes;
+      oi_entries := !oi_entries + o.t_entries;
+      oi_set_members := !oi_set_members + o.t_members;
+      enumerate_seconds := !enumerate_seconds +. o.t_enum_s;
+      (match o.t_stats with Some s -> add_stats spec_stats s | None -> ());
+      (match o.t_covered with
+      | Some c -> Bitset.union_into ~dst:covered covered c
+      | None -> ());
+      patterns_rev := List.rev_append o.t_patterns !patterns_rev)
+    included;
   let patterns =
-    List.concat_map
-      (fun ((s : Specialize.stats), acc) ->
-        spec_stats.Specialize.intersections <-
-          spec_stats.Specialize.intersections + s.Specialize.intersections;
-        spec_stats.Specialize.visited <-
-          spec_stats.Specialize.visited + s.Specialize.visited;
-        spec_stats.Specialize.emitted <-
-          spec_stats.Specialize.emitted + s.Specialize.emitted;
-        spec_stats.Specialize.over_generalized <-
-          spec_stats.Specialize.over_generalized + s.Specialize.over_generalized;
-        acc)
-      results
-    |> Pattern.sort
+    match sink with
+    | `Collect -> Pattern.sort !patterns_rev
+    | `Stream _ -> []
   in
   {
     patterns;
-    class_count;
-    pattern_count = List.length patterns;
-    completed = true;
+    class_count =
+      (match sink with
+      | `Collect -> !class_count
+      | `Stream _ -> Atomic.get stream_classes);
+    pattern_count =
+      (match sink with
+      | `Collect -> List.length patterns
+      | `Stream _ -> Atomic.get stream_emitted);
+    completed;
     relabel_seconds;
     mining_seconds;
-    enumerate_seconds;
+    enumerate_seconds = !enumerate_seconds;
     total_seconds = Timer.elapsed_s total_timer;
     spec_stats;
     oi_entries = !oi_entries;
     oi_set_members = !oi_set_members;
+    covered_graph_count = Bitset.cardinal covered;
   }
 
-let run ?config ?budget ?class_miner taxonomy db =
-  let acc = ref [] in
-  let result =
-    run_streaming ?config ?budget ?class_miner taxonomy db (fun p ->
-        acc := p :: !acc)
+(* --- the one entry point ---------------------------------------------- *)
+
+let run ?(config = default_config) ?(budget = Timer.Budget.unlimited)
+    ?(class_miner = `Gspan) ?domains ~sink taxonomy db =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Pool.default_domains ()
   in
-  { result with patterns = List.rev !acc }
+  if domains = 1 then run_sequential ~config ~budget ~class_miner ~sink taxonomy db
+  else run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db
+
+(* --- deprecated wrappers ---------------------------------------------- *)
+
+let run_streaming ?config ?budget ?class_miner taxonomy db emit =
+  run ?config ?budget ?class_miner ~domains:1 ~sink:(`Stream emit) taxonomy db
+
+let run_parallel ?config ?domains taxonomy db =
+  run ?config ?domains ~sink:`Collect taxonomy db

@@ -12,7 +12,15 @@
 
     The result is minimal (no over-generalized patterns, Lemma 8) and
     complete (all non-over-generalized patterns with sufficient support,
-    Lemma 9). *)
+    Lemma 9).
+
+    Beyond the paper (whose implementation was single-threaded Java), Steps
+    2 and 3 run end-to-end on a work-stealing pool of OCaml domains
+    ({!Tsg_util.Pool}): each frequent 1-edge DFS-code root of the gSpan
+    search is a task whose rightmost-path extension subtree is explored
+    independently, occurrence indices are built on the mining domains, and
+    each finished class streams straight into a specialization task on the
+    same pool. All of it sits behind the single entry point {!run}. *)
 
 type config = {
   min_support : float;  (** the paper's theta, in [0, 1] *)
@@ -30,37 +38,80 @@ val baseline_config : config
 
 type result = {
   patterns : Pattern.t list;
+      (** canonically sorted; empty under a [`Stream] sink *)
   class_count : int;  (** frequent pattern classes found in step 2 *)
   pattern_count : int;
   completed : bool;  (** [false] when a time budget cut mining short *)
   relabel_seconds : float;
-  mining_seconds : float;  (** step 2: gSpan + occurrence-index building *)
-  enumerate_seconds : float;  (** step 3 *)
+  mining_seconds : float;
+      (** step 2: gSpan + occurrence-index building. With several domains
+          this is the wall-clock from the start of mining until the last
+          mining task finished (specialization may still be running — the
+          phases overlap by design). *)
+  enumerate_seconds : float;
+      (** step 3. With several domains this is CPU time summed across
+          specialization tasks, not wall-clock. *)
   total_seconds : float;
   spec_stats : Specialize.stats;
   oi_entries : int;
       (** occurrence-index labels built across all classes (Lemma 4's
           space driver) *)
   oi_set_members : int;  (** total occurrence-set members across all OIs *)
+  covered_graph_count : int;
+      (** database graphs supporting at least one frequent class — the
+          union of class support sets, merged per-domain at the join *)
 }
+
+type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
+(** Where mined patterns go.
+
+    [`Collect] gathers them into [result.patterns], canonically sorted
+    ({!Pattern.sort}), so the output is byte-identical whatever the domain
+    count or schedule. Under a budget that expires mid-run, the reported
+    set is a prefix of the canonical root-task sequence (a root — one gSpan
+    seed subtree, or one level-wise class — is reported atomically or not
+    at all); how long that prefix is depends on timing, but its content for
+    a given length never does, and an already-expired budget deterministically
+    reports nothing.
+
+    [`Stream f] delivers each pattern to [f] as its class completes and
+    leaves [result.patterns] empty; memory stays proportional to the work
+    in flight rather than the output. With one domain, patterns arrive in
+    the canonical sequential order; with several, arrival order is
+    unspecified ([f] is never called concurrently — calls are serialized)
+    and a budgeted run streams whatever completed before the cut. *)
 
 type class_miner = [ `Gspan | `Level_wise ]
 (** Which general-purpose miner powers Step 2: gSpan (depth-first, the
     paper's choice) or the FSG-style level-wise miner — the paper notes any
     of them can be extended with occurrence indices, and the outputs are
-    identical (property-tested). *)
+    identical (property-tested). gSpan decomposes into per-seed subtree
+    tasks and mines in parallel; the level-wise miner is inherently
+    breadth-first, so it mines sequentially while indexing and
+    specialization still fan out across the pool. *)
 
 val run :
   ?config:config ->
   ?budget:Tsg_util.Timer.Budget.budget ->
   ?class_miner:class_miner ->
+  ?domains:int ->
+  sink:sink ->
   Tsg_taxonomy.Taxonomy.t ->
   Tsg_graph.Db.t ->
   result
 (** Mine the database against the taxonomy. Every node label of every graph
-    must be a label of the taxonomy. When [budget] (default unlimited)
-    expires the run stops early with [completed = false] and the patterns
-    found so far. *)
+    must be a label of the taxonomy.
+
+    [domains] (default {!Tsg_util.Pool.default_domains}, which honors the
+    [TSG_DOMAINS] environment variable) sizes the work-stealing pool Steps
+    2 and 3 share. [domains = 1] runs the classic sequential pipeline —
+    one class alive at a time, the paper's Step 2 memory profile. The
+    pattern set and supports are identical across domain counts
+    (property-tested).
+
+    When [budget] (default unlimited) expires the run stops early with
+    [completed = false]; see {!sink} for exactly what an early stop
+    reports. *)
 
 val run_streaming :
   ?config:config ->
@@ -70,9 +121,11 @@ val run_streaming :
   Tsg_graph.Db.t ->
   (Pattern.t -> unit) ->
   result
-(** As {!run} but delivering patterns through a callback as classes complete
-    (the result's [patterns] list is left empty). Memory stays proportional
-    to one pattern class at a time, as in the paper's Step 2 analysis. *)
+[@@alert deprecated
+    "Use Taxogram.run ~domains:1 ~sink:(`Stream f) instead; this wrapper \
+     will be removed."]
+(** @deprecated Thin wrapper over {!run} with [~domains:1]
+    [~sink:(`Stream f)]. *)
 
 val run_parallel :
   ?config:config ->
@@ -80,15 +133,11 @@ val run_parallel :
   Tsg_taxonomy.Taxonomy.t ->
   Tsg_graph.Db.t ->
   result
-(** Multicore variant (beyond the paper, whose implementation was
-    single-threaded Java): Step 2 runs sequentially but materializes every
-    pattern class with its occurrence index, then Step 3 enumerates the
-    classes across [domains] OCaml domains (default:
-    [Domain.recommended_domain_count ()], capped at 8). Trades the
-    one-class-at-a-time memory profile for parallel specialization. The
-    pattern set equals {!run}'s (order canonicalized); [spec_stats] are
-    summed across domains and [enumerate_seconds] is wall-clock, not CPU
-    time. *)
+[@@alert deprecated
+    "Use Taxogram.run ?domains ~sink:`Collect instead; this wrapper will \
+     be removed."]
+(** @deprecated Thin wrapper over {!run} with [~sink:`Collect]. Unlike the
+    historical version, Step 2 now also runs on the pool. *)
 
 val frequent_label_filter :
   Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Db.t -> min_support:int ->

@@ -110,32 +110,37 @@ let extensions code embeddings db =
   Edge_map.bindings !table
   |> List.map (fun (edge, embs) -> (edge, List.rev embs))
 
-let mine ?max_edges ~min_support db report =
+(* explore one seed's rightmost-path extension subtree; [grow] is only
+   entered with a frequent, minimal code *)
+let explore_subtree ~max_edges ~min_support db root_edge root_embs root_set
+    report =
+  let rec grow code embeddings support_set =
+    report
+      {
+        code;
+        graph = Dfs_code.to_graph code;
+        support_set;
+        support = Bitset.cardinal support_set;
+        embeddings;
+      };
+    if Array.length code < max_edges then
+      List.iter
+        (fun (edge, embs) ->
+          let set = support_of_embeddings db embs in
+          if Bitset.cardinal set >= min_support then begin
+            let code' = Array.append code [| edge |] in
+            if Min_code.is_min code' then grow code' embs set
+          end)
+        (extensions code embeddings db)
+  in
+  grow [| root_edge |] root_embs root_set
+
+let mine_tasks ?max_edges ~min_support db =
   if min_support < 1 then invalid_arg "Gspan.mine: min_support must be >= 1";
   let max_edges = Option.value ~default:max_int max_edges in
-  if max_edges < 1 then ()
-  else begin
-    (* [grow] is only entered with a frequent, minimal code *)
-    let rec grow code embeddings support_set =
-      report
-        {
-          code;
-          graph = Dfs_code.to_graph code;
-          support_set;
-          support = Bitset.cardinal support_set;
-          embeddings;
-        };
-      if Array.length code < max_edges then
-        List.iter
-          (fun (edge, embs) ->
-            let set = support_of_embeddings db embs in
-            if Bitset.cardinal set >= min_support then begin
-              let code' = Array.append code [| edge |] in
-              if Min_code.is_min code' then grow code' embs set
-            end)
-          (extensions code embeddings db)
-    in
-    List.iter
+  if max_edges < 1 then []
+  else
+    List.filter_map
       (fun ((la, le, lb), embs) ->
         let set = support_of_embeddings db embs in
         if Bitset.cardinal set >= min_support then
@@ -148,9 +153,14 @@ let mine ?max_edges ~min_support db report =
               to_label = lb;
             }
           in
-          grow [| edge |] embs set)
+          Some
+            (fun report ->
+              explore_subtree ~max_edges ~min_support db edge embs set report)
+        else None)
       (single_edge_seeds db)
-  end
+
+let mine ?max_edges ~min_support db report =
+  List.iter (fun task -> task report) (mine_tasks ?max_edges ~min_support db)
 
 let mine_list ?max_edges ~min_support db =
   let acc = ref [] in

@@ -37,5 +37,21 @@ val mine_list :
   ?max_edges:int -> min_support:int -> Tsg_graph.Db.t -> pattern list
 (** Collect reported patterns (embedding lists copied so they stay valid). *)
 
+val mine_tasks :
+  ?max_edges:int ->
+  min_support:int ->
+  Tsg_graph.Db.t ->
+  ((pattern -> unit) -> unit) list
+(** The search decomposed for a domain pool: one closure per frequent
+    1-edge DFS-code root, in the same sorted seed order {!mine} visits
+    them. Applying a closure to a report callback explores that root's
+    rightmost-path extension subtree exactly as {!mine} would (the root
+    pattern is reported first), and the subtrees partition the pattern
+    space — running every task, in any order or concurrently, reports
+    each frequent pattern exactly once. Closures share only immutable
+    state ([db] and the seed embeddings), so they may run on different
+    domains; a callback may raise to abandon its subtree. [mine db r] is
+    equivalent to applying every task to [r] in list order. *)
+
 val frequent_labels : min_support:int -> Tsg_graph.Db.t -> Tsg_graph.Label.id list
 (** Node labels occurring in at least [min_support] distinct graphs. *)

@@ -38,7 +38,8 @@ let execute engine ~names query =
   | Protocol.Stats | Protocol.Quit -> assert false (* barriers; see run *)
 
 (* one response slot per request; workers pull indices off a shared
-   counter exactly like Taxogram.run_parallel's step-3 pool *)
+   counter — a flat batch has no subtrees to steal, so this stays simpler
+   than Tsg_util.Pool *)
 let flush_batch ~domains ~engine ~names batch =
   let batch = Array.of_list (List.rev batch) in
   let n = Array.length batch in
@@ -72,7 +73,7 @@ let flush_batch ~domains ~engine ~names batch =
   end;
   out
 
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+let default_domains () = Tsg_util.Pool.default_domains ()
 
 let run ?domains ~engine ~edge_labels ic oc =
   let domains = Option.value ~default:(default_domains ()) domains in

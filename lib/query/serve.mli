@@ -1,7 +1,8 @@
 (** The [tsg-serve] request loop: reads the {!Protocol} line protocol
     from a channel, dispatches query batches across a pool of OCaml 5
-    domains (mirroring [Taxogram.run_parallel]'s shared-counter workers),
-    and writes one response block per request, in request order.
+    domains (shared-counter workers — query batches are flat, so they need
+    none of {!Tsg_util.Pool}'s work stealing), and writes one response
+    block per request, in request order.
 
     Consecutive data queries ([contains]/[by-label]/[top-k]) form a batch
     that is executed in parallel; [stats] and [quit] are barriers — the
@@ -31,6 +32,8 @@ val run :
   in_channel ->
   out_channel ->
   outcome
-(** [domains] defaults to [Domain.recommended_domain_count ()] capped at
-    8, like [Taxogram.run_parallel]. Parsing (which interns edge labels)
-    stays on the calling domain; only query execution fans out. *)
+(** [domains] defaults to {!Tsg_util.Pool.default_domains} — the
+    [TSG_DOMAINS] environment variable when set, otherwise
+    [Domain.recommended_domain_count ()] capped at 8 — the same default
+    [Taxogram.run] uses. Parsing (which interns edge labels) stays on the
+    calling domain; only query execution fans out. *)

@@ -1,7 +1,9 @@
+(* read eagerly at module init: a [lazy] here would be forced concurrently
+   by pool domains building occurrence indices, and OCaml 5 lazy blocks are
+   not safe to force from several domains at once *)
 let enabled =
-  lazy
-    (match Sys.getenv_opt "TSG_DEBUG_CHECKS" with
-    | None | Some "" | Some "0" | Some "false" -> false
-    | Some _ -> true)
+  match Sys.getenv_opt "TSG_DEBUG_CHECKS" with
+  | None | Some "" | Some "0" | Some "false" -> false
+  | Some _ -> true
 
-let checks_enabled () = Lazy.force enabled
+let checks_enabled () = enabled

@@ -1,0 +1,194 @@
+(* Work-stealing domain pool with deterministic task ids.
+
+   Each domain owns a mutex-protected deque: the owner pushes and pops at
+   the head (LIFO, depth-first), thieves detach the oldest half from the
+   tail (breadth-first). Coarse tasks (a DFS-code subtree, one class's
+   specialization) keep the lock far off the hot path — a task acquires
+   its own deque's mutex only to push forks and to pop the next task, and
+   computes with no synchronization at all in between. *)
+
+let default_domains () =
+  let fallback = min 8 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "TSG_DOMAINS" with
+  | None | Some "" -> fallback
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> fallback)
+
+type t = { size : int }
+
+let create ?domains () =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  { size = d }
+
+let domains t = t.size
+
+(* --- deques ---------------------------------------------------------- *)
+
+module Deque = struct
+  type 'a t = {
+    lock : Mutex.t;
+    mutable items : 'a list;  (* newest first *)
+    mutable count : int;
+  }
+
+  let create () = { lock = Mutex.create (); items = []; count = 0 }
+
+  let push d x =
+    Mutex.lock d.lock;
+    d.items <- x :: d.items;
+    d.count <- d.count + 1;
+    Mutex.unlock d.lock
+
+  let pop d =
+    Mutex.lock d.lock;
+    let r =
+      match d.items with
+      | [] -> None
+      | x :: tl ->
+        d.items <- tl;
+        d.count <- d.count - 1;
+        Some x
+    in
+    Mutex.unlock d.lock;
+    r
+
+  (* detach the oldest ceil(n/2) items, returned oldest-first; the owner
+     keeps the newer (deeper, cache-warm) half *)
+  let steal_half d =
+    Mutex.lock d.lock;
+    let stolen =
+      if d.count = 0 then []
+      else begin
+        let keep = d.count / 2 in
+        let rec split i = function
+          | [] -> ([], [])
+          | x :: tl ->
+            if i = 0 then ([], x :: tl)
+            else
+              let kept, taken = split (i - 1) tl in
+              (x :: kept, taken)
+        in
+        let kept, taken = split keep d.items in
+        d.items <- kept;
+        d.count <- keep;
+        List.rev taken
+      end
+    in
+    Mutex.unlock d.lock;
+    stolen
+
+  (* refill an (empty) thief deque so that pop yields oldest-first *)
+  let push_all d xs =
+    Mutex.lock d.lock;
+    d.items <- d.items @ xs;
+    d.count <- d.count + List.length xs;
+    Mutex.unlock d.lock
+end
+
+(* --- the run --------------------------------------------------------- *)
+
+type 'a task = { tid : int list; f : 'a ctx -> 'a }
+
+and 'a state = {
+  deques : 'a task Deque.t array;
+  results : (int list * 'a) list array;  (* slot [d] written only by domain [d] *)
+  pending : int Atomic.t;
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+and 'a ctx = {
+  st : 'a state;
+  dom : int;
+  task_id : int list;
+  mutable forks : int;
+}
+
+let id ctx = ctx.task_id
+
+let fork ctx f =
+  let k = ctx.forks in
+  ctx.forks <- k + 1;
+  Atomic.incr ctx.st.pending;
+  Deque.push ctx.st.deques.(ctx.dom) { tid = ctx.task_id @ [ k ]; f }
+
+let exec st dom task =
+  (match Atomic.get st.failed with
+  | Some _ -> ()  (* cancelled: drain without running *)
+  | None -> (
+    match task.f { st; dom; task_id = task.tid; forks = 0 } with
+    | r -> st.results.(dom) <- (task.tid, r) :: st.results.(dom)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set st.failed None (Some (e, bt)))));
+  Atomic.decr st.pending
+
+let try_steal st dom =
+  let n = Array.length st.deques in
+  let rec probe i =
+    if i >= n then false
+    else
+      let victim = (dom + i) mod n in
+      match Deque.steal_half st.deques.(victim) with
+      | [] -> probe (i + 1)
+      | stolen ->
+        Deque.push_all st.deques.(dom) stolen;
+        true
+  in
+  probe 1
+
+let worker st dom =
+  let misses = ref 0 in
+  let rec loop () =
+    match Deque.pop st.deques.(dom) with
+    | Some task ->
+      misses := 0;
+      exec st dom task;
+      loop ()
+    | None ->
+      if Atomic.get st.pending = 0 || Atomic.get st.failed <> None then ()
+      else if try_steal st dom then begin
+        misses := 0;
+        loop ()
+      end
+      else begin
+        (* nothing to steal yet: spin briefly, then sleep so idle domains
+           stop competing for the cores doing real work *)
+        incr misses;
+        if !misses < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002;
+        loop ()
+      end
+  in
+  loop ()
+
+let run t tasks =
+  match tasks with
+  | [] -> []
+  | _ ->
+    let n = List.length tasks in
+    let d = t.size in
+    let st =
+      {
+        deques = Array.init d (fun _ -> Deque.create ());
+        results = Array.make d [];
+        pending = Atomic.make n;
+        failed = Atomic.make None;
+      }
+    in
+    (* seed round-robin; reversed so each owner pops ascending ids first,
+       which maximizes the canonical prefix under budgeted early stops *)
+    List.iteri
+      (fun i f -> Deque.push st.deques.((n - 1 - i) mod d) { tid = [ n - 1 - i ]; f })
+      (List.rev tasks);
+    let others =
+      List.init (d - 1) (fun i -> Domain.spawn (fun () -> worker st (i + 1)))
+    in
+    worker st 0;
+    List.iter Domain.join others;
+    (match Atomic.get st.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list st.results
+    |> List.concat
+    |> List.sort (fun (a, _) (b, _) -> compare a b)

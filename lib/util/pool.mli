@@ -1,0 +1,63 @@
+(** A work-stealing pool of OCaml 5 domains with deterministic task
+    identities.
+
+    The pool exists so that tree-shaped search work — gSpan's DFS-code
+    subtrees, per-class specialization, query batches — can fan out across
+    domains while the {e result} of a run stays independent of the
+    schedule: every task carries a deterministic id (its path in the
+    fork tree), and {!run} returns results sorted by id, so callers can
+    re-order, truncate to a canonical prefix, or merge without caring
+    which domain computed what.
+
+    Scheduling is classic work stealing: each domain owns a deque, treats
+    it as a LIFO stack (depth-first, cache-friendly), and when empty
+    steals the {e oldest half} of a victim's deque (breadth-first, which
+    moves the biggest remaining subtrees). Tasks may {!fork} subtasks at
+    any point; forks land on the forking domain's own deque and are
+    stolen from there.
+
+    Tasks must not share mutable state unless they synchronize
+    themselves; everything a task returns is published to the caller at
+    the {!run} join. *)
+
+type t
+(** A pool descriptor. Cheap; domains are spawned per {!run} and joined
+    before it returns, so a pool may be reused or discarded freely. *)
+
+val default_domains : unit -> int
+(** The domain count used when a caller does not choose one: the
+    [TSG_DOMAINS] environment variable when it holds a positive integer,
+    otherwise [Domain.recommended_domain_count ()] capped at 8 (the cap
+    keeps small machines from oversubscription and mirrors the paper
+    harness's biggest test box). Read per call, so tests may override
+    [TSG_DOMAINS] between runs. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ()] sizes the pool with {!default_domains}; [~domains] (at
+    least 1, values below are clamped) overrides. *)
+
+val domains : t -> int
+
+type 'a ctx
+(** A task's handle to the running pool: identity plus the ability to
+    fork. Valid only for the duration of the task's body. *)
+
+val id : 'a ctx -> int list
+(** The task's deterministic id: [[i]] for the [i]-th root task passed to
+    {!run}, [parent @ [k]] for the [k]-th task forked by [parent]
+    (0-based, in fork order). Ids are totally ordered by [compare] —
+    lexicographic with prefixes first — and that order is the order
+    {!run} returns results in. *)
+
+val fork : 'a ctx -> ('a ctx -> 'a) -> unit
+(** [fork ctx f] schedules [f] as a subtask of the current task. The
+    subtask runs on this domain or on a thief; its result joins the
+    others at {!run}'s return, under the forked id. *)
+
+val run : t -> ('a ctx -> 'a) list -> (int list * 'a) list
+(** [run pool tasks] executes the root tasks and everything they fork,
+    across [domains pool] domains (the calling domain is one of them),
+    and returns every task's [(id, result)] sorted by id. If any task
+    raises, remaining tasks are abandoned (already-running ones finish),
+    and the first exception observed is re-raised after all domains have
+    joined. An empty task list returns []. *)

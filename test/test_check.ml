@@ -320,7 +320,7 @@ let miner_output_lint_clean_prop =
       let tax = random_taxonomy rng in
       let db = random_db rng tax in
       let r =
-        Taxogram.run
+        Taxogram.run ~sink:`Collect
           ~config:
             {
               Taxogram.min_support = 0.5;

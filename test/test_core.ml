@@ -152,7 +152,7 @@ let test_occ_index_keep_label () =
 let test_taxogram_hand_example () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   check int "one class" 1 r.Taxogram.class_count;
   check int "one pattern" 1 r.Taxogram.pattern_count;
   check (Alcotest.list Alcotest.string) "pattern is b-f"
@@ -174,7 +174,7 @@ let test_taxogram_go_excerpt () =
   let exact = Gspan.mine_list ~min_support:2 db in
   check int "gspan alone finds nothing" 0 (List.length exact);
   (* Taxogram finds the implicit pattern *)
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   check (Alcotest.list Alcotest.string) "transporter-helicase"
     [ "pattern[sup=2 (1.00)] 0:transporter 1:helicase (0-1)" ]
     (pattern_strings t r.Taxogram.patterns)
@@ -189,10 +189,10 @@ let test_taxogram_no_patterns_below_support () =
       ]
   in
   (* different edge labels: no pattern occurs in both graphs *)
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   check int "nothing at theta 1" 0 r.Taxogram.pattern_count;
   (* at theta 0.5 both a-a variants qualify *)
-  let r = Taxogram.run ~config:(config 0.5) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
   check bool "patterns at theta 0.5" true (r.Taxogram.pattern_count > 0)
 
 let test_taxogram_flat_taxonomy_equals_gspan () =
@@ -207,7 +207,7 @@ let test_taxogram_flat_taxonomy_equals_gspan () =
         g ~labels:[| 0; 1; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ];
       ]
   in
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   let mined = Gspan.mine_list ~min_support:2 db in
   check int "same count" (List.length mined) r.Taxogram.pattern_count;
   let keys l = List.sort compare (List.map (fun p -> Pattern.key p) l) in
@@ -226,7 +226,7 @@ let test_taxogram_max_edges () =
     Db.of_list
       [ g ~labels:[| id t "d"; id t "f"; id t "d" |] ~edges:[ (0, 1, 0); (1, 2, 0) ] ]
   in
-  let r = Taxogram.run ~config:(config ~max_edges:(Some 1) 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config ~max_edges:(Some 1) 1.0) t db in
   check bool "only 1-edge patterns" true
     (List.for_all (fun p -> Pattern.edge_count p = 1) r.Taxogram.patterns)
 
@@ -235,10 +235,11 @@ let test_taxogram_streaming_equals_run () =
   let db = two_graph_db t in
   let streamed = ref [] in
   let result =
-    Taxogram.run_streaming ~config:(config 0.5) t db (fun p ->
-        streamed := p :: !streamed)
+    Taxogram.run ~config:(config 0.5) ~domains:1
+      ~sink:(`Stream (fun p -> streamed := p :: !streamed))
+      t db
   in
-  let direct = Taxogram.run ~config:(config 0.5) t db in
+  let direct = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
   check bool "same patterns" true
     (Pattern.equal_sets !streamed direct.Taxogram.patterns);
   check int "count matches" result.Taxogram.pattern_count
@@ -248,7 +249,7 @@ let test_taxogram_streaming_equals_run () =
 let test_taxogram_timing_fields () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   check bool "timings non-negative" true
     (r.Taxogram.relabel_seconds >= 0.0
     && r.Taxogram.mining_seconds >= 0.0
@@ -259,7 +260,7 @@ let test_taxogram_timing_fields () =
   check bool "occurrence-index accounting populated" true
     (r.Taxogram.oi_entries > 0 && r.Taxogram.oi_set_members > 0);
   (* without the label prefilter the indices can only grow *)
-  let r' = Taxogram.run ~config:(Taxogram.baseline_config) t db in
+  let r' = Taxogram.run ~sink:`Collect ~config:(Taxogram.baseline_config) t db in
   check bool "prefilter shrinks indices" true
     (r.Taxogram.oi_entries <= r'.Taxogram.oi_entries)
 
@@ -300,7 +301,7 @@ let test_lemma3_shape () =
           ~edges:[ (0, 1, 0); (1, 2, 0) ];
       ]
   in
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   let strings = pattern_strings t r.Taxogram.patterns in
   check bool "b-x survives" true
     (List.exists (fun s -> s = "pattern[sup=2 (1.00)] 0:b 1:x (0-1)") strings);
@@ -311,14 +312,14 @@ let test_lemma3_shape () =
 
 let test_taxogram_empty_db () =
   let t = small_taxonomy () in
-  let r = Taxogram.run ~config:(config 0.5) t (Db.of_list []) in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t (Db.of_list []) in
   check int "no classes" 0 r.Taxogram.class_count;
   check int "no patterns" 0 r.Taxogram.pattern_count
 
 let test_taxogram_single_graph () =
   let t = small_taxonomy () in
   let db = Db.of_list [ g ~labels:[| id t "d"; id t "f" |] ~edges:[ (0, 1, 0) ] ] in
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   (* with one graph, the only non-over-generalized pattern is the fully
      specific d-f (all generalizations share its support) *)
   check (Alcotest.list Alcotest.string) "most specific survives"
@@ -335,7 +336,7 @@ let test_taxogram_edgeless_graphs () =
       ]
   in
   (* patterns need at least one edge: nothing to mine *)
-  let r = Taxogram.run ~config:(config 1.0) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   check int "no patterns from edgeless graphs" 0 r.Taxogram.pattern_count
 
 let test_edge_labels_distinguish_patterns () =
@@ -348,7 +349,7 @@ let test_edge_labels_distinguish_patterns () =
         g ~labels:[| id t "d"; id t "f" |] ~edges:[ (0, 1, 8) ];
       ]
   in
-  let r = Taxogram.run ~config:(config 0.5) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
   let with_edge_label l =
     List.filter
       (fun (p : Pattern.t) ->
@@ -382,9 +383,9 @@ let test_taxogram_time_budget () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
   let expired = Tsg_util.Timer.Budget.of_seconds (-1.0) in
-  let r = Taxogram.run ~config:(config 1.0) ~budget:expired t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) ~budget:expired t db in
   check bool "reported incomplete" false r.Taxogram.completed;
-  let r' = Taxogram.run ~config:(config 1.0) t db in
+  let r' = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
   check bool "unlimited completes" true r'.Taxogram.completed
 
 let test_run_parallel_equals_sequential () =
@@ -405,10 +406,10 @@ let test_run_parallel_equals_sequential () =
       }
   in
   let cfg = config ~max_edges:(Some 3) 0.2 in
-  let sequential = Taxogram.run ~config:cfg t db in
+  let sequential = Taxogram.run ~sink:`Collect ~config:cfg ~domains:1 t db in
   List.iter
     (fun domains ->
-      let parallel = Taxogram.run_parallel ~config:cfg ~domains t db in
+      let parallel = Taxogram.run ~sink:`Collect ~config:cfg ~domains t db in
       check bool
         (Printf.sprintf "parallel(%d) = sequential" domains)
         true
@@ -460,12 +461,12 @@ let test_enhancements_equivalent () =
       ]
   in
   let reference =
-    (Taxogram.run ~config:(config 0.5) t db).Taxogram.patterns
+    (Taxogram.run ~sink:`Collect ~config:(config 0.5) t db).Taxogram.patterns
   in
   List.iter
     (fun (name, enh) ->
       let r =
-        Taxogram.run
+        Taxogram.run ~sink:`Collect
           ~config:{ (config 0.5) with enhancements = enh }
           t db
       in
@@ -492,7 +493,7 @@ let test_enhancements_reduce_work () =
   in
   let run enh =
     let r =
-      Taxogram.run
+      Taxogram.run ~sink:`Collect
         ~config:{ (config ~max_edges:(Some 3) 0.2) with enhancements = enh }
         t db
     in
@@ -645,7 +646,7 @@ let test_postprocess_subsumption_direction () =
 let test_pattern_io_roundtrip () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~config:(config 0.5) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
   let node_labels = Taxonomy.labels t in
   let edge_labels = Tsg_graph.Label.of_names [ "e0" ] in
   let text =
@@ -758,7 +759,7 @@ let test_interest_root_pattern_infinite () =
 let test_interest_rank () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~config:(config 0.5) t db in
+  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
   let ranked = Tsg_core.Interest.rank ~r:0.0 t db r.Taxogram.patterns in
   check int "all patterns ranked at r=0" (List.length r.Taxogram.patterns)
     (List.length ranked);
@@ -820,7 +821,7 @@ let taxogram_equals_naive_prop =
       let tax, db = random_instance rng in
       let theta = theta_of k in
       let naive = Naive.mine ~max_edges:3 ~min_support:theta tax db in
-      let r = Taxogram.run ~config:(config theta) tax db in
+      let r = Taxogram.run ~sink:`Collect ~config:(config theta) tax db in
       Pattern.equal_sets naive r.Taxogram.patterns)
 
 let baseline_equals_naive_prop =
@@ -831,7 +832,7 @@ let baseline_equals_naive_prop =
       let theta = theta_of k in
       let naive = Naive.mine ~max_edges:3 ~min_support:theta tax db in
       let r =
-        Taxogram.run
+        Taxogram.run ~sink:`Collect
           ~config:{ (config theta) with enhancements = Specialize.all_off }
           tax db
       in
@@ -855,7 +856,7 @@ let supports_verified_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let r = Taxogram.run ~config:(config theta) tax db in
+      let r = Taxogram.run ~sink:`Collect ~config:(config theta) tax db in
       List.for_all
         (fun (p : Pattern.t) ->
           let recount = Gen_iso.support_set tax ~pattern:p.Pattern.graph db in
@@ -869,7 +870,7 @@ let minimality_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let ps = (Taxogram.run ~config:(config theta) tax db).Taxogram.patterns in
+      let ps = (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.patterns in
       List.for_all
         (fun (p : Pattern.t) ->
           not
@@ -892,7 +893,7 @@ let postprocess_sound_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let all = (Taxogram.run ~config:(config theta) tax db).Taxogram.patterns in
+      let all = (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.patterns in
       let closed = Tsg_core.Postprocess.closed tax all in
       let maximal = Tsg_core.Postprocess.maximal tax all in
       let keys l = List.map Pattern.key l in
@@ -918,7 +919,7 @@ let interest_nonnegative_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let ps = (Taxogram.run ~config:(config theta) tax db).Taxogram.patterns in
+      let ps = (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.patterns in
       let ranked = Tsg_core.Interest.rank ~r:0.0 tax db ps in
       let rec sorted = function
         | a :: (b :: _ as rest) ->
@@ -938,7 +939,7 @@ let pattern_io_roundtrip_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let patterns =
-        (Taxogram.run ~config:(config (theta_of k)) tax db).Taxogram.patterns
+        (Taxogram.run ~sink:`Collect ~config:(config (theta_of k)) tax db).Taxogram.patterns
       in
       QCheck.assume (patterns <> []);
       let node_labels = Taxonomy.labels tax in
@@ -959,13 +960,17 @@ let pattern_io_roundtrip_prop =
            patterns loaded)
 
 let parallel_equals_sequential_prop =
-  QCheck.Test.make ~name:"run_parallel = run on random instances" ~count:30
+  QCheck.Test.make ~name:"domains=3 = domains=1 on random instances" ~count:30
     arb_instance (fun (seed, k) ->
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let a = Taxogram.run ~config:(config theta) tax db in
-      let b = Taxogram.run_parallel ~config:(config theta) ~domains:3 tax db in
+      let a =
+        Taxogram.run ~sink:`Collect ~config:(config theta) ~domains:1 tax db
+      in
+      let b =
+        Taxogram.run ~sink:`Collect ~config:(config theta) ~domains:3 tax db
+      in
       Pattern.equal_sets a.Taxogram.patterns b.Taxogram.patterns)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests

@@ -217,7 +217,7 @@ let test_pathways_conservation_effect () =
     let rng = Prng.of_int seed in
     let db = Pathways.generate rng ~taxonomy:tax ~organisms:8 spec in
     let r =
-      Tsg_core.Taxogram.run
+      Tsg_core.Taxogram.run ~sink:`Collect
         ~config:
           {
             Tsg_core.Taxogram.min_support = 0.5;

@@ -151,7 +151,7 @@ let test_lemma3_witness () =
   check bool "a-x (its generalization) is not" false (over_generalized ax);
   (* and Taxogram indeed emits a-x but not b-x *)
   let r =
-    Taxogram.run
+    Taxogram.run ~sink:`Collect
       ~config:
         { Taxogram.min_support = 0.5; max_edges = Some 2;
           enhancements = Specialize.all_on }
@@ -244,7 +244,7 @@ let lemma8_minimality_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let ps =
-        (Taxogram.run
+        (Taxogram.run ~sink:`Collect
            ~config:
              { Taxogram.min_support = 0.5; max_edges = Some 3;
                enhancements = Specialize.all_on }
@@ -272,7 +272,7 @@ let lemma9_completeness_prop =
       let tax, db = random_instance rng in
       let naive = Naive.mine ~max_edges:3 ~min_support:0.5 tax db in
       let taxogram =
-        (Taxogram.run
+        (Taxogram.run ~sink:`Collect
            ~config:
              { Taxogram.min_support = 0.5; max_edges = Some 3;
                enhancements = Specialize.all_on }

@@ -1,0 +1,329 @@
+(* The work-stealing pool (Tsg_util.Pool) and the determinism contract of
+   Taxogram.run across domain counts: same canonical pattern set, same
+   supports, whatever the schedule — including under time budgets, where
+   `Collect must report a prefix of the canonical root sequence. *)
+
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+module Pool = Tsg_util.Pool
+module Timer = Tsg_util.Timer
+module Pattern = Tsg_core.Pattern
+module Specialize = Tsg_core.Specialize
+module Taxogram = Tsg_core.Taxogram
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- Pool ------------------------------------------------------------------ *)
+
+let test_pool_root_ids () =
+  let pool = Pool.create ~domains:3 () in
+  let tasks = List.init 7 (fun i _ctx -> i * i) in
+  let results = Pool.run pool tasks in
+  check int "one result per task" 7 (List.length results);
+  List.iteri
+    (fun i (tid, v) ->
+      check (Alcotest.list int) "id is root index" [ i ] tid;
+      check int "value" (i * i) v)
+    results
+
+let test_pool_empty () =
+  let pool = Pool.create ~domains:2 () in
+  check int "no tasks, no results" 0 (List.length (Pool.run pool []))
+
+let test_pool_fork_ids () =
+  let pool = Pool.create ~domains:4 () in
+  (* each root i forks i subtasks; ids must be [i] then [i;0] .. [i;i-1],
+     and the flat listing must come back in lexicographic id order *)
+  let task i ctx =
+    for k = 0 to i - 1 do
+      Pool.fork ctx (fun sub ->
+          check (Alcotest.list int) "fork id" [ i; k ] (Pool.id sub);
+          100 + (10 * i) + k)
+    done;
+    i
+  in
+  let results = Pool.run pool (List.init 4 task) in
+  let expected_ids =
+    List.concat_map
+      (fun i -> [ i ] :: List.init i (fun k -> [ i; k ]))
+      [ 0; 1; 2; 3 ]
+  in
+  check int "root + forked" (List.length expected_ids) (List.length results);
+  List.iter2
+    (fun want (got, _) ->
+      check (Alcotest.list int) "sorted by id" want got)
+    expected_ids results
+
+let test_pool_stealing_tree () =
+  (* a binary fork tree deep enough that every domain has work to steal;
+     the values must still sum exactly once per task *)
+  let pool = Pool.create ~domains:4 () in
+  let rec task depth ctx =
+    if depth < 5 then begin
+      Pool.fork ctx (task (depth + 1));
+      Pool.fork ctx (task (depth + 1))
+    end;
+    1
+  in
+  let results = Pool.run pool [ task 0 ] in
+  (* complete binary tree of depth 5: 2^6 - 1 tasks *)
+  check int "every task ran once" 63
+    (List.fold_left (fun acc (_, v) -> acc + v) 0 results);
+  let ids = List.map fst results in
+  check bool "ids strictly increasing" true
+    (List.for_all2 (fun a b -> compare a b < 0)
+       (List.filteri (fun i _ -> i < List.length ids - 1) ids)
+       (List.tl ids))
+
+let test_pool_exception () =
+  let pool = Pool.create ~domains:3 () in
+  let ran = Atomic.make 0 in
+  let task i _ctx =
+    if i = 5 then failwith "boom";
+    Atomic.incr ran;
+    i
+  in
+  (match Pool.run pool (List.init 32 task) with
+  | _ -> Alcotest.fail "expected the task's exception to propagate"
+  | exception Failure msg -> check Alcotest.string "original exception" "boom" msg);
+  (* a second run on the same pool descriptor must work: domains are
+     per-run, so a failed run leaves no poisoned state behind *)
+  let results = Pool.run pool (List.init 4 (fun i _ctx -> i)) in
+  check int "pool reusable after failure" 4 (List.length results)
+
+let test_default_domains_env () =
+  let orig = Sys.getenv_opt "TSG_DOMAINS" in
+  let restore () =
+    match orig with
+    | Some v -> Unix.putenv "TSG_DOMAINS" v
+    | None -> Unix.putenv "TSG_DOMAINS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "TSG_DOMAINS" "3";
+      check int "TSG_DOMAINS honored" 3 (Pool.default_domains ());
+      Unix.putenv "TSG_DOMAINS" "not-a-number";
+      let fallback = min 8 (Domain.recommended_domain_count ()) in
+      check int "garbage falls back" fallback (Pool.default_domains ());
+      Unix.putenv "TSG_DOMAINS" "0";
+      check int "non-positive falls back" fallback (Pool.default_domains ());
+      Unix.putenv "TSG_DOMAINS" "";
+      check int "empty falls back" fallback (Pool.default_domains ()))
+
+(* --- Taxogram determinism across domain counts ----------------------------- *)
+
+let g ~labels ~edges = Graph.build ~labels ~edges
+
+let config ?(max_edges = Some 3) theta =
+  { Taxogram.min_support = theta; max_edges; enhancements = Specialize.all_on }
+
+(* canonical byte-level fingerprint: sorted patterns printed with names,
+   one per line — equal fingerprints mean equal sets AND equal supports *)
+let fingerprint tax (r : Taxogram.result) =
+  let names = Taxonomy.labels tax in
+  String.concat "\n"
+    (List.map
+       (fun (p : Pattern.t) ->
+         Printf.sprintf "%d %s" p.Pattern.support_count
+           (Pattern.to_string ~names p))
+       (Pattern.sort r.Taxogram.patterns))
+
+let random_instance rng =
+  let concepts = 4 + Prng.int rng 6 in
+  let tax =
+    Tsg_taxonomy.Synth_taxonomy.generate rng
+      {
+        concepts;
+        relationships = concepts + Prng.int rng 4;
+        depth = 2 + Prng.int rng 3;
+      }
+  in
+  let sampler = Tsg_data.Synth_graph.uniform_labels tax in
+  let db =
+    Tsg_data.Synth_graph.generate rng
+      {
+        Tsg_data.Synth_graph.graph_count = 3 + Prng.int rng 5;
+        max_edges = 6;
+        edge_density = 0.3;
+        edge_label_count = 2;
+        node_label = sampler;
+      }
+  in
+  (tax, db)
+
+let arb_instance =
+  QCheck.make QCheck.Gen.(pair (int_bound 1_000_000) (int_bound 2))
+
+let theta_of = function 0 -> 1.0 | 1 -> 0.5 | _ -> 0.34
+
+let domains4_equals_domains1_prop =
+  QCheck.Test.make ~name:"domains=4 byte-identical to domains=1" ~count:40
+    arb_instance (fun (seed, k) ->
+      let rng = Prng.of_int seed in
+      let tax, db = random_instance rng in
+      let cfg = config (theta_of k) in
+      let a = Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db in
+      let b = Taxogram.run ~config:cfg ~domains:4 ~sink:`Collect tax db in
+      fingerprint tax a = fingerprint tax b
+      && a.Taxogram.class_count = b.Taxogram.class_count
+      && a.Taxogram.covered_graph_count = b.Taxogram.covered_graph_count)
+
+let stream_equals_collect_prop =
+  QCheck.Test.make ~name:"`Stream domains=4 emits the `Collect set" ~count:25
+    arb_instance (fun (seed, k) ->
+      let rng = Prng.of_int seed in
+      let tax, db = random_instance rng in
+      let cfg = config (theta_of k) in
+      let collected =
+        Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db
+      in
+      let streamed = ref [] in
+      let m = Mutex.create () in
+      let r =
+        Taxogram.run ~config:cfg ~domains:4
+          ~sink:
+            (`Stream
+              (fun p -> Mutex.protect m (fun () -> streamed := p :: !streamed)))
+          tax db
+      in
+      Pattern.equal_sets collected.Taxogram.patterns !streamed
+      && r.Taxogram.pattern_count = List.length !streamed
+      && r.Taxogram.patterns = [])
+
+let level_wise_pool_prop =
+  QCheck.Test.make ~name:"`Level_wise domains=4 = `Gspan domains=1" ~count:20
+    arb_instance (fun (seed, k) ->
+      let rng = Prng.of_int seed in
+      let tax, db = random_instance rng in
+      let cfg = config (theta_of k) in
+      let a =
+        Taxogram.run ~config:cfg ~class_miner:`Gspan ~domains:1 ~sink:`Collect
+          tax db
+      in
+      let b =
+        Taxogram.run ~config:cfg ~class_miner:`Level_wise ~domains:4
+          ~sink:`Collect tax db
+      in
+      (* byte-identity is a same-miner guarantee: the two miners emit
+         isomorphic class graphs under different vertex orders, so the
+         cross-miner comparison is canonical-key + support-set equality *)
+      Pattern.equal_sets a.Taxogram.patterns b.Taxogram.patterns
+      && a.Taxogram.class_count = b.Taxogram.class_count)
+
+let test_expired_budget_deterministic () =
+  let rng = Prng.of_int 4242 in
+  let tax, db = random_instance rng in
+  let expired = Timer.Budget.of_seconds (-1.0) in
+  List.iter
+    (fun domains ->
+      let r =
+        Taxogram.run ~config:(config 0.5) ~budget:expired ~domains
+          ~sink:`Collect tax db
+      in
+      check bool "incomplete" false r.Taxogram.completed;
+      (* budget already expired when mining started: the canonical prefix
+         is empty, identically at every domain count *)
+      check int "no patterns reported" 0 r.Taxogram.pattern_count;
+      check int "patterns field empty" 0 (List.length r.Taxogram.patterns))
+    [ 1; 2; 4 ]
+
+let budget_prefix_prop =
+  (* whatever a tight budget leaves behind must be a subset of the
+     unlimited run, with the same support on every surviving pattern *)
+  QCheck.Test.make ~name:"budgeted `Collect is a subset with equal supports"
+    ~count:20 arb_instance (fun (seed, k) ->
+      let rng = Prng.of_int seed in
+      let tax, db = random_instance rng in
+      let cfg = config (theta_of k) in
+      let full = Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db in
+      let by_key =
+        List.map (fun (p : Pattern.t) -> (Pattern.key p, p)) full.Taxogram.patterns
+      in
+      List.for_all
+        (fun domains ->
+          let tight = Timer.Budget.of_seconds 1e-4 in
+          let r =
+            Taxogram.run ~config:cfg ~budget:tight ~domains ~sink:`Collect tax
+              db
+          in
+          List.for_all
+            (fun (p : Pattern.t) ->
+              match List.assoc_opt (Pattern.key p) by_key with
+              | Some q -> p.Pattern.support_count = q.Pattern.support_count
+              | None -> false)
+            r.Taxogram.patterns)
+        [ 1; 4 ])
+
+(* --- deprecated wrappers stay functional until removal --------------------- *)
+
+module Wrappers = struct
+  [@@@alert "-deprecated"]
+
+  let small_instance () =
+    let tax =
+      Taxonomy.build
+        ~names:[ "a"; "b"; "c"; "d"; "e"; "f" ]
+        ~is_a:[ ("b", "a"); ("c", "a"); ("d", "b"); ("e", "b"); ("f", "c") ]
+    in
+    let id n = Taxonomy.id_of_name tax n in
+    let db =
+      Db.of_list
+        [
+          g ~labels:[| id "d"; id "f" |] ~edges:[ (0, 1, 0) ];
+          g ~labels:[| id "e"; id "f" |] ~edges:[ (0, 1, 0) ];
+        ]
+    in
+    (tax, db)
+
+  let test_run_streaming () =
+    let tax, db = small_instance () in
+    let seen = ref 0 in
+    let r =
+      Taxogram.run_streaming ~config:(config 0.5) tax db (fun _ -> incr seen)
+    in
+    check int "emits every pattern" r.Taxogram.pattern_count !seen;
+    check int "patterns field empty" 0 (List.length r.Taxogram.patterns)
+
+  let test_run_parallel () =
+    let tax, db = small_instance () in
+    let direct = Taxogram.run ~config:(config 0.5) ~sink:`Collect tax db in
+    let wrapped = Taxogram.run_parallel ~config:(config 0.5) ~domains:2 tax db in
+    check bool "same set as run" true
+      (Pattern.equal_sets direct.Taxogram.patterns wrapped.Taxogram.patterns)
+end
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "root ids in order" `Quick test_pool_root_ids;
+          Alcotest.test_case "empty task list" `Quick test_pool_empty;
+          Alcotest.test_case "fork ids" `Quick test_pool_fork_ids;
+          Alcotest.test_case "stealing on a fork tree" `Quick
+            test_pool_stealing_tree;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "TSG_DOMAINS override" `Quick
+            test_default_domains_env;
+        ] );
+      ( "determinism",
+        Alcotest.test_case "expired budget, all domain counts" `Quick
+          test_expired_budget_deterministic
+        :: qsuite
+             [
+               domains4_equals_domains1_prop;
+               stream_equals_collect_prop;
+               level_wise_pool_prop;
+               budget_prefix_prop;
+             ] );
+      ( "deprecated wrappers",
+        [
+          Alcotest.test_case "run_streaming" `Quick Wrappers.test_run_streaming;
+          Alcotest.test_case "run_parallel" `Quick Wrappers.test_run_parallel;
+        ] );
+    ]

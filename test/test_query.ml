@@ -56,7 +56,7 @@ let mine ?(theta = 0.5) t db =
     { Taxogram.min_support = theta; max_edges = Some 3;
       enhancements = Specialize.all_on }
   in
-  (Taxogram.run ~config t db).Taxogram.patterns
+  (Taxogram.run ~sink:`Collect ~config t db).Taxogram.patterns
 
 let mined_store ?db:interest_db ?(theta = 0.5) t db =
   Store.build ~taxonomy:t ?db:interest_db ~db_size:(Db.size db)
