@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples lint clean
+.PHONY: all build test check bench examples lint chaos clean
 
 all: build
 
@@ -34,6 +34,12 @@ examples:
 
 bench:
 	dune exec bench/main.exe
+
+# the fault-injection suite under a forced-wide pool: failpoints,
+# supervised retries/quarantine, checkpoint kill+resume byte-identity,
+# hardened serve loop
+chaos:
+	TSG_DOMAINS=4 dune exec test/test_fault.exe
 
 clean:
 	dune clean

@@ -639,6 +639,111 @@ let parallel_exp ctx =
      gain; classes remain the step-3 unit.\n"
     (Domain.recommended_domain_count ())
 
+(* --- Failpoint overhead (opt-in: --only faults) -------------------------------- *)
+
+(* The fault framework's contract is "zero-cost when disarmed": an inject
+   site is one atomic load and a branch. This experiment prices that claim
+   on the two parallel workloads — disarmed vs armed with an all-zero
+   schedule (every site hit, none fire — the worst armed case that still
+   completes) — and writes BENCH_faults.json with the medians. *)
+let faults_exp ctx =
+  header "Failpoint overhead: disarmed vs armed-at-p=0 schedules";
+  let domains = min 4 ctx.domains_max in
+  let workloads =
+    let nc_heavy =
+      let go = go_taxonomy ctx in
+      let spec =
+        List.nth Datasets.nc_series (List.length Datasets.nc_series - 1)
+      in
+      let spec, db = build_scaled ctx go spec in
+      ("step2-heavy " ^ spec.Datasets.id, go, db)
+    in
+    let td_heavy =
+      let depth = 13 in
+      let rng = Prng.of_int (ctx.seed + depth) in
+      let go =
+        Tsg_taxonomy.Synth_taxonomy.generate rng
+          { concepts = 1000; relationships = 2000; depth }
+      in
+      let sampler = Synth_graph.per_level_labels go () in
+      let spec = Datasets.scale ctx.scale (Datasets.td_spec ~depth) in
+      let db = Datasets.build rng ~node_label:sampler spec in
+      ("step3-heavy " ^ spec.Datasets.id, go, db)
+    in
+    [ nc_heavy; td_heavy ]
+  in
+  let config =
+    { Taxogram.min_support = ctx.theta; max_edges = None;
+      enhancements = Specialize.all_on }
+  in
+  let armed_schedule =
+    [
+      ("pool.task", Tsg_util.Fault.Probability 0.0);
+      ("occ_index.build", Tsg_util.Fault.Probability 0.0);
+      ("taxogram.root", Tsg_util.Fault.Probability 0.0);
+    ]
+  in
+  let reps = 3 in
+  let median_total tax db =
+    let samples =
+      List.init reps (fun _ ->
+          (Taxogram.run ~config ~domains ~sink:`Collect tax db)
+            .Taxogram.total_seconds)
+    in
+    match List.sort compare samples with
+    | [ _; m; _ ] -> m
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let t =
+    Table.create
+      [ "Workload"; "Disarmed ms"; "Armed(p=0) ms"; "Overhead %" ]
+  in
+  let json_rows =
+    List.map
+      (fun (id, tax, db) ->
+        Tsg_util.Fault.clear ();
+        let disarmed = median_total tax db in
+        Tsg_util.Fault.configure armed_schedule;
+        let armed =
+          Fun.protect ~finally:Tsg_util.Fault.clear (fun () ->
+              median_total tax db)
+        in
+        let overhead_pct =
+          if disarmed > 0.0 then 100.0 *. (armed -. disarmed) /. disarmed
+          else 0.0
+        in
+        Table.add_row t
+          [ id; ms disarmed; ms armed; Printf.sprintf "%+.2f" overhead_pct ];
+        Printf.sprintf
+          "    { \"id\": %S, \"db_size\": %d, \"domains\": %d, \"reps\": %d, \
+           \"disarmed_ms\": %.3f, \"armed_p0_ms\": %.3f, \"overhead_pct\": \
+           %.3f }"
+          id (Db.size db) domains reps (1000.0 *. disarmed)
+          (1000.0 *. armed) overhead_pct)
+      workloads
+  in
+  finish_table "faults" t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"theta\": %.3f,\n\
+      \  \"scale\": %.3f,\n\
+      \  \"target_overhead_pct\": 2.0,\n\
+      \  \"workloads\": [\n%s\n  ]\n\
+       }\n"
+      ctx.theta ctx.scale
+      (String.concat ",\n" json_rows)
+  in
+  let oc = open_out "BENCH_faults.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  note
+    "wrote BENCH_faults.json. Target: armed-at-p=0 within 2%% of disarmed\n\
+     (medians of %d reps; timing noise on busy hosts can exceed that —\n\
+     rerun with --scale up for a steadier signal).\n"
+    reps
+
 (* --- Query serving: store build, prefilter, cache (lib/query) ----------------- *)
 
 let query_exp ctx =
@@ -802,7 +907,7 @@ let micro ctx =
 
 (* not in the default sweep (it is additional to the paper); run with
    --only parallel *)
-let optional_experiments = [ ("parallel", parallel_exp) ]
+let optional_experiments = [ ("parallel", parallel_exp); ("faults", faults_exp) ]
 
 let all_experiments =
   [

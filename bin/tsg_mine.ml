@@ -114,9 +114,15 @@ let run_directed db_path tax_path support max_edges limit quiet =
   0
 
 let run db_path tax_path support algorithm max_edges limit quiet directed out
-    domains parallel no_validate =
+    domains parallel no_validate checkpoint_path checkpoint_every supervised =
   if directed then run_directed db_path tax_path support max_edges limit quiet
   else begin
+  (match (checkpoint_path, algorithm) with
+  | Some _, (Alg_tacgm | Alg_naive) ->
+    prerr_endline
+      "tsg-mine: --checkpoint applies to the taxogram and baseline algorithms";
+    exit 2
+  | Some _, (Alg_taxogram | Alg_baseline) | None, _ -> ());
   if not no_validate then validate_inputs db_path tax_path;
   let taxonomy, db, edge_labels = load_inputs db_path tax_path in
   (* mining is parallel by default now; --domains overrides the
@@ -132,6 +138,7 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
     (Taxonomy.label_count taxonomy)
     (Taxonomy.level_count taxonomy)
     domains;
+  let incomplete = ref false in
   let patterns, elapsed =
     match algorithm with
     | Alg_taxogram | Alg_baseline ->
@@ -140,7 +147,38 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
         else Specialize.all_off
       in
       let config = { Taxogram.min_support = support; max_edges; enhancements } in
-      let r = Taxogram.run ~config ~domains ~sink:`Collect taxonomy db in
+      let checkpoint =
+        Option.map
+          (fun path -> { Taxogram.path; every_s = checkpoint_every })
+          checkpoint_path
+      in
+      let r =
+        try
+          Taxogram.run ~config ~domains ?checkpoint ~supervised ~sink:`Collect
+            taxonomy db
+        with
+        | Tsg_core.Checkpoint.Error d ->
+          Printf.eprintf "tsg-mine: %s\n" (Diagnostic.to_string d);
+          exit 2
+        | Tsg_util.Fault.Injected _ as e ->
+          Printf.eprintf "tsg-mine: aborted: %s\n" (Printexc.to_string e);
+          (match checkpoint_path with
+          | Some p ->
+            Printf.eprintf
+              "tsg-mine: progress saved to %s; rerun with --checkpoint to \
+               resume\n"
+              p
+          | None -> ());
+          exit 3
+      in
+      List.iter
+        (fun d -> Printf.eprintf "tsg-mine: %s\n" (Diagnostic.to_string d))
+        r.Taxogram.diagnostics;
+      if not r.Taxogram.completed then begin
+        incomplete := true;
+        prerr_endline
+          "tsg-mine: run stopped early; reporting the completed prefix"
+      end;
       (r.Taxogram.patterns, r.Taxogram.total_seconds)
     | Alg_tacgm ->
       let r = Tacgm.run ?max_edges ~min_support:support taxonomy db in
@@ -196,7 +234,7 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
       Printf.printf "  ... (%d more; raise --limit)\n" (List.length sorted - l)
     | _ -> ()
   end;
-  0
+  if !incomplete then 1 else 0
   end
 
 let db_arg =
@@ -258,6 +296,25 @@ let no_validate_arg =
          ~doc:"Skip the tsg-lint validation pass over inputs and over the \
                pattern set written by --save.")
 
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Snapshot completed mining roots to $(docv) (written \
+               atomically) and resume from it when it already holds a \
+               snapshot of the same inputs; the resumed pattern set is \
+               identical to an uninterrupted run. The file is removed when \
+               mining completes. Taxogram and baseline algorithms only.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt float 5.0 & info [ "checkpoint-every" ] ~docv:"SECS"
+         ~doc:"Minimum seconds between checkpoint snapshots (0 snapshots \
+               after every completed root).")
+
+let supervised_arg =
+  Arg.(value & flag & info [ "supervised" ]
+         ~doc:"Quarantine failing mining tasks instead of aborting: the run \
+               reports the completed prefix plus rule-coded diagnostics on \
+               stderr, and exits 1 when cut short.")
+
 let cmd =
   let doc = "mine frequent patterns from a taxonomy-superimposed graph database" in
   Cmd.v
@@ -265,6 +322,13 @@ let cmd =
     Term.(
       const run $ db_arg $ tax_arg $ support_arg $ algorithm_arg
       $ max_edges_arg $ limit_arg $ quiet_arg $ directed_arg $ out_arg
-      $ domains_arg $ parallel_arg $ no_validate_arg)
+      $ domains_arg $ parallel_arg $ no_validate_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ supervised_arg)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (match Tsg_util.Fault.configure_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "tsg-mine: %s\n" msg;
+    exit 2);
+  exit (Cmd.eval' cmd)

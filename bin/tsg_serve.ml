@@ -4,10 +4,13 @@
      tsg-serve --patterns patterns.pat --taxonomy d.tax < requests.txt
      tsg-serve --patterns a.pat --patterns b.pat --taxonomy d.tax \
        --db d.db --requests warmup.txt --requests run.txt
+     tsg-serve --patterns patterns.pat --taxonomy d.tax --listen 7411
 
    Reads the newline protocol (see lib/query/protocol.mli) from request
    files, or stdin when none are given, and prints the metrics table on
-   shutdown. *)
+   shutdown. With --listen it serves the same protocol over TCP instead:
+   one thread per connection, load shedding past --max-conns, graceful
+   drain on SIGTERM/SIGINT. *)
 
 module Label = Tsg_graph.Label
 module Serial = Tsg_graph.Serial
@@ -22,7 +25,14 @@ module Lint = Tsg_check.Lint
 
 open Cmdliner
 
-let run patterns tax_path db_path requests domains cache quiet no_validate =
+let limits_of timeout max_bytes =
+  {
+    Serve.max_line_bytes = max_bytes;
+    request_deadline_s = (if timeout <= 0.0 then None else Some timeout);
+  }
+
+let run patterns tax_path db_path requests domains cache quiet no_validate
+    listen_port max_conns timeout max_bytes =
   (* fail fast on malformed artifacts, with rule-coded diagnostics; the
      --no-validate escape hatch skips straight to loading *)
   if not no_validate then begin
@@ -68,26 +78,49 @@ let run patterns tax_path db_path requests domains cache quiet no_validate =
     (Store.db_size store) cache domains;
   let metrics = Metrics.create () in
   let engine = Engine.create ~cache_capacity:cache ~metrics store in
-  let serve ic = Serve.run ~domains ~engine ~edge_labels ic stdout in
+  let limits = limits_of timeout max_bytes in
   let outcome =
-    match requests with
-    | [] -> serve stdin
-    | paths ->
-      List.fold_left
-        (fun (acc : Serve.outcome) path ->
-          if acc.Serve.quit then acc
-          else
-            let ic = open_in path in
-            let o =
-              Fun.protect ~finally:(fun () -> close_in ic) (fun () -> serve ic)
-            in
-            {
-              Serve.requests = acc.Serve.requests + o.Serve.requests;
-              errors = acc.Serve.errors + o.Serve.errors;
-              quit = o.Serve.quit;
-            })
-        { Serve.requests = 0; errors = 0; quit = false }
-        paths
+    match listen_port with
+    | Some port ->
+      (* graceful shutdown: first signal stops accepting and drains *)
+      let stop = ref false in
+      let handler = Sys.Signal_handle (fun _ -> stop := true) in
+      (try Sys.set_signal Sys.sigterm handler
+       with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+      let lo =
+        Serve.listen ~limits ~max_conns
+          ~on_listen:(fun p ->
+            Printf.eprintf "tsg-serve: listening on 127.0.0.1:%d\n%!" p)
+          ~should_stop:(fun () -> !stop)
+          ~engine ~edge_labels ~port ()
+      in
+      Printf.eprintf "tsg-serve: %d connections (%d shed)\n%!"
+        lo.Serve.connections lo.Serve.overloaded;
+      lo.Serve.aggregate
+    | None -> (
+      let serve ic = Serve.run ~domains ~limits ~engine ~edge_labels ic stdout in
+      match requests with
+      | [] -> serve stdin
+      | paths ->
+        List.fold_left
+          (fun (acc : Serve.outcome) path ->
+            if acc.Serve.quit then acc
+            else
+              let ic = open_in path in
+              let o =
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> serve ic)
+              in
+              {
+                Serve.requests = acc.Serve.requests + o.Serve.requests;
+                errors = acc.Serve.errors + o.Serve.errors;
+                quit = o.Serve.quit;
+                disconnected = acc.Serve.disconnected || o.Serve.disconnected;
+              })
+          { Serve.requests = 0; errors = 0; quit = false; disconnected = false }
+          paths)
   in
   if not quiet then begin
     print_endline "begin stats";
@@ -157,12 +190,54 @@ let no_validate_arg =
     & info [ "no-validate" ]
         ~doc:"Skip the tsg-lint validation pass over the input artifacts.")
 
+let listen_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve over TCP on 127.0.0.1:$(docv) instead of request files (0 \
+           picks a free port). One thread per connection; SIGTERM/SIGINT \
+           drain gracefully.")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Concurrent-connection cap in --listen mode; extra clients are \
+           shed with a single OVERLOADED line.")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "request-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Per-request deadline; a request that misses it answers 'error \
+           deadline exceeded'. 0 (the default) disables deadlines.")
+
+let max_bytes_arg =
+  Arg.(
+    value
+    & opt int Tsg_query.Protocol.default_max_line_bytes
+    & info [ "max-request-bytes" ] ~docv:"N"
+        ~doc:
+          "Longest accepted request line; longer lines answer with an error \
+           without buffering more than $(docv) bytes.")
+
 let cmd =
   let doc = "serve contains/by-label/top-k queries over mined pattern sets" in
   Cmd.v
     (Cmd.info "tsg-serve" ~doc)
     Term.(
       const run $ patterns_arg $ tax_arg $ db_arg $ requests_arg $ domains_arg
-      $ cache_arg $ quiet_arg $ no_validate_arg)
+      $ cache_arg $ quiet_arg $ no_validate_arg $ listen_arg $ max_conns_arg
+      $ timeout_arg $ max_bytes_arg)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (match Tsg_util.Fault.configure_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline ("tsg-serve: " ^ msg);
+    exit 2);
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,331 @@
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Bitset = Tsg_util.Bitset
+module Checksum = Tsg_util.Checksum
+module Diagnostic = Tsg_util.Diagnostic
+
+exception Error of Diagnostic.t
+
+type entry = {
+  root : int;
+  classes : int;
+  oi_entries : int;
+  oi_set_members : int;
+  enum_seconds : float;
+  stats : Specialize.stats;
+  covered : Bitset.t;
+  patterns : Pattern.t list;
+}
+
+type t = {
+  fingerprint : int64;
+  db_size : int;
+  roots_total : int;
+  entries : entry list;
+}
+
+(* --- fingerprint ------------------------------------------------------- *)
+
+let fingerprint ~taxonomy ~db ~params =
+  let h = ref (Checksum.fnv1a64 params) in
+  let mix s = h := Checksum.mix64 !h (Checksum.fnv1a64 s) in
+  let buf = Buffer.create 256 in
+  for l = 0 to Taxonomy.label_count taxonomy - 1 do
+    Buffer.clear buf;
+    Buffer.add_string buf (Taxonomy.name taxonomy l);
+    List.iter
+      (fun p -> Buffer.add_string buf (Printf.sprintf "|%d" p))
+      (Taxonomy.parents taxonomy l);
+    mix (Buffer.contents buf)
+  done;
+  Db.iteri
+    (fun gid g ->
+      Buffer.clear buf;
+      Buffer.add_string buf (string_of_int gid);
+      for v = 0 to Graph.node_count g - 1 do
+        Buffer.add_string buf (Printf.sprintf " v%d" (Graph.node_label g v))
+      done;
+      Array.iter
+        (fun (u, v, l) ->
+          Buffer.add_string buf (Printf.sprintf " e%d,%d,%d" u v l))
+        (Graph.edges g);
+      mix (Buffer.contents buf))
+    db;
+  !h
+
+(* --- serialization ----------------------------------------------------- *)
+
+let magic = "tsgckpt"
+
+let version = 1
+
+let add_bitset buf set =
+  let bytes = (Bitset.capacity set + 7) / 8 in
+  if bytes = 0 then Buffer.add_char buf '-'
+  else begin
+    let packed = Bytes.make bytes '\000' in
+    Bitset.iter
+      (fun i ->
+        let b = i lsr 3 in
+        Bytes.unsafe_set packed b
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get packed b) lor (1 lsl (i land 7)))))
+      set;
+    Bytes.iter
+      (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+      packed
+  end
+
+let add_pattern buf (p : Pattern.t) =
+  let g = p.Pattern.graph in
+  let n = Graph.node_count g in
+  Buffer.add_string buf (Printf.sprintf "p %d" n);
+  for v = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf " %d" (Graph.node_label g v))
+  done;
+  let edges = Graph.edges g in
+  Buffer.add_string buf (Printf.sprintf " %d" (Array.length edges));
+  Array.iter
+    (fun (u, v, l) -> Buffer.add_string buf (Printf.sprintf " %d %d %d" u v l))
+    edges;
+  Buffer.add_char buf ' ';
+  add_bitset buf p.Pattern.support_set;
+  Buffer.add_char buf '\n'
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %016Lx %d %d\n" magic version t.fingerprint
+       t.db_size t.roots_total);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "root %d %d %d %d %h %d %d %d %d\n" e.root e.classes
+           e.oi_entries e.oi_set_members e.enum_seconds
+           e.stats.Specialize.intersections e.stats.Specialize.visited
+           e.stats.Specialize.emitted e.stats.Specialize.over_generalized);
+      Buffer.add_string buf "c ";
+      add_bitset buf e.covered;
+      Buffer.add_char buf '\n';
+      List.iter (add_pattern buf) e.patterns)
+    t.entries;
+  let body = Buffer.contents buf in
+  body ^ Printf.sprintf "end %s\n" (Checksum.to_hex (Checksum.crc32 body))
+
+let save path t =
+  Tsg_util.Fault.inject "checkpoint.save";
+  Tsg_util.Safe_io.write_atomic path (to_string t)
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let fail ~file ?line fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Error (Diagnostic.make ~file ?line ~rule:"CKPT001" Diagnostic.Error msg)))
+    fmt
+
+let parse_bitset ~file ~line cap token =
+  let set = Bitset.create cap in
+  let bytes = (cap + 7) / 8 in
+  if token = "-" then begin
+    if bytes <> 0 then fail ~file ~line "empty bitset for capacity %d" cap;
+    set
+  end
+  else begin
+    if String.length token <> 2 * bytes then
+      fail ~file ~line "bitset holds %d hex digits, expected %d"
+        (String.length token) (2 * bytes);
+    for b = 0 to bytes - 1 do
+      match int_of_string_opt ("0x" ^ String.sub token (2 * b) 2) with
+      | None -> fail ~file ~line "bad bitset byte %s" (String.sub token (2 * b) 2)
+      | Some byte ->
+        for bit = 0 to 7 do
+          if byte land (1 lsl bit) <> 0 then begin
+            let i = (b lsl 3) + bit in
+            if i >= cap then fail ~file ~line "bitset member %d out of range" i;
+            Bitset.set set i
+          end
+        done
+    done;
+    set
+  end
+
+let parse_int ~file ~line what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail ~file ~line "bad %s %S" what s
+
+let parse_float ~file ~line what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail ~file ~line "bad %s %S" what s
+
+let parse_pattern ~file ~line ~db_size tokens =
+  let int = parse_int ~file ~line in
+  match tokens with
+  | nnodes :: rest ->
+    let nnodes = int "node count" nnodes in
+    if nnodes <= 0 then fail ~file ~line "bad node count %d" nnodes;
+    let rec take n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | x :: rest -> take (n - 1) (x :: acc) rest
+      | [] -> fail ~file ~line "truncated pattern line"
+    in
+    let labels, rest = take nnodes [] rest in
+    let labels = Array.of_list (List.map (int "node label") labels) in
+    (match rest with
+    | nedges :: rest ->
+      let nedges = int "edge count" nedges in
+      let flat, rest = take (3 * nedges) [] rest in
+      let rec triples = function
+        | u :: v :: l :: more ->
+          (int "edge endpoint" u, int "edge endpoint" v, int "edge label" l)
+          :: triples more
+        | [] -> []
+        | _ -> fail ~file ~line "truncated edge list"
+      in
+      let edges = triples flat in
+      (match rest with
+      | [ sup ] ->
+        let support = parse_bitset ~file ~line db_size sup in
+        let graph =
+          try Graph.build ~labels ~edges
+          with Invalid_argument msg -> fail ~file ~line "bad pattern: %s" msg
+        in
+        Pattern.make ~db_size graph support
+      | _ -> fail ~file ~line "malformed pattern line")
+    | [] -> fail ~file ~line "truncated pattern line")
+  | [] -> fail ~file ~line "empty pattern line"
+
+let parse ~file text =
+  (* split off and verify the crc trailer before trusting anything else *)
+  let len = String.length text in
+  if len = 0 || text.[len - 1] <> '\n' then
+    fail ~file "truncated checkpoint (no trailing newline)";
+  let trailer_start =
+    match String.rindex_from_opt text (len - 2) '\n' with
+    | Some i -> i + 1
+    | None -> fail ~file "missing checkpoint trailer"
+  in
+  let body = String.sub text 0 trailer_start in
+  (match
+     String.split_on_char ' '
+       (String.trim (String.sub text trailer_start (len - trailer_start)))
+   with
+  | [ "end"; crc ] ->
+    let actual = Checksum.to_hex (Checksum.crc32 body) in
+    if not (String.equal crc actual) then
+      fail ~file "checksum mismatch: trailer %s, content %s" crc actual
+  | _ -> fail ~file "missing checkpoint trailer");
+  let lines = String.split_on_char '\n' body in
+  let header, rest =
+    match lines with
+    | h :: rest -> (h, rest)
+    | [] -> fail ~file "empty checkpoint"
+  in
+  let fingerprint, db_size, roots_total =
+    match String.split_on_char ' ' header with
+    | [ m; v; fp; db; roots ] when m = magic ->
+      let line = 1 in
+      if parse_int ~file ~line "version" v <> version then
+        fail ~file ~line "unsupported checkpoint version %s" v;
+      (match Int64.of_string_opt ("0x" ^ fp) with
+      | None -> fail ~file ~line "bad fingerprint %S" fp
+      | Some fp ->
+        ( fp,
+          parse_int ~file ~line "database size" db,
+          parse_int ~file ~line "root count" roots ))
+    | _ -> fail ~file ~line:1 "not a checkpoint file"
+  in
+  if db_size < 0 then fail ~file ~line:1 "negative database size";
+  let entries = ref [] in
+  let current = ref None in
+  let lineno = ref 1 in
+  let close_current () =
+    match !current with
+    | None -> ()
+    | Some (e, pats) ->
+      entries := { e with patterns = List.rev pats } :: !entries;
+      current := None
+  in
+  List.iter
+    (fun line_text ->
+      incr lineno;
+      let line = !lineno in
+      if line_text = "" then ()
+      else
+        match String.split_on_char ' ' line_text with
+        | [ "root"; idx; classes; oie; oim; enum; i; v; e; o ] ->
+          close_current ();
+          let int = parse_int ~file ~line in
+          let entry =
+            {
+              root = int "root index" idx;
+              classes = int "class count" classes;
+              oi_entries = int "entry count" oie;
+              oi_set_members = int "member count" oim;
+              enum_seconds = parse_float ~file ~line "enumerate seconds" enum;
+              stats =
+                {
+                  Specialize.intersections = int "intersections" i;
+                  visited = int "visited" v;
+                  emitted = int "emitted" e;
+                  over_generalized = int "over-generalized" o;
+                };
+              covered = Bitset.create db_size;
+              patterns = [];
+            }
+          in
+          current := Some (entry, [])
+        | [ "c"; hex ] -> (
+          match !current with
+          | None -> fail ~file ~line "'c' before any 'root' header"
+          | Some (e, pats) ->
+            current :=
+              Some ({ e with covered = parse_bitset ~file ~line db_size hex }, pats))
+        | "p" :: tokens -> (
+          match !current with
+          | None -> fail ~file ~line "'p' before any 'root' header"
+          | Some (e, pats) ->
+            current :=
+              Some (e, parse_pattern ~file ~line ~db_size tokens :: pats))
+        | _ -> fail ~file ~line "unrecognized line: %s" line_text)
+    rest;
+  close_current ();
+  let entries = List.rev !entries in
+  List.iteri
+    (fun i e ->
+      if e.root <> i then
+        fail ~file "entries are not a root prefix (position %d holds root %d)"
+          i e.root)
+    entries;
+  if roots_total >= 0 && List.length entries > roots_total then
+    fail ~file "%d entries for %d roots" (List.length entries) roots_total;
+  { fingerprint; db_size; roots_total; entries }
+
+let load path =
+  Tsg_util.Fault.inject "checkpoint.load";
+  let text =
+    try Tsg_util.Safe_io.read_file path
+    with Sys_error msg -> fail ~file:path "cannot read checkpoint: %s" msg
+  in
+  parse ~file:path text
+
+let check ~fingerprint ~db_size ~roots_total t =
+  let mismatch fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise
+          (Error
+             (Diagnostic.make ~rule:"CKPT002" Diagnostic.Error
+                ("checkpoint does not match this run: " ^ msg))))
+      fmt
+  in
+  if not (Int64.equal t.fingerprint fingerprint) then
+    mismatch "fingerprint %016Lx, expected %016Lx" t.fingerprint fingerprint;
+  if t.db_size <> db_size then
+    mismatch "database size %d, expected %d" t.db_size db_size;
+  if t.roots_total <> roots_total then
+    mismatch "root count %d, expected %d" t.roots_total roots_total

@@ -1,0 +1,62 @@
+(** Mining checkpoints: crash-safe snapshots of completed root tasks.
+
+    {!Taxogram.run} commits work at root granularity (one gSpan seed
+    subtree, or one level-wise class), and its output under any early stop
+    is a prefix of the canonical root sequence. A checkpoint freezes such
+    a prefix to disk: the payload of every completed root — patterns,
+    coverage, statistics — plus a fingerprint binding the snapshot to the
+    exact taxonomy, database, and configuration that produced it. A
+    resumed run skips the stored roots, mines the rest, and merges; the
+    final pattern set is byte-identical to an uninterrupted run
+    (property-tested).
+
+    The file format is versioned line-oriented text, written atomically
+    ({!Tsg_util.Safe_io.write_atomic}) and closed by a CRC-32 trailer, so
+    a reader can always tell a complete snapshot from a torn one.
+    Corruption, truncation, and fingerprint mismatches surface as {!Error}
+    carrying a [CKPT]-coded diagnostic. *)
+
+exception Error of Tsg_util.Diagnostic.t
+(** Rule codes: [CKPT001] unreadable/corrupt/truncated file, [CKPT002]
+    fingerprint or shape mismatch with the present run. *)
+
+type entry = {
+  root : int;  (** index in the canonical root sequence *)
+  classes : int;
+  oi_entries : int;
+  oi_set_members : int;
+  enum_seconds : float;
+  stats : Specialize.stats;
+  covered : Tsg_util.Bitset.t;  (** capacity = database size *)
+  patterns : Pattern.t list;  (** canonical emission order *)
+}
+
+type t = {
+  fingerprint : int64;  (** {!fingerprint} of the producing run *)
+  db_size : int;
+  roots_total : int;  (** [-1] when unknown up front (level-wise mining) *)
+  entries : entry list;  (** completed-root prefix, ascending by [root] *)
+}
+
+val fingerprint :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  db:Tsg_graph.Db.t ->
+  params:string ->
+  int64
+(** Content hash of the run's inputs: taxonomy structure (names and
+    parent lists in id order), every database graph (labels and edges in
+    id order), and [params], an arbitrary string encoding the mining
+    configuration. Two runs with equal fingerprints intern labels in the
+    same order, so checkpoint payloads can store raw label ids. *)
+
+val save : string -> t -> unit
+(** Atomic write; honors the ["safe_io.write"] failpoint. *)
+
+val load : string -> t
+(** @raise Error ([CKPT001]) on unreadable, corrupt, or torn files. *)
+
+val check :
+  fingerprint:int64 -> db_size:int -> roots_total:int -> t -> unit
+(** Validate a loaded checkpoint against the present run.
+    @raise Error ([CKPT002]) when the fingerprint, database size, or root
+    count disagree. *)

@@ -112,6 +112,7 @@ let debug_check_max_db = 500
 
 let build ~taxonomy ~original ?(keep_label = fun _ -> true)
     (p : Gspan.pattern) =
+  Tsg_util.Fault.inject "occ_index.build";
   let positions = Graph.node_count p.graph in
   let embeddings = Array.of_list p.embeddings in
   let occ_count = Array.length embeddings in

@@ -103,11 +103,9 @@ let to_string ~node_labels ~edge_labels ~db_size patterns =
   Buffer.contents buf
 
 let save path ~node_labels ~edge_labels ~db_size patterns =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string ~node_labels ~edge_labels ~db_size patterns))
+  Tsg_util.Fault.inject "pattern_io.save";
+  Tsg_util.Safe_io.write_atomic path
+    (to_string ~node_labels ~edge_labels ~db_size patterns)
 
 exception Parse_error of Tsg_util.Diagnostic.t
 
@@ -216,10 +214,5 @@ let parse ?file ~node_labels ~edge_labels text =
   (List.map (fun l -> l.pattern) located, db_size)
 
 let load ~node_labels ~edge_labels path =
-  let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  parse ~file:path ~node_labels ~edge_labels text
+  Tsg_util.Fault.inject "pattern_io.load";
+  parse ~file:path ~node_labels ~edge_labels (Tsg_util.Safe_io.read_file path)

@@ -4,6 +4,8 @@ module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset
 module Timer = Tsg_util.Timer
 module Pool = Tsg_util.Pool
+module Fault = Tsg_util.Fault
+module Diagnostic = Tsg_util.Diagnostic
 module Gspan = Tsg_gspan.Gspan
 
 type config = {
@@ -22,6 +24,7 @@ type result = {
   class_count : int;
   pattern_count : int;
   completed : bool;
+  diagnostics : Diagnostic.t list;
   relabel_seconds : float;
   mining_seconds : float;
   enumerate_seconds : float;
@@ -34,7 +37,12 @@ type result = {
 
 type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
 
+type checkpoint_spec = { path : string; every_s : float }
+
 exception Out_of_time_in_mining
+
+(* raised (and caught) internally when a supervised sequential root fails *)
+exception Supervised_stop
 
 let frequent_label_filter taxonomy db ~min_support =
   let n = Taxonomy.label_count taxonomy in
@@ -70,6 +78,79 @@ let keep_label_of config taxonomy db ~min_support =
     Some (frequent_label_filter taxonomy db ~min_support)
   else None
 
+(* --- checkpoint plumbing shared by both paths ------------------------- *)
+
+(* the spec plus everything resolved up front in [run]: the fingerprint of
+   this run's inputs and the previous snapshot, if one was on disk *)
+type ckpt_ctx = {
+  ck_spec : checkpoint_spec;
+  ck_fp : int64;
+  ck_loaded : Checkpoint.t option;
+}
+
+let fingerprint_params ~config ~class_miner =
+  Printf.sprintf "v1 ms=%h me=%s a=%b b=%b c=%b d=%b miner=%s"
+    config.min_support
+    (match config.max_edges with None -> "-" | Some n -> string_of_int n)
+    config.enhancements.Specialize.child_pruning
+    config.enhancements.Specialize.label_prefilter
+    config.enhancements.Specialize.start_preprocess
+    config.enhancements.Specialize.collapse_equal_children
+    (match class_miner with `Gspan -> "gspan" | `Level_wise -> "level")
+
+(* validate the loaded snapshot once the run knows its root count, and
+   return the completed-root prefix to skip *)
+let stored_entries ckpt ~db_size ~roots_total =
+  match ckpt with
+  | None -> []
+  | Some { ck_loaded = None; _ } -> []
+  | Some { ck_fp; ck_loaded = Some t; _ } ->
+    Checkpoint.check ~fingerprint:ck_fp ~db_size ~roots_total t;
+    t.Checkpoint.entries
+
+(* accumulates the completed-root prefix and writes snapshots, at most one
+   per [every_s] (a forced flush ignores the interval) *)
+type saver = {
+  sv_ctx : ckpt_ctx;
+  sv_db_size : int;
+  sv_roots_total : int;
+  mutable sv_prefix : Checkpoint.entry list;  (* newest first *)
+  mutable sv_last : float;
+}
+
+let saver_of ckpt ~db_size ~roots_total ~stored =
+  Option.map
+    (fun c ->
+      {
+        sv_ctx = c;
+        sv_db_size = db_size;
+        sv_roots_total = roots_total;
+        sv_prefix = List.rev stored;
+        sv_last = neg_infinity;
+      })
+    ckpt
+
+let saver_flush sv =
+  Checkpoint.save sv.sv_ctx.ck_spec.path
+    {
+      Checkpoint.fingerprint = sv.sv_ctx.ck_fp;
+      db_size = sv.sv_db_size;
+      roots_total = sv.sv_roots_total;
+      entries = List.rev sv.sv_prefix;
+    };
+  sv.sv_last <- Unix.gettimeofday ()
+
+let saver_record sv entry =
+  sv.sv_prefix <- entry :: sv.sv_prefix;
+  if Unix.gettimeofday () -. sv.sv_last >= sv.sv_ctx.ck_spec.every_s then
+    saver_flush sv
+
+(* a finished run deletes its checkpoint; an early stop snapshots it *)
+let saver_finish sv ~completed =
+  if completed then (
+    try Sys.remove sv.sv_ctx.ck_spec.path with Sys_error _ -> ())
+  else saver_flush sv
+
 (* --- sequential path (domains = 1) ----------------------------------- *)
 
 (* Identical to the pre-redesign streaming pipeline, except that work is
@@ -77,7 +158,8 @@ let keep_label_of config taxonomy db ~min_support =
    class): under a budgeted [`Collect] run, a root cut short discards its
    partial work so the reported set is always a prefix of the canonical
    root sequence — the same rule the pool path applies at its join. *)
-let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
+let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
+    taxonomy db =
   let total_timer = Timer.start () in
   let relabeled, relabel_seconds =
     Timer.time (fun () -> Relabel.db taxonomy db)
@@ -95,6 +177,34 @@ let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
   let oi_set_members = ref 0 in
   let covered = Bitset.create db_size in
   let collected = ref [] in
+  let diagnostics = ref [] in
+  let mining_timer = Timer.start () in
+  let subtrees =
+    match class_miner with
+    | `Gspan ->
+      Some
+        (Gspan.mine_tasks ?max_edges:config.max_edges
+           ~min_support:min_support_count relabeled)
+    | `Level_wise -> None
+  in
+  let roots_total =
+    match subtrees with Some l -> List.length l | None -> -1
+  in
+  let stored = stored_entries ckpt ~db_size ~roots_total in
+  let skip = List.length stored in
+  let sv = saver_of ckpt ~db_size ~roots_total ~stored in
+  (* merge the resumed prefix before mining the rest *)
+  List.iter
+    (fun (e : Checkpoint.entry) ->
+      class_count := !class_count + e.Checkpoint.classes;
+      oi_entries := !oi_entries + e.Checkpoint.oi_entries;
+      oi_set_members := !oi_set_members + e.Checkpoint.oi_set_members;
+      enumerate_seconds := !enumerate_seconds +. e.Checkpoint.enum_seconds;
+      add_stats spec_stats e.Checkpoint.stats;
+      Bitset.union_into ~dst:covered covered e.Checkpoint.covered;
+      pattern_count := !pattern_count + List.length e.Checkpoint.patterns;
+      collected := List.rev_append e.Checkpoint.patterns !collected)
+    stored;
   (* per-root scratch, committed only when the root completes *)
   let r_classes = ref 0 in
   let r_entries = ref 0 in
@@ -103,7 +213,7 @@ let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
   let r_patterns = ref [] in
   let r_stats = ref (Specialize.fresh_stats ()) in
   let r_covered = Bitset.create db_size in
-  let commit_root () =
+  let commit_root root =
     class_count := !class_count + !r_classes;
     oi_entries := !oi_entries + !r_entries;
     oi_set_members := !oi_set_members + !r_members;
@@ -115,6 +225,20 @@ let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
       pattern_count := !pattern_count + List.length !r_patterns;
       collected := List.rev_append !r_patterns !collected
     | `Stream _ -> ());
+    (match sv with
+    | Some sv ->
+      saver_record sv
+        {
+          Checkpoint.root;
+          classes = !r_classes;
+          oi_entries = !r_entries;
+          oi_set_members = !r_members;
+          enum_seconds = !r_enum;
+          stats = !r_stats;
+          covered = Bitset.copy r_covered;
+          patterns = List.rev !r_patterns;
+        }
+    | None -> ());
     r_classes := 0;
     r_entries := 0;
     r_members := 0;
@@ -123,7 +247,6 @@ let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
     r_stats := Specialize.fresh_stats ();
     Bitset.clear r_covered
   in
-  let mining_timer = Timer.start () in
   let process_class (class_pattern : Gspan.pattern) =
     if Timer.Budget.exceeded budget then raise Out_of_time_in_mining;
     incr r_classes;
@@ -148,24 +271,61 @@ let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
               emit p
             | `Collect -> r_patterns := p :: !r_patterns))
   in
+  (* under supervision a failing root yields a diagnostic and stops the
+     run at the completed prefix, mirroring the pool path's join rule *)
+  let guard root f =
+    if not supervised then f ()
+    else
+      try f () with
+      | (Out_of_time_in_mining | Specialize.Out_of_time) as e -> raise e
+      | e ->
+        let d =
+          match Fault.diagnostic e with
+          | Some d -> d
+          | None ->
+            Diagnostic.makef ~rule:"POOL001" Diagnostic.Error
+              "root %d failed: %s" root (Printexc.to_string e)
+        in
+        diagnostics := d :: !diagnostics;
+        raise Supervised_stop
+  in
   let completed =
     try
       (match class_miner with
       | `Gspan ->
-        List.iter
-          (fun subtree ->
-            subtree process_class;
-            commit_root ())
-          (Gspan.mine_tasks ?max_edges:config.max_edges
-             ~min_support:min_support_count relabeled)
+        List.iteri
+          (fun root subtree ->
+            if root >= skip then begin
+              guard root (fun () ->
+                  Fault.inject "taxogram.root";
+                  subtree process_class);
+              commit_root root
+            end)
+          (Option.get subtrees)
       | `Level_wise ->
+        let next = ref 0 in
         Tsg_gspan.Level_miner.mine ?max_edges:config.max_edges
           ~min_support:min_support_count relabeled (fun cp ->
-            process_class cp;
-            commit_root ()));
+            let root = !next in
+            incr next;
+            if root >= skip then begin
+              guard root (fun () ->
+                  Fault.inject "taxogram.root";
+                  process_class cp);
+              commit_root root
+            end));
       true
-    with Out_of_time_in_mining | Specialize.Out_of_time -> false
+    with
+    | Out_of_time_in_mining | Specialize.Out_of_time | Supervised_stop ->
+      false
+    | e when Option.is_some sv ->
+      (* an unsupervised crash mid-run: snapshot the completed prefix so a
+         rerun with the same checkpoint path picks up right here *)
+      let bt = Printexc.get_raw_backtrace () in
+      (match sv with Some s -> saver_flush s | None -> ());
+      Printexc.raise_with_backtrace e bt
   in
+  (match sv with Some s -> saver_finish s ~completed | None -> ());
   let mining_total = Timer.elapsed_s mining_timer in
   {
     patterns =
@@ -175,6 +335,7 @@ let run_sequential ~config ~budget ~class_miner ~sink taxonomy db =
     class_count = !class_count;
     pattern_count = !pattern_count;
     completed;
+    diagnostics = List.rev !diagnostics;
     relabel_seconds;
     mining_seconds = mining_total -. !enumerate_seconds;
     enumerate_seconds = !enumerate_seconds;
@@ -212,7 +373,125 @@ let mining_outcome ~ok ~classes ~entries ~members ~covered =
     t_covered = Some covered;
   }
 
-let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
+(* stand-in for a quarantined supervised task at the join: not-ok, so the
+   completed-prefix rule cuts the result before its root *)
+let failed_outcome =
+  {
+    t_ok = false;
+    t_classes = 0;
+    t_patterns = [];
+    t_stats = None;
+    t_enum_s = 0.0;
+    t_entries = 0;
+    t_members = 0;
+    t_covered = None;
+  }
+
+(* Checkpointing a pool run needs to know when a *root* is done — its
+   mining task and every spec task it forked — while tasks finish in
+   whatever order the schedule produces. One accumulator per root gathers
+   both sides under a lock; the completed-root prefix advances (and
+   snapshots) as accumulators fill in. *)
+type root_acc = {
+  mutable a_mining_done : bool;
+  mutable a_ok : bool;
+  mutable a_forked : int;  (* spec tasks the mining task created *)
+  mutable a_spec_done : int;
+  mutable a_classes : int;
+  mutable a_oi_entries : int;
+  mutable a_oi_members : int;
+  mutable a_enum : float;
+  a_stats : Specialize.stats;
+  mutable a_covered : Bitset.t option;
+  mutable a_patterns : Pattern.t list;
+}
+
+let fresh_acc () =
+  {
+    a_mining_done = false;
+    a_ok = true;
+    a_forked = 0;
+    a_spec_done = 0;
+    a_classes = 0;
+    a_oi_entries = 0;
+    a_oi_members = 0;
+    a_enum = 0.0;
+    a_stats = Specialize.fresh_stats ();
+    a_covered = None;
+    a_patterns = [];
+  }
+
+type tracker = {
+  tk_lock : Mutex.t;
+  tk_skip : int;  (* resumed roots; accs cover roots [skip..] *)
+  tk_accs : root_acc array;
+  tk_sv : saver;
+  mutable tk_next : int;  (* next root awaiting completion *)
+}
+
+let with_tracker tk f =
+  Mutex.lock tk.tk_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tk.tk_lock) (fun () -> f ())
+
+(* lock held: advance the done-prefix over filled accumulators; snapshot
+   when it moved and the save interval elapsed *)
+let tracker_advance tk =
+  let advanced = ref false in
+  let scanning = ref true in
+  while !scanning do
+    let idx = tk.tk_next - tk.tk_skip in
+    if idx >= Array.length tk.tk_accs then scanning := false
+    else begin
+      let a = tk.tk_accs.(idx) in
+      if a.a_mining_done && a.a_ok && a.a_spec_done = a.a_forked then begin
+        tk.tk_sv.sv_prefix <-
+          {
+            Checkpoint.root = tk.tk_next;
+            classes = a.a_classes;
+            oi_entries = a.a_oi_entries;
+            oi_set_members = a.a_oi_members;
+            enum_seconds = a.a_enum;
+            stats = a.a_stats;
+            covered =
+              (match a.a_covered with
+              | Some c -> c
+              | None -> Bitset.create tk.tk_sv.sv_db_size);
+            patterns = a.a_patterns;
+          }
+          :: tk.tk_sv.sv_prefix;
+        tk.tk_next <- tk.tk_next + 1;
+        advanced := true
+      end
+      else scanning := false
+    end
+  done;
+  if
+    !advanced
+    && Unix.gettimeofday () -. tk.tk_sv.sv_last
+       >= tk.tk_sv.sv_ctx.ck_spec.every_s
+  then saver_flush tk.tk_sv
+
+let make_tracker ckpt ~db_size ~roots_total ~stored ~remaining =
+  Option.map
+    (fun c ->
+      {
+        tk_lock = Mutex.create ();
+        tk_skip = List.length stored;
+        tk_accs = Array.init remaining (fun _ -> fresh_acc ());
+        tk_sv =
+          {
+            sv_ctx = c;
+            sv_db_size = db_size;
+            sv_roots_total = roots_total;
+            sv_prefix = List.rev stored;
+            sv_last = neg_infinity;
+          };
+        tk_next = List.length stored;
+      })
+    ckpt
+
+let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
+    taxonomy db =
   let total_timer = Timer.start () in
   let relabeled, relabel_seconds =
     Timer.time (fun () -> Relabel.db taxonomy db)
@@ -227,7 +506,7 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
   let stream_classes = Atomic.make 0 in
   let stream_emitted = Atomic.make 0 in
   (* step-3 work for one occurrence index; forked from mining tasks *)
-  let specialize oi _ctx =
+  let specialize ~track ~root oi ctx =
     let stats = Specialize.fresh_stats () in
     let acc = ref [] in
     let t = Timer.start () in
@@ -235,6 +514,7 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
       match
         Specialize.enumerate ~taxonomy ~min_support:min_support_count
           ~enhancements:config.enhancements ~stats ~budget oi (fun p ->
+            Pool.check_deadline ctx;
             match sink with
             | `Collect -> acc := p :: !acc
             | `Stream emit ->
@@ -247,20 +527,36 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
       | () -> true
       | exception Specialize.Out_of_time -> false
     in
-    {
-      t_ok = ok;
-      t_classes = 0;
-      t_patterns = !acc;
-      t_stats = Some stats;
-      t_enum_s = Timer.elapsed_s t;
-      t_entries = 0;
-      t_members = 0;
-      t_covered = None;
-    }
+    let o =
+      {
+        t_ok = ok;
+        t_classes = 0;
+        t_patterns = !acc;
+        t_stats = Some stats;
+        t_enum_s = Timer.elapsed_s t;
+        t_entries = 0;
+        t_members = 0;
+        t_covered = None;
+      }
+    in
+    (match track with
+    | Some tk ->
+      with_tracker tk (fun () ->
+          let a = tk.tk_accs.(root - tk.tk_skip) in
+          a.a_spec_done <- a.a_spec_done + 1;
+          a.a_ok <- a.a_ok && ok;
+          a.a_enum <- a.a_enum +. o.t_enum_s;
+          add_stats a.a_stats stats;
+          a.a_patterns <- List.rev_append !acc a.a_patterns;
+          tracker_advance tk)
+    | None -> ());
+    o
   in
   (* step-2 work shared by both miners: project one mined class into its
      occurrence index on this domain, then hand it to a spec worker *)
-  let index_class ~covered ~entries ~members ctx (cp : Gspan.pattern) =
+  let index_class ~track ~root ~covered ~entries ~members ctx
+      (cp : Gspan.pattern) =
+    Pool.check_deadline ctx;
     Bitset.union_into ~dst:covered covered cp.Gspan.support_set;
     let oi = Occ_index.build ~taxonomy ~original:db ?keep_label cp in
     let sz = Occ_index.size oi in
@@ -269,11 +565,47 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
     (match sink with
     | `Stream _ -> Atomic.incr stream_classes
     | `Collect -> ());
-    Pool.fork ctx (specialize oi)
+    Pool.fork ctx (specialize ~track ~root oi)
+  in
+  (* run the task list; supervision turns escaped failures into
+     diagnostics, an unsupervised crash snapshots progress before
+     propagating *)
+  let run_tasks ~track tasks =
+    if supervised then begin
+      let policy =
+        match sink with
+        (* a failed attempt may already have streamed patterns out; a
+           retry would emit them twice *)
+        | `Stream _ -> { Pool.default_policy with Pool.max_attempts = 1 }
+        | `Collect -> Pool.default_policy
+      in
+      let res = Pool.run_supervised pool ~policy tasks in
+      let diags =
+        List.filter_map
+          (fun (_, r) -> match r with Error d -> Some d | Ok _ -> None)
+          res
+      in
+      let outs =
+        List.map
+          (fun (id, r) ->
+            match r with Ok o -> (id, o) | Error _ -> (id, failed_outcome))
+          res
+      in
+      (outs, diags)
+    end
+    else
+      match Pool.run pool tasks with
+      | outs -> (outs, [])
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (match track with
+        | Some tk -> with_tracker tk (fun () -> saver_flush tk.tk_sv)
+        | None -> ());
+        Printexc.raise_with_backtrace e bt
   in
   let mining_timer = Timer.start () in
   let mining_wall = Atomic.make 0.0 in
-  let outcomes, mining_ok, mining_seconds =
+  let outcomes, diags, skip, stored, track, mining_ok, mining_seconds =
     match class_miner with
     | `Gspan ->
       (* each frequent 1-edge DFS-code root is a task; its subtree is
@@ -282,8 +614,17 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
         Gspan.mine_tasks ?max_edges:config.max_edges
           ~min_support:min_support_count relabeled
       in
-      let mining_left = Atomic.make (List.length subtrees) in
-      let root_task subtree ctx =
+      let roots_total = List.length subtrees in
+      let stored = stored_entries ckpt ~db_size ~roots_total in
+      let skip = List.length stored in
+      let remaining = List.filteri (fun i _ -> i >= skip) subtrees in
+      let track =
+        make_tracker ckpt ~db_size ~roots_total ~stored
+          ~remaining:(List.length remaining)
+      in
+      let mining_left = Atomic.make (List.length remaining) in
+      let root_task root subtree ctx =
+        Fault.inject "taxogram.root";
         let classes = ref 0 in
         let entries = ref 0 in
         let members = ref 0 in
@@ -294,17 +635,31 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
                 if Timer.Budget.exceeded budget then
                   raise Out_of_time_in_mining;
                 incr classes;
-                index_class ~covered ~entries ~members ctx cp);
+                index_class ~track ~root ~covered ~entries ~members ctx cp);
             true
           with Out_of_time_in_mining -> false
         in
         if Atomic.fetch_and_add mining_left (-1) = 1 then
           Atomic.set mining_wall (Timer.elapsed_s mining_timer);
+        (match track with
+        | Some tk ->
+          with_tracker tk (fun () ->
+              let a = tk.tk_accs.(root - tk.tk_skip) in
+              a.a_mining_done <- true;
+              a.a_ok <- a.a_ok && ok;
+              a.a_forked <- !classes;
+              a.a_classes <- !classes;
+              a.a_oi_entries <- !entries;
+              a.a_oi_members <- !members;
+              a.a_covered <- Some covered;
+              tracker_advance tk)
+        | None -> ());
         mining_outcome ~ok ~classes:!classes ~entries:!entries
           ~members:!members ~covered
       in
-      let outcomes = Pool.run pool (List.map root_task subtrees) in
-      (outcomes, true, Atomic.get mining_wall)
+      let tasks = List.mapi (fun p st -> root_task (skip + p) st) remaining in
+      let outcomes, diags = run_tasks ~track tasks in
+      (outcomes, diags, skip, stored, track, true, Atomic.get mining_wall)
     | `Level_wise ->
       (* the level-wise miner is inherently breadth-first and sequential;
          classes stream out of it into per-class pool tasks (index +
@@ -320,23 +675,49 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
         with Out_of_time_in_mining -> false
       in
       let mining_seconds = Timer.elapsed_s mining_timer in
-      let class_task cp ctx =
+      let all_classes = List.rev !classes in
+      (* the root count is only known after mining, and a budget can cut
+         mining short, so snapshots record it as unknown *)
+      let roots_total = -1 in
+      let stored = stored_entries ckpt ~db_size ~roots_total in
+      let skip = List.length stored in
+      let remaining = List.filteri (fun i _ -> i >= skip) all_classes in
+      let track =
+        make_tracker ckpt ~db_size ~roots_total ~stored
+          ~remaining:(List.length remaining)
+      in
+      let class_task root cp ctx =
+        Fault.inject "taxogram.root";
         let entries = ref 0 in
         let members = ref 0 in
         let covered = Bitset.create db_size in
-        index_class ~covered ~entries ~members ctx cp;
+        index_class ~track ~root ~covered ~entries ~members ctx cp;
+        (match track with
+        | Some tk ->
+          with_tracker tk (fun () ->
+              let a = tk.tk_accs.(root - tk.tk_skip) in
+              a.a_mining_done <- true;
+              a.a_forked <- 1;
+              a.a_classes <- 1;
+              a.a_oi_entries <- !entries;
+              a.a_oi_members <- !members;
+              a.a_covered <- Some covered;
+              tracker_advance tk)
+        | None -> ());
         mining_outcome ~ok:true ~classes:1 ~entries:!entries
           ~members:!members ~covered
       in
-      let outcomes = Pool.run pool (List.map class_task (List.rev !classes)) in
-      (outcomes, mining_ok, mining_seconds)
+      let tasks = List.mapi (fun p cp -> class_task (skip + p) cp) remaining in
+      let outcomes, diags = run_tasks ~track tasks in
+      (outcomes, diags, skip, stored, track, mining_ok, mining_seconds)
   in
   (* the join: results arrive sorted by deterministic task id. A root is
      complete when its mining task and every spec task it forked finished;
      only the maximal complete prefix of roots is reported, so what a
      budgeted [`Collect] run returns is a prefix of the canonical root
-     sequence no matter how work was scheduled or stolen. *)
-  let root = function [] -> 0 | i :: _ -> i in
+     sequence no matter how work was scheduled or stolen. Task position p
+     maps to root [skip + p] when resuming from a checkpoint. *)
+  let root = function [] -> skip | i :: _ -> skip + i in
   let first_bad =
     List.fold_left
       (fun acc (id, o) -> if o.t_ok then acc else min acc (root id))
@@ -344,6 +725,9 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
   in
   let included = List.filter (fun (id, _) -> root id < first_bad) outcomes in
   let completed = mining_ok && first_bad = max_int in
+  (match track with
+  | Some tk -> with_tracker tk (fun () -> saver_finish tk.tk_sv ~completed)
+  | None -> ());
   let spec_stats = Specialize.fresh_stats () in
   let class_count = ref 0 in
   let oi_entries = ref 0 in
@@ -351,6 +735,17 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
   let enumerate_seconds = ref 0.0 in
   let covered = Bitset.create db_size in
   let patterns_rev = ref [] in
+  (* the resumed prefix counts exactly as if mined in this run *)
+  List.iter
+    (fun (e : Checkpoint.entry) ->
+      class_count := !class_count + e.Checkpoint.classes;
+      oi_entries := !oi_entries + e.Checkpoint.oi_entries;
+      oi_set_members := !oi_set_members + e.Checkpoint.oi_set_members;
+      enumerate_seconds := !enumerate_seconds +. e.Checkpoint.enum_seconds;
+      add_stats spec_stats e.Checkpoint.stats;
+      Bitset.union_into ~dst:covered covered e.Checkpoint.covered;
+      patterns_rev := List.rev_append e.Checkpoint.patterns !patterns_rev)
+    stored;
   List.iter
     (fun (_, o) ->
       class_count := !class_count + o.t_classes;
@@ -379,6 +774,7 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
       | `Collect -> List.length patterns
       | `Stream _ -> Atomic.get stream_emitted);
     completed;
+    diagnostics = diags;
     relabel_seconds;
     mining_seconds;
     enumerate_seconds = !enumerate_seconds;
@@ -392,14 +788,37 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db =
 (* --- the one entry point ---------------------------------------------- *)
 
 let run ?(config = default_config) ?(budget = Timer.Budget.unlimited)
-    ?(class_miner = `Gspan) ?domains ~sink taxonomy db =
+    ?(class_miner = `Gspan) ?domains ?checkpoint ?(supervised = false) ~sink
+    taxonomy db =
   let domains =
     match domains with
     | Some d -> max 1 d
     | None -> Pool.default_domains ()
   in
-  if domains = 1 then run_sequential ~config ~budget ~class_miner ~sink taxonomy db
-  else run_pool ~config ~budget ~class_miner ~domains ~sink taxonomy db
+  let ckpt =
+    match checkpoint with
+    | None -> None
+    | Some spec ->
+      (match sink with
+      | `Stream _ ->
+        invalid_arg "Taxogram.run: checkpointing requires the `Collect sink"
+      | `Collect -> ());
+      let fp =
+        Checkpoint.fingerprint ~taxonomy ~db
+          ~params:(fingerprint_params ~config ~class_miner)
+      in
+      let loaded =
+        if Sys.file_exists spec.path then Some (Checkpoint.load spec.path)
+        else None
+      in
+      Some { ck_spec = spec; ck_fp = fp; ck_loaded = loaded }
+  in
+  if domains = 1 then
+    run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
+      taxonomy db
+  else
+    run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
+      taxonomy db
 
 (* --- deprecated wrappers ---------------------------------------------- *)
 

@@ -41,7 +41,12 @@ type result = {
       (** canonically sorted; empty under a [`Stream] sink *)
   class_count : int;  (** frequent pattern classes found in step 2 *)
   pattern_count : int;
-  completed : bool;  (** [false] when a time budget cut mining short *)
+  completed : bool;
+      (** [false] when a time budget — or, under [supervised], a failing
+          root — cut mining short *)
+  diagnostics : Tsg_util.Diagnostic.t list;
+      (** supervised-run quarantine records ([POOL001], [POOL002],
+          [FLT001]); always empty without [~supervised:true] *)
   relabel_seconds : float;
   mining_seconds : float;
       (** step 2: gSpan + occurrence-index building. With several domains
@@ -81,6 +86,21 @@ type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
     unspecified ([f] is never called concurrently — calls are serialized)
     and a budgeted run streams whatever completed before the cut. *)
 
+type checkpoint_spec = {
+  path : string;  (** checkpoint file, created/refreshed atomically *)
+  every_s : float;
+      (** minimum seconds between snapshots; [0.0] snapshots after every
+          completed root *)
+}
+(** Periodic crash-safe snapshots of completed roots (see {!Checkpoint}).
+    Only meaningful under the [`Collect] sink ([`Stream] raises
+    [Invalid_argument]). When [path] already holds a snapshot of the same
+    taxonomy, database, and configuration (fingerprint-checked), the run
+    {e resumes}: stored roots are skipped and merged, and the final
+    pattern set is byte-identical to an uninterrupted run. A mismatched
+    or corrupt snapshot raises {!Checkpoint.Error}. The file is deleted
+    when the run completes. *)
+
 type class_miner = [ `Gspan | `Level_wise ]
 (** Which general-purpose miner powers Step 2: gSpan (depth-first, the
     paper's choice) or the FSG-style level-wise miner — the paper notes any
@@ -95,6 +115,8 @@ val run :
   ?budget:Tsg_util.Timer.Budget.budget ->
   ?class_miner:class_miner ->
   ?domains:int ->
+  ?checkpoint:checkpoint_spec ->
+  ?supervised:bool ->
   sink:sink ->
   Tsg_taxonomy.Taxonomy.t ->
   Tsg_graph.Db.t ->
@@ -111,7 +133,20 @@ val run :
 
     When [budget] (default unlimited) expires the run stops early with
     [completed = false]; see {!sink} for exactly what an early stop
-    reports. *)
+    reports.
+
+    [checkpoint] (default none) snapshots completed roots to disk and
+    resumes a previous snapshot found at the same path; see
+    {!checkpoint_spec}.
+
+    [supervised] (default [false]) turns task failures — injected faults
+    ({!Tsg_util.Fault}), per-task deadline overruns, stray exceptions —
+    into {!result.diagnostics} instead of letting them escape: pool tasks
+    are retried and quarantined per {!Tsg_util.Pool.run_supervised}, and
+    the reported set is still a prefix of the canonical root sequence,
+    cut before the first failing root. Unsupervised, such an exception
+    propagates to the caller (after snapshotting progress when
+    checkpointing is on). *)
 
 val run_streaming :
   ?config:config ->

@@ -19,10 +19,8 @@ let db_to_string ~node_labels ~edge_labels db =
   Buffer.contents buf
 
 let save_db path ~node_labels ~edge_labels db =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (db_to_string ~node_labels ~edge_labels db))
+  Tsg_util.Fault.inject "serial.save";
+  Tsg_util.Safe_io.write_atomic path (db_to_string ~node_labels ~edge_labels db)
 
 exception Parse_error of int * string
 
@@ -160,10 +158,8 @@ let parse_db_raw text =
   { graphs = List.rev !graphs; bad_lines = List.rev !bad }
 
 let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  Tsg_util.Fault.inject "serial.load";
+  Tsg_util.Safe_io.read_file path
 
 let load_db ~node_labels ~edge_labels path =
   parse_db ~node_labels ~edge_labels (read_file path)
@@ -189,11 +185,9 @@ let digraphs_to_string ~node_labels ~arc_labels digraphs =
   Buffer.contents buf
 
 let save_digraphs path ~node_labels ~arc_labels digraphs =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (digraphs_to_string ~node_labels ~arc_labels digraphs))
+  Tsg_util.Fault.inject "serial.save";
+  Tsg_util.Safe_io.write_atomic path
+    (digraphs_to_string ~node_labels ~arc_labels digraphs)
 
 let finish_digraph line p =
   let count =

@@ -7,9 +7,12 @@ type query =
   | By_label of Label.id
   | Top_k of int * [ `Support | `Interest ]
   | Stats
+  | Health
   | Quit
 
 exception Parse_error of string
+
+let default_max_line_bytes = 65536
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
 
@@ -49,7 +52,9 @@ let parse_graph ~taxonomy ~edge_labels labels_spec edges_spec =
   try Graph.build ~labels ~edges
   with Invalid_argument msg -> fail "bad graph: %s" msg
 
-let parse ~taxonomy ~edge_labels line =
+let parse ?(max_bytes = default_max_line_bytes) ~taxonomy ~edge_labels line =
+  if String.length line > max_bytes then
+    fail "request exceeds %d bytes" max_bytes;
   let line = String.trim line in
   if line = "" || line.[0] = '#' then None
   else
@@ -74,6 +79,7 @@ let parse ~taxonomy ~edge_labels line =
         | "interest" -> Top_k (k, `Interest)
         | _ -> fail "bad top-k order %S (expected support or interest)" order)
       | [ "stats" ] -> Stats
+      | [ "health" ] -> Health
       | [ "quit" ] -> Quit
       | cmd :: _ -> fail "unknown command %S" cmd
       | [] -> fail "empty request")

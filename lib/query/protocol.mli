@@ -6,6 +6,7 @@
     by-label <label>                            patterns mentioning the label or a descendant
     top-k <k> support|interest                  highest-scored patterns
     stats                                       metrics snapshot
+    health                                      liveness probe (pattern count + uptime)
     quit                                        stop serving
     v}
 
@@ -23,18 +24,25 @@ type query =
   | By_label of Tsg_graph.Label.id
   | Top_k of int * [ `Support | `Interest ]
   | Stats
+  | Health
   | Quit
 
 exception Parse_error of string
 
+val default_max_line_bytes : int
+(** 65536 — the request-size bound {!parse} (and the serve loop's
+    bounded reader) applies unless told otherwise. *)
+
 val parse :
+  ?max_bytes:int ->
   taxonomy:Tsg_taxonomy.Taxonomy.t ->
   edge_labels:Tsg_graph.Label.t ->
   string ->
   query option
 (** [None] for blank lines and comments.
-    @raise Parse_error on malformed requests, unknown commands, or node
-    labels that are not taxonomy concepts. *)
+    @raise Parse_error on malformed requests, unknown commands, node
+    labels that are not taxonomy concepts, or lines longer than
+    [max_bytes] (default {!default_max_line_bytes}). *)
 
 val format_graph :
   names:Tsg_graph.Label.t ->

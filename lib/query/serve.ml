@@ -1,8 +1,22 @@
 module Taxonomy = Tsg_taxonomy.Taxonomy
+module Label = Tsg_graph.Label
 module Pattern = Tsg_core.Pattern
 module Metrics = Tsg_util.Metrics
+module Fault = Tsg_util.Fault
 
-type outcome = { requests : int; errors : int; quit : bool }
+type outcome = {
+  requests : int;
+  errors : int;
+  quit : bool;
+  disconnected : bool;
+}
+
+let no_outcome = { requests = 0; errors = 0; quit = false; disconnected = false }
+
+type limits = { max_line_bytes : int; request_deadline_s : float option }
+
+let default_limits =
+  { max_line_bytes = Protocol.default_max_line_bytes; request_deadline_s = None }
 
 let result_line ~names ~db_size ?score store id =
   let p = Store.pattern store id in
@@ -35,87 +49,304 @@ let execute engine ~names query =
       listing scored (fun (id, s) ->
           result_line ~names ~db_size ~score:s store id)
     | exception Failure msg -> "error " ^ msg)
-  | Protocol.Stats | Protocol.Quit -> assert false (* barriers; see run *)
+  | Protocol.Stats | Protocol.Health | Protocol.Quit ->
+    assert false (* barriers; see run *)
+
+(* a request that blew its deadline, crashed, or drew an injected fault
+   answers with an error line; the loop itself never dies for one request *)
+let execute_guarded engine ~names ~limits ~deadline_c ~fault_c ~arrival query =
+  let expired () =
+    match limits.request_deadline_s with
+    | None -> false
+    | Some d -> Unix.gettimeofday () -. arrival >= d
+  in
+  if expired () then begin
+    Metrics.incr deadline_c;
+    "error deadline exceeded"
+  end
+  else
+    match
+      Fault.inject "serve.request";
+      execute engine ~names query
+    with
+    | reply ->
+      if expired () then begin
+        Metrics.incr deadline_c;
+        "error deadline exceeded"
+      end
+      else reply
+    | exception Fault.Injected { site; hit } ->
+      Metrics.incr fault_c;
+      Printf.sprintf "error injected fault at %s (hit %d)" site hit
+    | exception e -> "error internal: " ^ Printexc.to_string e
 
 (* one response slot per request; workers pull indices off a shared
    counter — a flat batch has no subtrees to steal, so this stays simpler
-   than Tsg_util.Pool *)
-let flush_batch ~domains ~engine ~names batch =
+   than Tsg_util.Pool. A worker failure is re-raised on the caller with
+   the original backtrace (Domain.join alone would lose it). *)
+let flush_batch ~domains ~fill batch =
   let batch = Array.of_list (List.rev batch) in
   let n = Array.length batch in
   let out = Array.make n "" in
-  let fill i =
-    out.(i) <-
-      (match batch.(i) with
-      | `Query q -> execute engine ~names q
-      | `Error msg -> "error " ^ msg)
-  in
+  let run i = out.(i) <- fill batch.(i) in
   let domains = max 1 (min domains n) in
   if domains = 1 then
     for i = 0 to n - 1 do
-      fill i
+      run i
     done
   else begin
     let next = Atomic.make 0 in
+    let failure = Atomic.make None in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          fill i;
+          run i;
           loop ()
         end
       in
-      loop ()
+      try loop ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
     in
     let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join handles
+    List.iter Domain.join handles;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end;
   out
 
 let default_domains () = Tsg_util.Pool.default_domains ()
 
-let run ?domains ~engine ~edge_labels ic oc =
+(* read one request line without trusting its length: past [max_bytes]
+   the rest of the line is drained (bounded memory) and the line reports
+   as oversized. EOF with pending bytes yields them as a final line. *)
+let read_bounded_line ic ~max_bytes =
+  let buf = Buffer.create 128 in
+  let rec go oversized =
+    match input_char ic with
+    | '\n' -> if oversized then `Too_long else `Line (Buffer.contents buf)
+    | c ->
+      if oversized || Buffer.length buf >= max_bytes then go true
+      else begin
+        Buffer.add_char buf c;
+        go false
+      end
+    | exception End_of_file ->
+      if oversized then `Too_long
+      else if Buffer.length buf = 0 then raise End_of_file
+      else `Line (Buffer.contents buf)
+  in
+  go false
+
+let run ?domains ?(limits = default_limits) ~engine ~edge_labels ic oc =
   let domains = Option.value ~default:(default_domains ()) domains in
-  let taxonomy = Store.taxonomy (Engine.store engine) in
+  let store = Engine.store engine in
+  let taxonomy = Store.taxonomy store in
   let names = Taxonomy.labels taxonomy in
+  let metrics = Engine.metrics engine in
+  let oversized_c = Metrics.counter metrics "serve.oversized" in
+  let deadline_c = Metrics.counter metrics "serve.deadline_expired" in
+  let disconnect_c = Metrics.counter metrics "serve.disconnects" in
+  let fault_c = Metrics.counter metrics "serve.injected_faults" in
+  let health_c = Metrics.counter metrics "serve.health" in
+  let started = Unix.gettimeofday () in
   let requests = ref 0 and errors = ref 0 in
+  let disconnected = ref false in
+  (* a peer that hangs up mid-reply (EPIPE with SIGPIPE ignored, reset
+     sockets) must never kill the loop: note it, stop writing, drain out *)
+  let safe_write f =
+    if not !disconnected then
+      try f ()
+      with Sys_error _ ->
+        disconnected := true;
+        Metrics.incr disconnect_c
+  in
   let batch = ref [] in
+  let fill (arrival, item) =
+    match item with
+    | `Error msg -> "error " ^ msg
+    | `Query q ->
+      execute_guarded engine ~names ~limits ~deadline_c ~fault_c ~arrival q
+  in
   let flush () =
-    let responses = flush_batch ~domains ~engine ~names !batch in
+    let responses = flush_batch ~domains ~fill !batch in
     batch := [];
     Array.iter
       (fun r ->
         if String.length r >= 5 && String.sub r 0 5 = "error" then incr errors;
-        output_string oc r;
-        output_char oc '\n')
+        safe_write (fun () ->
+            output_string oc r;
+            output_char oc '\n'))
       responses;
-    flush oc
+    safe_write (fun () -> flush oc)
   in
   let quit = ref false in
   (try
-     while not !quit do
-       let line = input_line ic in
-       match Protocol.parse ~taxonomy ~edge_labels line with
-       | None -> ()
-       | Some Protocol.Stats ->
+     while (not !quit) && not !disconnected do
+       match read_bounded_line ic ~max_bytes:limits.max_line_bytes with
+       | `Too_long ->
          incr requests;
-         flush ();
-         output_string oc "begin stats\n";
-         output_string oc (Metrics.render (Engine.metrics engine));
-         output_char oc '\n';
-         output_string oc "end stats\n";
-         Stdlib.flush oc
-       | Some Protocol.Quit ->
-         incr requests;
-         quit := true
-       | Some (Protocol.(Contains _ | By_label _ | Top_k _) as q) ->
-         incr requests;
-         batch := `Query q :: !batch
-       | exception Protocol.Parse_error msg ->
-         incr requests;
-         batch := `Error msg :: !batch
+         Metrics.incr oversized_c;
+         batch :=
+           ( Unix.gettimeofday (),
+             `Error
+               (Printf.sprintf "request exceeds %d bytes"
+                  limits.max_line_bytes) )
+           :: !batch
+       | `Line line -> (
+         match
+           Protocol.parse ~max_bytes:limits.max_line_bytes ~taxonomy
+             ~edge_labels line
+         with
+         | None -> ()
+         | Some Protocol.Stats ->
+           incr requests;
+           flush ();
+           safe_write (fun () ->
+               output_string oc "begin stats\n";
+               output_string oc (Metrics.render metrics);
+               output_char oc '\n';
+               output_string oc "end stats\n";
+               Stdlib.flush oc)
+         | Some Protocol.Health ->
+           incr requests;
+           Metrics.incr health_c;
+           flush ();
+           safe_write (fun () ->
+               Printf.fprintf oc "ok health patterns %d uptime %.3f\n"
+                 (Store.size store)
+                 (Unix.gettimeofday () -. started);
+               Stdlib.flush oc)
+         | Some Protocol.Quit ->
+           incr requests;
+           quit := true
+         | Some (Protocol.(Contains _ | By_label _ | Top_k _) as q) ->
+           incr requests;
+           batch := (Unix.gettimeofday (), `Query q) :: !batch
+         | exception Protocol.Parse_error msg ->
+           incr requests;
+           batch := (Unix.gettimeofday (), `Error msg) :: !batch)
      done
    with End_of_file -> ());
   flush ();
-  { requests = !requests; errors = !errors; quit = !quit }
+  {
+    requests = !requests;
+    errors = !errors;
+    quit = !quit;
+    disconnected = !disconnected;
+  }
+
+(* --- TCP mode ---------------------------------------------------------- *)
+
+type listen_outcome = {
+  connections : int;
+  overloaded : int;
+  aggregate : outcome;
+}
+
+let merge_outcome a b =
+  {
+    requests = a.requests + b.requests;
+    errors = a.errors + b.errors;
+    quit = a.quit || b.quit;
+    disconnected = a.disconnected || b.disconnected;
+  }
+
+let ignore_sigpipe () =
+  (* a write to a reset socket must surface as EPIPE, not kill the server *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
+    ?on_listen ?(should_stop = fun () -> false) ~engine ~edge_labels ~port ()
+    =
+  ignore_sigpipe ();
+  let metrics = Engine.metrics engine in
+  let conns_c = Metrics.counter metrics "serve.connections" in
+  let overloaded_c = Metrics.counter metrics "serve.overloaded" in
+  let disconnect_c = Metrics.counter metrics "serve.disconnects" in
+  (* Protocol.parse interns edge labels, and Label.t is not thread-safe:
+     every connection parses against its own copy of the table. A label
+     first seen on some other connection simply matches no stored pattern
+     on this one — exactly what an unseen label means anyway. *)
+  let label_names = Array.to_list (Label.names edge_labels) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let actual_port =
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen sock 64;
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    with e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  Option.iter (fun f -> f actual_port) on_listen;
+  let active = Atomic.make 0 in
+  let agg_lock = Mutex.create () in
+  let connections = ref 0 in
+  let overloaded = ref 0 in
+  let aggregate = ref no_outcome in
+  let handle fd =
+    let finished o =
+      Mutex.lock agg_lock;
+      aggregate := merge_outcome !aggregate o;
+      Mutex.unlock agg_lock;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr active
+    in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let conn_labels = Label.of_names label_names in
+    match run ~domains:1 ~limits ~engine ~edge_labels:conn_labels ic oc with
+    | o ->
+      (try flush oc with Sys_error _ -> ());
+      finished o
+    | exception _ ->
+      (* a connection torn down mid-read (ECONNRESET and friends) *)
+      Metrics.incr disconnect_c;
+      finished { no_outcome with disconnected = true }
+  in
+  let running = ref true in
+  while !running do
+    if should_stop () then running := false
+    else begin
+      match Unix.select [ sock ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | fd, _ ->
+          incr connections;
+          Metrics.incr conns_c;
+          if Atomic.get active >= max_conns then begin
+            (* load shedding: tell the client and hang up *)
+            incr overloaded;
+            Metrics.incr overloaded_c;
+            (try ignore (Unix.write_substring fd "OVERLOADED\n" 0 11)
+             with Unix.Unix_error _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            Atomic.incr active;
+            ignore (Thread.create handle fd)
+          end
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (* graceful drain: in-flight connections get [drain_s] to finish *)
+  let t0 = Unix.gettimeofday () in
+  while Atomic.get active > 0 && Unix.gettimeofday () -. t0 < drain_s do
+    Thread.delay 0.02
+  done;
+  Mutex.lock agg_lock;
+  let aggregate = !aggregate in
+  Mutex.unlock agg_lock;
+  { connections = !connections; overloaded = !overloaded; aggregate }

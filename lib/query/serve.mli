@@ -5,28 +5,56 @@
     block per request, in request order.
 
     Consecutive data queries ([contains]/[by-label]/[top-k]) form a batch
-    that is executed in parallel; [stats] and [quit] are barriers — the
-    pending batch is flushed before they are handled, so [stats] reflects
-    every earlier request. Responses:
+    that is executed in parallel; [stats], [health] and [quit] are
+    barriers — the pending batch is flushed before they are handled, so
+    [stats] reflects every earlier request. Responses:
 
     {v
     ok <n>                                  then n result lines:
     p <id> support <count>/<db-size> <pattern>     (contains, by-label)
     p <id> score <s> support <count>/<db-size> <pattern>   (top-k)
-    error <message>                         malformed request
+    ok health patterns <n> uptime <seconds>        (health)
+    error <message>                         malformed or failed request
     v}
 
     [stats] prints the metrics table between [begin stats]/[end stats]
-    markers. *)
+    markers.
+
+    The loop is hardened against misbehaving clients: request lines are
+    read through a bounded buffer (an oversized line costs O(bound)
+    memory and answers with an error, it cannot balloon the heap), each
+    request can carry a deadline, a request that raises — including an
+    injected fault at the ["serve.request"] failpoint ({!Tsg_util.Fault})
+    — answers with an [error] line instead of killing the loop, and a
+    peer that disconnects mid-reply ([EPIPE]/reset) ends the loop cleanly
+    rather than crashing the server. Each of these events increments a
+    metrics counter ([serve.oversized], [serve.deadline_expired],
+    [serve.injected_faults], [serve.disconnects]). *)
 
 type outcome = {
   requests : int;  (** total requests answered (including errors) *)
   errors : int;
   quit : bool;  (** [true] when the stream ended with [quit] *)
+  disconnected : bool;
+      (** [true] when the loop ended because the peer hung up mid-write *)
 }
+
+type limits = {
+  max_line_bytes : int;
+      (** longest accepted request line; longer lines answer with an
+          error (default {!Protocol.default_max_line_bytes}) *)
+  request_deadline_s : float option;
+      (** per-request wall-clock deadline, measured from arrival; a
+          request that misses it answers [error deadline exceeded].
+          [None] (the default) disables deadlines; a non-positive value
+          expires every data query. *)
+}
+
+val default_limits : limits
 
 val run :
   ?domains:int ->
+  ?limits:limits ->
   engine:Engine.t ->
   edge_labels:Tsg_graph.Label.t ->
   in_channel ->
@@ -36,4 +64,42 @@ val run :
     [TSG_DOMAINS] environment variable when set, otherwise
     [Domain.recommended_domain_count ()] capped at 8 — the same default
     [Taxogram.run] uses. Parsing (which interns edge labels) stays on the
-    calling domain; only query execution fans out. *)
+    calling domain; only query execution fans out. A worker exception
+    that is not handled per-request is re-raised on the caller with its
+    original backtrace. *)
+
+(** {1 TCP mode} *)
+
+type listen_outcome = {
+  connections : int;  (** accepted connections, shed ones included *)
+  overloaded : int;  (** connections shed with [OVERLOADED] *)
+  aggregate : outcome;  (** summed over all served connections *)
+}
+
+val listen :
+  ?limits:limits ->
+  ?max_conns:int ->
+  ?drain_s:float ->
+  ?on_listen:(int -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  engine:Engine.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  port:int ->
+  unit ->
+  listen_outcome
+(** Serve the protocol over TCP on [127.0.0.1:port] ([port = 0] picks a
+    free port; [on_listen] receives the bound port either way). Each
+    connection is handled by its own system thread running {!run} with
+    [~domains:1] and a private copy of the edge-label table
+    ({!Tsg_graph.Label.t} is not thread-safe; a label first seen on
+    another connection matches no stored pattern, which is exactly what
+    an unseen label means). Beyond [max_conns] (default 64) concurrent
+    connections, new clients are shed with a single [OVERLOADED] line.
+
+    The accept loop polls [should_stop] (default never) about four times
+    a second; once it returns [true] — typically flipped by a
+    [SIGTERM]/[SIGINT] handler — the listening socket closes and
+    in-flight connections get [drain_s] seconds (default 5) to finish.
+    [SIGPIPE] is ignored for the whole process, so a reset peer surfaces
+    as a clean disconnect. Sheds and accepts are counted in the engine
+    metrics ([serve.connections], [serve.overloaded]). *)

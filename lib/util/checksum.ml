@@ -1,0 +1,47 @@
+(* CRC-32 with the reflected IEEE polynomial 0xEDB88320, table-driven. *)
+
+(* built eagerly at module init: a [lazy] here could be forced from
+   several pool domains at once (checkpoint writers), which OCaml 5 lazy
+   blocks do not allow *)
+let table =
+  Array.init 256 (fun n ->
+      let c = ref (Int32.of_int n) in
+      for _ = 0 to 7 do
+        if Int32.logand !c 1l <> 0l then
+          c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+        else c := Int32.shift_right_logical !c 1
+      done;
+      !c)
+
+let crc32_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Checksum.crc32_sub";
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let crc32 s = crc32_sub s ~pos:0 ~len:(String.length s)
+
+let to_hex c = Printf.sprintf "%08lx" c
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let mix64 a b =
+  (* splitmix64 finalizer over the xor-rotated pair; order-sensitive *)
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k)) in
+  let z = ref (Int64.logxor (rotl a 17) b) in
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 30)) 0xbf58476d1ce4e5b9L;
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 27)) 0x94d049bb133111ebL;
+  Int64.logxor !z (Int64.shift_right_logical !z 31)

@@ -1,0 +1,21 @@
+(** CRC-32 (IEEE 802.3, the zlib/gzip polynomial) for artifact integrity.
+
+    Checkpoint files record a trailer checksum so a resumed run can tell a
+    complete snapshot from a torn or bit-rotted one before trusting it. *)
+
+val crc32 : string -> int32
+(** Checksum of the whole string. [crc32 "123456789" = 0xCBF43926l]. *)
+
+val crc32_sub : string -> pos:int -> len:int -> int32
+(** Checksum of a substring, without copying.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val to_hex : int32 -> string
+(** Lower-case 8-digit hex, e.g. ["cbf43926"]. *)
+
+val fnv1a64 : string -> int64
+(** 64-bit FNV-1a hash — not a CRC; used for cheap content fingerprints
+    (e.g. matching a checkpoint to its database and configuration). *)
+
+val mix64 : int64 -> int64 -> int64
+(** Order-sensitive combination of two 64-bit hashes. *)

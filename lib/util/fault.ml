@@ -1,0 +1,173 @@
+(* Failpoints. The disarmed fast path is a single atomic load so that
+   injection sites can sit on hot paths (one per pool task, one per
+   occurrence index) without measurable cost; everything else happens
+   under one mutex, which only schedules under test ever reach. *)
+
+exception Injected of { site : string; hit : int }
+
+type trigger =
+  | Probability of float
+  | Once
+  | On_hit of int
+
+type site_state = {
+  trigger : trigger;
+  prng : Prng.t;
+  mutable hits : int;
+  mutable fired : int;
+  mutable spent : bool;  (* a one-shot trigger that already fired *)
+}
+
+let armed_flag = Atomic.make false
+
+let lock = Mutex.create ()
+
+let sites : (string, site_state) Hashtbl.t = Hashtbl.create 8
+
+(* hits on sites the schedule does not mention, counted only while armed
+   so the disarmed fast path stays free *)
+let bystanders : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let default_seed = 0x7461786f6772616dL (* "taxogram" *)
+
+let site_prng seed site =
+  (* per-site stream: deterministic in the site's own hit order no matter
+     how other sites interleave across domains *)
+  Prng.create (Int64.add seed (Int64.of_int (Hashtbl.hash site)))
+
+let configure ?(seed = default_seed) schedule =
+  Mutex.lock lock;
+  Hashtbl.reset sites;
+  Hashtbl.reset bystanders;
+  List.iter
+    (fun (site, trigger) ->
+      Hashtbl.replace sites site
+        { trigger; prng = site_prng seed site; hits = 0; fired = 0;
+          spent = false })
+    schedule;
+  Atomic.set armed_flag (Hashtbl.length sites > 0);
+  Mutex.unlock lock
+
+let clear () = configure []
+
+let armed () = Atomic.get armed_flag
+
+let parse_trigger item spec =
+  if spec = "once" then Ok Once
+  else if String.length spec > 1 && spec.[0] = '@' then
+    match int_of_string_opt (String.sub spec 1 (String.length spec - 1)) with
+    | Some n when n >= 1 -> Ok (On_hit n)
+    | _ -> Error (Printf.sprintf "bad hit index in %S" item)
+  else
+    match float_of_string_opt spec with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok (Probability p)
+    | Some _ -> Error (Printf.sprintf "probability out of [0,1] in %S" item)
+    | None -> Error (Printf.sprintf "bad trigger %S in %S" spec item)
+
+let parse_spec text =
+  let items =
+    String.split_on_char ',' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc item ->
+      match acc with
+      | Error _ as e -> e
+      | Ok schedule -> (
+        match String.index_opt item ':' with
+        | None -> Error (Printf.sprintf "missing ':' in %S" item)
+        | Some i ->
+          let site = String.sub item 0 i in
+          let spec = String.sub item (i + 1) (String.length item - i - 1) in
+          if site = "" then Error (Printf.sprintf "empty site in %S" item)
+          else
+            (match parse_trigger item spec with
+            | Ok t -> Ok ((site, t) :: schedule)
+            | Error _ as e -> e)))
+    (Ok []) items
+  |> Result.map List.rev
+
+let configure_from_env () =
+  let seed =
+    match Sys.getenv_opt "TSG_FAULT_SEED" with
+    | None | Some "" -> default_seed
+    | Some s -> (
+      match Int64.of_string_opt (String.trim s) with
+      | Some v -> v
+      | None -> default_seed)
+  in
+  match Sys.getenv_opt "TSG_FAULTS" with
+  | None | Some "" ->
+    clear ();
+    Ok ()
+  | Some spec -> (
+    match parse_spec spec with
+    | Ok schedule ->
+      configure ~seed schedule;
+      Ok ()
+    | Error _ as e -> e)
+
+(* the armed path: count the hit, decide under the lock, raise outside it *)
+let slow_path site =
+  Mutex.lock lock;
+  let verdict =
+    match Hashtbl.find_opt sites site with
+    | None ->
+      Hashtbl.replace bystanders site
+        (1 + Option.value ~default:0 (Hashtbl.find_opt bystanders site));
+      None
+    | Some st ->
+      st.hits <- st.hits + 1;
+      let fire =
+        (not st.spent)
+        &&
+        match st.trigger with
+        | Probability p -> p > 0.0 && Prng.bernoulli st.prng p
+        | Once ->
+          st.spent <- true;
+          true
+        | On_hit n ->
+          if st.hits = n then begin
+            st.spent <- true;
+            true
+          end
+          else false
+      in
+      if fire then begin
+        st.fired <- st.fired + 1;
+        Some st.hits
+      end
+      else None
+  in
+  Mutex.unlock lock;
+  match verdict with
+  | None -> ()
+  | Some hit -> raise (Injected { site; hit })
+
+let inject site = if Atomic.get armed_flag then slow_path site
+
+let hit_count site =
+  Mutex.lock lock;
+  let n =
+    match Hashtbl.find_opt sites site with
+    | Some st -> st.hits
+    | None -> Option.value ~default:0 (Hashtbl.find_opt bystanders site)
+  in
+  Mutex.unlock lock;
+  n
+
+let fired_count site =
+  Mutex.lock lock;
+  let n =
+    match Hashtbl.find_opt sites site with Some st -> st.fired | None -> 0
+  in
+  Mutex.unlock lock;
+  n
+
+let diagnostic ?file = function
+  | Injected { site; hit } ->
+    Some
+      (Diagnostic.makef ?file ~rule:"FLT001" Diagnostic.Error
+         "fault injected at site %s (hit %d)" site hit)
+  | _ -> None

@@ -1,0 +1,67 @@
+(** Failpoints: named fault-injection sites for chaos testing.
+
+    Long mining runs and the serve loop thread {!inject} calls through
+    their failure-prone seams (pool task dispatch, occurrence-index
+    construction, artifact IO, checkpoint writes, request handling). In
+    production the framework is disarmed and an injection site costs one
+    atomic load and a branch; under test, a {e schedule} — parsed from the
+    [TSG_FAULTS] environment variable or passed to {!configure} — arms
+    chosen sites to raise {!Injected} with a per-site probability, exactly
+    once, or on an exact hit count.
+
+    Firing decisions are deterministic: each armed site draws from its own
+    splitmix64 stream ({!Tsg_util.Prng}) seeded from the schedule seed and
+    the site name, and counts its own hits, so a schedule replays
+    identically however domains interleave their hits on {e other} sites.
+
+    The injection-site catalog lives in DESIGN.md ("Fault tolerance"). *)
+
+exception Injected of { site : string; hit : int }
+(** Raised by {!inject} when the site's trigger fires; [hit] is the
+    1-based count of {!inject} calls on that site so far. *)
+
+type trigger =
+  | Probability of float  (** fire each hit with probability [p] *)
+  | Once  (** fire on the first hit, then disarm *)
+  | On_hit of int  (** fire on exactly the [n]-th hit (1-based) *)
+
+val configure : ?seed:int64 -> (string * trigger) list -> unit
+(** Replace the schedule. An empty list disarms every site (same as
+    {!clear}). [seed] (default [0x7461786f6772616dL]) drives the
+    probabilistic triggers. *)
+
+val parse_spec : string -> ((string * trigger) list, string) result
+(** Parse a [TSG_FAULTS]-style schedule: comma-separated [site:trigger]
+    pairs where trigger is a probability in \[0,1\] (["0.25"]), ["once"],
+    or ["@N"] for the N-th hit. Whitespace around items is ignored;
+    [Error msg] names the offending item. *)
+
+val configure_from_env : unit -> (unit, string) result
+(** Read [TSG_FAULTS] (and [TSG_FAULT_SEED], a decimal 64-bit seed) and
+    {!configure} accordingly. [Ok ()] when the variable is unset or empty
+    (schedule cleared). *)
+
+val clear : unit -> unit
+(** Disarm all sites and reset hit counts. *)
+
+val armed : unit -> bool
+(** [true] when any site is armed — the cheap guard {!inject} reads
+    first. *)
+
+val inject : string -> unit
+(** [inject site] does nothing when the framework is disarmed (one atomic
+    load). When armed, counts a hit on [site] and raises {!Injected} if
+    the site's trigger fires. *)
+
+val hit_count : string -> int
+(** {!inject} calls observed on [site] since the last {!configure} /
+    {!clear} (0 when disarmed throughout). *)
+
+val fired_count : string -> int
+(** Times [site] actually raised since the last {!configure} /
+    {!clear}. *)
+
+val diagnostic : ?file:string -> exn -> Diagnostic.t option
+(** [Some d] (rule [FLT001], severity Error) when the exception is
+    {!Injected}; [None] otherwise. Lets supervisors turn injected faults
+    into structured findings. *)

@@ -89,6 +89,43 @@ end
 
 (* --- the run --------------------------------------------------------- *)
 
+(* --- supervision ------------------------------------------------------ *)
+
+exception Transient of string
+
+exception Deadline_exceeded of {
+  task : int list;
+  elapsed_s : float;
+  deadline_s : float;
+}
+
+type policy = {
+  deadline_s : float option;
+  max_attempts : int;
+  backoff_s : float;
+  max_backoff_s : float;
+  retry_on : exn -> bool;
+}
+
+let default_retry_on = function
+  | Transient _ | Fault.Injected _ -> true
+  | _ -> false
+
+let default_policy =
+  {
+    deadline_s = None;
+    max_attempts = 3;
+    backoff_s = 0.001;
+    max_backoff_s = 0.25;
+    retry_on = default_retry_on;
+  }
+
+type supervision = {
+  policy : policy;
+  q_lock : Mutex.t;
+  mutable quarantined : (int list * Diagnostic.t) list;
+}
+
 type 'a task = { tid : int list; f : 'a ctx -> 'a }
 
 and 'a state = {
@@ -96,6 +133,7 @@ and 'a state = {
   results : (int list * 'a) list array;  (* slot [d] written only by domain [d] *)
   pending : int Atomic.t;
   failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+  supervision : supervision option;
 }
 
 and 'a ctx = {
@@ -103,9 +141,21 @@ and 'a ctx = {
   dom : int;
   task_id : int list;
   mutable forks : int;
+  mutable started : float;  (* attempt start, for the deadline *)
 }
 
 let id ctx = ctx.task_id
+
+let check_deadline ctx =
+  match ctx.st.supervision with
+  | None -> ()
+  | Some { policy = { deadline_s = None; _ }; _ } -> ()
+  | Some { policy = { deadline_s = Some limit; _ }; _ } ->
+    let elapsed = Unix.gettimeofday () -. ctx.started in
+    if elapsed > limit then
+      raise
+        (Deadline_exceeded
+           { task = ctx.task_id; elapsed_s = elapsed; deadline_s = limit })
 
 let fork ctx f =
   let k = ctx.forks in
@@ -113,15 +163,94 @@ let fork ctx f =
   Atomic.incr ctx.st.pending;
   Deque.push ctx.st.deques.(ctx.dom) { tid = ctx.task_id @ [ k ]; f }
 
+let pool_task_site = "pool.task"
+
+let quarantine_diagnostic ~task ~attempts e bt =
+  match Fault.diagnostic e with
+  | Some d -> d
+  | None -> (
+    let tid = String.concat "." (List.map string_of_int task) in
+    match e with
+    | Deadline_exceeded { elapsed_s; deadline_s; _ } ->
+      Diagnostic.makef ~rule:"POOL002" Diagnostic.Error
+        "task %s exceeded its %.3fs deadline (%.3fs elapsed)" tid deadline_s
+        elapsed_s
+    | e ->
+      let where =
+        match Printexc.backtrace_slots bt with
+        | Some slots when Array.length slots > 0 -> (
+          match Printexc.Slot.location slots.(0) with
+          | Some l -> Printf.sprintf " at %s:%d" l.Printexc.filename l.Printexc.line_number
+          | None -> "")
+        | _ -> ""
+      in
+      Diagnostic.makef ~rule:"POOL001" Diagnostic.Error
+        "task %s failed after %d attempt%s: %s%s" tid attempts
+        (if attempts = 1 then "" else "s")
+        (Printexc.to_string e) where)
+
+(* One attempt of a supervised task. Retry only when the policy calls the
+   failure transient AND the failed attempt forked nothing: forked
+   subtasks are already scheduled under their deterministic ids, so
+   re-running the parent would enqueue duplicates. *)
+let exec_supervised st sup dom task =
+  let rec go attempt =
+    let ctx = { st; dom; task_id = task.tid; forks = 0; started = Unix.gettimeofday () } in
+    match
+      Fault.inject pool_task_site;
+      task.f ctx
+    with
+    | r -> st.results.(dom) <- (task.tid, r) :: st.results.(dom)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      if
+        attempt < sup.policy.max_attempts
+        && ctx.forks = 0
+        && sup.policy.retry_on e
+      then begin
+        let pause =
+          Float.min sup.policy.max_backoff_s
+            (sup.policy.backoff_s *. Float.pow 2.0 (float_of_int (attempt - 1)))
+        in
+        if pause > 0.0 then Unix.sleepf pause;
+        go (attempt + 1)
+      end
+      else begin
+        let d =
+          if ctx.forks > 0 && sup.policy.retry_on e then
+            let base = quarantine_diagnostic ~task:task.tid ~attempts:attempt e bt in
+            { base with
+              Diagnostic.message =
+                base.Diagnostic.message
+                ^ Printf.sprintf
+                    " (not retried: the failed attempt had already forked %d \
+                     subtask%s)"
+                    ctx.forks
+                    (if ctx.forks = 1 then "" else "s") }
+          else quarantine_diagnostic ~task:task.tid ~attempts:attempt e bt
+        in
+        Mutex.lock sup.q_lock;
+        sup.quarantined <- (task.tid, d) :: sup.quarantined;
+        Mutex.unlock sup.q_lock
+      end
+  in
+  go 1
+
 let exec st dom task =
   (match Atomic.get st.failed with
   | Some _ -> ()  (* cancelled: drain without running *)
   | None -> (
-    match task.f { st; dom; task_id = task.tid; forks = 0 } with
-    | r -> st.results.(dom) <- (task.tid, r) :: st.results.(dom)
-    | exception e ->
-      let bt = Printexc.get_raw_backtrace () in
-      ignore (Atomic.compare_and_set st.failed None (Some (e, bt)))));
+    match st.supervision with
+    | Some sup -> exec_supervised st sup dom task
+    | None -> (
+      match
+        Fault.inject pool_task_site;
+        task.f { st; dom; task_id = task.tid; forks = 0; started = Unix.gettimeofday () }
+      with
+      | r -> st.results.(dom) <- (task.tid, r) :: st.results.(dom)
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set st.failed None (Some (e, bt))))));
   Atomic.decr st.pending
 
 let try_steal st dom =
@@ -162,33 +291,54 @@ let worker st dom =
   in
   loop ()
 
+let run_state t ~supervision tasks =
+  let n = List.length tasks in
+  let d = t.size in
+  let st =
+    {
+      deques = Array.init d (fun _ -> Deque.create ());
+      results = Array.make d [];
+      pending = Atomic.make n;
+      failed = Atomic.make None;
+      supervision;
+    }
+  in
+  (* seed round-robin; reversed so each owner pops ascending ids first,
+     which maximizes the canonical prefix under budgeted early stops *)
+  List.iteri
+    (fun i f -> Deque.push st.deques.((n - 1 - i) mod d) { tid = [ n - 1 - i ]; f })
+    (List.rev tasks);
+  let others =
+    List.init (d - 1) (fun i -> Domain.spawn (fun () -> worker st (i + 1)))
+  in
+  worker st 0;
+  List.iter Domain.join others;
+  st
+
 let run t tasks =
   match tasks with
   | [] -> []
   | _ ->
-    let n = List.length tasks in
-    let d = t.size in
-    let st =
-      {
-        deques = Array.init d (fun _ -> Deque.create ());
-        results = Array.make d [];
-        pending = Atomic.make n;
-        failed = Atomic.make None;
-      }
-    in
-    (* seed round-robin; reversed so each owner pops ascending ids first,
-       which maximizes the canonical prefix under budgeted early stops *)
-    List.iteri
-      (fun i f -> Deque.push st.deques.((n - 1 - i) mod d) { tid = [ n - 1 - i ]; f })
-      (List.rev tasks);
-    let others =
-      List.init (d - 1) (fun i -> Domain.spawn (fun () -> worker st (i + 1)))
-    in
-    worker st 0;
-    List.iter Domain.join others;
+    let st = run_state t ~supervision:None tasks in
     (match Atomic.get st.failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     Array.to_list st.results
     |> List.concat
     |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let run_supervised t ?(policy = default_policy) tasks =
+  match tasks with
+  | [] -> []
+  | _ ->
+    let sup = { policy; q_lock = Mutex.create (); quarantined = [] } in
+    let st = run_state t ~supervision:(Some sup) tasks in
+    (* supervised runs never set [failed]: every task either produced a
+       result or a quarantine record *)
+    let ok =
+      Array.to_list st.results
+      |> List.concat
+      |> List.map (fun (tid, r) -> (tid, Ok r))
+    in
+    let bad = List.map (fun (tid, d) -> (tid, Error d)) sup.quarantined in
+    List.sort (fun (a, _) (b, _) -> compare a b) (ok @ bad)

@@ -59,5 +59,61 @@ val run : t -> ('a ctx -> 'a) list -> (int list * 'a) list
     across [domains pool] domains (the calling domain is one of them),
     and returns every task's [(id, result)] sorted by id. If any task
     raises, remaining tasks are abandoned (already-running ones finish),
-    and the first exception observed is re-raised after all domains have
-    joined. An empty task list returns []. *)
+    and the first exception observed is re-raised — with the raising
+    task's original backtrace ([Printexc.raise_with_backtrace]) — after
+    all domains have joined. An empty task list returns []. *)
+
+(** {1 Supervised runs}
+
+    {!run} is fail-fast: one poisoned task kills the whole run. A
+    {e supervised} run instead gives every task a retry budget for
+    transient failures and quarantines tasks that keep failing, so the
+    run always completes — with partial results plus one structured
+    {!Tsg_util.Diagnostic} per casualty — and a multi-hour mining job
+    survives a flaky task. *)
+
+exception Transient of string
+(** Tasks raise this (or anything [policy.retry_on] accepts, e.g. an
+    injected {!Fault.Injected}) to mark a failure worth retrying. *)
+
+exception Deadline_exceeded of {
+  task : int list;
+  elapsed_s : float;
+  deadline_s : float;
+}
+(** Raised by {!check_deadline} when the supervised policy's per-task
+    deadline has passed. Not transient: a task that ran out of time once
+    is quarantined, not retried. *)
+
+type policy = {
+  deadline_s : float option;
+      (** cooperative per-task deadline enforced by {!check_deadline};
+          [None] (the default) means none *)
+  max_attempts : int;  (** total attempts per task, at least 1 *)
+  backoff_s : float;
+      (** pause before retry [k] is [backoff_s * 2^(k-1)], capped at
+          [max_backoff_s] *)
+  max_backoff_s : float;
+  retry_on : exn -> bool;
+      (** which failures are transient; the default accepts {!Transient}
+          and {!Fault.Injected} only *)
+}
+
+val default_policy : policy
+(** No deadline, 3 attempts, 1 ms initial backoff capped at 250 ms. *)
+
+val check_deadline : 'a ctx -> unit
+(** Poll point for long supervised tasks: raises {!Deadline_exceeded}
+    when the current attempt has outlived [policy.deadline_s]. A no-op
+    under {!run} or when the policy has no deadline. *)
+
+val run_supervised :
+  t -> ?policy:policy -> ('a ctx -> 'a) list -> (int list * ('a, Diagnostic.t) result) list
+(** Like {!run}, but failures never escape: each task is retried per the
+    policy (only while it has not yet forked — a failed attempt that
+    already forked subtasks is quarantined immediately, since its
+    children are already scheduled under their deterministic ids and a
+    re-run would duplicate them), and a task that exhausts its attempts
+    contributes [(id, Error diagnostic)] (rules [POOL001], [POOL002] for
+    deadlines, [FLT001] for injected faults) instead of aborting the run.
+    Results and quarantine records are sorted together by id. *)

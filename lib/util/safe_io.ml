@@ -1,0 +1,28 @@
+let write_atomic ?(fsync = true) path content =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".tmp.")
+      ""
+  in
+  match
+    output_string oc content;
+    flush oc;
+    if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+    close_out oc;
+    (* the injection point for "crashed mid-write": the complete new
+       version exists only as the temp file, [path] still holds the old *)
+    Fault.inject "safe_io.write";
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (try close_out_noerr oc with _ -> ());
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

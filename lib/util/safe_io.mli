@@ -1,0 +1,17 @@
+(** Crash-safe file writes.
+
+    Artifact writers (databases, pattern sets, mining checkpoints) must
+    never leave a half-written file where a complete one stood: a reader
+    racing a crash sees either the old content or the new, nothing in
+    between. *)
+
+val write_atomic : ?fsync:bool -> string -> string -> unit
+(** [write_atomic path content] writes [content] to a fresh temporary
+    file in [path]'s directory, flushes it ([fsync]s when requested,
+    default [true]), and renames it over [path] — atomic on POSIX
+    filesystems. The temporary file is removed on failure. Honors the
+    ["safe_io.write"] failpoint ({!Fault}), which fires {e before} the
+    rename, so an injected crash never clobbers the previous version. *)
+
+val read_file : string -> string
+(** The whole file as a string. *)
