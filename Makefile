@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples lint chaos clean
+.PHONY: all build test check bench examples lint chaos soak clean
 
 all: build
 
@@ -40,6 +40,12 @@ bench:
 # hardened serve loop
 chaos:
 	TSG_DOMAINS=4 dune exec test/test_fault.exe
+
+# 30s open-loop blast against a live tsg-serve --listen with 1%
+# injected request faults: asserts zero crashes, bounded RSS, a
+# successful mid-blast hot reload, and a corrupt-artifact rollback
+soak: build
+	scripts/soak.sh
 
 clean:
 	dune clean

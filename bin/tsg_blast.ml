@@ -1,0 +1,199 @@
+(* tsg-blast: open-loop TCP load generator for tsg-serve.
+
+     tsg-serve --patterns p.pat --taxonomy d.tax --listen 7411 &
+     tsg-blast --port 7411 --duration 30 --clients 8
+     tsg-blast --port 7411 --request "top-k 5 support" --rate 200
+
+   Each client connection pipelines one request line plus a [health]
+   barrier per round (data queries are batched server-side until a
+   barrier flushes them), paced at --rate rounds per second per client
+   (0 = as fast as the socket accepts). A separate reader thread drains
+   replies, so senders never back off on a slow server — the load is
+   open-loop, which is exactly what overload protection has to survive.
+
+   Prints an aggregate summary (reply counts by class, barrier
+   round-trip p50/p99) and exits non-zero when no reply ever arrived or
+   a connection saw a malformed stream. *)
+
+open Cmdliner
+
+let has_prefix p l =
+  String.length l >= String.length p && String.sub l 0 (String.length p) = p
+
+type tally = {
+  lock : Mutex.t;
+  mutable sent : int; (* request lines written, barriers excluded *)
+  mutable ok : int;
+  mutable errors : int;
+  mutable overloaded : int;
+  mutable rtt_s : float list; (* barrier round trips *)
+  mutable broken : int; (* connections that died mid-stream *)
+}
+
+let tally () =
+  {
+    lock = Mutex.create ();
+    sent = 0;
+    ok = 0;
+    errors = 0;
+    overloaded = 0;
+    rtt_s = [];
+    broken = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* read one response block: an [ok <n>] header owns n result lines;
+   everything else (errors, health, reload acks) is a single line *)
+let read_block ic =
+  let head = input_line ic in
+  (if has_prefix "ok " head then
+     match int_of_string_opt (String.sub head 3 (String.length head - 3)) with
+     | Some n ->
+       for _ = 1 to n do
+         ignore (input_line ic)
+       done
+     | None -> ());
+  head
+
+let client ~host ~port ~request ~rate ~deadline t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (host, port)) with
+  | exception Unix.Unix_error _ ->
+    locked t (fun () -> t.broken <- t.broken + 1);
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | () ->
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (* send times of in-flight barriers, consumed by the reader in FIFO
+       order (the protocol preserves request order per connection) *)
+    let pending : float Queue.t = Queue.create () in
+    let qlock = Mutex.create () in
+    let reader () =
+      try
+        while true do
+          let head = read_block ic in
+          if has_prefix "ok health" head then begin
+            let sent_at =
+              Mutex.lock qlock;
+              let v = Queue.take_opt pending in
+              Mutex.unlock qlock;
+              v
+            in
+            match sent_at with
+            | Some s ->
+              let rtt = Unix.gettimeofday () -. s in
+              locked t (fun () -> t.rtt_s <- rtt :: t.rtt_s)
+            | None -> ()
+          end
+          else if has_prefix "error OVERLOADED" head then
+            locked t (fun () ->
+                t.overloaded <- t.overloaded + 1;
+                t.errors <- t.errors + 1)
+          else if has_prefix "error" head then
+            locked t (fun () -> t.errors <- t.errors + 1)
+          else if has_prefix "ok" head then
+            locked t (fun () -> t.ok <- t.ok + 1)
+        done
+      with End_of_file | Sys_error _ -> ()
+    in
+    let rt = Thread.create reader () in
+    (try
+       while Unix.gettimeofday () < deadline do
+         output_string oc request;
+         output_char oc '\n';
+         output_string oc "health\n";
+         Mutex.lock qlock;
+         Queue.push (Unix.gettimeofday ()) pending;
+         Mutex.unlock qlock;
+         flush oc;
+         locked t (fun () -> t.sent <- t.sent + 1);
+         if rate > 0.0 then Thread.delay (1.0 /. rate)
+       done;
+       output_string oc "quit\n";
+       flush oc;
+       Unix.shutdown fd Unix.SHUTDOWN_SEND
+     with Sys_error _ | Unix.Unix_error _ ->
+       locked t (fun () -> t.broken <- t.broken + 1));
+    Thread.join rt;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let run host port request duration clients rate =
+  match Tsg_query.Serve.parse_bind_addr host with
+  | Error d ->
+    prerr_endline (Tsg_util.Diagnostic.to_string d);
+    2
+  | Ok host ->
+    let t = tally () in
+    let deadline = Unix.gettimeofday () +. duration in
+    let threads =
+      List.init clients (fun _ ->
+          Thread.create
+            (fun () -> client ~host ~port ~request ~rate ~deadline t)
+            ())
+    in
+    List.iter Thread.join threads;
+    let rtt = Array.of_list t.rtt_s in
+    Array.sort compare rtt;
+    let ms s = 1000.0 *. s in
+    Printf.printf "tsg-blast: %d clients x %.1fs against port %d\n" clients
+      duration port;
+    Printf.printf "  rounds sent:        %d\n" t.sent;
+    Printf.printf "  ok replies:         %d\n" t.ok;
+    Printf.printf "  error replies:      %d\n" t.errors;
+    Printf.printf "  of which OVERLOADED %d\n" t.overloaded;
+    Printf.printf "  broken connections: %d\n" t.broken;
+    Printf.printf "  barrier rtt p50:    %.3f ms\n" (ms (percentile rtt 50.0));
+    Printf.printf "  barrier rtt p99:    %.3f ms\n" (ms (percentile rtt 99.0));
+    if t.ok + t.errors = 0 then begin
+      prerr_endline "tsg-blast: no replies received";
+      1
+    end
+    else 0
+
+let host_arg =
+  let doc = "server address (an IPv4 or IPv6 literal)" in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg =
+  let doc = "server port" in
+  Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let request_arg =
+  let doc =
+    "request line to blast (each round also sends a $(b,health) barrier \
+     so replies flush immediately)"
+  in
+  Arg.(value & opt string "top-k 5 support" & info [ "request" ] ~docv:"LINE" ~doc)
+
+let duration_arg =
+  let doc = "seconds to keep blasting" in
+  Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"S" ~doc)
+
+let clients_arg =
+  let doc = "concurrent client connections" in
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "rounds per second per client (0 = unpaced)" in
+  Arg.(value & opt float 0.0 & info [ "rate" ] ~docv:"R" ~doc)
+
+let cmd =
+  let doc = "open-loop TCP load generator for tsg-serve" in
+  Cmd.v
+    (Cmd.info "tsg-blast" ~doc)
+    Term.(
+      const run $ host_arg $ port_arg $ request_arg $ duration_arg
+      $ clients_arg $ rate_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -19,6 +19,7 @@ module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
 module Store = Tsg_query.Store
 module Engine = Tsg_query.Engine
 module Serve = Tsg_query.Serve
+module Admission = Tsg_query.Admission
 module Metrics = Tsg_util.Metrics
 module Diagnostic = Tsg_util.Diagnostic
 module Lint = Tsg_check.Lint
@@ -32,7 +33,15 @@ let limits_of timeout max_bytes =
   }
 
 let run patterns tax_path db_path requests domains cache quiet no_validate
-    listen_port max_conns timeout max_bytes =
+    listen_port bind max_conns timeout max_bytes rate burst degrade
+    reload_on_hup =
+  let bind_addr =
+    match Serve.parse_bind_addr bind with
+    | Ok addr -> addr
+    | Error d ->
+      Printf.eprintf "tsg-serve: %s\n" (Diagnostic.to_string d);
+      exit 2
+  in
   (* fail fast on malformed artifacts, with rule-coded diagnostics; the
      --no-validate escape hatch skips straight to loading *)
   if not no_validate then begin
@@ -79,6 +88,45 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
   let metrics = Metrics.create () in
   let engine = Engine.create ~cache_capacity:cache ~metrics store in
   let limits = limits_of timeout max_bytes in
+  (* the admission gate: always on in --listen mode (the ladder obeys
+     --degrade), opt-in for file/stdin serving, where a bulk request file
+     is supposed to saturate the server rather than be shed *)
+  let admission_config ~ladder ~codel =
+    {
+      Admission.default_config with
+      client_rate = rate;
+      client_burst = burst;
+      queue_deadline_s = (if codel && timeout > 0.0 then timeout else 0.0);
+      ladder;
+    }
+  in
+  let admission =
+    match (listen_port, degrade) with
+    | Some _, `Off ->
+      Some
+        (Admission.create
+           ~config:(admission_config ~ladder:false ~codel:true)
+           ~metrics ())
+    | Some _, (`Auto | `On) ->
+      Some
+        (Admission.create
+           ~config:(admission_config ~ladder:true ~codel:true)
+           ~metrics ())
+    | None, `On ->
+      Some
+        (Admission.create
+           ~config:(admission_config ~ladder:true ~codel:false)
+           ~metrics ())
+    | None, `Auto when rate > 0.0 ->
+      Some
+        (Admission.create
+           ~config:(admission_config ~ladder:false ~codel:false)
+           ~metrics ())
+    | None, (`Auto | `Off) -> None
+  in
+  let checksum =
+    try Some (Serve.checksum_files patterns) with Sys_error _ -> None
+  in
   let outcome =
     match listen_port with
     | Some port ->
@@ -88,10 +136,43 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
       (try Sys.set_signal Sys.sigterm handler
        with Invalid_argument _ -> ());
       (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+      let hup = ref false in
+      if reload_on_hup then (
+        try Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> hup := true))
+        with Invalid_argument _ -> ());
+      let reload_poll () =
+        if !hup then begin
+          hup := false;
+          true
+        end
+        else false
+      in
+      (* rebuild everything label-id-dependent from scratch on reload: a
+         fresh edge-label table, the database re-read against it (so
+         pattern and db edge ids agree), the same metrics registry so
+         counters survive the swap *)
+      let reload_build sources =
+        let edge_labels = Label.create () in
+        let db =
+          Option.map
+            (fun path ->
+              Serial.load_db
+                ~node_labels:(Taxonomy.labels taxonomy)
+                ~edge_labels path)
+            db_path
+        in
+        let store = Store.of_strings ~taxonomy ~edge_labels ?db sources in
+        let engine = Engine.create ~cache_capacity:cache ~metrics store in
+        (engine, Array.to_list (Label.names edge_labels))
+      in
+      let reload = { Serve.reload_paths = patterns; reload_build } in
       let lo =
-        Serve.listen ~limits ~max_conns
+        Serve.listen ~limits ~max_conns ~bind_addr ?admission ?checksum
+          ~reload ~reload_poll
           ~on_listen:(fun p ->
-            Printf.eprintf "tsg-serve: listening on 127.0.0.1:%d\n%!" p)
+            Printf.eprintf "tsg-serve: listening on %s:%d\n%!"
+              (Unix.string_of_inet_addr bind_addr)
+              p)
           ~should_stop:(fun () -> !stop)
           ~engine ~edge_labels ~port ()
       in
@@ -99,7 +180,12 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
         lo.Serve.connections lo.Serve.overloaded;
       lo.Serve.aggregate
     | None -> (
-      let serve ic = Serve.run ~domains ~limits ~engine ~edge_labels ic stdout in
+      let checksum () = checksum in
+      let client = Option.map Admission.client admission in
+      let serve ic =
+        Serve.run ~domains ~limits ?admission ?client ~checksum ~engine
+          ~edge_labels ic stdout
+      in
       match requests with
       | [] -> serve stdin
       | paths ->
@@ -200,6 +286,15 @@ let listen_arg =
            picks a free port). One thread per connection; SIGTERM/SIGINT \
            drain gracefully.")
 
+let bind_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "bind" ] ~docv:"ADDR"
+        ~doc:
+          "Address to bind in --listen mode (an IPv4 or IPv6 literal; \
+           0.0.0.0 faces all interfaces). Default 127.0.0.1.")
+
 let max_conns_arg =
   Arg.(
     value & opt int 64
@@ -225,14 +320,53 @@ let max_bytes_arg =
           "Longest accepted request line; longer lines answer with an error \
            without buffering more than $(docv) bytes.")
 
+let rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "rate" ] ~docv:"R"
+        ~doc:
+          "Per-client admission rate in requests/second (token bucket; \
+           bursts up to --burst pass untouched). 0 (the default) disables \
+           per-client rate limiting. Shed requests answer 'error OVERLOADED \
+           retry-after <s>'.")
+
+let burst_arg =
+  Arg.(
+    value & opt float 16.0
+    & info [ "burst" ] ~docv:"N"
+        ~doc:"Per-client token-bucket capacity used with --rate.")
+
+let degrade_arg =
+  Arg.(
+    value
+    & opt (enum [ ("auto", `Auto); ("on", `On); ("off", `Off) ]) `Auto
+    & info [ "degrade" ] ~docv:"MODE"
+        ~doc:
+          "Adaptive degradation ladder: $(b,auto) (default) enables it in \
+           --listen mode only, $(b,on) forces it everywhere, $(b,off) \
+           disables it (admission still bounds the queue in --listen \
+           mode). Level 1 sheds large top-k and serves contains without \
+           the result cache; level 2 sheds everything but contains.")
+
+let reload_on_hup_arg =
+  Arg.(
+    value & flag
+    & info [ "reload-on-hup" ]
+        ~doc:
+          "In --listen mode, reload the pattern artifacts on SIGHUP \
+           (checksum-verified, atomic engine swap; in-flight requests \
+           finish on the old engine). The 'reload' protocol verb is \
+           always available in --listen mode regardless of this flag.")
+
 let cmd =
   let doc = "serve contains/by-label/top-k queries over mined pattern sets" in
   Cmd.v
     (Cmd.info "tsg-serve" ~doc)
     Term.(
       const run $ patterns_arg $ tax_arg $ db_arg $ requests_arg $ domains_arg
-      $ cache_arg $ quiet_arg $ no_validate_arg $ listen_arg $ max_conns_arg
-      $ timeout_arg $ max_bytes_arg)
+      $ cache_arg $ quiet_arg $ no_validate_arg $ listen_arg $ bind_arg
+      $ max_conns_arg $ timeout_arg $ max_bytes_arg $ rate_arg $ burst_arg
+      $ degrade_arg $ reload_on_hup_arg)
 
 let () =
   (match Tsg_util.Fault.configure_from_env () with

@@ -1,0 +1,280 @@
+module Limiter = Tsg_util.Limiter
+module Metrics = Tsg_util.Metrics
+
+type config = {
+  max_queue : int;
+  client_rate : float;
+  client_burst : float;
+  queue_deadline_s : float;
+  level1_queue : int;
+  level2_queue : int;
+  level1_p99_s : float;
+  level2_p99_s : float;
+  recover_fraction : float;
+  top_k_cap : int;
+  window : int;
+  breaker_window : int;
+  breaker_min_samples : int;
+  breaker_failure_ratio : float;
+  breaker_cooldown_s : float;
+  ladder : bool;
+  initial_level : int;
+}
+
+let default_config =
+  {
+    max_queue = 256;
+    client_rate = 0.0;
+    client_burst = 16.0;
+    queue_deadline_s = 0.0;
+    level1_queue = 64;
+    level2_queue = 192;
+    level1_p99_s = 0.5;
+    level2_p99_s = 2.0;
+    recover_fraction = 0.5;
+    top_k_cap = 100;
+    window = 512;
+    breaker_window = 256;
+    (* a high floor and ratio: the breaker is a backstop against the
+       engine itself failing, not a load signal — the 1% injected fault
+       rate of the chaos suite must never trip it *)
+    breaker_min_samples = 64;
+    breaker_failure_ratio = 0.9;
+    breaker_cooldown_s = 1.0;
+    ladder = true;
+    initial_level = 0;
+  }
+
+type kind = Contains | By_label | Top_k of int
+
+type reason = Queue_full | Rate | Deadline | Degraded | Breaker
+
+type tk_state = Queued | Running | Done
+
+type ticket = { tk_enqueued : float; mutable tk_state : tk_state }
+
+type decision =
+  | Admit of ticket
+  | Shed of { reason : reason; retry_after_s : float }
+
+type t = {
+  cfg : config;
+  clock : Limiter.clock;
+  window : Limiter.Window.t;
+  breaker : Limiter.Breaker.t;
+  lock : Mutex.t;
+  mutable queued : int;
+  mutable running : int;
+  mutable lvl : int;
+  (* metrics *)
+  m_admitted : Metrics.counter;
+  m_shed_queue_full : Metrics.counter;
+  m_shed_rate : Metrics.counter;
+  m_shed_deadline : Metrics.counter;
+  m_shed_degraded : Metrics.counter;
+  m_shed_breaker : Metrics.counter;
+  m_degrade_up : Metrics.counter;
+  m_degrade_down : Metrics.counter;
+  g_level : Metrics.gauge;
+  g_inflight : Metrics.gauge;
+}
+
+type client = { bucket : Limiter.Token_bucket.t option }
+
+let reason_metric = function
+  | Queue_full -> "serve.shed.queue_full"
+  | Rate -> "serve.shed.rate"
+  | Deadline -> "serve.shed.deadline"
+  | Degraded -> "serve.shed.degraded"
+  | Breaker -> "serve.shed.breaker"
+
+let create ?(clock = Limiter.wall_clock) ?(config = default_config) ~metrics ()
+    =
+  if config.max_queue < 1 then invalid_arg "Admission.create: max_queue < 1";
+  if config.initial_level < 0 || config.initial_level > 2 then
+    invalid_arg "Admission.create: initial_level outside [0,2]";
+  let t =
+    {
+      cfg = config;
+      clock;
+      window = Limiter.Window.create ~capacity:(max 1 config.window);
+      breaker =
+        Limiter.Breaker.create ~clock ~window:config.breaker_window
+          ~min_samples:config.breaker_min_samples
+          ~failure_ratio:config.breaker_failure_ratio
+          ~cooldown_s:config.breaker_cooldown_s ();
+      lock = Mutex.create ();
+      queued = 0;
+      running = 0;
+      lvl = config.initial_level;
+      m_admitted = Metrics.counter metrics "serve.admitted";
+      m_shed_queue_full = Metrics.counter metrics (reason_metric Queue_full);
+      m_shed_rate = Metrics.counter metrics (reason_metric Rate);
+      m_shed_deadline = Metrics.counter metrics (reason_metric Deadline);
+      m_shed_degraded = Metrics.counter metrics (reason_metric Degraded);
+      m_shed_breaker = Metrics.counter metrics (reason_metric Breaker);
+      m_degrade_up = Metrics.counter metrics "serve.degrade.up";
+      m_degrade_down = Metrics.counter metrics "serve.degrade.down";
+      g_level = Metrics.gauge metrics "serve.degrade.level";
+      g_inflight = Metrics.gauge metrics "serve.inflight";
+    }
+  in
+  Metrics.set_gauge t.g_level t.lvl;
+  t
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let shed_counter t = function
+  | Queue_full -> t.m_shed_queue_full
+  | Rate -> t.m_shed_rate
+  | Deadline -> t.m_shed_deadline
+  | Degraded -> t.m_shed_degraded
+  | Breaker -> t.m_shed_breaker
+
+(* the level the current depth/p99 call for; [scale < 1.0] shrinks the
+   thresholds and is used when checking whether recovery is warranted *)
+let wanted t ~scale =
+  let depth = float_of_int (t.queued + t.running) in
+  let p99 = Limiter.Window.percentile t.window 99.0 in
+  if
+    depth >= scale *. float_of_int t.cfg.level2_queue
+    || p99 >= scale *. t.cfg.level2_p99_s
+  then 2
+  else if
+    depth >= scale *. float_of_int t.cfg.level1_queue
+    || p99 >= scale *. t.cfg.level1_p99_s
+  then 1
+  else 0
+
+(* call under [t.lock]. Escalation is immediate; recovery steps down one
+   level at a time and only once both signals are comfortably (by
+   [recover_fraction]) below the current level's entry thresholds. *)
+let reevaluate t =
+  if t.cfg.ladder then begin
+    let up = wanted t ~scale:1.0 in
+    if up > t.lvl then begin
+      t.lvl <- up;
+      Metrics.incr t.m_degrade_up;
+      Metrics.set_gauge t.g_level t.lvl
+    end
+    else if
+      t.lvl > 0 && wanted t ~scale:t.cfg.recover_fraction < t.lvl
+    then begin
+      t.lvl <- t.lvl - 1;
+      Metrics.incr t.m_degrade_down;
+      Metrics.set_gauge t.g_level t.lvl
+    end
+  end
+
+let client t =
+  {
+    bucket =
+      (if t.cfg.client_rate > 0.0 then
+         Some
+           (Limiter.Token_bucket.create ~clock:t.clock ~rate:t.cfg.client_rate
+              ~burst:t.cfg.client_burst ())
+       else None);
+  }
+
+let nominal_retry t =
+  if t.cfg.queue_deadline_s > 0.0 then t.cfg.queue_deadline_s else 1.0
+
+let shed t reason retry_after_s =
+  Metrics.incr (shed_counter t reason);
+  Shed { reason; retry_after_s = Float.max 0.0 retry_after_s }
+
+let admit t client kind =
+  (* rate and breaker checks take their own locks; keep them outside
+     the admission lock *)
+  let rate_ok =
+    match client.bucket with
+    | None -> true
+    | Some b -> Limiter.Token_bucket.try_take b
+  in
+  if not rate_ok then
+    let retry =
+      match client.bucket with
+      | Some b -> Limiter.Token_bucket.retry_after_s b
+      | None -> 0.0
+    in
+    shed t Rate retry
+  else if not (Limiter.Breaker.allow t.breaker) then
+    shed t Breaker (Limiter.Breaker.retry_after_s t.breaker)
+  else
+    locked t.lock (fun () ->
+        reevaluate t;
+        if t.queued + t.running >= t.cfg.max_queue then
+          shed t Queue_full (nominal_retry t)
+        else
+          let degraded =
+            match (t.lvl, kind) with
+            | 0, _ -> false
+            | _, Top_k k when k > t.cfg.top_k_cap -> true
+            | 1, _ -> false
+            | _, (By_label | Top_k _) -> true
+            | _, Contains -> false
+          in
+          if degraded then shed t Degraded (nominal_retry t)
+          else begin
+            t.queued <- t.queued + 1;
+            Metrics.incr t.m_admitted;
+            Metrics.add_gauge t.g_inflight 1;
+            Admit { tk_enqueued = t.clock (); tk_state = Queued }
+          end)
+
+let start t ticket =
+  locked t.lock (fun () ->
+      match ticket.tk_state with
+      | Running | Done -> `Run t.lvl
+      | Queued ->
+        let wait = Float.max 0.0 (t.clock () -. ticket.tk_enqueued) in
+        if t.cfg.queue_deadline_s > 0.0 && wait > t.cfg.queue_deadline_s
+        then begin
+          ticket.tk_state <- Done;
+          t.queued <- t.queued - 1;
+          Metrics.incr t.m_shed_deadline;
+          Metrics.add_gauge t.g_inflight (-1);
+          (* the stale head still counts as a slow sojourn: overload must
+             be visible to the ladder even when every victim is shed *)
+          Limiter.Window.observe t.window wait;
+          reevaluate t;
+          `Expired (nominal_retry t)
+        end
+        else begin
+          ticket.tk_state <- Running;
+          t.queued <- t.queued - 1;
+          t.running <- t.running + 1;
+          `Run t.lvl
+        end)
+
+let finish t ticket ~ok =
+  let finished =
+    locked t.lock (fun () ->
+        match ticket.tk_state with
+        | Queued | Done -> false
+        | Running ->
+          ticket.tk_state <- Done;
+          t.running <- t.running - 1;
+          Metrics.add_gauge t.g_inflight (-1);
+          Limiter.Window.observe t.window
+            (Float.max 0.0 (t.clock () -. ticket.tk_enqueued));
+          reevaluate t;
+          true)
+  in
+  if finished then Limiter.Breaker.record t.breaker ~ok
+
+let cancel t ticket =
+  locked t.lock (fun () ->
+      match ticket.tk_state with
+      | Running | Done -> ()
+      | Queued ->
+        ticket.tk_state <- Done;
+        t.queued <- t.queued - 1;
+        Metrics.add_gauge t.g_inflight (-1);
+        reevaluate t)
+
+let level t = locked t.lock (fun () -> t.lvl)
+
+let in_flight t = locked t.lock (fun () -> t.queued + t.running)

@@ -1,0 +1,122 @@
+(** Admission control for the serving path.
+
+    Every request entering {!Serve} passes through an admission gate
+    before it is queued for execution. The gate enforces, in order:
+
+    + a bounded queue — when more than [max_queue] admitted requests are
+      waiting, new arrivals are shed immediately;
+    + a per-client token bucket ([client_rate]/[client_burst]) — each
+      connection gets its own bucket, so one chatty client cannot starve
+      the rest;
+    + a circuit breaker over recent request outcomes — a burst of
+      failures opens it and sheds arrivals for a cooldown;
+    + a two-level degradation ladder driven by queue depth and the
+      observed p99 sojourn time:
+      - level 1: [top-k] requests with [k > top_k_cap] are shed, and
+        admitted queries run without the min-DFS-code result cache
+        (serve from the index only — no canonicalization on miss);
+      - level 2: everything but [contains] (and the [health]/[stats]
+        barriers, which bypass admission) is shed.
+
+    Admitted requests additionally face CoDel-style deadline shedding at
+    dequeue: when a request's queue wait already exceeds
+    [queue_deadline_s] by the time a worker picks it up, it is answered
+    [error OVERLOADED retry-after <s>] instead of being executed — under
+    sustained overload the queue drains by shedding the stale head
+    rather than serving every request late.
+
+    All decisions surface as [serve.*] metrics. The clock is injectable
+    ({!Tsg_util.Limiter.clock}) so the whole ladder is unit-testable with
+    a virtual clock. Thread-safe. *)
+
+type t
+
+type client
+(** Per-connection admission state (its token bucket). *)
+
+type config = {
+  max_queue : int;  (** bound on admitted-but-unfinished requests *)
+  client_rate : float;  (** per-client tokens/s; [0.] disables buckets *)
+  client_burst : float;  (** per-client bucket capacity *)
+  queue_deadline_s : float;  (** CoDel dequeue deadline; [0.] disables *)
+  level1_queue : int;  (** queue depth that enters level 1 *)
+  level2_queue : int;  (** queue depth that enters level 2 *)
+  level1_p99_s : float;  (** p99 sojourn that enters level 1 *)
+  level2_p99_s : float;  (** p99 sojourn that enters level 2 *)
+  recover_fraction : float;
+      (** hysteresis: step down one level only when depth and p99 are
+          below [recover_fraction] of the current level's thresholds *)
+  top_k_cap : int;  (** max admitted [k] at degradation level >= 1 *)
+  window : int;  (** sojourn-time window size for the p99 estimate *)
+  breaker_window : int;
+  breaker_min_samples : int;
+  breaker_failure_ratio : float;
+  breaker_cooldown_s : float;
+  ladder : bool;
+      (** when [false] the level is pinned at [initial_level] — used by
+          tests to compare fixed ladder levels *)
+  initial_level : int;
+}
+
+val default_config : config
+(** [max_queue = 256], [client_rate = 0.], [client_burst = 16.],
+    [queue_deadline_s = 0.], [level1_queue = 64], [level2_queue = 192],
+    [level1_p99_s = 0.5], [level2_p99_s = 2.0],
+    [recover_fraction = 0.5], [top_k_cap = 100], [window = 512],
+    breaker [256]/[64]/[0.9]/[1.0], [ladder = true],
+    [initial_level = 0]. *)
+
+type kind = Contains | By_label | Top_k of int
+(** The admission-relevant shape of a request. [stats]/[health]/[quit]
+    are barriers and never pass through admission. *)
+
+type reason = Queue_full | Rate | Deadline | Degraded | Breaker
+
+type ticket
+(** An admitted request, from {!admit} to {!finish}. *)
+
+type decision =
+  | Admit of ticket
+  | Shed of { reason : reason; retry_after_s : float }
+
+val create :
+  ?clock:Tsg_util.Limiter.clock ->
+  ?config:config ->
+  metrics:Tsg_util.Metrics.t ->
+  unit ->
+  t
+
+val client : t -> client
+(** Fresh per-connection state. Serve creates one per TCP connection
+    (and one for the whole stream in stdio mode). *)
+
+val admit : t -> client -> kind -> decision
+(** Decide a new arrival. [Admit] places the request in the (accounted)
+    queue; the caller must eventually call {!start} and {!finish}, or
+    {!cancel} if the request is abandoned before execution. *)
+
+val start : t -> ticket -> [ `Run of int | `Expired of float ]
+(** Called by the executing worker when it picks the request up.
+    [`Run level] means execute (at the given degradation level);
+    [`Expired retry_after_s] means the queue wait already exceeded the
+    deadline — answer overloaded instead, and do {e not} call
+    {!finish}. *)
+
+val finish : t -> ticket -> ok:bool -> unit
+(** Report completion of a started request: records the sojourn time in
+    the latency window, feeds the breaker, and re-evaluates the
+    ladder. *)
+
+val cancel : t -> ticket -> unit
+(** Forget an admitted request that will never start (e.g. its
+    connection died while it was queued). *)
+
+val level : t -> int
+(** Current degradation level: 0, 1 or 2. *)
+
+val in_flight : t -> int
+(** Admitted-but-unfinished requests (queued + running). *)
+
+val reason_metric : reason -> string
+(** The [serve.shed.*] counter name a reason increments — exposed for
+    tests. *)

@@ -74,21 +74,31 @@ let scan t target set =
   in
   (List.rev hits, !tested)
 
-let contains t target =
+let contains ?(use_cache = true) t target =
   Metrics.incr t.c_contains;
   timed t.h_contains (fun () ->
-      let key = cache_key target in
-      match locked t.cache_lock (fun () -> Lru.find t.cache key) with
+      (* under degradation the min-DFS-code canonicalization itself is the
+         cost being shed, so [use_cache:false] skips key computation
+         entirely — not just the table lookup *)
+      let key = if use_cache then Some (cache_key target) else None in
+      let hit =
+        match key with
+        | None -> None
+        | Some k -> locked t.cache_lock (fun () -> Lru.find t.cache k)
+      in
+      match hit with
       | Some ids ->
         Metrics.incr t.c_hits;
         ids
       | None ->
-        Metrics.incr t.c_misses;
+        if use_cache then Metrics.incr t.c_misses;
         let cands = Store.candidates t.store target in
         Metrics.incr ~n:(Bitset.cardinal cands) t.c_candidates;
         let ids, tested = scan t target cands in
         Metrics.incr ~n:tested t.c_iso_tests;
-        locked t.cache_lock (fun () -> Lru.add t.cache key ids);
+        Option.iter
+          (fun k -> locked t.cache_lock (fun () -> Lru.add t.cache k ids))
+          key;
         ids)
 
 let contains_brute t target =

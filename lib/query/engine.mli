@@ -27,11 +27,14 @@ val metrics : t -> Tsg_util.Metrics.t
 
     Results are pattern ids into the store, ascending. *)
 
-val contains : t -> Tsg_graph.Graph.t -> int list
+val contains : ?use_cache:bool -> t -> Tsg_graph.Graph.t -> int list
 (** Every stored pattern generalized-subgraph-isomorphic into the given
-    target graph. Counters: [contains.queries], [cache.hits],
-    [cache.misses], [contains.candidates], [contains.iso_tests];
-    histogram: [latency.contains]. *)
+    target graph. With [~use_cache:false] (default [true]) the min-DFS-code
+    canonicalization and the result cache are skipped entirely — the
+    degraded serving mode: identical results, no [cache.*] metric
+    movement, no cache mutation. Counters: [contains.queries],
+    [cache.hits], [cache.misses], [contains.candidates],
+    [contains.iso_tests]; histogram: [latency.contains]. *)
 
 val contains_brute : t -> Tsg_graph.Graph.t -> int list
 (** As {!contains} but scanning every stored pattern with

@@ -8,7 +8,31 @@ type query =
   | Top_k of int * [ `Support | `Interest ]
   | Stats
   | Health
+  | Reload
   | Quit
+
+type error_code =
+  | Badreq
+  | Oversized
+  | Deadline
+  | Overloaded
+  | Unavailable
+  | Fault
+  | Internal
+  | Reload_failed
+
+let code_string = function
+  | Badreq -> "BADREQ"
+  | Oversized -> "OVERSIZED"
+  | Deadline -> "DEADLINE"
+  | Overloaded -> "OVERLOADED"
+  | Unavailable -> "UNAVAILABLE"
+  | Fault -> "FAULT"
+  | Internal -> "INTERNAL"
+  | Reload_failed -> "RELOAD"
+
+let error_line code message =
+  Printf.sprintf "error %s %s" (code_string code) message
 
 exception Parse_error of string
 
@@ -80,6 +104,7 @@ let parse ?(max_bytes = default_max_line_bytes) ~taxonomy ~edge_labels line =
         | _ -> fail "bad top-k order %S (expected support or interest)" order)
       | [ "stats" ] -> Stats
       | [ "health" ] -> Health
+      | [ "reload" ] -> Reload
       | [ "quit" ] -> Quit
       | cmd :: _ -> fail "unknown command %S" cmd
       | [] -> fail "empty request")

@@ -6,9 +6,16 @@
     by-label <label>                            patterns mentioning the label or a descendant
     top-k <k> support|interest                  highest-scored patterns
     stats                                       metrics snapshot
-    health                                      liveness probe (pattern count + uptime)
+    health                                      liveness probe (patterns, uptime, checksum, load)
+    reload                                      hot-swap the pattern artifact (TCP mode)
     quit                                        stop serving
     v}
+
+    Failures answer a single line [error <CODE> <message>] where [CODE]
+    is one of the stable machine-readable {!error_code} spellings —
+    clients should dispatch on the code and treat the message as free
+    text. (Compat note: before the error-code scheme the code token was
+    absent; clients that only check the [error] prefix keep working.)
 
     A [contains] graph lists its node labels by name (node [i] gets the
     [i]-th label) and its edges as [u-v] or [u-v/name] pairs; an edgeless
@@ -25,7 +32,39 @@ type query =
   | Top_k of int * [ `Support | `Interest ]
   | Stats
   | Health
+  | Reload
   | Quit
+
+(** {1 Error codes}
+
+    The stable catalog of machine-readable failure classes:
+    - [Badreq] — malformed or unknown request;
+    - [Oversized] — request line exceeded the size bound;
+    - [Deadline] — execution blew the per-request deadline;
+    - [Overloaded] — shed by admission control; the message carries
+      [retry-after <seconds>];
+    - [Unavailable] — the verb needs state this server lacks (top-k by
+      interest without a database; [reload] when not enabled);
+    - [Fault] — an injected failpoint fired ({!Tsg_util.Fault});
+    - [Internal] — unexpected exception; the request died, the server
+      did not;
+    - [Reload_failed] — a [reload] was attempted and rolled back. *)
+
+type error_code =
+  | Badreq
+  | Oversized
+  | Deadline
+  | Overloaded
+  | Unavailable
+  | Fault
+  | Internal
+  | Reload_failed
+
+val code_string : error_code -> string
+(** The wire spelling, e.g. [OVERLOADED]. *)
+
+val error_line : error_code -> string -> string
+(** [error_line code msg] is ["error <CODE> <msg>"]. *)
 
 exception Parse_error of string
 

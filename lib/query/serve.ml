@@ -3,6 +3,9 @@ module Label = Tsg_graph.Label
 module Pattern = Tsg_core.Pattern
 module Metrics = Tsg_util.Metrics
 module Fault = Tsg_util.Fault
+module Checksum = Tsg_util.Checksum
+module Safe_io = Tsg_util.Safe_io
+module Diagnostic = Tsg_util.Diagnostic
 
 type outcome = {
   requests : int;
@@ -18,6 +21,28 @@ type limits = { max_line_bytes : int; request_deadline_s : float option }
 let default_limits =
   { max_line_bytes = Protocol.default_max_line_bytes; request_deadline_s = None }
 
+(* --- artifact checksums ------------------------------------------------ *)
+
+let checksum_strings contents =
+  List.fold_left
+    (fun acc s -> Checksum.mix64 acc (Checksum.fnv1a64 s))
+    (Checksum.fnv1a64 "")
+    contents
+
+let checksum_files paths = checksum_strings (List.map Safe_io.read_file paths)
+
+(* --- bind addresses ---------------------------------------------------- *)
+
+let parse_bind_addr s =
+  match Unix.inet_addr_of_string s with
+  | addr -> Ok addr
+  | exception Failure _ ->
+    Error
+      (Diagnostic.makef ~rule:"SRV001" Diagnostic.Error
+         "invalid bind address %S (expected an IPv4 or IPv6 literal, e.g. \
+          0.0.0.0)"
+         s)
+
 let result_line ~names ~db_size ?score store id =
   let p = Store.pattern store id in
   let score =
@@ -29,7 +54,13 @@ let result_line ~names ~db_size ?score store id =
     db_size
     (Pattern.to_string ~names p)
 
-let execute engine ~names query =
+let is_error r = String.length r >= 5 && String.sub r 0 5 = "error"
+
+let overloaded_line retry_after_s =
+  Protocol.error_line Protocol.Overloaded
+    (Printf.sprintf "retry-after %.3f" (Float.max 0.0 retry_after_s))
+
+let execute ~use_cache engine ~names query =
   let store = Engine.store engine in
   let db_size = Store.db_size store in
   let listing ids line =
@@ -38,7 +69,7 @@ let execute engine ~names query =
   in
   match query with
   | Protocol.Contains g ->
-    let ids = Engine.contains engine g in
+    let ids = Engine.contains ~use_cache engine g in
     listing ids (result_line ~names ~db_size store)
   | Protocol.By_label l ->
     let ids = Engine.by_label engine l in
@@ -48,13 +79,14 @@ let execute engine ~names query =
     | scored ->
       listing scored (fun (id, s) ->
           result_line ~names ~db_size ~score:s store id)
-    | exception Failure msg -> "error " ^ msg)
-  | Protocol.Stats | Protocol.Health | Protocol.Quit ->
+    | exception Failure msg -> Protocol.error_line Protocol.Unavailable msg)
+  | Protocol.Stats | Protocol.Health | Protocol.Reload | Protocol.Quit ->
     assert false (* barriers; see run *)
 
 (* a request that blew its deadline, crashed, or drew an injected fault
    answers with an error line; the loop itself never dies for one request *)
-let execute_guarded engine ~names ~limits ~deadline_c ~fault_c ~arrival query =
+let execute_guarded ~use_cache engine ~names ~limits ~deadline_c ~fault_c
+    ~arrival query =
   let expired () =
     match limits.request_deadline_s with
     | None -> false
@@ -62,23 +94,25 @@ let execute_guarded engine ~names ~limits ~deadline_c ~fault_c ~arrival query =
   in
   if expired () then begin
     Metrics.incr deadline_c;
-    "error deadline exceeded"
+    Protocol.error_line Protocol.Deadline "deadline exceeded"
   end
   else
     match
       Fault.inject "serve.request";
-      execute engine ~names query
+      execute ~use_cache engine ~names query
     with
     | reply ->
       if expired () then begin
         Metrics.incr deadline_c;
-        "error deadline exceeded"
+        Protocol.error_line Protocol.Deadline "deadline exceeded"
       end
       else reply
     | exception Fault.Injected { site; hit } ->
       Metrics.incr fault_c;
-      Printf.sprintf "error injected fault at %s (hit %d)" site hit
-    | exception e -> "error internal: " ^ Printexc.to_string e
+      Protocol.error_line Protocol.Fault
+        (Printf.sprintf "injected fault at %s (hit %d)" site hit)
+    | exception e ->
+      Protocol.error_line Protocol.Internal (Printexc.to_string e)
 
 (* one response slot per request; workers pull indices off a shared
    counter — a flat batch has no subtrees to steal, so this stays simpler
@@ -142,7 +176,8 @@ let read_bounded_line ic ~max_bytes =
   in
   go false
 
-let run ?domains ?(limits = default_limits) ~engine ~edge_labels ic oc =
+let run ?domains ?(limits = default_limits) ?admission ?client
+    ?(checksum = fun () -> None) ?reloader ~engine ~edge_labels ic oc =
   let domains = Option.value ~default:(default_domains ()) domains in
   let store = Engine.store engine in
   let taxonomy = Store.taxonomy store in
@@ -153,6 +188,11 @@ let run ?domains ?(limits = default_limits) ~engine ~edge_labels ic oc =
   let disconnect_c = Metrics.counter metrics "serve.disconnects" in
   let fault_c = Metrics.counter metrics "serve.injected_faults" in
   let health_c = Metrics.counter metrics "serve.health" in
+  let client =
+    match (admission, client) with
+    | Some adm, None -> Some (Admission.client adm)
+    | _, c -> c
+  in
   let started = Unix.gettimeofday () in
   let requests = ref 0 and errors = ref 0 in
   let disconnected = ref false in
@@ -168,71 +208,149 @@ let run ?domains ?(limits = default_limits) ~engine ~edge_labels ic oc =
   let batch = ref [] in
   let fill (arrival, item) =
     match item with
-    | `Error msg -> "error " ^ msg
+    | `Error (code, msg) -> Protocol.error_line code msg
     | `Query q ->
-      execute_guarded engine ~names ~limits ~deadline_c ~fault_c ~arrival q
+      execute_guarded ~use_cache:true engine ~names ~limits ~deadline_c
+        ~fault_c ~arrival q
+    | `Ticket (adm, ticket, q) -> (
+      match Admission.start adm ticket with
+      | `Expired retry_after_s -> overloaded_line retry_after_s
+      | `Run level ->
+        let reply =
+          execute_guarded ~use_cache:(level = 0) engine ~names ~limits
+            ~deadline_c ~fault_c ~arrival q
+        in
+        Admission.finish adm ticket ~ok:(not (is_error reply));
+        reply)
   in
   let flush () =
     let responses = flush_batch ~domains ~fill !batch in
     batch := [];
     Array.iter
       (fun r ->
-        if String.length r >= 5 && String.sub r 0 5 = "error" then incr errors;
+        if is_error r then incr errors;
         safe_write (fun () ->
             output_string oc r;
             output_char oc '\n'))
       responses;
     safe_write (fun () -> flush oc)
   in
+  (* an admitted request the loop abandons (torn connection) must leave
+     the admission accounting, or the queue looks full forever *)
+  let cancel_pending () =
+    List.iter
+      (fun (_, item) ->
+        match item with
+        | `Ticket (adm, ticket, _) -> Admission.cancel adm ticket
+        | `Error _ | `Query _ -> ())
+      !batch
+  in
+  let enqueue entry = batch := (Unix.gettimeofday (), entry) :: !batch in
+  let data_query q =
+    match admission with
+    | None -> enqueue (`Query q)
+    | Some adm -> (
+      let kind =
+        match q with
+        | Protocol.Contains _ -> Admission.Contains
+        | Protocol.By_label _ -> Admission.By_label
+        | Protocol.Top_k (k, _) -> Admission.Top_k k
+        | Protocol.(Stats | Health | Reload | Quit) -> assert false
+      in
+      let cl =
+        match client with
+        | Some c -> c
+        | None -> assert false (* built above when admission is present *)
+      in
+      match Admission.admit adm cl kind with
+      | Admission.Admit ticket -> enqueue (`Ticket (adm, ticket, q))
+      | Admission.Shed { reason = _; retry_after_s } ->
+        enqueue (`Error (Protocol.Overloaded, Printf.sprintf "retry-after %.3f" (Float.max 0.0 retry_after_s))))
+  in
   let quit = ref false in
   (try
-     while (not !quit) && not !disconnected do
-       match read_bounded_line ic ~max_bytes:limits.max_line_bytes with
-       | `Too_long ->
-         incr requests;
-         Metrics.incr oversized_c;
-         batch :=
-           ( Unix.gettimeofday (),
-             `Error
-               (Printf.sprintf "request exceeds %d bytes"
-                  limits.max_line_bytes) )
-           :: !batch
-       | `Line line -> (
-         match
-           Protocol.parse ~max_bytes:limits.max_line_bytes ~taxonomy
-             ~edge_labels line
-         with
-         | None -> ()
-         | Some Protocol.Stats ->
-           incr requests;
-           flush ();
-           safe_write (fun () ->
-               output_string oc "begin stats\n";
-               output_string oc (Metrics.render metrics);
-               output_char oc '\n';
-               output_string oc "end stats\n";
-               Stdlib.flush oc)
-         | Some Protocol.Health ->
-           incr requests;
-           Metrics.incr health_c;
-           flush ();
-           safe_write (fun () ->
-               Printf.fprintf oc "ok health patterns %d uptime %.3f\n"
-                 (Store.size store)
-                 (Unix.gettimeofday () -. started);
-               Stdlib.flush oc)
-         | Some Protocol.Quit ->
-           incr requests;
-           quit := true
-         | Some (Protocol.(Contains _ | By_label _ | Top_k _) as q) ->
-           incr requests;
-           batch := (Unix.gettimeofday (), `Query q) :: !batch
-         | exception Protocol.Parse_error msg ->
-           incr requests;
-           batch := (Unix.gettimeofday (), `Error msg) :: !batch)
-     done
-   with End_of_file -> ());
-  flush ();
+     (try
+        while (not !quit) && not !disconnected do
+          match read_bounded_line ic ~max_bytes:limits.max_line_bytes with
+          | `Too_long ->
+            incr requests;
+            Metrics.incr oversized_c;
+            enqueue
+              (`Error
+                ( Protocol.Oversized,
+                  Printf.sprintf "request exceeds %d bytes"
+                    limits.max_line_bytes ))
+          | `Line line -> (
+            match
+              Protocol.parse ~max_bytes:limits.max_line_bytes ~taxonomy
+                ~edge_labels line
+            with
+            | None -> ()
+            | Some Protocol.Stats ->
+              incr requests;
+              flush ();
+              safe_write (fun () ->
+                  output_string oc "begin stats\n";
+                  output_string oc (Metrics.render metrics);
+                  output_char oc '\n';
+                  output_string oc "end stats\n";
+                  Stdlib.flush oc)
+            | Some Protocol.Health ->
+              incr requests;
+              Metrics.incr health_c;
+              flush ();
+              let csum =
+                match checksum () with
+                | Some c -> Printf.sprintf "%016Lx" c
+                | None -> "-"
+              in
+              let level, inflight =
+                match admission with
+                | Some adm -> (Admission.level adm, Admission.in_flight adm)
+                | None -> (0, 0)
+              in
+              safe_write (fun () ->
+                  Printf.fprintf oc
+                    "ok health patterns %d uptime %.3f checksum %s degrade \
+                     %d inflight %d\n"
+                    (Store.size store)
+                    (Unix.gettimeofday () -. started)
+                    csum level inflight;
+                  Stdlib.flush oc)
+            | Some Protocol.Reload ->
+              incr requests;
+              flush ();
+              let reply =
+                match reloader with
+                | None ->
+                  Protocol.error_line Protocol.Unavailable
+                    "reload is not enabled"
+                | Some f -> (
+                  match f () with
+                  | Ok msg -> "ok reload " ^ msg
+                  | Error msg ->
+                    Protocol.error_line Protocol.Reload_failed msg)
+              in
+              if is_error reply then incr errors;
+              safe_write (fun () ->
+                  output_string oc reply;
+                  output_char oc '\n';
+                  Stdlib.flush oc)
+            | Some Protocol.Quit ->
+              incr requests;
+              quit := true
+            | Some (Protocol.(Contains _ | By_label _ | Top_k _) as q) ->
+              incr requests;
+              data_query q
+            | exception Protocol.Parse_error msg ->
+              incr requests;
+              enqueue (`Error (Protocol.Badreq, msg)))
+        done
+      with End_of_file -> ());
+     flush ()
+   with e ->
+     cancel_pending ();
+     raise e);
   {
     requests = !requests;
     errors = !errors;
@@ -248,6 +366,20 @@ type listen_outcome = {
   aggregate : outcome;
 }
 
+type reload_config = {
+  reload_paths : string list;
+  reload_build : (string * string) list -> Engine.t * string list;
+}
+
+(* the unit of hot swap: connections capture one of these at accept and
+   keep it for their lifetime, so in-flight requests always finish on the
+   engine they started with *)
+type swap = {
+  sw_engine : Engine.t;
+  sw_names : string list;
+  sw_checksum : int64 option;
+}
+
 let merge_outcome a b =
   {
     requests = a.requests + b.requests;
@@ -261,24 +393,93 @@ let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ -> ()
 
+let default_on_diagnostic d = prerr_endline (Diagnostic.to_string d)
+
 let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
-    ?on_listen ?(should_stop = fun () -> false) ~engine ~edge_labels ~port ()
-    =
+    ?(bind_addr = Unix.inet_addr_loopback) ?admission ?checksum ?reload
+    ?(reload_poll = fun () -> false)
+    ?(on_diagnostic = default_on_diagnostic) ?on_listen
+    ?(should_stop = fun () -> false) ~engine ~edge_labels ~port () =
   ignore_sigpipe ();
   let metrics = Engine.metrics engine in
   let conns_c = Metrics.counter metrics "serve.connections" in
   let overloaded_c = Metrics.counter metrics "serve.overloaded" in
   let disconnect_c = Metrics.counter metrics "serve.disconnects" in
+  let reloads_c = Metrics.counter metrics "serve.reloads" in
+  let rollbacks_c = Metrics.counter metrics "serve.reload.rollbacks" in
   (* Protocol.parse interns edge labels, and Label.t is not thread-safe:
      every connection parses against its own copy of the table. A label
      first seen on some other connection simply matches no stored pattern
      on this one — exactly what an unseen label means anyway. *)
-  let label_names = Array.to_list (Label.names edge_labels) in
+  let cell =
+    Atomic.make
+      {
+        sw_engine = engine;
+        sw_names = Array.to_list (Label.names edge_labels);
+        sw_checksum = checksum;
+      }
+  in
+  let reload_lock = Mutex.create () in
+  let rollback rule fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Metrics.incr rollbacks_c;
+        on_diagnostic
+          (Diagnostic.makef ~rule Diagnostic.Error
+             "reload rolled back, keeping current artifact: %s" msg);
+        Error msg)
+      fmt
+  in
+  let do_reload cfg =
+    if not (Mutex.try_lock reload_lock) then
+      Error "a reload is already in progress"
+    else
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock reload_lock)
+        (fun () ->
+          match
+            List.map (fun p -> (p, Safe_io.read_file p)) cfg.reload_paths
+          with
+          | exception Sys_error msg -> rollback "SRV002" "%s" msg
+          | sources -> (
+            let csum = checksum_strings (List.map snd sources) in
+            (* a second read must hash identically: a writer racing the
+               reload (no atomic rename) would otherwise be parsed half
+               old, half new *)
+            let csum2 =
+              try Some (checksum_files cfg.reload_paths)
+              with Sys_error _ -> None
+            in
+            if csum2 <> Some csum then
+              rollback "SRV003"
+                "artifact changed on disk while reloading (checksum \
+                 instability)"
+            else
+              match cfg.reload_build sources with
+              | engine, names ->
+                Atomic.set cell
+                  {
+                    sw_engine = engine;
+                    sw_names = names;
+                    sw_checksum = Some csum;
+                  };
+                Metrics.incr reloads_c;
+                Ok
+                  (Printf.sprintf "patterns %d checksum %016Lx"
+                     (Store.size (Engine.store engine))
+                     csum)
+              | exception Tsg_core.Pattern_io.Parse_error d ->
+                rollback "SRV002" "%s" (Diagnostic.to_string d)
+              | exception (Invalid_argument msg | Failure msg) ->
+                rollback "SRV002" "%s" msg
+              | exception e -> rollback "SRV002" "%s" (Printexc.to_string e)))
+  in
+  let reloader = Option.map (fun cfg () -> do_reload cfg) reload in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let actual_port =
     try
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
-      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.bind sock (Unix.ADDR_INET (bind_addr, port));
       Unix.listen sock 64;
       match Unix.getsockname sock with
       | Unix.ADDR_INET (_, p) -> p
@@ -303,8 +504,14 @@ let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
     in
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    let conn_labels = Label.of_names label_names in
-    match run ~domains:1 ~limits ~engine ~edge_labels:conn_labels ic oc with
+    let sw = Atomic.get cell in
+    let conn_labels = Label.of_names sw.sw_names in
+    let client = Option.map Admission.client admission in
+    match
+      run ~domains:1 ~limits ?admission ?client
+        ~checksum:(fun () -> (Atomic.get cell).sw_checksum)
+        ?reloader ~engine:sw.sw_engine ~edge_labels:conn_labels ic oc
+    with
     | o ->
       (try flush oc with Sys_error _ -> ());
       finished o
@@ -317,6 +524,13 @@ let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
   while !running do
     if should_stop () then running := false
     else begin
+      (if reload_poll () then
+         match reload with
+         | Some cfg ->
+           (* off the accept thread: a slow artifact load must not stall
+              accepts *)
+           ignore (Thread.create (fun () -> ignore (do_reload cfg)) ())
+         | None -> ());
       match Unix.select [ sock ] [] [] 0.25 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
@@ -325,12 +539,29 @@ let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
           incr connections;
           Metrics.incr conns_c;
           if Atomic.get active >= max_conns then begin
-            (* load shedding: tell the client and hang up *)
+            (* load shedding: tell the client and hang up — on a detached
+               thread, with a bounded drain of whatever the client already
+               sent, so the close doesn't RST the reply out of the
+               client's receive queue (and never stalls the accept loop) *)
             incr overloaded;
             Metrics.incr overloaded_c;
-            (try ignore (Unix.write_substring fd "OVERLOADED\n" 0 11)
-             with Unix.Unix_error _ -> ());
-            try Unix.close fd with Unix.Unix_error _ -> ()
+            ignore
+              (Thread.create
+                 (fun fd ->
+                   (try ignore (Unix.write_substring fd "OVERLOADED\n" 0 11)
+                    with Unix.Unix_error _ -> ());
+                   (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+                    with Unix.Unix_error _ -> ());
+                   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+                    with Unix.Unix_error _ | Invalid_argument _ -> ());
+                   let buf = Bytes.create 1024 in
+                   (try
+                      while Unix.read fd buf 0 (Bytes.length buf) > 0 do
+                        ()
+                      done
+                    with Unix.Unix_error _ -> ());
+                   try Unix.close fd with Unix.Unix_error _ -> ())
+                 fd)
           end
           else begin
             Atomic.incr active;

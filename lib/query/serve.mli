@@ -5,31 +5,41 @@
     block per request, in request order.
 
     Consecutive data queries ([contains]/[by-label]/[top-k]) form a batch
-    that is executed in parallel; [stats], [health] and [quit] are
-    barriers — the pending batch is flushed before they are handled, so
-    [stats] reflects every earlier request. Responses:
+    that is executed in parallel; [stats], [health], [reload] and [quit]
+    are barriers — the pending batch is flushed before they are handled,
+    so [stats] reflects every earlier request. Responses:
 
     {v
     ok <n>                                  then n result lines:
     p <id> support <count>/<db-size> <pattern>     (contains, by-label)
     p <id> score <s> support <count>/<db-size> <pattern>   (top-k)
-    ok health patterns <n> uptime <seconds>        (health)
-    error <message>                         malformed or failed request
+    ok health patterns <n> uptime <s> checksum <hex|-> degrade <lvl> inflight <n>
+    ok reload patterns <n> checksum <hex>          (reload)
+    error <CODE> <message>                  malformed or failed request
     v}
 
     [stats] prints the metrics table between [begin stats]/[end stats]
-    markers.
+    markers. Error codes are the stable {!Protocol.error_code} catalog.
 
     The loop is hardened against misbehaving clients: request lines are
     read through a bounded buffer (an oversized line costs O(bound)
-    memory and answers with an error, it cannot balloon the heap), each
+    memory and answers [OVERSIZED], it cannot balloon the heap), each
     request can carry a deadline, a request that raises — including an
     injected fault at the ["serve.request"] failpoint ({!Tsg_util.Fault})
     — answers with an [error] line instead of killing the loop, and a
     peer that disconnects mid-reply ([EPIPE]/reset) ends the loop cleanly
     rather than crashing the server. Each of these events increments a
     metrics counter ([serve.oversized], [serve.deadline_expired],
-    [serve.injected_faults], [serve.disconnects]). *)
+    [serve.injected_faults], [serve.disconnects]).
+
+    When an {!Admission} gate is supplied, every data query passes
+    through it before being batched: shed requests answer
+    [error OVERLOADED retry-after <s>] immediately (in request order),
+    admitted ones carry a ticket that is started at execution (where the
+    CoDel queue-wait deadline may still expire them) and finished after,
+    feeding the latency window and degradation ladder. At degradation
+    level 1 and above, admitted [contains] queries run with
+    [Engine.contains ~use_cache:false]. *)
 
 type outcome = {
   requests : int;  (** total requests answered (including errors) *)
@@ -45,16 +55,38 @@ type limits = {
           error (default {!Protocol.default_max_line_bytes}) *)
   request_deadline_s : float option;
       (** per-request wall-clock deadline, measured from arrival; a
-          request that misses it answers [error deadline exceeded].
-          [None] (the default) disables deadlines; a non-positive value
-          expires every data query. *)
+          request that misses it answers [error DEADLINE deadline
+          exceeded]. [None] (the default) disables deadlines; a
+          non-positive value expires every data query. *)
 }
 
 val default_limits : limits
 
+(** {1 Artifact checksums} *)
+
+val checksum_strings : string list -> int64
+(** Order-sensitive FNV-1a64 fingerprint of a list of file contents
+    ({!Tsg_util.Checksum.mix64} over per-file {!Tsg_util.Checksum.fnv1a64}
+    hashes) — the artifact checksum reported by [health] and verified on
+    hot reload. *)
+
+val checksum_files : string list -> int64
+(** {!checksum_strings} over the contents of the given paths.
+    @raise Sys_error when a path cannot be read. *)
+
+(** {1 Bind addresses} *)
+
+val parse_bind_addr : string -> (Unix.inet_addr, Tsg_util.Diagnostic.t) result
+(** Parse an IP literal for {!listen}'s [bind_addr]. Invalid spellings
+    answer a rule-[SRV001] diagnostic instead of raising. *)
+
 val run :
   ?domains:int ->
   ?limits:limits ->
+  ?admission:Admission.t ->
+  ?client:Admission.client ->
+  ?checksum:(unit -> int64 option) ->
+  ?reloader:(unit -> (string, string) result) ->
   engine:Engine.t ->
   edge_labels:Tsg_graph.Label.t ->
   in_channel ->
@@ -66,7 +98,13 @@ val run :
     [Taxogram.run] uses. Parsing (which interns edge labels) stays on the
     calling domain; only query execution fans out. A worker exception
     that is not handled per-request is re-raised on the caller with its
-    original backtrace. *)
+    original backtrace.
+
+    [admission] gates data queries (see above); [client] is the
+    per-connection admission state (a fresh one is created when absent).
+    [checksum] supplies the artifact checksum for [health] ([None] prints
+    ["-"]). [reloader] handles the [reload] verb; without it the verb
+    answers [error UNAVAILABLE reload is not enabled]. *)
 
 (** {1 TCP mode} *)
 
@@ -76,10 +114,25 @@ type listen_outcome = {
   aggregate : outcome;  (** summed over all served connections *)
 }
 
+type reload_config = {
+  reload_paths : string list;  (** pattern artifact files to re-read *)
+  reload_build : (string * string) list -> Engine.t * string list;
+      (** build a fresh engine (plus its edge-label names) from
+          [(path, contents)] pairs — typically {!Store.of_strings} +
+          {!Engine.create} against the {e same} metrics registry, so
+          counters survive the swap. Raising aborts the reload. *)
+}
+
 val listen :
   ?limits:limits ->
   ?max_conns:int ->
   ?drain_s:float ->
+  ?bind_addr:Unix.inet_addr ->
+  ?admission:Admission.t ->
+  ?checksum:int64 ->
+  ?reload:reload_config ->
+  ?reload_poll:(unit -> bool) ->
+  ?on_diagnostic:(Tsg_util.Diagnostic.t -> unit) ->
   ?on_listen:(int -> unit) ->
   ?should_stop:(unit -> bool) ->
   engine:Engine.t ->
@@ -87,14 +140,36 @@ val listen :
   port:int ->
   unit ->
   listen_outcome
-(** Serve the protocol over TCP on [127.0.0.1:port] ([port = 0] picks a
-    free port; [on_listen] receives the bound port either way). Each
-    connection is handled by its own system thread running {!run} with
-    [~domains:1] and a private copy of the edge-label table
-    ({!Tsg_graph.Label.t} is not thread-safe; a label first seen on
-    another connection matches no stored pattern, which is exactly what
-    an unseen label means). Beyond [max_conns] (default 64) concurrent
-    connections, new clients are shed with a single [OVERLOADED] line.
+(** Serve the protocol over TCP on [bind_addr:port] (default
+    [127.0.0.1]; [port = 0] picks a free port; [on_listen] receives the
+    bound port either way). Each connection is handled by its own system
+    thread running {!run} with [~domains:1] and a private copy of the
+    edge-label table ({!Tsg_graph.Label.t} is not thread-safe; a label
+    first seen on another connection matches no stored pattern, which is
+    exactly what an unseen label means). Beyond [max_conns] (default 64)
+    concurrent connections, new clients are shed with a single
+    [OVERLOADED] line (kept code-less for compatibility — request-level
+    sheds use [error OVERLOADED ...]).
+
+    When [admission] is given it is shared across connections, each of
+    which gets its own per-client token bucket.
+
+    {b Hot reload.} With [reload] configured, the engine lives in an
+    atomic swap cell: a [reload] verb (any connection), or [reload_poll]
+    answering [true] (polled in the accept loop — hook a SIGHUP flag
+    here), re-reads [reload_paths], checksums them
+    ({!checksum_strings}), re-reads to verify the artifact is stable on
+    disk, builds the new engine off the accept thread, and swaps it in.
+    Connections opened before the swap finish on the old engine;
+    new connections see the new one — no in-flight request is dropped.
+    A failing reload (unreadable file, checksum instability, parse or
+    validation error) rolls back: the old engine keeps serving, a
+    diagnostic (rule [SRV002], or [SRV003] for checksum instability)
+    goes to [on_diagnostic] (default: stderr) and
+    [serve.reload.rollbacks] is incremented; successful swaps increment
+    [serve.reloads]. Concurrent reloads are serialized; the loser
+    answers an error. [checksum] seeds the cell so [health] can report
+    the artifact fingerprint before any reload.
 
     The accept loop polls [should_stop] (default never) about four times
     a second; once it returns [true] — typically flipped by a

@@ -114,14 +114,15 @@ let build ~taxonomy ?db ~db_size pattern_list =
     trivial;
   }
 
-let load ~taxonomy ~edge_labels ?db paths =
+let of_strings ~taxonomy ~edge_labels ?db sources =
   let node_labels = Taxonomy.labels taxonomy in
   let known = Taxonomy.label_count taxonomy in
   let sets =
     List.map
-      (fun path ->
+      (fun (path, contents) ->
         let patterns, size =
-          Tsg_core.Pattern_io.load ~node_labels ~edge_labels path
+          Tsg_core.Pattern_io.parse ~file:path ~node_labels ~edge_labels
+            contents
         in
         (* Pattern_io interns unseen names; anything past the taxonomy's
            label count is not a concept of the DAG *)
@@ -139,10 +140,14 @@ let load ~taxonomy ~edge_labels ?db paths =
               (Graph.node_labels p.Pattern.graph))
           patterns;
         (patterns, size))
-      paths
+      sources
   in
   let db_size = List.fold_left (fun acc (_, s) -> max acc s) 0 sets in
   build ~taxonomy ?db ~db_size (List.concat_map fst sets)
+
+let load ~taxonomy ~edge_labels ?db paths =
+  of_strings ~taxonomy ~edge_labels ?db
+    (List.map (fun p -> (p, Tsg_util.Safe_io.read_file p)) paths)
 
 let size t = Array.length t.patterns
 

@@ -40,11 +40,24 @@ val load :
   ?db:Tsg_graph.Db.t ->
   string list ->
   t
-(** [load ~taxonomy ~edge_labels paths] reads each path with
-    {!Tsg_core.Pattern_io.load} and builds a store over the union; the
-    recorded database size is the maximum across files.
+(** [load ~taxonomy ~edge_labels paths] reads each path and builds a
+    store over the union via {!of_strings}; the recorded database size is
+    the maximum across files.
     @raise Invalid_argument when a file mentions a node label that is not
     a taxonomy concept. *)
+
+val of_strings :
+  taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  edge_labels:Tsg_graph.Label.t ->
+  ?db:Tsg_graph.Db.t ->
+  (string * string) list ->
+  t
+(** [of_strings ~taxonomy ~edge_labels sources] builds a store from
+    already-read [(path, contents)] pairs — the hot-reload path, where
+    the bytes have been checksummed before parsing and must not be read
+    again. [path] is used only for diagnostics.
+    @raise Tsg_core.Pattern_io.Parse_error on malformed contents,
+    [Invalid_argument] on out-of-taxonomy labels. *)
 
 (** {1 Access} *)
 

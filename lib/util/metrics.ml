@@ -1,5 +1,7 @@
 type counter = { c_name : string; c_lock : Mutex.t; mutable c_value : int }
 
+type gauge = { g_name : string; g_lock : Mutex.t; mutable g_value : int }
+
 (* 1-2-5 series of bucket upper bounds, in seconds, plus an overflow
    bucket; index i counts observations v with bounds.(i-1) < v <= bounds.(i) *)
 let bounds =
@@ -18,10 +20,12 @@ type histogram = {
 type t = {
   lock : Mutex.t;
   mutable counters : counter list;  (* reverse registration order *)
+  mutable gauges : gauge list;
   mutable histograms : histogram list;
 }
 
-let create () = { lock = Mutex.create (); counters = []; histograms = [] }
+let create () =
+  { lock = Mutex.create (); counters = []; gauges = []; histograms = [] }
 
 let locked m f =
   Mutex.lock m;
@@ -41,6 +45,21 @@ let incr ?(n = 1) c =
   locked c.c_lock (fun () -> c.c_value <- c.c_value + n)
 
 let value c = locked c.c_lock (fun () -> c.c_value)
+
+let gauge t name =
+  locked t.lock (fun () ->
+      match List.find_opt (fun g -> g.g_name = name) t.gauges with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; g_lock = t.lock; g_value = 0 } in
+        t.gauges <- g :: t.gauges;
+        g)
+
+let set_gauge g v = locked g.g_lock (fun () -> g.g_value <- v)
+
+let add_gauge g n = locked g.g_lock (fun () -> g.g_value <- g.g_value + n)
+
+let gauge_value g = locked g.g_lock (fun () -> g.g_value)
 
 let hit_rate ~hits ~misses =
   let h = value hits and m = value misses in
@@ -105,8 +124,9 @@ let max_value h = locked h.h_lock (fun () -> h.h_max)
 let ms s = Printf.sprintf "%.3f" (1000.0 *. s)
 
 let to_table t =
-  let counters, histograms =
-    locked t.lock (fun () -> (List.rev t.counters, List.rev t.histograms))
+  let counters, gauges, histograms =
+    locked t.lock (fun () ->
+        (List.rev t.counters, List.rev t.gauges, List.rev t.histograms))
   in
   let table =
     Text_table.create
@@ -115,6 +135,10 @@ let to_table t =
   List.iter
     (fun c -> Text_table.add_row table [ c.c_name; string_of_int (value c) ])
     counters;
+  List.iter
+    (fun g ->
+      Text_table.add_row table [ g.g_name; string_of_int (gauge_value g) ])
+    gauges;
   List.iter
     (fun h ->
       Text_table.add_row table

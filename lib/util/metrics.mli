@@ -29,6 +29,25 @@ val value : counter -> int
 val hit_rate : hits:counter -> misses:counter -> float
 (** [hits / (hits + misses)], or [0.] when nothing was recorded. *)
 
+(** {1 Gauges}
+
+    Point-in-time integer values (queue depth, in-flight requests,
+    degradation level); unlike counters they may go down. Rendered after
+    the counters in {!to_table}. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+(** [gauge t name] registers (or returns the existing) gauge under
+    [name]; initial value 0. *)
+
+val set_gauge : gauge -> int -> unit
+
+val add_gauge : gauge -> int -> unit
+(** Add a (possibly negative) delta. *)
+
+val gauge_value : gauge -> int
+
 (** {1 Histograms} *)
 
 val histogram : t -> string -> histogram

@@ -557,7 +557,7 @@ let test_serve_oversized () =
     run_serve ~limits (big ^ "\nhealth\nquit\n")
   in
   check bool "rejected with error" true
-    (contains_line text "error request exceeds 32 bytes");
+    (contains_line text "error OVERSIZED request exceeds 32 bytes");
   check bool "loop survived to health" true
     (contains_line text "ok health");
   check int "errors counted" 1 outcome.Serve.errors;
@@ -572,7 +572,7 @@ let test_serve_deadline () =
     run_serve ~limits "contains b,c 0-1/e0\ncontains b,c 0-1/e0\nquit\n"
   in
   check bool "deadline reply" true
-    (contains_line text "error deadline exceeded");
+    (contains_line text "error DEADLINE deadline exceeded");
   check int "both expired" 2 outcome.Serve.errors;
   check int "metric" 2
     (Metrics.value (Metrics.counter metrics "serve.deadline_expired"))
@@ -583,7 +583,7 @@ let test_serve_survives_injected_faults () =
         run_serve "contains b,c 0-1/e0\ntop-k 1 support\nhealth\nquit\n"
       in
       check bool "fault reported per request" true
-        (contains_line text "error injected fault at serve.request");
+        (contains_line text "error FAULT injected fault at serve.request");
       check bool "loop survived" true outcome.Serve.quit;
       check int "both data queries failed" 2 outcome.Serve.errors;
       check bool "health barrier unaffected" true

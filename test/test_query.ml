@@ -512,10 +512,15 @@ let test_serve_end_to_end () =
          l = "p 0 support 2/2 pattern[sup=2 (1.00)] 0:transporter 1:helicase \
               (0-1)")
        lines);
-  check bool "interest error" true
-    (List.exists
-       (fun l -> String.length l >= 5 && String.sub l 0 5 = "error")
-       lines);
+  let has_prefix p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  (* stable machine-readable error codes: top-k interest without a db is
+     UNAVAILABLE, a malformed request is BADREQ *)
+  check bool "interest error coded UNAVAILABLE" true
+    (List.exists (has_prefix "error UNAVAILABLE") lines);
+  check bool "bogus request coded BADREQ" true
+    (List.exists (has_prefix "error BADREQ") lines);
   check bool "stats markers" true
     (List.mem "begin stats" lines && List.mem "end stats" lines);
   (* the second (isomorphic) contains was served from the cache *)
