@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples lint chaos soak clean
+.PHONY: all build test check bench examples lint chaos soak cluster-smoke clean
 
 all: build
 
@@ -46,6 +46,13 @@ chaos:
 # successful mid-blast hot reload, and a corrupt-artifact rollback
 soak: build
 	scripts/soak.sh
+
+# tsg-router over 2 shards x 2 replicas of tsg-serve --shard: scatter-
+# gather answers byte-identical to an unsharded node, a rolling reload
+# and a replica SIGKILL absorbed mid-blast with zero client-visible
+# errors, then a graceful drain
+cluster-smoke: build
+	scripts/cluster_smoke.sh
 
 clean:
 	dune clean

@@ -1,8 +1,9 @@
-(* tsg-blast: open-loop TCP load generator for tsg-serve.
+(* tsg-blast: open-loop TCP load generator for tsg-serve and tsg-router.
 
      tsg-serve --patterns p.pat --taxonomy d.tax --listen 7411 &
      tsg-blast --port 7411 --duration 30 --clients 8
      tsg-blast --port 7411 --request "top-k 5 support" --rate 200
+     tsg-blast --port 7400 --router --min-success 0.99
 
    Each client connection pipelines one request line plus a [health]
    barrier per round (data queries are batched server-side until a
@@ -11,9 +12,16 @@
    replies, so senders never back off on a slow server — the load is
    open-loop, which is exactly what overload protection has to survive.
 
-   Prints an aggregate summary (reply counts by class, barrier
-   round-trip p50/p99) and exits non-zero when no reply ever arrived or
-   a connection saw a malformed stream. *)
+   With --router each round sends a single tagged request
+   ([id <n> <request>]) instead: tagged data queries are answered
+   immediately (no barrier needed), replies are matched by tag, and the
+   round-trip of every request is measured directly. Works against
+   tsg-router and tsg-serve alike.
+
+   Prints an aggregate summary (reply counts by class, a per-error-code
+   breakdown, round-trip p50/p99) and exits non-zero when no reply ever
+   arrived, a connection saw a malformed stream, or the success rate
+   ok/(ok+errors) fell below --min-success. *)
 
 open Cmdliner
 
@@ -26,7 +34,8 @@ type tally = {
   mutable ok : int;
   mutable errors : int;
   mutable overloaded : int;
-  mutable rtt_s : float list; (* barrier round trips *)
+  codes : (string, int) Hashtbl.t; (* error code -> count *)
+  mutable rtt_s : float list; (* per-round round trips *)
   mutable broken : int; (* connections that died mid-stream *)
 }
 
@@ -37,6 +46,7 @@ let tally () =
     ok = 0;
     errors = 0;
     overloaded = 0;
+    codes = Hashtbl.create 8;
     rtt_s = [];
     broken = 0;
   }
@@ -45,10 +55,24 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-(* read one response block: an [ok <n>] header owns n result lines;
+let count_error t head =
+  let code =
+    match String.split_on_char ' ' head with
+    | "error" :: code :: _ when code <> "" -> code
+    | _ -> "(uncoded)"
+  in
+  locked t (fun () ->
+      t.errors <- t.errors + 1;
+      if code = "OVERLOADED" then t.overloaded <- t.overloaded + 1;
+      Hashtbl.replace t.codes code
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.codes code)))
+
+(* read one response block, returning its (possibly tagged) header line
+   with the tag stripped: an [ok <n>] header owns n result lines;
    everything else (errors, health, reload acks) is a single line *)
 let read_block ic =
   let head = input_line ic in
+  let tag, head = Tsg_query.Protocol.split_tag head in
   (if has_prefix "ok " head then
      match int_of_string_opt (String.sub head 3 (String.length head - 3)) with
      | Some n ->
@@ -56,9 +80,9 @@ let read_block ic =
          ignore (input_line ic)
        done
      | None -> ());
-  head
+  (tag, head)
 
-let client ~host ~port ~request ~rate ~deadline t =
+let client ~host ~port ~request ~rate ~router ~deadline t =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_INET (host, port)) with
   | exception Unix.Unix_error _ ->
@@ -67,44 +91,51 @@ let client ~host ~port ~request ~rate ~deadline t =
   | () ->
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    (* send times of in-flight barriers, consumed by the reader in FIFO
+    (* send times of in-flight rounds, consumed by the reader in FIFO
        order (the protocol preserves request order per connection) *)
     let pending : float Queue.t = Queue.create () in
     let qlock = Mutex.create () in
+    let pop_pending () =
+      Mutex.lock qlock;
+      let v = Queue.take_opt pending in
+      Mutex.unlock qlock;
+      v
+    in
+    let note_rtt sent_at =
+      match sent_at with
+      | Some s ->
+        let rtt = Unix.gettimeofday () -. s in
+        locked t (fun () -> t.rtt_s <- rtt :: t.rtt_s)
+      | None -> ()
+    in
     let reader () =
       try
         while true do
-          let head = read_block ic in
+          let tag, head = read_block ic in
+          (* in router mode every reply is tagged and ends one round *)
+          if router && tag <> None then note_rtt (pop_pending ());
           if has_prefix "ok health" head then begin
-            let sent_at =
-              Mutex.lock qlock;
-              let v = Queue.take_opt pending in
-              Mutex.unlock qlock;
-              v
-            in
-            match sent_at with
-            | Some s ->
-              let rtt = Unix.gettimeofday () -. s in
-              locked t (fun () -> t.rtt_s <- rtt :: t.rtt_s)
-            | None -> ()
+            if not router then note_rtt (pop_pending ())
           end
-          else if has_prefix "error OVERLOADED" head then
-            locked t (fun () ->
-                t.overloaded <- t.overloaded + 1;
-                t.errors <- t.errors + 1)
-          else if has_prefix "error" head then
-            locked t (fun () -> t.errors <- t.errors + 1)
+          else if has_prefix "error" head then count_error t head
           else if has_prefix "ok" head then
             locked t (fun () -> t.ok <- t.ok + 1)
         done
       with End_of_file | Sys_error _ -> ()
     in
     let rt = Thread.create reader () in
+    let seq = ref 0 in
     (try
        while Unix.gettimeofday () < deadline do
-         output_string oc request;
-         output_char oc '\n';
-         output_string oc "health\n";
+         if router then begin
+           incr seq;
+           output_string oc (Printf.sprintf "id %d %s\n" !seq request)
+         end
+         else begin
+           output_string oc request;
+           output_char oc '\n';
+           output_string oc "health\n"
+         end;
          Mutex.lock qlock;
          Queue.push (Unix.gettimeofday ()) pending;
          Mutex.unlock qlock;
@@ -128,7 +159,7 @@ let percentile sorted q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
-let run host port request duration clients rate =
+let run host port request duration clients rate router min_success =
   match Tsg_query.Serve.parse_bind_addr host with
   | Error d ->
     prerr_endline (Tsg_util.Diagnostic.to_string d);
@@ -139,24 +170,41 @@ let run host port request duration clients rate =
     let threads =
       List.init clients (fun _ ->
           Thread.create
-            (fun () -> client ~host ~port ~request ~rate ~deadline t)
+            (fun () -> client ~host ~port ~request ~rate ~router ~deadline t)
             ())
     in
     List.iter Thread.join threads;
     let rtt = Array.of_list t.rtt_s in
     Array.sort compare rtt;
     let ms s = 1000.0 *. s in
-    Printf.printf "tsg-blast: %d clients x %.1fs against port %d\n" clients
-      duration port;
+    let replies = t.ok + t.errors in
+    let success_rate =
+      if replies = 0 then 0.0
+      else float_of_int t.ok /. float_of_int replies
+    in
+    Printf.printf "tsg-blast: %d clients x %.1fs against port %d%s\n" clients
+      duration port
+      (if router then " (router mode)" else "");
     Printf.printf "  rounds sent:        %d\n" t.sent;
     Printf.printf "  ok replies:         %d\n" t.ok;
     Printf.printf "  error replies:      %d\n" t.errors;
     Printf.printf "  of which OVERLOADED %d\n" t.overloaded;
+    List.iter
+      (fun (code, n) -> Printf.printf "    error %-11s %d\n" code n)
+      (List.sort compare
+         (Hashtbl.fold (fun c n acc -> (c, n) :: acc) t.codes []));
     Printf.printf "  broken connections: %d\n" t.broken;
-    Printf.printf "  barrier rtt p50:    %.3f ms\n" (ms (percentile rtt 50.0));
-    Printf.printf "  barrier rtt p99:    %.3f ms\n" (ms (percentile rtt 99.0));
-    if t.ok + t.errors = 0 then begin
+    Printf.printf "  success rate:       %.4f (min %.3f)\n" success_rate
+      min_success;
+    Printf.printf "  round rtt p50:      %.3f ms\n" (ms (percentile rtt 50.0));
+    Printf.printf "  round rtt p99:      %.3f ms\n" (ms (percentile rtt 99.0));
+    if replies = 0 then begin
       prerr_endline "tsg-blast: no replies received";
+      1
+    end
+    else if success_rate < min_success then begin
+      Printf.eprintf "tsg-blast: success rate %.4f below --min-success %.3f\n"
+        success_rate min_success;
       1
     end
     else 0
@@ -172,7 +220,8 @@ let port_arg =
 let request_arg =
   let doc =
     "request line to blast (each round also sends a $(b,health) barrier \
-     so replies flush immediately)"
+     so replies flush immediately; with $(b,--router) the request is \
+     tagged instead and no barrier is sent)"
   in
   Arg.(value & opt string "top-k 5 support" & info [ "request" ] ~docv:"LINE" ~doc)
 
@@ -188,12 +237,27 @@ let rate_arg =
   let doc = "rounds per second per client (0 = unpaced)" in
   Arg.(value & opt float 0.0 & info [ "rate" ] ~docv:"R" ~doc)
 
+let router_arg =
+  let doc =
+    "tagged per-request mode: send $(b,id <n> <request>) lines and match \
+     replies by tag — the natural way to drive tsg-router (also works \
+     against tsg-serve, whose tagged replies flush immediately)"
+  in
+  Arg.(value & flag & info [ "router" ] ~doc)
+
+let min_success_arg =
+  let doc =
+    "exit non-zero when ok/(ok+errors) falls below this fraction (no \
+     replies at all always fails)"
+  in
+  Arg.(value & opt float 0.5 & info [ "min-success" ] ~docv:"FRAC" ~doc)
+
 let cmd =
-  let doc = "open-loop TCP load generator for tsg-serve" in
+  let doc = "open-loop TCP load generator for tsg-serve and tsg-router" in
   Cmd.v
     (Cmd.info "tsg-blast" ~doc)
     Term.(
       const run $ host_arg $ port_arg $ request_arg $ duration_arg
-      $ clients_arg $ rate_arg)
+      $ clients_arg $ rate_arg $ router_arg $ min_success_arg)
 
 let () = exit (Cmd.eval' cmd)

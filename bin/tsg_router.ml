@@ -1,0 +1,211 @@
+(* tsg-router: the cluster front for sharded tsg-serve replicas.
+
+     tsg-serve --patterns p.pat --taxonomy d.tax --shard 0/2 --listen 7411 &
+     tsg-serve --patterns p.pat --taxonomy d.tax --shard 0/2 --listen 7412 &
+     tsg-serve --patterns p.pat --taxonomy d.tax --shard 1/2 --listen 7421 &
+     tsg-serve --patterns p.pat --taxonomy d.tax --shard 1/2 --listen 7422 &
+     tsg-router --listen 7400 \
+       --shard 127.0.0.1:7411,127.0.0.1:7412 \
+       --shard 127.0.0.1:7421,127.0.0.1:7422
+
+   Speaks the tsg-serve line protocol on both sides: clients need not
+   know the cluster exists. Data queries scatter-gather across every
+   shard with hedged, breaker-aware replica fan-out and merge
+   byte-identically to one unsharded server; [health] summarizes the
+   cluster, [stats] dumps the router's cluster.* metrics, [reload]
+   rolls the artifact swap across replicas one at a time gated on
+   health recovery. SIGTERM/SIGINT drain gracefully. *)
+
+module Router = Tsg_cluster.Router
+module Replica = Tsg_cluster.Replica
+module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
+module Metrics = Tsg_util.Metrics
+module Diagnostic = Tsg_util.Diagnostic
+
+open Cmdliner
+
+(* HOST:PORT, :PORT or bare PORT (host defaults to 127.0.0.1) *)
+let parse_endpoint spec =
+  let host, port =
+    match String.rindex_opt spec ':' with
+    | None -> ("127.0.0.1", spec)
+    | Some i ->
+      ( (if i = 0 then "127.0.0.1" else String.sub spec 0 i),
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  match (Unix.inet_addr_of_string host, int_of_string_opt port) with
+  | addr, Some p when p > 0 && p < 65536 -> Ok (addr, p)
+  | _, _ -> Error (Printf.sprintf "bad endpoint %S (expected HOST:PORT)" spec)
+  | exception Failure _ ->
+    Error (Printf.sprintf "bad endpoint host in %S" spec)
+
+let parse_shard_spec spec =
+  let eps = String.split_on_char ',' spec |> List.filter (fun s -> s <> "") in
+  if eps = [] then Error (Printf.sprintf "empty --shard %S" spec)
+  else
+    List.fold_left
+      (fun acc ep ->
+        match (acc, parse_endpoint ep) with
+        | Ok eps, Ok e -> Ok (e :: eps)
+        | (Error _ as e), _ -> e
+        | _, Error msg -> Error msg)
+      (Ok []) eps
+    |> Result.map List.rev
+
+let run shard_specs listen_port bind tax_path hedge_ms deadline probe_interval
+    max_conns quiet =
+  let bind_addr =
+    match Tsg_query.Serve.parse_bind_addr bind with
+    | Ok addr -> addr
+    | Error d ->
+      Printf.eprintf "tsg-router: %s\n" (Diagnostic.to_string d);
+      exit 2
+  in
+  let shards =
+    List.map
+      (fun spec ->
+        match parse_shard_spec spec with
+        | Ok eps -> eps
+        | Error msg ->
+          Printf.eprintf "tsg-router: %s\n" msg;
+          exit 2)
+      shard_specs
+  in
+  let taxonomy =
+    Option.map
+      (fun path ->
+        try Taxonomy_io.load path
+        with Taxonomy_io.Parse_error d ->
+          Printf.eprintf "tsg-router: %s\n" (Diagnostic.to_string d);
+          exit 2)
+      tax_path
+  in
+  let metrics = Metrics.create () in
+  let replicas =
+    Array.of_list
+      (List.mapi
+         (fun si eps ->
+           Array.of_list
+             (List.mapi
+                (fun ri (host, port) ->
+                  Replica.create ~host ~port
+                    ~io_timeout_s:deadline
+                    ~name:(Printf.sprintf "%d/%d" si ri)
+                    ())
+                eps))
+         shards)
+  in
+  let config =
+    {
+      Router.default_config with
+      hedge_min_s = hedge_ms /. 1000.0;
+      deadline_s = deadline;
+      probe_interval_s = probe_interval;
+    }
+  in
+  let router = Router.create ~config ?taxonomy ~metrics ~shards:replicas () in
+  let up = Router.probe_all router in
+  let total = Array.fold_left (fun a r -> a + Array.length r) 0 replicas in
+  Printf.eprintf "tsg-router: %d shards, %d replicas (%d up)\n%!"
+    (Array.length replicas) total up;
+  let stop = ref false in
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+  let lo =
+    Router.listen ~max_conns ~bind_addr
+      ~on_listen:(fun p ->
+        Printf.eprintf "tsg-router: listening on %s:%d\n%!"
+          (Unix.string_of_inet_addr bind_addr)
+          p)
+      ~should_stop:(fun () -> !stop)
+      router ~port:listen_port ()
+  in
+  Printf.eprintf "tsg-router: %d connections (%d shed)\n%!"
+    lo.Router.connections lo.Router.overloaded;
+  if not quiet then begin
+    print_endline "begin stats";
+    print_string (Metrics.render_machine metrics);
+    print_endline "end stats"
+  end;
+  Array.iter (Array.iter Replica.close) replicas;
+  0
+
+let shards_arg =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "shard" ] ~docv:"EP,EP,..."
+        ~doc:
+          "Replica endpoints of one shard as comma-separated HOST:PORT pairs \
+           (repeatable, one per shard, in shard order — the order must match \
+           the replicas' tsg-serve --shard indexes).")
+
+let listen_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:"Front port (0, the default, picks a free one).")
+
+let bind_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "bind" ] ~docv:"ADDR"
+        ~doc:"Address to bind (an IPv4 or IPv6 literal). Default 127.0.0.1.")
+
+let tax_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "taxonomy" ] ~docv:"FILE"
+        ~doc:
+          "Label taxonomy; enables label-closure-root replica affinity for \
+           by-label queries (routing works without it, just with less \
+           cache-friendly replica choice).")
+
+let hedge_ms_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "hedge-ms" ] ~docv:"MS"
+        ~doc:
+          "Hedge-delay floor in milliseconds: a second replica is asked when \
+           the first has been silent for max(this, its observed p95).")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "End-to-end budget per request; past it the client gets error \
+           DEADLINE.")
+
+let probe_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "probe-interval" ] ~docv:"SECS"
+        ~doc:"Seconds between background health probes of every replica.")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Concurrent-connection cap; extra clients are shed with a single \
+           OVERLOADED line.")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ] ~doc:"Skip the metrics dump on shutdown.")
+
+let cmd =
+  let doc =
+    "consistent-hash router over sharded, replicated tsg-serve backends"
+  in
+  Cmd.v
+    (Cmd.info "tsg-router" ~doc)
+    Term.(
+      const run $ shards_arg $ listen_arg $ bind_arg $ tax_arg $ hedge_ms_arg
+      $ deadline_arg $ probe_arg $ max_conns_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -32,9 +32,41 @@ let limits_of timeout max_bytes =
     request_deadline_s = (if timeout <= 0.0 then None else Some timeout);
   }
 
+(* --shard i/n: keep only the patterns the consistent hash assigns to
+   shard i — the same Shard_map tsg-router uses, so router and replicas
+   agree on the partition without talking to each other *)
+let parse_shard s =
+  match String.split_on_char '/' s with
+  | [ i; n ] -> (
+    match (int_of_string_opt i, int_of_string_opt n) with
+    | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
+    | _ -> Error ())
+  | _ -> Error ()
+
+let apply_shard shard store =
+  match shard with
+  | None -> store
+  | Some (i, n) ->
+    let map = Tsg_cluster.Shard_map.create ~shards:n () in
+    Store.slice store ~keep:(fun idx ->
+        Tsg_cluster.Shard_map.shard_of_key map
+          (Tsg_core.Pattern.key (Store.pattern store idx))
+        = i)
+
 let run patterns tax_path db_path requests domains cache quiet no_validate
     listen_port bind max_conns timeout max_bytes rate burst degrade
-    reload_on_hup =
+    reload_on_hup shard_spec =
+  let shard =
+    match shard_spec with
+    | None -> None
+    | Some s -> (
+      match parse_shard s with
+      | Ok sh -> Some sh
+      | Error () ->
+        Printf.eprintf
+          "tsg-serve: bad --shard %S (expected i/n with 0 <= i < n)\n" s;
+        exit 2)
+  in
   let bind_addr =
     match Serve.parse_bind_addr bind with
     | Ok addr -> addr
@@ -69,7 +101,7 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
           path)
       db_path
   in
-  let store =
+  let full_store =
     try Store.load ~taxonomy ~edge_labels ?db patterns with
     | Invalid_argument msg ->
       prerr_endline ("tsg-serve: " ^ msg);
@@ -78,6 +110,12 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
       Printf.eprintf "tsg-serve: %s\n" (Diagnostic.to_string d);
       exit 2
   in
+  let store = apply_shard shard full_store in
+  (match shard with
+  | None -> ()
+  | Some (i, n) ->
+    Printf.eprintf "tsg-serve: shard %d/%d keeps %d of %d patterns\n%!" i n
+      (Store.size store) (Store.size full_store));
   Printf.eprintf
     "tsg-serve: %d patterns over %d concepts (db size %d), cache %d, %d \
      domains\n\
@@ -161,7 +199,9 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
                 ~edge_labels path)
             db_path
         in
-        let store = Store.of_strings ~taxonomy ~edge_labels ?db sources in
+        let store =
+          apply_shard shard (Store.of_strings ~taxonomy ~edge_labels ?db sources)
+        in
         let engine = Engine.create ~cache_capacity:cache ~metrics store in
         (engine, Array.to_list (Label.names edge_labels))
       in
@@ -348,6 +388,18 @@ let degrade_arg =
            mode). Level 1 sheds large top-k and serves contains without \
            the result cache; level 2 sheds everything but contains.")
 
+let shard_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard" ] ~docv:"I/N"
+        ~doc:
+          "Serve shard $(b,i) of an $(b,n)-way consistent-hash partition of \
+           the pattern set (e.g. --shard 0/2). Result lines keep the ids of \
+           the unsliced store and interest scores are computed before \
+           slicing, so a tsg-router scatter-gather over all $(b,n) shards \
+           answers byte-identically to one unsharded server.")
+
 let reload_on_hup_arg =
   Arg.(
     value & flag
@@ -366,7 +418,7 @@ let cmd =
       const run $ patterns_arg $ tax_arg $ db_arg $ requests_arg $ domains_arg
       $ cache_arg $ quiet_arg $ no_validate_arg $ listen_arg $ bind_arg
       $ max_conns_arg $ timeout_arg $ max_bytes_arg $ rate_arg $ burst_arg
-      $ degrade_arg $ reload_on_hup_arg)
+      $ degrade_arg $ reload_on_hup_arg $ shard_arg)
 
 let () =
   (match Tsg_util.Fault.configure_from_env () with

@@ -1,0 +1,25 @@
+(** Pure scatter-gather reply merging — no sockets, unit-testable.
+
+    Each shard answers a data query with a reply block ([ok <n>] plus
+    [n] result lines, or a single [error ...] line). Because shard
+    slices print {e global} pattern ids ({!Tsg_query.Store.external_id})
+    and inherit interest ratios from the unsliced store, merging is just
+    re-sorting the union under the single-node order — the merged block
+    is byte-identical to what one unsharded engine would answer. *)
+
+type verb =
+  | List  (** [contains] / [by-label]: every match, ascending id *)
+  | Top_k of int * [ `Support | `Interest ]
+      (** best [k] by (support desc, id asc) or (score desc, id asc) *)
+
+val verb_of_query : Tsg_query.Protocol.query -> verb option
+(** [None] for barrier verbs. *)
+
+val merge : verb -> string list -> string
+(** [merge verb blocks] combines one reply block per shard (in shard
+    order) into the single-node reply. If any shard answered an error
+    block, that error (the first, in shard order) is the merged answer —
+    a partial listing would be silently wrong. Duplicate global ids
+    (overlapping slices) keep their first occurrence.
+    @raise Failure on a block that is neither [ok <n> ...] nor an error
+    line. *)

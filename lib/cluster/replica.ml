@@ -1,0 +1,189 @@
+module Protocol = Tsg_query.Protocol
+module Limiter = Tsg_util.Limiter
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+type t = {
+  host : Unix.inet_addr;
+  port : int;
+  r_name : string;
+  io_timeout_s : float;
+  pool_limit : int;
+  lock : Mutex.t;
+  mutable pool : conn list;
+  mutable seq : int;
+  r_window : Limiter.Window.t;
+  r_breaker : Limiter.Breaker.t;
+  r_up : bool Atomic.t;
+}
+
+let create ?clock ?(io_timeout_s = 2.0) ?(window = 256) ?(breaker_window = 32)
+    ?(breaker_min_samples = 8) ?(breaker_cooldown_s = 1.0) ?(pool_limit = 8)
+    ~host ~port ~name () =
+  {
+    host;
+    port;
+    r_name = name;
+    io_timeout_s;
+    pool_limit;
+    lock = Mutex.create ();
+    pool = [];
+    seq = 0;
+    r_window = Limiter.Window.create ~capacity:window;
+    r_breaker =
+      Limiter.Breaker.create ?clock ~window:breaker_window
+        ~min_samples:breaker_min_samples ~cooldown_s:breaker_cooldown_s ();
+    r_up = Atomic.make true;
+  }
+
+let name t = t.r_name
+
+let endpoint t = (t.host, t.port)
+
+let window t = t.r_window
+
+let breaker t = t.r_breaker
+
+let up t = Atomic.get t.r_up
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let close_conn c =
+  (* closing the channels would double-close the shared fd *)
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let close t =
+  let conns = locked t (fun () ->
+      let cs = t.pool in
+      t.pool <- [];
+      cs)
+  in
+  List.iter close_conn conns
+
+let connect t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (t.host, t.port));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let checkout t =
+  match
+    locked t (fun () ->
+        match t.pool with
+        | c :: rest ->
+          t.pool <- rest;
+          Some c
+        | [] -> None)
+  with
+  | Some c -> c
+  | None -> connect t
+
+let checkin t c =
+  let keep =
+    locked t (fun () ->
+        if List.length t.pool < t.pool_limit then begin
+          t.pool <- c :: t.pool;
+          true
+        end
+        else false)
+  in
+  if not keep then close_conn c
+
+let next_tag t =
+  locked t (fun () ->
+      t.seq <- t.seq + 1;
+      Printf.sprintf "r%d" t.seq)
+
+(* one reply block: a single line, [ok <n>] plus n result lines, or a
+   [begin stats]/[end stats] bracket; the first line may carry a tag *)
+let read_block ic =
+  let first = input_line ic in
+  let tag, body = Protocol.split_tag first in
+  let block =
+    match String.split_on_char ' ' body with
+    | [ "ok"; n ] when int_of_string_opt n <> None ->
+      let n = int_of_string n in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf body;
+      for _ = 1 to n do
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (input_line ic)
+      done;
+      Buffer.contents buf
+    | "begin" :: "stats" :: _ ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf body;
+      let rec go () =
+        let line = input_line ic in
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf line;
+        if line <> "end stats" then go ()
+      in
+      go ();
+      Buffer.contents buf
+    | _ -> body
+  in
+  (tag, block)
+
+let max_stale_blocks = 64
+
+let call ?timeout_s t request =
+  let timeout_s = Option.value ~default:t.io_timeout_s timeout_s in
+  match checkout t with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: connect: %s" t.r_name (Unix.error_message e))
+  | c -> (
+    let tag = next_tag t in
+    let attempt () =
+      (try Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO (Float.max 0.01 timeout_s)
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      output_string c.oc (Printf.sprintf "id %s %s\n" tag request);
+      flush c.oc;
+      let rec read_reply budget =
+        if budget = 0 then failwith "too many unmatched replies"
+        else
+          let got_tag, block = read_block c.ic in
+          if got_tag = Some tag then block
+          else
+            (* a reply abandoned by an earlier timed-out call on this
+               pooled connection: skip it *)
+            read_reply (budget - 1)
+      in
+      read_reply max_stale_blocks
+    in
+    match attempt () with
+    | block ->
+      checkin t c;
+      Ok block
+    | exception e ->
+      close_conn c;
+      let msg =
+        match e with
+        | End_of_file -> "connection closed"
+        | Sys_blocked_io -> "read timed out"
+        | Sys_error m -> m
+        | Unix.Unix_error (ue, _, _) -> Unix.error_message ue
+        | Failure m -> m
+        | e -> Printexc.to_string e
+      in
+      Error (Printf.sprintf "%s: %s" t.r_name msg))
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let probe ?(timeout_s = 1.0) t =
+  let healthy =
+    match call ~timeout_s t "health" with
+    | Ok block -> has_prefix ~prefix:"ok health" block
+    | Error _ -> false
+  in
+  Atomic.set t.r_up healthy;
+  healthy

@@ -1,0 +1,622 @@
+module Protocol = Tsg_query.Protocol
+module Serve = Tsg_query.Serve
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Label = Tsg_graph.Label
+module Metrics = Tsg_util.Metrics
+module Limiter = Tsg_util.Limiter
+
+type config = {
+  hedge_min_s : float;
+  hedge_pctl : float;
+  deadline_s : float;
+  probe_interval_s : float;
+  reload_gate_s : float;
+}
+
+let default_config =
+  {
+    hedge_min_s = 0.002;
+    hedge_pctl = 95.0;
+    deadline_s = 2.0;
+    probe_interval_s = 1.0;
+    reload_gate_s = 10.0;
+  }
+
+type t = {
+  cfg : config;
+  taxonomy : Taxonomy.t option;
+  shard_array : Replica.t array array;
+  metrics : Metrics.t;
+  started : float;
+  reload_lock : Mutex.t;
+  c_requests : Metrics.counter;
+  c_hedges : Metrics.counter;
+  c_hedge_wins : Metrics.counter;
+  c_failovers : Metrics.counter;
+  c_replica_errors : Metrics.counter;
+  c_deadline : Metrics.counter;
+  c_unavailable : Metrics.counter;
+  c_reloads : Metrics.counter;
+  c_probe_down : Metrics.counter;
+  g_up : Metrics.gauge;
+  h_latency : Metrics.histogram;
+}
+
+let create ?(config = default_config) ?taxonomy ~metrics ~shards () =
+  Array.iteri
+    (fun i reps ->
+      if Array.length reps = 0 then
+        invalid_arg (Printf.sprintf "Router.create: shard %d has no replicas" i))
+    shards;
+  if Array.length shards = 0 then invalid_arg "Router.create: no shards";
+  {
+    cfg = config;
+    taxonomy;
+    shard_array = shards;
+    metrics;
+    started = Unix.gettimeofday ();
+    reload_lock = Mutex.create ();
+    c_requests = Metrics.counter metrics "cluster.requests";
+    c_hedges = Metrics.counter metrics "cluster.hedges";
+    c_hedge_wins = Metrics.counter metrics "cluster.hedge_wins";
+    c_failovers = Metrics.counter metrics "cluster.failovers";
+    c_replica_errors = Metrics.counter metrics "cluster.replica_errors";
+    c_deadline = Metrics.counter metrics "cluster.deadline_giveups";
+    c_unavailable = Metrics.counter metrics "cluster.unavailable";
+    c_reloads = Metrics.counter metrics "cluster.reloads";
+    c_probe_down = Metrics.counter metrics "cluster.probe_down";
+    g_up = Metrics.gauge metrics "cluster.replicas_up";
+    h_latency = Metrics.histogram metrics "cluster.latency";
+  }
+
+let config t = t.cfg
+
+let shards t = t.shard_array
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* --- request classification -------------------------------------------- *)
+
+type request =
+  | Data of Merge.verb * string  (* merge plan, affinity key *)
+  | Health
+  | Stats
+  | Reload_verb
+  | Quit
+  | Ignore
+  | Bad of string
+
+(* [by-label] queries for any label of one closure share their shard
+   key: the most general ancestor. Repeats land on the same replica. *)
+let by_label_key t name =
+  match t.taxonomy with
+  | None -> "root:" ^ name
+  | Some tax -> (
+    match Taxonomy.id_of_name tax name with
+    | id -> "root:" ^ Label.name (Taxonomy.labels tax) (Taxonomy.most_general tax id)
+    | exception Not_found -> "root:" ^ name)
+
+let classify t body =
+  if body = "" || body.[0] = '#' then Ignore
+  else
+    match String.split_on_char ' ' body with
+    | [ "health" ] -> Health
+    | [ "stats" ] -> Stats
+    | [ "reload" ] -> Reload_verb
+    | [ "quit" ] -> Quit
+    | "contains" :: _ -> Data (Merge.List, body)
+    | "by-label" :: rest ->
+      Data
+        ( Merge.List,
+          match rest with [ name ] -> by_label_key t name | _ -> body )
+    | "top-k" :: rest -> (
+      match rest with
+      | [ k; "support" ] when int_of_string_opt k <> None ->
+        Data (Merge.Top_k (int_of_string k, `Support), body)
+      | [ k; "interest" ] when int_of_string_opt k <> None ->
+        Data (Merge.Top_k (int_of_string k, `Interest), body)
+      (* other spellings scatter anyway: the shards answer the
+         authoritative BADREQ, which merge propagates before any
+         row-level work *)
+      | _ -> Data (Merge.List, body))
+    | cmd :: _ -> Bad cmd
+    | [] -> Ignore
+
+(* --- cached helper threads --------------------------------------------- *)
+
+(* Every data request needs short-lived helpers — one per extra shard in
+   the scatter, one per replica attempt in the hedged fan-out. At serving
+   rates, creating and destroying real threads for each is measurable
+   runtime-lock and scheduler churn, so finished helpers park on an idle
+   list and are handed the next closure instead. The pool grows on
+   demand (a helper can block for a full request deadline, so a fixed
+   size could starve concurrent requests) and only the idle cache is
+   bounded; parked threads cost one waiting condvar each. *)
+module Workers = struct
+  type worker = {
+    w_lock : Mutex.t;
+    w_cond : Condition.t;
+    mutable w_job : (unit -> unit) option;
+  }
+
+  let idle : worker list ref = ref []
+
+  let idle_lock = Mutex.create ()
+
+  let max_idle = 32
+
+  let rec run w job =
+    (try job () with _ -> ());
+    let parked =
+      Mutex.lock idle_lock;
+      let ok = List.length !idle < max_idle in
+      if ok then idle := w :: !idle;
+      Mutex.unlock idle_lock;
+      ok
+    in
+    if parked then begin
+      Mutex.lock w.w_lock;
+      while w.w_job = None do
+        Condition.wait w.w_cond w.w_lock
+      done;
+      let next = Option.get w.w_job in
+      w.w_job <- None;
+      Mutex.unlock w.w_lock;
+      run w next
+    end
+
+  let submit job =
+    let reused =
+      Mutex.lock idle_lock;
+      let w =
+        match !idle with
+        | [] -> None
+        | w :: rest ->
+          idle := rest;
+          Some w
+      in
+      Mutex.unlock idle_lock;
+      w
+    in
+    match reused with
+    | Some w ->
+      Mutex.lock w.w_lock;
+      w.w_job <- Some job;
+      Condition.signal w.w_cond;
+      Mutex.unlock w.w_lock
+    | None ->
+      let w =
+        { w_lock = Mutex.create (); w_cond = Condition.create (); w_job = None }
+      in
+      ignore (Thread.create (fun () -> run w job) ())
+end
+
+(* --- attempt outcome classes ------------------------------------------- *)
+
+type block_class = Good | Retryable | Terminal
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let classify_block block =
+  match String.split_on_char ' ' (first_line block) with
+  | "error" :: code :: _ -> (
+    match code with
+    | "OVERLOADED" | "UNAVAILABLE" | "FAULT" | "INTERNAL" -> Retryable
+    | _ -> Terminal (* DEADLINE, BADREQ, OVERSIZED, RELOAD *))
+  | _ -> Good
+
+let is_deadline block =
+  match String.split_on_char ' ' (first_line block) with
+  | "error" :: "DEADLINE" :: _ -> true
+  | _ -> false
+
+(* --- hedged, breaker-aware call to one shard --------------------------- *)
+
+let hedge_delay t rep =
+  Float.max t.cfg.hedge_min_s
+    (Limiter.Window.percentile (Replica.window rep) t.cfg.hedge_pctl)
+
+let shard_call t si ~key line ~deadline =
+  let replicas = t.shard_array.(si) in
+  let r = Array.length replicas in
+  let pref = Int64.to_int (Shard_map.fingerprint key) land max_int mod r in
+  let rotated = Array.init r (fun j -> replicas.((pref + j) mod r)) in
+  (* healthy-looking replicas first; open-breaker or probed-down ones
+     stay reachable as a last resort (trying them is itself a probe) *)
+  let eligible, suspect =
+    List.partition
+      (fun rep ->
+        Replica.up rep
+        && Limiter.Breaker.state (Replica.breaker rep) <> Limiter.Breaker.Open)
+      (Array.to_list rotated)
+  in
+  let order = Array.of_list (eligible @ suspect) in
+  (* attempt threads push outcomes here and poke the pipe; the pipe (not
+     a condvar) because systhreads has no timed wait and the hedge timer
+     needs one *)
+  let lock = Mutex.create () in
+  let inbox = ref [] in
+  let closed = ref false in
+  let pipe_r, pipe_w = Unix.pipe () in
+  let push res =
+    Mutex.lock lock;
+    inbox := res :: !inbox;
+    if not !closed then (
+      try ignore (Unix.write_substring pipe_w "x" 0 1)
+      with Unix.Unix_error _ -> ());
+    Mutex.unlock lock
+  in
+  let finish reply =
+    Mutex.lock lock;
+    closed := true;
+    Mutex.unlock lock;
+    (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+    (try Unix.close pipe_w with Unix.Unix_error _ -> ());
+    reply
+  in
+  let launched = ref 0 in
+  let pending = ref 0 in
+  let next_hedge_at = ref infinity in
+  let launch ~hedge () =
+    let rep = order.(!launched) in
+    incr launched;
+    incr pending;
+    if hedge then Metrics.incr t.c_hedges;
+    next_hedge_at := Unix.gettimeofday () +. hedge_delay t rep;
+    Workers.submit (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let timeout = deadline -. t0 in
+        let res =
+          if timeout <= 0.0 then Error "cluster deadline exhausted"
+          else Replica.call ~timeout_s:timeout rep line
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        (* the attempt records its own outcome, win or lose *)
+        (match res with
+        | Ok block -> (
+          match classify_block block with
+          | Good ->
+            Limiter.Breaker.record (Replica.breaker rep) ~ok:true;
+            Limiter.Window.observe (Replica.window rep) elapsed
+          | Retryable -> Limiter.Breaker.record (Replica.breaker rep) ~ok:false
+          | Terminal ->
+            (* the server is responsive; the request just can't win *)
+            Limiter.Breaker.record (Replica.breaker rep) ~ok:true)
+        | Error _ -> Limiter.Breaker.record (Replica.breaker rep) ~ok:false);
+        push (hedge, res))
+  in
+  launch ~hedge:false ();
+  let last_shed = ref None in
+  let last_transport = ref "no replica reachable" in
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if now >= deadline then begin
+      Metrics.incr t.c_deadline;
+      finish (Protocol.error_line Protocol.Deadline "cluster budget exhausted")
+    end
+    else begin
+      let fresh =
+        Mutex.lock lock;
+        let f = List.rev !inbox in
+        inbox := [];
+        Mutex.unlock lock;
+        f
+      in
+      let winner = ref None in
+      List.iter
+        (fun (was_hedge, res) ->
+          if !winner = None then
+            match res with
+            | Ok block -> (
+              match classify_block block with
+              | Good ->
+                if was_hedge then Metrics.incr t.c_hedge_wins;
+                winner := Some block
+              | Terminal ->
+                if is_deadline block then Metrics.incr t.c_deadline;
+                winner := Some block
+              | Retryable ->
+                decr pending;
+                Metrics.incr t.c_replica_errors;
+                last_shed := Some block;
+                if !launched < r then begin
+                  Metrics.incr t.c_failovers;
+                  launch ~hedge:false ()
+                end)
+            | Error msg ->
+              decr pending;
+              Metrics.incr t.c_replica_errors;
+              last_transport := msg;
+              if !launched < r then begin
+                Metrics.incr t.c_failovers;
+                launch ~hedge:false ()
+              end)
+        fresh;
+      match !winner with
+      | Some block -> finish block
+      | None ->
+        if !pending = 0 && !launched >= r then
+          finish
+            (match !last_shed with
+            | Some block -> block
+            | None ->
+              Metrics.incr t.c_unavailable;
+              Protocol.error_line Protocol.Unavailable
+                (Printf.sprintf "shard %d: %s" si !last_transport))
+        else begin
+          let hedge_armed = !launched < r && !pending > 0 in
+          let wake =
+            if hedge_armed then Float.min deadline !next_hedge_at else deadline
+          in
+          let timeout = Float.max 0.0 (wake -. Unix.gettimeofday ()) in
+          (match Unix.select [ pipe_r ] [] [] timeout with
+          | [], _, _ ->
+            if hedge_armed && Unix.gettimeofday () >= !next_hedge_at then
+              launch ~hedge:true ()
+          | _ :: _, _, _ -> (
+            let buf = Bytes.create 16 in
+            try ignore (Unix.read pipe_r buf 0 16)
+            with Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          loop ()
+        end
+    end
+  in
+  loop ()
+
+(* --- verbs -------------------------------------------------------------- *)
+
+let replica_count t =
+  Array.fold_left (fun acc reps -> acc + Array.length reps) 0 t.shard_array
+
+let up_count t =
+  Array.fold_left
+    (fun acc reps ->
+      Array.fold_left
+        (fun acc rep -> if Replica.up rep then acc + 1 else acc)
+        acc reps)
+    0 t.shard_array
+
+let probe_all t =
+  let up = ref 0 in
+  Array.iter
+    (Array.iter (fun rep ->
+         if Replica.probe rep then incr up else Metrics.incr t.c_probe_down))
+    t.shard_array;
+  Metrics.set_gauge t.g_up !up;
+  !up
+
+let start_probes t ~stop =
+  Thread.create
+    (fun () ->
+      while not (stop ()) do
+        ignore (probe_all t);
+        let until = Unix.gettimeofday () +. t.cfg.probe_interval_s in
+        while (not (stop ())) && Unix.gettimeofday () < until do
+          Thread.delay 0.05
+        done
+      done)
+    ()
+
+let rolling_reload t =
+  if not (Mutex.try_lock t.reload_lock) then
+    Error "a reload is already in progress"
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.reload_lock)
+      (fun () ->
+        let total = ref 0 in
+        let failure = ref None in
+        Array.iter
+          (fun reps ->
+            Array.iter
+              (fun rep ->
+                if !failure = None then
+                  match Replica.call ~timeout_s:30.0 rep "reload" with
+                  | Ok block when has_prefix ~prefix:"ok reload" block ->
+                    (* gate: this replica must probe healthy again before
+                       the next one leaves rotation *)
+                    let t0 = Unix.gettimeofday () in
+                    let rec gate () =
+                      if Replica.probe rep then true
+                      else if
+                        Unix.gettimeofday () -. t0 > t.cfg.reload_gate_s
+                      then false
+                      else begin
+                        Thread.delay 0.05;
+                        gate ()
+                      end
+                    in
+                    if gate () then incr total
+                    else
+                      failure :=
+                        Some
+                          (Printf.sprintf
+                             "replica %s did not probe healthy within %.0fs \
+                              of reloading"
+                             (Replica.name rep) t.cfg.reload_gate_s)
+                  | Ok block ->
+                    failure :=
+                      Some
+                        (Printf.sprintf "replica %s: %s" (Replica.name rep)
+                           (first_line block))
+                  | Error msg -> failure := Some msg)
+              reps)
+          t.shard_array;
+        match !failure with
+        | Some msg -> Error msg
+        | None ->
+          Metrics.incr t.c_reloads;
+          Ok (Printf.sprintf "replicas %d" !total))
+
+let dispatch t line =
+  let tag, body = Protocol.split_tag line in
+  match classify t body with
+  | Ignore -> `None
+  | Quit -> `Quit
+  | Bad cmd ->
+    `Reply
+      (Protocol.tag_reply tag
+         (Protocol.error_line Protocol.Badreq
+            (Printf.sprintf "unknown command %S" cmd)))
+  | Health ->
+    `Reply
+      (Protocol.tag_reply tag
+         (Printf.sprintf "ok health shards %d replicas %d up %d uptime %.3f"
+            (Array.length t.shard_array)
+            (replica_count t) (up_count t)
+            (Unix.gettimeofday () -. t.started)))
+  | Stats ->
+    `Reply
+      (Protocol.tag_reply tag
+         ("begin stats\n" ^ Metrics.render_machine t.metrics ^ "end stats"))
+  | Reload_verb ->
+    `Reply
+      (Protocol.tag_reply tag
+         (match rolling_reload t with
+         | Ok msg -> "ok reload " ^ msg
+         | Error msg -> Protocol.error_line Protocol.Reload_failed msg))
+  | Data (verb, key) ->
+    Metrics.incr t.c_requests;
+    let t0 = Unix.gettimeofday () in
+    let deadline = t0 +. t.cfg.deadline_s in
+    let n = Array.length t.shard_array in
+    let blocks =
+      if n = 1 then [ shard_call t 0 ~key body ~deadline ]
+      else begin
+        (* scatter: the last shard runs in the dispatching thread — one
+           helper per extra shard, not per shard *)
+        let out = Array.make n "" in
+        let join_lock = Mutex.create () in
+        let join_cond = Condition.create () in
+        let left = ref (n - 1) in
+        for i = 0 to n - 2 do
+          Workers.submit (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  Mutex.lock join_lock;
+                  decr left;
+                  if !left = 0 then Condition.signal join_cond;
+                  Mutex.unlock join_lock)
+                (fun () -> out.(i) <- shard_call t i ~key body ~deadline))
+        done;
+        out.(n - 1) <- shard_call t (n - 1) ~key body ~deadline;
+        Mutex.lock join_lock;
+        while !left > 0 do
+          Condition.wait join_cond join_lock
+        done;
+        Mutex.unlock join_lock;
+        Array.to_list out
+      end
+    in
+    let reply =
+      try Merge.merge verb blocks
+      with Failure msg -> Protocol.error_line Protocol.Internal msg
+    in
+    Metrics.observe t.h_latency (Unix.gettimeofday () -. t0);
+    `Reply (Protocol.tag_reply tag reply)
+
+(* --- front TCP listener ------------------------------------------------- *)
+
+type listen_outcome = { connections : int; overloaded : int }
+
+let listen ?(max_conns = 256) ?(drain_s = 5.0)
+    ?(bind_addr = Unix.inet_addr_loopback)
+    ?(max_line_bytes = Protocol.default_max_line_bytes) ?on_listen
+    ?(should_stop = fun () -> false) t ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let conns_c = Metrics.counter t.metrics "cluster.connections" in
+  let shed_c = Metrics.counter t.metrics "cluster.shed_connections" in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let actual_port =
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (bind_addr, port));
+      Unix.listen sock 64;
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    with e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  Option.iter (fun f -> f actual_port) on_listen;
+  let stopping = Atomic.make false in
+  let prober = start_probes t ~stop:(fun () -> Atomic.get stopping) in
+  let active = Atomic.make 0 in
+  let connections = ref 0 in
+  let overloaded = ref 0 in
+  let handle fd =
+    (* replies flush in small writes; without this, Nagle holds the final
+       short segment for the client's delayed ACK (tens of ms) *)
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       let quit = ref false in
+       while not !quit do
+         match Serve.read_bounded_line ic ~max_bytes:max_line_bytes with
+         | `Too_long ->
+           output_string oc
+             (Protocol.error_line Protocol.Oversized
+                (Printf.sprintf "request exceeds %d bytes" max_line_bytes));
+           output_char oc '\n';
+           flush oc
+         | `Line line -> (
+           match dispatch t line with
+           | `None -> ()
+           | `Quit -> quit := true
+           | `Reply r ->
+             output_string oc r;
+             output_char oc '\n';
+             flush oc)
+       done
+     with End_of_file | Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Atomic.decr active
+  in
+  let running = ref true in
+  while !running do
+    if should_stop () then running := false
+    else begin
+      match Unix.select [ sock ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | fd, _ ->
+          incr connections;
+          Metrics.incr conns_c;
+          if Atomic.get active >= max_conns then begin
+            incr overloaded;
+            Metrics.incr shed_c;
+            ignore
+              (Thread.create
+                 (fun fd ->
+                   (try ignore (Unix.write_substring fd "OVERLOADED\n" 0 11)
+                    with Unix.Unix_error _ -> ());
+                   try Unix.close fd with Unix.Unix_error _ -> ())
+                 fd)
+          end
+          else begin
+            Atomic.incr active;
+            ignore (Thread.create handle fd)
+          end
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  let t0 = Unix.gettimeofday () in
+  while Atomic.get active > 0 && Unix.gettimeofday () -. t0 < drain_s do
+    Thread.delay 0.02
+  done;
+  Atomic.set stopping true;
+  Thread.join prober;
+  { connections = !connections; overloaded = !overloaded }

@@ -1,0 +1,98 @@
+(** The cluster front: scatter-gather over shards with hedged,
+    breaker-aware replica fan-out, health probing, and rolling reload.
+
+    {b Routing.} Every data query is fanned out to {e all} shards and
+    the per-shard blocks are merged ({!Merge}) — with partitioned
+    pattern slices that is the only plan whose answers are byte-identical
+    to one unsharded engine. The consistent hash decides two other
+    things: which {e slice} holds a pattern ([tsg-serve --shard i/n]
+    agrees via {!Shard_map}), and which {e replica} of each shard is
+    preferred for a given query — the shard key (the label-closure root
+    for [by-label], the whole request line for [contains]/[top-k])
+    rotates the replica order, so repeats of a query land on the same
+    replica and hit its LRU cache.
+
+    {b Hedging and failover.} The preferred replica is asked first; if
+    no reply lands within that replica's observed p95 latency
+    ({!Tsg_util.Limiter.Window}, floored at [hedge_min_s]) the next
+    replica is asked too and the first usable answer wins. Replies with
+    a retryable code ([OVERLOADED], [UNAVAILABLE], [FAULT], [INTERNAL])
+    and transport failures fail over to the next replica immediately;
+    [DEADLINE] (and the other terminal codes) is returned as-is — the
+    budget is gone, retrying would only double the load. Outcomes feed
+    each replica's circuit breaker; open-breaker and probed-down
+    replicas are deprioritized, never excluded (when everything is down,
+    trying is the only probe there is). The whole fan-out is bounded by
+    [deadline_s]; past it the client gets [error DEADLINE].
+
+    {b Rolling reload.} A [reload] verb walks the cluster one replica at
+    a time (shard by shard), sending each a [reload] and gating on its
+    [health] probe recovering before touching the next — at most one
+    replica per shard is ever out of rotation. Any failure aborts the
+    walk with [error RELOAD]; already-reloaded replicas keep the new
+    artifact (reloads are idempotent — re-issue the verb). *)
+
+type config = {
+  hedge_min_s : float;  (** hedge-delay floor, default 2ms *)
+  hedge_pctl : float;  (** window percentile that fires the hedge, 95. *)
+  deadline_s : float;  (** end-to-end per-request budget, default 2s *)
+  probe_interval_s : float;  (** health-probe cadence, default 1s *)
+  reload_gate_s : float;
+      (** how long a reloaded replica gets to probe healthy, default 10s *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?taxonomy:Tsg_taxonomy.Taxonomy.t ->
+  metrics:Tsg_util.Metrics.t ->
+  shards:Replica.t array array ->
+  unit ->
+  t
+(** [shards.(i)] are the replicas of shard [i]; every shard needs at
+    least one. [taxonomy] enables label-closure-root affinity for
+    [by-label] (without it the label name itself is the key — still
+    deterministic, just less cache-friendly). Metrics appear under
+    [cluster.*].
+    @raise Invalid_argument on an empty shard. *)
+
+val config : t -> config
+
+val shards : t -> Replica.t array array
+
+val dispatch : t -> string -> [ `Reply of string | `Quit | `None ]
+(** Answer one request line (possibly [id]-tagged): data queries
+    scatter-gather, [health] summarizes the cluster, [stats] dumps the
+    router registry, [reload] runs the rolling walk, blank/[#] lines are
+    [`None]. Thread-safe — connections dispatch concurrently. *)
+
+val rolling_reload : t -> (string, string) result
+
+val probe_all : t -> int
+(** Probe every replica once; the number currently healthy. *)
+
+val start_probes : t -> stop:(unit -> bool) -> Thread.t
+(** Background probing every [probe_interval_s] until [stop ()]. *)
+
+type listen_outcome = { connections : int; overloaded : int }
+
+val listen :
+  ?max_conns:int ->
+  ?drain_s:float ->
+  ?bind_addr:Unix.inet_addr ->
+  ?max_line_bytes:int ->
+  ?on_listen:(int -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  t ->
+  port:int ->
+  unit ->
+  listen_outcome
+(** Serve {!dispatch} over TCP, mirroring {!Tsg_query.Serve.listen}:
+    thread per connection, [port = 0] picks a free port ([on_listen]
+    gets the bound one), beyond [max_conns] (default 256) clients are
+    shed with a bare [OVERLOADED] line, [should_stop] polls ~4x/s and
+    in-flight connections get [drain_s] (default 5s) to finish. Starts
+    the probe thread for its lifetime. *)

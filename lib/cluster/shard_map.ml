@@ -1,0 +1,52 @@
+module Checksum = Tsg_util.Checksum
+
+type t = {
+  n_shards : int;
+  points : (int64 * int) array;  (* (ring point, shard), sorted by point *)
+}
+
+let fingerprint = Checksum.fnv1a64
+
+(* FNV-1a alone disperses the low bits of short, similar strings far
+   better than the high bits that order the ring — raw vnode points
+   cluster and the partition skews badly. Scrambling every hash through
+   the splitmix64 finalizer (Checksum.mix64 against a fixed salt) gives
+   uniform ring positions; slicing and routing agree because both go
+   through [shard_of_key]. *)
+let ring_position s = Checksum.mix64 (fingerprint s) 0x9e3779b97f4a7c15L
+
+let create ?(vnodes = 64) ~shards () =
+  if shards < 1 then invalid_arg "Shard_map.create: shards < 1";
+  if vnodes < 1 then invalid_arg "Shard_map.create: vnodes < 1";
+  let points = Array.make (shards * vnodes) (0L, 0) in
+  for s = 0 to shards - 1 do
+    for v = 0 to vnodes - 1 do
+      points.((s * vnodes) + v) <-
+        (ring_position (Printf.sprintf "shard-%d#%d" s v), s)
+    done
+  done;
+  (* unsigned 64-bit order on the circle; ties (hash collisions between
+     vnode names) break on the shard index so the ring is deterministic *)
+  Array.sort
+    (fun (a, sa) (b, sb) ->
+      let c = Int64.unsigned_compare a b in
+      if c <> 0 then c else compare sa sb)
+    points;
+  { n_shards = shards; points }
+
+let shards t = t.n_shards
+
+let shard_of_key t key =
+  if t.n_shards = 1 then 0
+  else begin
+    let h = ring_position key in
+    (* first ring point with point >= h, wrapping to points.(0) *)
+    let n = Array.length t.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    snd t.points.(if !lo = n then 0 else !lo)
+  end

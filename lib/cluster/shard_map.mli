@@ -1,0 +1,28 @@
+(** Consistent hashing of shard keys onto shard indexes.
+
+    A classic vnode ring: every shard owns [vnodes] points on a 64-bit
+    circle (FNV-1a64 of ["shard-<i>#<j>"]); a key lands on the first
+    point clockwise of its own hash. Two properties matter here:
+
+    - {b agreement} — the mapping is a pure function of [(shards,
+      vnodes)], so [tsg-serve --shard i/n] slicing a pattern artifact
+      and [tsg-router] picking a preferred replica compute the same
+      partition without talking to each other;
+    - {b stability} — going from [n] to [n+1] shards moves an expected
+      [1/(n+1)] of the keys, so resharding invalidates per-replica
+      caches proportionally, not wholesale. *)
+
+type t
+
+val create : ?vnodes:int -> shards:int -> unit -> t
+(** [vnodes] defaults to 64 points per shard.
+    @raise Invalid_argument when [shards < 1] or [vnodes < 1]. *)
+
+val shards : t -> int
+
+val shard_of_key : t -> string -> int
+(** The owning shard of a key, in [0 .. shards-1]. Deterministic. *)
+
+val fingerprint : string -> int64
+(** The raw key hash (FNV-1a64) — also used by the router to rotate
+    replica preference within a shard. *)

@@ -79,7 +79,9 @@ let contains ?(use_cache = true) t target =
   timed t.h_contains (fun () ->
       (* under degradation the min-DFS-code canonicalization itself is the
          cost being shed, so [use_cache:false] skips key computation
-         entirely — not just the table lookup *)
+         entirely — not just the table lookup. A zero-capacity cache
+         (--cache 0) likewise must not pay for keys it can never store. *)
+      let use_cache = use_cache && Lru.capacity t.cache > 0 in
       let key = if use_cache then Some (cache_key target) else None in
       let hit =
         match key with

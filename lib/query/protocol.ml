@@ -38,6 +38,21 @@ exception Parse_error of string
 
 let default_max_line_bytes = 65536
 
+let split_tag line =
+  let line = String.trim line in
+  let is_prefixed = String.length line > 3 && String.sub line 0 3 = "id " in
+  if not is_prefixed then (None, line)
+  else
+    let rest = String.sub line 3 (String.length line - 3) in
+    match String.index_opt rest ' ' with
+    | Some i when i > 0 ->
+      ( Some (String.sub rest 0 i),
+        String.sub rest (i + 1) (String.length rest - i - 1) )
+    | _ -> (None, line)
+
+let tag_reply tag reply =
+  match tag with None -> reply | Some t -> "id " ^ t ^ " " ^ reply
+
 let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
 
 let split_commas s = String.split_on_char ',' s

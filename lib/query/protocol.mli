@@ -72,6 +72,28 @@ val default_max_line_bytes : int
 (** 65536 — the request-size bound {!parse} (and the serve loop's
     bounded reader) applies unless told otherwise. *)
 
+(** {1 Request ids}
+
+    Any request line may carry a client-chosen tag: [id <token> <request>]
+    where [<token>] is a single whitespace-free word. The server prefixes
+    the first line of the reply with the same [id <token> ] marker and,
+    for data queries, flushes the reply immediately instead of batching
+    until the next barrier verb — tags exist so pipelined and hedged
+    clients (the cluster router) can match replies to requests on a
+    shared connection and discard stale ones. Untagged requests behave
+    exactly as before. *)
+
+val split_tag : string -> string option * string
+(** [split_tag line] is [(Some token, rest)] when [line] is
+    [id <token> <rest>], and [(None, line)] otherwise (the line comes
+    back trimmed in both cases). Never raises: a bare [id] with no
+    request is returned untagged and left for {!parse} to reject. *)
+
+val tag_reply : string option -> string -> string
+(** [tag_reply (Some t) reply] prefixes [reply] with [id t ];
+    [tag_reply None reply] is [reply]. Apply to the first line of a
+    reply block only. *)
+
 val parse :
   ?max_bytes:int ->
   taxonomy:Tsg_taxonomy.Taxonomy.t ->

@@ -50,11 +50,15 @@ let result_line ~names ~db_size ?score store id =
     | None -> ""
     | Some s -> Printf.sprintf " score %.4f" s
   in
-  Printf.sprintf "p %d%s support %d/%d %s" id score p.Pattern.support_count
-    db_size
+  (* the printed id is the id in the unsliced store, so replies from
+     shard slices merge without translation (identity when unsliced) *)
+  Printf.sprintf "p %d%s support %d/%d %s" (Store.external_id store id) score
+    p.Pattern.support_count db_size
     (Pattern.to_string ~names p)
 
-let is_error r = String.length r >= 5 && String.sub r 0 5 = "error"
+let is_error r =
+  let _, r = Protocol.split_tag r in
+  String.length r >= 5 && String.sub r 0 5 = "error"
 
 let overloaded_line retry_after_s =
   Protocol.error_line Protocol.Overloaded
@@ -82,6 +86,14 @@ let execute ~use_cache engine ~names query =
     | exception Failure msg -> Protocol.error_line Protocol.Unavailable msg)
   | Protocol.Stats | Protocol.Health | Protocol.Reload | Protocol.Quit ->
     assert false (* barriers; see run *)
+
+let answer ?(use_cache = true) engine query =
+  match query with
+  | Protocol.(Stats | Health | Reload | Quit) ->
+    invalid_arg "Serve.answer: barrier verbs have no engine-level answer"
+  | Protocol.(Contains _ | By_label _ | Top_k _) as q ->
+    let names = Taxonomy.labels (Store.taxonomy (Engine.store engine)) in
+    execute ~use_cache engine ~names q
 
 (* a request that blew its deadline, crashed, or drew an injected fault
    answers with an error line; the loop itself never dies for one request *)
@@ -206,22 +218,23 @@ let run ?domains ?(limits = default_limits) ?admission ?client
         Metrics.incr disconnect_c
   in
   let batch = ref [] in
-  let fill (arrival, item) =
-    match item with
-    | `Error (code, msg) -> Protocol.error_line code msg
-    | `Query q ->
-      execute_guarded ~use_cache:true engine ~names ~limits ~deadline_c
-        ~fault_c ~arrival q
-    | `Ticket (adm, ticket, q) -> (
-      match Admission.start adm ticket with
-      | `Expired retry_after_s -> overloaded_line retry_after_s
-      | `Run level ->
-        let reply =
-          execute_guarded ~use_cache:(level = 0) engine ~names ~limits
-            ~deadline_c ~fault_c ~arrival q
-        in
-        Admission.finish adm ticket ~ok:(not (is_error reply));
-        reply)
+  let fill (arrival, tag, item) =
+    Protocol.tag_reply tag
+      (match item with
+      | `Error (code, msg) -> Protocol.error_line code msg
+      | `Query q ->
+        execute_guarded ~use_cache:true engine ~names ~limits ~deadline_c
+          ~fault_c ~arrival q
+      | `Ticket (adm, ticket, q) -> (
+        match Admission.start adm ticket with
+        | `Expired retry_after_s -> overloaded_line retry_after_s
+        | `Run level ->
+          let reply =
+            execute_guarded ~use_cache:(level = 0) engine ~names ~limits
+              ~deadline_c ~fault_c ~arrival q
+          in
+          Admission.finish adm ticket ~ok:(not (is_error reply));
+          reply))
   in
   let flush () =
     let responses = flush_batch ~domains ~fill !batch in
@@ -239,16 +252,18 @@ let run ?domains ?(limits = default_limits) ?admission ?client
      the admission accounting, or the queue looks full forever *)
   let cancel_pending () =
     List.iter
-      (fun (_, item) ->
+      (fun (_, _, item) ->
         match item with
         | `Ticket (adm, ticket, _) -> Admission.cancel adm ticket
         | `Error _ | `Query _ -> ())
       !batch
   in
-  let enqueue entry = batch := (Unix.gettimeofday (), entry) :: !batch in
-  let data_query q =
-    match admission with
-    | None -> enqueue (`Query q)
+  let enqueue ?tag entry =
+    batch := (Unix.gettimeofday (), tag, entry) :: !batch
+  in
+  let data_query ?tag q =
+    (match admission with
+    | None -> enqueue ?tag (`Query q)
     | Some adm -> (
       let kind =
         match q with
@@ -263,9 +278,15 @@ let run ?domains ?(limits = default_limits) ?admission ?client
         | None -> assert false (* built above when admission is present *)
       in
       match Admission.admit adm cl kind with
-      | Admission.Admit ticket -> enqueue (`Ticket (adm, ticket, q))
+      | Admission.Admit ticket -> enqueue ?tag (`Ticket (adm, ticket, q))
       | Admission.Shed { reason = _; retry_after_s } ->
-        enqueue (`Error (Protocol.Overloaded, Printf.sprintf "retry-after %.3f" (Float.max 0.0 retry_after_s))))
+        enqueue ?tag
+          (`Error
+            ( Protocol.Overloaded,
+              Printf.sprintf "retry-after %.3f" (Float.max 0.0 retry_after_s) ))));
+    (* a tagged request announces a pipelined client matching replies by
+       id: answer it now rather than at the next barrier *)
+    if tag <> None then flush ()
   in
   let quit = ref false in
   (try
@@ -281,18 +302,19 @@ let run ?domains ?(limits = default_limits) ?admission ?client
                   Printf.sprintf "request exceeds %d bytes"
                     limits.max_line_bytes ))
           | `Line line -> (
+            let tag, body = Protocol.split_tag line in
             match
               Protocol.parse ~max_bytes:limits.max_line_bytes ~taxonomy
-                ~edge_labels line
+                ~edge_labels body
             with
             | None -> ()
             | Some Protocol.Stats ->
               incr requests;
               flush ();
               safe_write (fun () ->
-                  output_string oc "begin stats\n";
-                  output_string oc (Metrics.render metrics);
+                  output_string oc (Protocol.tag_reply tag "begin stats");
                   output_char oc '\n';
+                  output_string oc (Metrics.render_machine metrics);
                   output_string oc "end stats\n";
                   Stdlib.flush oc)
             | Some Protocol.Health ->
@@ -309,13 +331,17 @@ let run ?domains ?(limits = default_limits) ?admission ?client
                 | Some adm -> (Admission.level adm, Admission.in_flight adm)
                 | None -> (0, 0)
               in
+              let reply =
+                Printf.sprintf
+                  "ok health patterns %d uptime %.3f checksum %s degrade %d \
+                   inflight %d"
+                  (Store.size store)
+                  (Unix.gettimeofday () -. started)
+                  csum level inflight
+              in
               safe_write (fun () ->
-                  Printf.fprintf oc
-                    "ok health patterns %d uptime %.3f checksum %s degrade \
-                     %d inflight %d\n"
-                    (Store.size store)
-                    (Unix.gettimeofday () -. started)
-                    csum level inflight;
+                  output_string oc (Protocol.tag_reply tag reply);
+                  output_char oc '\n';
                   Stdlib.flush oc)
             | Some Protocol.Reload ->
               incr requests;
@@ -333,7 +359,7 @@ let run ?domains ?(limits = default_limits) ?admission ?client
               in
               if is_error reply then incr errors;
               safe_write (fun () ->
-                  output_string oc reply;
+                  output_string oc (Protocol.tag_reply tag reply);
                   output_char oc '\n';
                   Stdlib.flush oc)
             | Some Protocol.Quit ->
@@ -341,10 +367,11 @@ let run ?domains ?(limits = default_limits) ?admission ?client
               quit := true
             | Some (Protocol.(Contains _ | By_label _ | Top_k _) as q) ->
               incr requests;
-              data_query q
+              data_query ?tag q
             | exception Protocol.Parse_error msg ->
               incr requests;
-              enqueue (`Error (Protocol.Badreq, msg)))
+              enqueue ?tag (`Error (Protocol.Badreq, msg));
+              if tag <> None then flush ())
         done
       with End_of_file -> ());
      flush ()
@@ -495,6 +522,10 @@ let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
   let overloaded = ref 0 in
   let aggregate = ref no_outcome in
   let handle fd =
+    (* replies flush in small writes; without this, Nagle holds the final
+       short segment for the client's delayed ACK (tens of ms) *)
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
     let finished o =
       Mutex.lock agg_lock;
       aggregate := merge_outcome !aggregate o;

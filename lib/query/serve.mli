@@ -18,8 +18,17 @@
     error <CODE> <message>                  malformed or failed request
     v}
 
-    [stats] prints the metrics table between [begin stats]/[end stats]
-    markers. Error codes are the stable {!Protocol.error_code} catalog.
+    [stats] prints the metrics registry between [begin stats]/[end stats]
+    markers, one machine-readable line per metric
+    ({!Tsg_util.Metrics.render_machine}). Error codes are the stable
+    {!Protocol.error_code} catalog.
+
+    {b Request ids.} A request prefixed [id <token> ] (see
+    {!Protocol.split_tag}) gets its reply's first line prefixed
+    [id <token> ], and a {e tagged} data query is answered immediately
+    instead of joining the batch awaiting the next barrier — the contract
+    pipelined clients (the cluster router, [tsg-blast --router]) rely on
+    to match replies to requests on a shared connection.
 
     The loop is hardened against misbehaving clients: request lines are
     read through a bounded buffer (an oversized line costs O(bound)
@@ -73,6 +82,27 @@ val checksum_strings : string list -> int64
 val checksum_files : string list -> int64
 (** {!checksum_strings} over the contents of the given paths.
     @raise Sys_error when a path cannot be read. *)
+
+(** {1 Direct answers} *)
+
+val answer : ?use_cache:bool -> Engine.t -> Protocol.query -> string
+(** [answer engine q] is the exact reply block the serve loop would write
+    for data query [q] (header line plus result lines, newline-separated,
+    no trailing newline) — what the cluster layer's scatter-gather merge
+    is checked against. [use_cache] defaults to [true].
+    @raise Invalid_argument on barrier verbs ([stats], [health],
+    [reload], [quit]), which have no engine-level answer. *)
+
+(** {1 Bounded reads} *)
+
+val read_bounded_line :
+  in_channel -> max_bytes:int -> [ `Line of string | `Too_long ]
+(** Read one [\n]-terminated line without trusting its length: past
+    [max_bytes] the rest of the line is drained in bounded memory and the
+    read reports [`Too_long]. EOF with pending bytes yields them as a
+    final [`Line]; EOF with none raises [End_of_file]. Shared with the
+    cluster router's front loop.
+    @raise End_of_file at end of input. *)
 
 (** {1 Bind addresses} *)
 

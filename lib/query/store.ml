@@ -7,6 +7,7 @@ module Interest = Tsg_core.Interest
 type t = {
   taxonomy : Taxonomy.t;
   db_size : int;
+  ids : int array;  (* per pattern, its id in the unsliced store *)
   patterns : Pattern.t array;
   distinct_labels : int array array;  (* per pattern, sorted distinct labels *)
   generalizing : Bitset.t array;  (* indexed by label id *)
@@ -103,6 +104,7 @@ let build ~taxonomy ?db ~db_size pattern_list =
   {
     taxonomy;
     db_size;
+    ids = Array.init n (fun i -> i);
     patterns;
     distinct_labels;
     generalizing;
@@ -148,6 +150,34 @@ let of_strings ~taxonomy ~edge_labels ?db sources =
 let load ~taxonomy ~edge_labels ?db paths =
   of_strings ~taxonomy ~edge_labels ?db
     (List.map (fun p -> (p, Tsg_util.Safe_io.read_file p)) paths)
+
+let slice t ~keep =
+  let n = Array.length t.patterns in
+  let sel = ref [] in
+  for i = n - 1 downto 0 do
+    if keep i then sel := i :: !sel
+  done;
+  let sel = Array.of_list !sel in
+  let remap = Hashtbl.create (2 * Array.length sel) in
+  Array.iteri (fun j i -> Hashtbl.replace remap i j) sel;
+  let kept = Array.to_list (Array.map (fun i -> t.patterns.(i)) sel) in
+  (* rebuilding over the kept patterns (in order) yields local indexes
+     whose orders are exactly the global ones filtered; interest ratios
+     must NOT be recomputed over the slice — they depend on the full
+     pattern set — so they are inherited from the parent instead *)
+  let s = build ~taxonomy:t.taxonomy ~db_size:t.db_size kept in
+  let by_interest =
+    Option.map
+      (fun scored ->
+        Array.to_list scored
+        |> List.filter_map (fun (i, r) ->
+               Option.map (fun j -> (j, r)) (Hashtbl.find_opt remap i))
+        |> Array.of_list)
+      t.by_interest
+  in
+  { s with by_interest; ids = Array.map (fun i -> t.ids.(i)) sel }
+
+let external_id t i = t.ids.(i)
 
 let size t = Array.length t.patterns
 

@@ -59,6 +59,24 @@ val of_strings :
     @raise Tsg_core.Pattern_io.Parse_error on malformed contents,
     [Invalid_argument] on out-of-taxonomy labels. *)
 
+(** {1 Sharding} *)
+
+val slice : t -> keep:(int -> bool) -> t
+(** [slice t ~keep] is the sub-store of the patterns whose (local) id
+    satisfies [keep], for serving one shard of a partitioned pattern set.
+    Local ids are re-densified but {!external_id} still answers with the
+    id the pattern had in the original unsliced store, and interest
+    ratios are {e inherited} from [t] rather than recomputed — both are
+    what make scatter-gather answers over a partition byte-identical to
+    the unsliced engine. All indexes and orderings are rebuilt over the
+    kept patterns (filtering preserves their relative order). Slicing a
+    slice composes. *)
+
+val external_id : t -> int -> int
+(** The pattern's id in the original unsliced store — what {!slice}
+    preserves and the serving layer prints. The identity on stores built
+    directly. *)
+
 (** {1 Access} *)
 
 val size : t -> int

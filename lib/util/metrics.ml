@@ -156,4 +156,31 @@ let to_table t =
 
 let render t = Text_table.render (to_table t)
 
+let render_machine t =
+  let counters, gauges, histograms =
+    locked t.lock (fun () ->
+        (List.rev t.counters, List.rev t.gauges, List.rev t.histograms))
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "counter %s %d\n" c.c_name (value c)))
+    counters;
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "gauge %s %d\n" g.g_name (gauge_value g)))
+    gauges;
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "hist %s count %d mean_ms %s p50_ms %s p95_ms %s p99_ms %s max_ms %s\n"
+           h.h_name (count h) (ms (mean h))
+           (ms (percentile h 50.0))
+           (ms (percentile h 95.0))
+           (ms (percentile h 99.0))
+           (ms (max_value h))))
+    histograms;
+  Buffer.contents buf
+
 let print t = Text_table.print (to_table t)

@@ -81,4 +81,15 @@ val to_table : t -> Text_table.t
 
 val render : t -> string
 
+val render_machine : t -> string
+(** One line per metric, trivially parseable by scrapers (the [stats]
+    protocol verb of [tsg-serve] and [tsg-router] emit this between
+    [begin stats]/[end stats] markers):
+    {v
+counter <name> <value>
+gauge <name> <value>
+hist <name> count <n> mean_ms <f> p50_ms <f> p95_ms <f> p99_ms <f> max_ms <f>
+    v}
+    Every line ends with a newline; the empty registry renders as [""]. *)
+
 val print : t -> unit

@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Smoke test for the sharded serving cluster: tsg-router fronting
+# 2 shards x 2 replicas of tsg-serve --shard over the demo artifacts,
+# plus one unsharded reference server. Asserts byte-identical answers
+# through the router, a blast with a rolling reload mid-flight, a
+# blast with one replica SIGKILLed mid-flight (zero client-visible
+# errors either way), and a graceful drain. Run from the repo root
+# after `dune build` (or via `make cluster-smoke`).
+#
+#   DURATION=10 scripts/cluster_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=_build/install/default/bin
+DURATION="${DURATION:-10}"
+
+[ -x "$BIN/tsg-serve" ] && [ -x "$BIN/tsg-router" ] && [ -x "$BIN/tsg-blast" ] ||
+  { echo "cluster-smoke: binaries missing — run 'dune build' first" >&2; exit 2; }
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster-smoke: FAIL: $*" >&2; exit 1; }
+
+# one request over bash's /dev/tcp against port $1; prints the full
+# reply: the first line, plus the announced block body for "ok N" and
+# "begin stats" replies (so multi-line answers can be diffed whole)
+ask() {
+  local port=$1 req=$2 line n
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf '%s\nquit\n' "$req" >&3
+  IFS= read -r line <&3 || true
+  printf '%s\n' "$line"
+  if [[ "$line" =~ ^ok\ ([0-9]+)$ ]]; then
+    n="${BASH_REMATCH[1]}"
+    for _ in $(seq 1 "$n"); do
+      IFS= read -r line <&3 || break
+      printf '%s\n' "$line"
+    done
+  elif [[ "$line" == "begin stats" ]]; then
+    while IFS= read -r line <&3; do
+      printf '%s\n' "$line"
+      [[ "$line" == "end stats" ]] && break
+    done
+  fi
+  exec 3<&- 3>&-
+}
+
+# boot one server ($1: logfile stem, rest: command); sets BOOT_PID and
+# BOOT_PORT in the calling shell (no subshell, so the trap sees the pid)
+boot() {
+  local stem=$1; shift
+  "$@" >"$WORK/$stem.out" 2>"$WORK/$stem.err" &
+  BOOT_PID=$!
+  PIDS+=("$BOOT_PID")
+  BOOT_PORT=""
+  for _ in $(seq 1 100); do
+    BOOT_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$WORK/$stem.err" | head -n1)
+    [ -n "$BOOT_PORT" ] && break
+    kill -0 "$BOOT_PID" 2>/dev/null || { cat "$WORK/$stem.err" >&2; fail "$stem died at startup"; }
+    sleep 0.1
+  done
+  [ -n "$BOOT_PORT" ] && [ "$BOOT_PORT" != "0" ] || fail "could not parse $stem's listen port"
+}
+
+ART=(--patterns examples/data/demo.pat --taxonomy examples/data/demo.tax
+     --db examples/data/demo.db)
+
+echo "== cluster-smoke: booting 2 shards x 2 replicas + unsharded reference"
+boot r00 "$BIN/tsg-serve" "${ART[@]}" --shard 0/2 --listen 0 --quiet
+P00=$BOOT_PORT; R00_PID=$BOOT_PID
+boot r01 "$BIN/tsg-serve" "${ART[@]}" --shard 0/2 --listen 0 --quiet
+P01=$BOOT_PORT; R01_PID=$BOOT_PID
+boot r10 "$BIN/tsg-serve" "${ART[@]}" --shard 1/2 --listen 0 --quiet
+P10=$BOOT_PORT; R10_PID=$BOOT_PID
+boot r11 "$BIN/tsg-serve" "${ART[@]}" --shard 1/2 --listen 0 --quiet
+P11=$BOOT_PORT; R11_PID=$BOOT_PID
+boot ref "$BIN/tsg-serve" "${ART[@]}" --listen 0 --quiet
+PREF=$BOOT_PORT; REF_PID=$BOOT_PID
+boot router "$BIN/tsg-router" \
+  --shard "127.0.0.1:$P00,127.0.0.1:$P01" \
+  --shard "127.0.0.1:$P10,127.0.0.1:$P11" \
+  --taxonomy examples/data/demo.tax --listen 0 --quiet
+RPORT=$BOOT_PORT; ROUTER_PID=$BOOT_PID
+echo "== cluster-smoke: router on $RPORT, reference on $PREF"
+
+HEALTH=$(ask "$RPORT" health)
+case "$HEALTH" in
+  "ok health shards 2 replicas 4 up 4"*) ;;
+  *) fail "bad router health: $HEALTH";;
+esac
+
+STATS=$(ask "$RPORT" stats)
+grep -q '^begin stats$' <<<"$STATS" || fail "router stats missing header"
+grep -q 'cluster\.requests' <<<"$STATS" || fail "router stats missing cluster counters"
+
+echo "== cluster-smoke: scatter-gather answers match the unsharded node"
+for req in "top-k 5 support" "top-k 5 interest" "by-label c0" "contains c0,c0 0-1"; do
+  diff <(ask "$RPORT" "$req") <(ask "$PREF" "$req") >/dev/null ||
+    fail "router and reference answers differ for '$req'"
+done
+
+echo "== cluster-smoke: blast A (${DURATION}s) with a rolling reload mid-flight"
+"$BIN/tsg-blast" --port "$RPORT" --router --duration "$DURATION" \
+  --clients 4 --rate 100 --min-success 0.999 \
+  --request "top-k 5 support" >"$WORK/blast_a.out" 2>&1 &
+BLAST_PID=$!
+sleep $((DURATION / 3))
+RELOAD=$(ask "$RPORT" reload)
+[ "$RELOAD" = "ok reload replicas 4" ] || fail "rolling reload replied: $RELOAD"
+wait "$BLAST_PID" || { cat "$WORK/blast_a.out" >&2; fail "blast A failed"; }
+grep -q "error replies:      0" "$WORK/blast_a.out" ||
+  { cat "$WORK/blast_a.out" >&2; fail "blast A saw error replies"; }
+grep -q "broken connections: 0" "$WORK/blast_a.out" ||
+  { cat "$WORK/blast_a.out" >&2; fail "blast A saw broken connections"; }
+
+echo "== cluster-smoke: blast B (${DURATION}s), SIGKILL replica 0/0 mid-flight"
+"$BIN/tsg-blast" --port "$RPORT" --router --duration "$DURATION" \
+  --clients 4 --rate 100 --min-success 0.999 \
+  --request "top-k 5 support" >"$WORK/blast_b.out" 2>&1 &
+BLAST_PID=$!
+sleep $((DURATION / 3))
+kill -9 "$R00_PID"
+wait "$BLAST_PID" || { cat "$WORK/blast_b.out" >&2; fail "blast B failed"; }
+grep -q "error replies:      0" "$WORK/blast_b.out" ||
+  { cat "$WORK/blast_b.out" >&2; fail "a protocol-level error reached a client"; }
+
+sleep 2
+HEALTH=$(ask "$RPORT" health)
+case "$HEALTH" in
+  "ok health shards 2 replicas 4 up 3"*) ;;
+  *) fail "router health after kill: $HEALTH (want up 3)";;
+esac
+echo "== cluster-smoke: failover absorbed the kill (health: up 3)"
+
+echo "== cluster-smoke: graceful drain"
+kill -TERM "$ROUTER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$ROUTER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$ROUTER_PID" 2>/dev/null && fail "router did not exit within 10s of SIGTERM"
+for pid in "$R01_PID" "$R10_PID" "$R11_PID" "$REF_PID"; do
+  kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "$R01_PID" "$R10_PID" "$R11_PID" "$REF_PID"; do
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -0 "$pid" 2>/dev/null && fail "replica $pid did not exit within 10s of SIGTERM"
+done
+
+echo "== cluster-smoke: PASS"

@@ -1,0 +1,695 @@
+(* Cluster suite: the consistent-hash ring (determinism, coverage,
+   resharding stability), store slicing (global ids, inherited interest,
+   composition), pure scatter-gather merging, a qcheck property that any
+   sharding of the demo patterns answers byte-identically to one
+   unsharded engine, and TCP integration against kill-able backends:
+   failover with zero client-visible errors, OVERLOADED failover,
+   hedging past a slow replica, and rolling reload. *)
+
+module Shard_map = Tsg_cluster.Shard_map
+module Merge = Tsg_cluster.Merge
+module Replica = Tsg_cluster.Replica
+module Router = Tsg_cluster.Router
+module Checksum = Tsg_util.Checksum
+module Metrics = Tsg_util.Metrics
+module Prng = Tsg_util.Prng
+module Label = Tsg_graph.Label
+module Graph = Tsg_graph.Graph
+module Db = Tsg_graph.Db
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Pattern = Tsg_core.Pattern
+module Taxogram = Tsg_core.Taxogram
+module Specialize = Tsg_core.Specialize
+module Store = Tsg_query.Store
+module Engine = Tsg_query.Engine
+module Protocol = Tsg_query.Protocol
+module Serve = Tsg_query.Serve
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let has_prefix p l =
+  String.length l >= String.length p && String.sub l 0 (String.length p) = p
+
+let counter_value metrics name = Metrics.value (Metrics.counter metrics name)
+
+(* --- Shard_map --------------------------------------------------------------- *)
+
+let keys n = List.init n (Printf.sprintf "key-%d")
+
+let test_ring_determinism () =
+  let a = Shard_map.create ~shards:4 () in
+  let b = Shard_map.create ~shards:4 () in
+  List.iter
+    (fun k ->
+      let sa = Shard_map.shard_of_key a k in
+      check int ("agree on " ^ k) sa (Shard_map.shard_of_key b k);
+      check bool "in range" true (sa >= 0 && sa < 4))
+    (keys 200);
+  let one = Shard_map.create ~shards:1 () in
+  List.iter
+    (fun k -> check int "single shard owns all" 0 (Shard_map.shard_of_key one k))
+    (keys 50)
+
+let test_ring_coverage () =
+  let m = Shard_map.create ~shards:4 () in
+  let owned = Array.make 4 0 in
+  List.iter
+    (fun k -> owned.(Shard_map.shard_of_key m k) <- 1 + owned.(Shard_map.shard_of_key m k))
+    (keys 500);
+  Array.iteri
+    (fun i n ->
+      check bool (Printf.sprintf "shard %d owns keys" i) true (n > 0))
+    owned
+
+let test_ring_stability () =
+  (* going 3 -> 4 shards must move a minority of keys, not reshuffle *)
+  let m3 = Shard_map.create ~shards:3 () in
+  let m4 = Shard_map.create ~shards:4 () in
+  let moved =
+    List.fold_left
+      (fun acc k ->
+        if Shard_map.shard_of_key m3 k <> Shard_map.shard_of_key m4 k then
+          acc + 1
+        else acc)
+      0 (keys 500)
+  in
+  check bool
+    (Printf.sprintf "3->4 shards moved %d of 500 keys (expect ~125)" moved)
+    true
+    (moved > 0 && moved < 250)
+
+let test_ring_invalid () =
+  let raises f =
+    match f () with
+    | (_ : Shard_map.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool "0 shards rejected" true
+    (raises (fun () -> Shard_map.create ~shards:0 ()));
+  check bool "0 vnodes rejected" true
+    (raises (fun () -> Shard_map.create ~vnodes:0 ~shards:2 ()))
+
+let test_fingerprint_is_fnv1a64 () =
+  List.iter
+    (fun s ->
+      check bool ("fingerprint of " ^ s) true
+        (Shard_map.fingerprint s = Checksum.fnv1a64 s))
+    [ ""; "a"; "shard-0#0"; "by-label root:c0" ]
+
+(* --- fixtures: a small mined store (with its db, so interest works) ---------- *)
+
+let fixture_taxonomy () =
+  Taxonomy.build
+    ~names:[ "a"; "b"; "c"; "d"; "e" ]
+    ~is_a:[ ("b", "a"); ("c", "a"); ("d", "b"); ("e", "b") ]
+
+let fixture_db t =
+  let id n = Taxonomy.id_of_name t n in
+  Db.of_list
+    [
+      Graph.build ~labels:[| id "d"; id "c" |] ~edges:[ (0, 1, 0) ];
+      Graph.build ~labels:[| id "e"; id "c" |] ~edges:[ (0, 1, 0) ];
+      Graph.build
+        ~labels:[| id "d"; id "e"; id "c" |]
+        ~edges:[ (0, 1, 0); (1, 2, 0) ];
+    ]
+
+let fixture_store () =
+  let t = fixture_taxonomy () in
+  let db = fixture_db t in
+  let config =
+    { Taxogram.min_support = 0.3; max_edges = Some 2;
+      enhancements = Specialize.all_on }
+  in
+  let r = Taxogram.run ~config ~domains:1 ~sink:`Collect t db in
+  (t, db, Store.build ~taxonomy:t ~db ~db_size:(Db.size db) r.Taxogram.patterns)
+
+let engine store = Engine.create ~metrics:(Metrics.create ()) store
+
+let slice_stores store nshards =
+  let map = Shard_map.create ~shards:nshards () in
+  List.init nshards (fun si ->
+      Store.slice store ~keep:(fun i ->
+          Shard_map.shard_of_key map (Pattern.key (Store.pattern store i)) = si))
+
+(* --- Store.slice ------------------------------------------------------------- *)
+
+let test_slice_external_ids () =
+  let _, _, store = fixture_store () in
+  let n = Store.size store in
+  check bool "fixture mines enough patterns" true (n >= 4);
+  for i = 0 to n - 1 do
+    check int "unsliced external id is the identity" i
+      (Store.external_id store i)
+  done;
+  let evens = Store.slice store ~keep:(fun i -> i mod 2 = 0) in
+  check int "slice size" ((n + 1) / 2) (Store.size evens);
+  for i = 0 to Store.size evens - 1 do
+    check int "external ids are the kept originals, in order" (2 * i)
+      (Store.external_id evens i)
+  done
+
+let test_slice_partition () =
+  let _, _, store = fixture_store () in
+  let n = Store.size store in
+  let slices = slice_stores store 3 in
+  check int "slices partition the patterns" n
+    (List.fold_left (fun acc s -> acc + Store.size s) 0 slices);
+  let seen = Array.make n 0 in
+  List.iter
+    (fun s ->
+      for i = 0 to Store.size s - 1 do
+        let ext = Store.external_id s i in
+        seen.(ext) <- seen.(ext) + 1
+      done)
+    slices;
+  Array.iteri
+    (fun i c -> check int (Printf.sprintf "pattern %d owned exactly once" i) 1 c)
+    seen
+
+let test_slice_composes () =
+  let _, _, store = fixture_store () in
+  let evens = Store.slice store ~keep:(fun i -> i mod 2 = 0) in
+  let sub = Store.slice evens ~keep:(fun i -> i mod 2 = 0) in
+  for i = 0 to Store.size sub - 1 do
+    check int "slice of a slice keeps original ids" (4 * i)
+      (Store.external_id sub i)
+  done
+
+let test_slice_inherits_interest () =
+  let _, _, store = fixture_store () in
+  let full =
+    match Store.by_interest store with
+    | Some a -> a
+    | None -> Alcotest.fail "fixture store has no interest order"
+  in
+  let evens = Store.slice store ~keep:(fun i -> i mod 2 = 0) in
+  let sliced =
+    match Store.by_interest evens with
+    | Some a -> a
+    | None -> Alcotest.fail "slice lost the interest order"
+  in
+  (* every sliced entry carries the score the pattern had in the full
+     store — inherited, not recomputed over the slice *)
+  Array.iter
+    (fun (local, score) ->
+      let ext = Store.external_id evens local in
+      let expected =
+        Array.to_list full
+        |> List.filter_map (fun (id, s) -> if id = ext then Some s else None)
+      in
+      check bool "score inherited from the unsliced store" true
+        (expected = [ score ]))
+    sliced
+
+(* --- Merge ------------------------------------------------------------------- *)
+
+let test_verb_of_query () =
+  let t = fixture_taxonomy () in
+  check bool "contains is a listing" true
+    (Merge.verb_of_query (Protocol.Contains (Graph.build ~labels:[| 0 |] ~edges:[]))
+    = Some Merge.List);
+  check bool "by-label is a listing" true
+    (Merge.verb_of_query (Protocol.By_label (Taxonomy.id_of_name t "a"))
+    = Some Merge.List);
+  check bool "top-k keeps k and order" true
+    (Merge.verb_of_query (Protocol.Top_k (7, `Interest))
+    = Some (Merge.Top_k (7, `Interest)));
+  check bool "barriers have no merge plan" true
+    (List.for_all
+       (fun q -> Merge.verb_of_query q = None)
+       Protocol.[ Stats; Health; Reload; Quit ])
+
+let test_merge_list_sorts_and_dedups () =
+  let a = "ok 2\np 3 support 2/3 x\np 1 support 1/3 y" in
+  let b = "ok 2\np 2 support 3/3 z\np 1 support 9/9 DUPLICATE" in
+  check string "union sorted by id, first duplicate wins"
+    "ok 3\np 1 support 1/3 y\np 2 support 3/3 z\np 3 support 2/3 x"
+    (Merge.merge Merge.List [ a; b ])
+
+let test_merge_top_k_support () =
+  let a = "ok 2\np 4 score 0.6667 support 2/3 x\np 1 score 0.6667 support 2/3 y" in
+  let b = "ok 1\np 2 score 1.0000 support 3/3 z" in
+  (* support desc, then id asc among the tied *)
+  check string "top-2 by support with id tie-break"
+    "ok 2\np 2 score 1.0000 support 3/3 z\np 1 score 0.6667 support 2/3 y"
+    (Merge.merge (Merge.Top_k (2, `Support)) [ a; b ])
+
+let test_merge_top_k_interest () =
+  let a = "ok 1\np 5 score 2.5000 support 1/3 x" in
+  let b = "ok 1\np 2 score 7.0000 support 1/3 y" in
+  check string "top-1 by score"
+    "ok 1\np 2 score 7.0000 support 1/3 y"
+    (Merge.merge (Merge.Top_k (1, `Interest)) [ a; b ]);
+  check string "k beyond the union returns everything"
+    "ok 2\np 2 score 7.0000 support 1/3 y\np 5 score 2.5000 support 1/3 x"
+    (Merge.merge (Merge.Top_k (10, `Interest)) [ a; b ])
+
+let test_merge_propagates_first_error () =
+  let good = "ok 1\np 0 support 1/3 x" in
+  let e1 = "error OVERLOADED retry-after 0.1" in
+  let e2 = "error BADREQ nope" in
+  check string "first error block in shard order wins" e1
+    (Merge.merge Merge.List [ good; e1; e2 ]);
+  check string "an error beats every row" e2
+    (Merge.merge (Merge.Top_k (3, `Support)) [ good; e2 ])
+
+let test_merge_rejects_malformed () =
+  let raises blocks =
+    match Merge.merge Merge.List blocks with
+    | (_ : string) -> false
+    | exception Failure _ -> true
+  in
+  check bool "garbage header" true (raises [ "what is this" ]);
+  check bool "header/row count mismatch" true (raises [ "ok 2\np 0 support 1/3 x" ]);
+  check bool "bad result line" true (raises [ "ok 1\nq 0 support 1/3 x" ])
+
+(* --- sharding equivalence ----------------------------------------------------- *)
+
+let random_requests rng t db =
+  let names = Taxonomy.labels t in
+  let edge_labels = Label.of_names [ "e0" ] in
+  let graphs = Array.of_list (Db.to_list db) in
+  let n = 5 + Prng.int rng 10 in
+  List.init n (fun _ ->
+      match Prng.int rng 4 with
+      | 0 | 1 ->
+        let g = graphs.(Prng.int rng (Array.length graphs)) in
+        "contains " ^ Protocol.format_graph ~names ~edge_labels g
+      | 2 ->
+        let l = Prng.int rng (Taxonomy.label_count t) in
+        "by-label " ^ Label.name names l
+      | _ -> Printf.sprintf "top-k %d support" (Prng.int rng 30))
+
+(* the tentpole acceptance property: scatter-gather over ANY sharding of
+   the fixture patterns merges byte-identically to one unsharded engine
+   (interest ordering is pinned by the deterministic test below — its
+   printed %.4f scores can tie where the exact floats do not, so it is
+   excluded from the randomized property) *)
+let sharding_equivalence_prop =
+  let t, db, store = fixture_store () in
+  let full = engine store in
+  QCheck.Test.make ~name:"any sharding merges byte-identical to unsharded"
+    ~count:50
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (int_range 1 4))
+    (fun (seed, nshards) ->
+      let rng = Prng.of_int seed in
+      let engines = List.map engine (slice_stores store nshards) in
+      let edge_labels = Label.of_names [ "e0" ] in
+      List.for_all
+        (fun line ->
+          match Protocol.parse ~taxonomy:t ~edge_labels line with
+          | None -> true
+          | Some q -> (
+            match Merge.verb_of_query q with
+            | None -> true
+            | Some verb ->
+              let expected = Serve.answer full q in
+              let blocks = List.map (fun e -> Serve.answer e q) engines in
+              Merge.merge verb blocks = expected)
+          | exception Protocol.Parse_error _ -> true)
+        (random_requests rng t db))
+
+let test_interest_merge_identity () =
+  let _, _, store = fixture_store () in
+  let full = engine store in
+  List.iter
+    (fun nshards ->
+      let engines = List.map engine (slice_stores store nshards) in
+      List.iter
+        (fun k ->
+          let q = Protocol.Top_k (k, `Interest) in
+          check string
+            (Printf.sprintf "top-%d interest over %d shards" k nshards)
+            (Serve.answer full q)
+            (Merge.merge
+               (Merge.Top_k (k, `Interest))
+               (List.map (fun e -> Serve.answer e q) engines)))
+        [ 1; 3; 1000 ])
+    [ 2; 3; 4 ]
+
+(* --- TCP integration: kill-able backends -------------------------------------- *)
+
+(* a real Serve.run backend behind our own accept loop, so a test can
+   hard-kill it: every socket is shut down at once, the way SIGKILL
+   looks to the peers (in-flight replies cut, new connects refused) *)
+type backend = { b_port : int; b_kill : unit -> unit }
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let serve_backend ?reloader store =
+  let e = engine store in
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 32;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> Alcotest.fail "inet socket expected"
+  in
+  let lock = Mutex.create () in
+  let conns = ref [] in
+  let dead = ref false in
+  let accepter =
+    Thread.create
+      (fun () ->
+        let stop = ref false in
+        while not !stop do
+          if locked lock (fun () -> !dead) then stop := true
+          else
+            match Unix.select [ lsock ] [] [] 0.05 with
+            | [], _, _ -> ()
+            | _ :: _, _, _ -> (
+              match Unix.accept lsock with
+              | fd, _ ->
+                locked lock (fun () -> conns := fd :: !conns);
+                ignore
+                  (Thread.create
+                     (fun fd ->
+                       let ic = Unix.in_channel_of_descr fd in
+                       let oc = Unix.out_channel_of_descr fd in
+                       (* private label table per connection, as
+                          Serve.listen gives each of its threads *)
+                       let edge_labels = Label.of_names [ "e0" ] in
+                       try
+                         ignore
+                           (Serve.run ~domains:1 ?reloader ~engine:e
+                              ~edge_labels ic oc)
+                       with
+                       | Sys_error _ | End_of_file | Unix.Unix_error _ -> ())
+                     fd)
+              | exception Unix.Unix_error _ -> stop := true)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done)
+      ()
+  in
+  let kill () =
+    let cs =
+      locked lock (fun () ->
+          dead := true;
+          let cs = !conns in
+          conns := [];
+          cs)
+    in
+    List.iter
+      (fun fd ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      cs;
+    Thread.join accepter;
+    try Unix.close lsock with Unix.Unix_error _ -> ()
+  in
+  { b_port = port; b_kill = kill }
+
+(* a scriptable fake replica speaking just enough of the protocol to
+   exercise the router: echoes tags, answers [handler body] per line *)
+let fake_backend handler =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 32;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> Alcotest.fail "inet socket expected"
+  in
+  let dead = ref false in
+  let lock = Mutex.create () in
+  let accepter =
+    Thread.create
+      (fun () ->
+        let stop = ref false in
+        while not !stop do
+          if locked lock (fun () -> !dead) then stop := true
+          else
+            match Unix.select [ lsock ] [] [] 0.05 with
+            | [], _, _ -> ()
+            | _ :: _, _, _ -> (
+              match Unix.accept lsock with
+              | fd, _ ->
+                ignore
+                  (Thread.create
+                     (fun fd ->
+                       let ic = Unix.in_channel_of_descr fd in
+                       let oc = Unix.out_channel_of_descr fd in
+                       (try
+                          let quit = ref false in
+                          while not !quit do
+                            let line = input_line ic in
+                            let tag, body = Protocol.split_tag line in
+                            if body = "quit" then quit := true
+                            else begin
+                              output_string oc
+                                (Protocol.tag_reply tag (handler body) ^ "\n");
+                              flush oc
+                            end
+                          done
+                        with
+                       | Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+                       try Unix.close fd with Unix.Unix_error _ -> ())
+                     fd)
+              | exception Unix.Unix_error _ -> stop := true)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done)
+      ()
+  in
+  let kill () =
+    locked lock (fun () -> dead := true);
+    Thread.join accepter;
+    try Unix.close lsock with Unix.Unix_error _ -> ()
+  in
+  { b_port = port; b_kill = kill }
+
+let replica port name =
+  Replica.create ~host:Unix.inet_addr_loopback ~port ~name ()
+
+let router_over ?taxonomy ?(deadline_s = 5.0) ?(hedge_min_s = 0.01) metrics
+    shards =
+  Router.create
+    ~config:{ Router.default_config with deadline_s; hedge_min_s }
+    ?taxonomy ~metrics
+    ~shards:(Array.of_list (List.map Array.of_list shards))
+    ()
+
+let reply_exn router line =
+  match Router.dispatch router line with
+  | `Reply r -> r
+  | `Quit | `None -> Alcotest.fail ("no reply to " ^ line)
+
+let test_router_failover_zero_errors () =
+  let t, _, store = fixture_store () in
+  let b0 = serve_backend store in
+  let b1 = serve_backend store in
+  let metrics = Metrics.create () in
+  let router =
+    router_over ~taxonomy:t metrics
+      [ [ replica b0.b_port "0/0"; replica b1.b_port "0/1" ] ]
+  in
+  let baseline = reply_exn router "top-k 3 support" in
+  check bool "cluster answers before the kill" true (has_prefix "ok 3" baseline);
+  (* hard-kill one replica; every request must still succeed *)
+  b0.b_kill ();
+  List.iter
+    (fun q ->
+      check bool ("survives the kill: " ^ q) true
+        (has_prefix "ok " (reply_exn router q)))
+    (List.init 24 (fun i -> Printf.sprintf "top-k %d support" (i + 1)));
+  check string "same bytes after the kill" baseline
+    (reply_exn router "top-k 3 support");
+  check bool "failovers counted" true
+    (counter_value metrics "cluster.failovers" >= 1);
+  b1.b_kill ()
+
+let test_router_all_dead_unavailable () =
+  let _, _, store = fixture_store () in
+  let b0 = serve_backend store in
+  let b1 = serve_backend store in
+  let metrics = Metrics.create () in
+  let router =
+    router_over ~deadline_s:2.0 metrics
+      [ [ replica b0.b_port "0/0"; replica b1.b_port "0/1" ] ]
+  in
+  b0.b_kill ();
+  b1.b_kill ();
+  let r = reply_exn router "top-k 1 support" in
+  check bool "whole-shard outage answers a coded error" true
+    (has_prefix "error UNAVAILABLE" r || has_prefix "error DEADLINE" r);
+  check bool "unavailability counted" true
+    (counter_value metrics "cluster.unavailable" >= 1
+    || counter_value metrics "cluster.deadline_giveups" >= 1)
+
+let test_router_overloaded_failover () =
+  let _, _, store = fixture_store () in
+  let shedding =
+    fake_backend (fun body ->
+        if body = "health" then "ok health patterns 0 uptime 0.0"
+        else "error OVERLOADED retry-after 0.05")
+  in
+  let real = serve_backend store in
+  let metrics = Metrics.create () in
+  let router =
+    router_over metrics
+      [ [ replica shedding.b_port "0/0"; replica real.b_port "0/1" ] ]
+  in
+  (* distinct lines rotate the preferred replica, so some prefer the
+     shedding fake — those must fail over and still answer ok *)
+  List.iter
+    (fun q ->
+      check bool ("sheds never reach the client: " ^ q) true
+        (has_prefix "ok " (reply_exn router q)))
+    (List.init 20 (fun i -> Printf.sprintf "top-k %d support" (i + 1)));
+  check bool "failovers counted" true
+    (counter_value metrics "cluster.failovers" >= 1);
+  shedding.b_kill ();
+  real.b_kill ()
+
+let test_router_hedges_past_slow_replica () =
+  let slow delay =
+    fake_backend (fun body ->
+        if body = "health" then "ok health patterns 0 uptime 0.0"
+        else begin
+          Thread.delay delay;
+          "ok 0"
+        end)
+  in
+  let a = slow 0.05 in
+  let b = slow 0.45 in
+  let metrics = Metrics.create () in
+  let router =
+    router_over ~deadline_s:2.0 ~hedge_min_s:0.01 metrics
+      [ [ replica a.b_port "0/0"; replica b.b_port "0/1" ] ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = reply_exn router "top-k 0 support" in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check string "the fast replica's answer wins" "ok 0" r;
+  check bool
+    (Printf.sprintf "hedge beats the slow replica (%.3fs)" elapsed)
+    true (elapsed < 0.35);
+  check bool "hedge counted" true (counter_value metrics "cluster.hedges" >= 1);
+  a.b_kill ();
+  b.b_kill ()
+
+let test_rolling_reload_walks_every_replica () =
+  let _, _, store = fixture_store () in
+  let reloads = Atomic.make 0 in
+  let reloader () =
+    Atomic.incr reloads;
+    Ok "patterns 5 checksum 0"
+  in
+  let b0 = serve_backend ~reloader store in
+  let b1 = serve_backend ~reloader store in
+  let metrics = Metrics.create () in
+  let router =
+    router_over metrics
+      [ [ replica b0.b_port "0/0"; replica b1.b_port "0/1" ] ]
+  in
+  check string "reload verb reports the walk" "ok reload replicas 2"
+    (reply_exn router "reload");
+  check int "every replica reloaded exactly once" 2 (Atomic.get reloads);
+  check int "reload counted" 1 (counter_value metrics "cluster.reloads");
+  (* a replica that refuses aborts the walk with the stable code *)
+  let refusing = serve_backend ~reloader:(fun () -> Error "disk gone") store in
+  let metrics2 = Metrics.create () in
+  let router2 =
+    router_over metrics2
+      [ [ replica b0.b_port "0/0"; replica refusing.b_port "0/1" ] ]
+  in
+  check bool "failed walk answers error RELOAD" true
+    (has_prefix "error RELOAD" (reply_exn router2 "reload"));
+  check int "no reload recorded on failure" 0
+    (counter_value metrics2 "cluster.reloads");
+  b0.b_kill ();
+  b1.b_kill ();
+  refusing.b_kill ()
+
+let test_router_verbs_and_tags () =
+  let _, _, store = fixture_store () in
+  let b0 = serve_backend store in
+  let metrics = Metrics.create () in
+  let router = router_over metrics [ [ replica b0.b_port "0/0" ] ] in
+  check bool "health summarizes the cluster" true
+    (has_prefix "ok health shards 1 replicas 1 up 1" (reply_exn router "health"));
+  check bool "tags round-trip" true
+    (has_prefix "id t7 ok health" (reply_exn router "id t7 health"));
+  let stats = reply_exn router "stats" in
+  check bool "stats brackets the registry" true
+    (has_prefix "begin stats" stats
+    && has_prefix "end stats"
+         (let lines = String.split_on_char '\n' stats in
+          List.nth lines (List.length lines - 1)));
+  check bool "stats carries cluster counters" true
+    (List.exists
+       (has_prefix "counter cluster.requests")
+       (String.split_on_char '\n' stats));
+  check bool "unknown verbs answer BADREQ" true
+    (has_prefix "error BADREQ" (reply_exn router "frobnicate now"));
+  (match Router.dispatch router "# comment" with
+  | `None -> ()
+  | `Reply _ | `Quit -> Alcotest.fail "comments are ignored");
+  (match Router.dispatch router "quit" with
+  | `Quit -> ()
+  | `Reply _ | `None -> Alcotest.fail "quit ends the connection");
+  b0.b_kill ()
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "shard-map",
+        [
+          Alcotest.test_case "deterministic" `Quick test_ring_determinism;
+          Alcotest.test_case "covers every shard" `Quick test_ring_coverage;
+          Alcotest.test_case "resharding moves a minority" `Quick
+            test_ring_stability;
+          Alcotest.test_case "rejects invalid sizes" `Quick test_ring_invalid;
+          Alcotest.test_case "fingerprint is fnv1a64" `Quick
+            test_fingerprint_is_fnv1a64;
+        ] );
+      ( "slice",
+        [
+          Alcotest.test_case "external ids" `Quick test_slice_external_ids;
+          Alcotest.test_case "partition" `Quick test_slice_partition;
+          Alcotest.test_case "composes" `Quick test_slice_composes;
+          Alcotest.test_case "inherits interest" `Quick
+            test_slice_inherits_interest;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "verb of query" `Quick test_verb_of_query;
+          Alcotest.test_case "list sorts and dedups" `Quick
+            test_merge_list_sorts_and_dedups;
+          Alcotest.test_case "top-k support tie-break" `Quick
+            test_merge_top_k_support;
+          Alcotest.test_case "top-k interest" `Quick test_merge_top_k_interest;
+          Alcotest.test_case "propagates first error" `Quick
+            test_merge_propagates_first_error;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_merge_rejects_malformed;
+        ] );
+      ( "equivalence",
+        Alcotest.test_case "interest identical across shard counts" `Quick
+          test_interest_merge_identity
+        :: qsuite [ sharding_equivalence_prop ] );
+      ( "router",
+        [
+          Alcotest.test_case "verbs and tags" `Quick test_router_verbs_and_tags;
+          Alcotest.test_case "failover: kill one replica, zero errors" `Quick
+            test_router_failover_zero_errors;
+          Alcotest.test_case "whole shard dead answers UNAVAILABLE" `Quick
+            test_router_all_dead_unavailable;
+          Alcotest.test_case "OVERLOADED replies fail over" `Quick
+            test_router_overloaded_failover;
+          Alcotest.test_case "hedging beats a slow replica" `Quick
+            test_router_hedges_past_slow_replica;
+          Alcotest.test_case "rolling reload walks every replica" `Quick
+            test_rolling_reload_walks_every_replica;
+        ] );
+    ]

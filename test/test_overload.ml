@@ -131,6 +131,43 @@ let test_window_percentile () =
   check (Alcotest.float 1e-9) "p100 is max" 100.0
     (Limiter.Window.percentile w 100.0)
 
+let test_window_single_sample () =
+  let w = Limiter.Window.create ~capacity:8 in
+  Limiter.Window.observe w 42.0;
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "p%.0f of one sample is the sample" q)
+        42.0
+        (Limiter.Window.percentile w q))
+    [ 1.0; 50.0; 95.0; 99.0; 100.0 ];
+  check int "count" 1 (Limiter.Window.count w);
+  check (Alcotest.float 1e-9) "max" 42.0 (Limiter.Window.max_value w)
+
+let test_window_wraparound_percentiles () =
+  (* capacity 5, 7 observations: the ring wrapped, only 3..7 remain —
+     every percentile must be computed over the surviving window, in
+     sorted order regardless of ring position *)
+  let w = Limiter.Window.create ~capacity:5 in
+  for i = 1 to 7 do
+    Limiter.Window.observe w (float_of_int i)
+  done;
+  check int "count capped at capacity" 5 (Limiter.Window.count w);
+  check int "total keeps history" 7 (Limiter.Window.total w);
+  (* nearest-rank over [3;4;5;6;7]: rank = ceil(q/100 * 5) *)
+  List.iter
+    (fun (q, expect) ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "p%.0f after wrap" q)
+        expect
+        (Limiter.Window.percentile w q))
+    [ (1.0, 3.0); (20.0, 3.0); (40.0, 4.0); (50.0, 5.0); (95.0, 7.0);
+      (100.0, 7.0) ];
+  (* exactly one more wrap step drops the oldest survivor *)
+  Limiter.Window.observe w 8.0;
+  check (Alcotest.float 1e-9) "oldest forgotten" 4.0
+    (Limiter.Window.percentile w 1.0)
+
 let test_window_slides () =
   let w = Limiter.Window.create ~capacity:4 in
   for i = 1 to 8 do
@@ -143,6 +180,37 @@ let test_window_slides () =
     (Limiter.Window.percentile w 1.0);
   check (Alcotest.float 1e-9) "max over window" 8.0
     (Limiter.Window.max_value w)
+
+let test_breaker_half_open_retrip () =
+  let clock, advance = vclock () in
+  let b =
+    Limiter.Breaker.create ~clock ~window:8 ~min_samples:3 ~failure_ratio:0.5
+      ~cooldown_s:1.0 ()
+  in
+  Limiter.Breaker.record b ~ok:false;
+  Limiter.Breaker.record b ~ok:false;
+  Limiter.Breaker.record b ~ok:false;
+  check bool "tripped" true (Limiter.Breaker.state b = Limiter.Breaker.Open);
+  advance 1.1;
+  check bool "half-open" true
+    (Limiter.Breaker.state b = Limiter.Breaker.Half_open);
+  check bool "probe allowed" true (Limiter.Breaker.allow b);
+  Limiter.Breaker.record b ~ok:true;
+  check bool "good probe closes" true
+    (Limiter.Breaker.state b = Limiter.Breaker.Closed);
+  (* recovery cleared the window: re-tripping needs min_samples FRESH
+     failures, two are not enough *)
+  Limiter.Breaker.record b ~ok:false;
+  Limiter.Breaker.record b ~ok:false;
+  check bool "stale history cannot re-trip" true
+    (Limiter.Breaker.state b = Limiter.Breaker.Closed);
+  Limiter.Breaker.record b ~ok:false;
+  check bool "third fresh failure re-trips" true
+    (Limiter.Breaker.state b = Limiter.Breaker.Open);
+  check bool "re-trip sheds again" false (Limiter.Breaker.allow b);
+  advance 1.1;
+  check bool "and cools down again" true
+    (Limiter.Breaker.state b = Limiter.Breaker.Half_open)
 
 (* --- Admission -------------------------------------------------------------- *)
 
@@ -844,7 +912,13 @@ let () =
             test_breaker_trip_and_recover;
           Alcotest.test_case "breaker failed probe reopens" `Quick
             test_breaker_failed_probe_reopens;
+          Alcotest.test_case "breaker half-open re-trip" `Quick
+            test_breaker_half_open_retrip;
           Alcotest.test_case "window percentile" `Quick test_window_percentile;
+          Alcotest.test_case "window single sample" `Quick
+            test_window_single_sample;
+          Alcotest.test_case "window wrap-around" `Quick
+            test_window_wraparound_percentiles;
           Alcotest.test_case "window slides" `Quick test_window_slides;
         ] );
       ( "admission",
