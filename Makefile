@@ -1,4 +1,5 @@
-.PHONY: all build test check bench examples lint chaos soak cluster-smoke clean
+.PHONY: all build test check bench examples lint analyze chaos soak \
+        cluster-smoke clean
 
 all: build
 
@@ -15,6 +16,7 @@ check:
 	dune runtest
 	$(MAKE) examples
 	$(MAKE) lint
+	$(MAKE) analyze
 
 # strict warnings-as-errors build, plus tsg-lint over the committed
 # example artifacts (must be finding-free)
@@ -24,6 +26,14 @@ lint:
 	  --taxonomy examples/data/demo.tax \
 	  --db examples/data/demo.db \
 	  --patterns examples/data/demo.pat
+
+# static analysis over our own typed trees: domain-safety, determinism,
+# IO and registry rules (DOM/DET/IO1/REG, catalog in DESIGN.md). Must be
+# finding-free; the allowlist is committed and deliberately empty.
+analyze:
+	dune build @check
+	dune exec -- tsg-analyze --strict --allowlist analyze.allow
+	scripts/rule_catalog_check.sh
 
 examples:
 	@for e in quickstart pathway_mining chemical_mining taxonomy_explore \

@@ -15,7 +15,7 @@ module Lint = Tsg_check.Lint
 
 open Cmdliner
 
-let run tax_path dbs patterns suppress machine stats deep strict quiet =
+let run tax_path dbs patterns suppress machine fmt stats deep strict quiet =
   if tax_path = None && dbs = [] && patterns = [] then begin
     prerr_endline
       "tsg-lint: nothing to check (give --taxonomy, --db or --patterns)";
@@ -25,7 +25,12 @@ let run tax_path dbs patterns suppress machine stats deep strict quiet =
   let result =
     Lint.run c ?taxonomy:tax_path ~dbs ~patterns ~stats ~deep ()
   in
-  Diagnostic.print ~machine stdout c;
+  let fmt =
+    match fmt with
+    | Some f -> f
+    | None -> if machine then Diagnostic.Machine else Diagnostic.Text
+  in
+  Diagnostic.print ~format:fmt stdout c;
   if not quiet then begin
     let checked =
       (match tax_path with Some _ -> [ "1 taxonomy" ] | None -> [])
@@ -72,7 +77,38 @@ let machine_arg =
   Arg.(
     value & flag
     & info [ "machine" ]
-        ~doc:"Tab-separated output: file, line, severity, rule, message.")
+        ~doc:
+          "Tab-separated output: file, line, severity, rule, message \
+           (alias for $(b,--format machine)).")
+
+let format_arg =
+  let fmt_conv =
+    let parse s =
+      match Diagnostic.format_of_string s with
+      | Some f -> Ok f
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown format %S (expected text, machine or json)"
+               s))
+    in
+    let print ppf f =
+      Format.pp_print_string ppf
+        (match f with
+        | Diagnostic.Text -> "text"
+        | Diagnostic.Machine -> "machine"
+        | Diagnostic.Json -> "json")
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some fmt_conv) None
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,text) (file:line: severity [RULE] message), \
+           $(b,machine) (tab-separated), or $(b,json). Overrides \
+           $(b,--machine).")
 
 let stats_arg =
   Arg.(
@@ -106,6 +142,6 @@ let cmd =
     (Cmd.info "tsg-lint" ~doc)
     Term.(
       const run $ tax_arg $ db_arg $ patterns_arg $ suppress_arg $ machine_arg
-      $ stats_arg $ deep_arg $ strict_arg $ quiet_arg)
+      $ format_arg $ stats_arg $ deep_arg $ strict_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,70 @@
+module Diagnostic = Tsg_util.Diagnostic
+
+type unit_info = {
+  modname : string;
+  source : string;
+  imports : string list;
+  structure : Typedtree.structure;
+  cmt_path : string;
+}
+
+let rec walk acc path =
+  match Sys.is_directory path with
+  | true ->
+    Array.fold_left
+      (fun acc entry -> walk acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  | false ->
+    if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+let discover roots =
+  List.sort compare (List.fold_left walk [] roots)
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+    Error
+      (Printf.sprintf "%s: %s" path
+         (match exn with
+         | Sys_error msg -> msg
+         | Cmi_format.Error _ | Failure _ ->
+           "not a cmt file from this compiler"
+         | exn -> Printexc.to_string exn))
+  | cmt -> (
+    let source = Option.value ~default:"" cmt.Cmt_format.cmt_sourcefile in
+    (* dune's wrapped-library alias units are generated (`foo.ml-gen`);
+       they contain no user code and would only add noise *)
+    if Filename.check_suffix source "-gen" then Ok None
+    else
+      match cmt.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation structure ->
+        Ok
+          (Some
+             {
+               modname = cmt.Cmt_format.cmt_modname;
+               source =
+                 (if source = "" then Filename.basename path else source);
+               imports = List.map fst cmt.Cmt_format.cmt_imports;
+               structure;
+               cmt_path = path;
+             })
+      | _ -> Ok None)
+
+let load_all c paths =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun path ->
+      match load path with
+      | Error msg ->
+        Diagnostic.emitf c ~file:path ~rule:"ANA002" Diagnostic.Warning
+          "cannot read typed tree: %s" msg;
+        None
+      | Ok None -> None
+      | Ok (Some info) ->
+        if Hashtbl.mem seen info.modname then None
+        else begin
+          Hashtbl.add seen info.modname ();
+          Some info
+        end)
+    paths

@@ -1,0 +1,35 @@
+(** Loading the project's own typed trees.
+
+    [tsg-analyze] works on the [.cmt] binary annotation files the
+    compiler emits next to every compiled unit (dune's [@check] alias
+    builds them without linking). Each readable implementation unit
+    becomes a {!unit_info}: the typed tree plus the unit's name and
+    import list, which {!Analyze} uses for cross-module taint
+    propagation. *)
+
+type unit_info = {
+  modname : string;  (** compilation unit name, e.g. ["Tsg_util__Fault"] *)
+  source : string;
+      (** source path as recorded at compile time, e.g.
+          ["lib/util/fault.ml"] — used for finding locations *)
+  imports : string list;  (** unit names this unit depends on *)
+  structure : Typedtree.structure;
+  cmt_path : string;  (** the [.cmt] file the unit was read from *)
+}
+
+val discover : string list -> string list
+(** [discover roots] walks each existing root directory recursively and
+    returns every [*.cmt] path found, sorted. A root that is itself a
+    [.cmt] file is returned as is; missing roots are skipped. *)
+
+val load : string -> (unit_info option, string) result
+(** Read one [.cmt]. [Ok None] when the file is not an implementation
+    unit worth analyzing: an interface-only or packed unit, or a
+    dune-generated module-alias unit (source ["*.ml-gen"]). [Error msg]
+    when the file is unreadable or from an incompatible compiler. *)
+
+val load_all :
+  Tsg_util.Diagnostic.collector -> string list -> unit_info list
+(** Load every path, emitting [ANA002] for unreadable files, skipping
+    non-implementations, and keeping the first occurrence of each unit
+    name (paths are processed in the given order). *)

@@ -34,3 +34,6 @@ let save path ?name ?node_labels ?edge_labels g =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (graph ?name ?node_labels ?edge_labels g))
+[@@tsg.allow "IO101"
+  "dot renderings are disposable visualisation output, not pipeline \
+   artifacts: a torn write costs a re-render, never a corrupt input"]

@@ -195,10 +195,13 @@ let build_ids ~labels ~is_a =
       Hashtbl.replace groups rep (r :: existing))
     root_ids0;
   let multi_groups =
+    (* sort: the synthetic <root:k> names must not depend on the hash
+       order the union-find representatives happen to land in *)
     Hashtbl.fold
       (fun _ members acc ->
-        match members with [] | [ _ ] -> acc | ms -> ms :: acc)
+        match members with [] | [ _ ] -> acc | ms -> List.rev ms :: acc)
       groups []
+    |> List.sort compare
   in
   let extra_edges = ref [] in
   List.iteri

@@ -36,3 +36,6 @@ let save path ?name ?highlight t =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (render ?name ?highlight t))
+[@@tsg.allow "IO101"
+  "dot renderings are disposable visualisation output, not pipeline \
+   artifacts: a torn write costs a re-render, never a corrupt input"]

@@ -18,11 +18,9 @@ let to_string t =
   done;
   Buffer.contents buf
 
-let save path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+(* .tax artifacts are inputs to every downstream stage: write them
+   atomically so a crash mid-save cannot leave a truncated taxonomy *)
+let save path t = Tsg_util.Safe_io.write_atomic path (to_string t)
 
 exception Parse_error of Diagnostic.t
 

@@ -48,6 +48,32 @@ let to_machine t =
     (severity_to_string t.severity)
     t.rule (no_tabs t.message)
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let quoted s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let opt_string = function Some s -> quoted s | None -> "null" in
+  let opt_int = function Some i -> string_of_int i | None -> "null" in
+  Printf.sprintf
+    "{\"file\":%s,\"line\":%s,\"severity\":%s,\"rule\":%s,\"message\":%s}"
+    (opt_string t.file) (opt_int t.line)
+    (quoted (severity_to_string t.severity))
+    (quoted t.rule) (quoted t.message)
+
 let compare a b =
   let c = compare a.file b.file in
   if c <> 0 then c
@@ -112,9 +138,36 @@ let max_severity c =
 
 let exit_code c = if c.errors > 0 then 2 else if c.warnings > 0 then 1 else 0
 
-let print ?(machine = false) oc c =
-  let render = if machine then to_machine else to_string in
-  List.iter (fun t -> output_string oc (render t ^ "\n")) (items c)
+type format = Text | Machine | Json
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "machine" -> Some Machine
+  | "json" -> Some Json
+  | _ -> None
+
+let print_json oc c =
+  output_string oc "{\"findings\":[";
+  List.iteri
+    (fun i t ->
+      if i > 0 then output_string oc ",";
+      output_string oc (to_json t))
+    (items c);
+  Printf.fprintf oc
+    "],\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"suppressed\":%d}\n"
+    c.errors c.warnings c.infos c.suppressed
+
+let print ?(machine = false) ?format oc c =
+  let format =
+    match format with
+    | Some f -> f
+    | None -> if machine then Machine else Text
+  in
+  match format with
+  | Json -> print_json oc c
+  | Text | Machine ->
+    let render = if format = Machine then to_machine else to_string in
+    List.iter (fun t -> output_string oc (render t ^ "\n")) (items c)
 
 let summary c =
   if c.errors = 0 && c.warnings = 0 && c.infos = 0 then "no findings"
@@ -127,3 +180,93 @@ let summary c =
     in
     String.concat ", " parts
   end
+
+module Registry = struct
+  type entry = { code : string; default_severity : severity; summary : string }
+
+  let e code default_severity summary = { code; default_severity; summary }
+
+  (* Every rule code any tool in this repository may emit, in catalog
+     order. scripts/rule_catalog_check.sh diffs this list against the
+     README/DESIGN catalogs, and tsg-analyze's REG001 flags code-shaped
+     string literals that are missing from it. *)
+  let rules =
+    [
+      (* tsg-lint: taxonomy artifact passes *)
+      e "TAX001" Error "duplicate concept declaration";
+      e "TAX002" Error "is-a references an undeclared concept";
+      e "TAX003" Error "self is-a";
+      e "TAX004" Error "duplicate is-a edge";
+      e "TAX005" Error "is-a cycle";
+      e "TAX006" Info "multiple roots";
+      e "TAX007" Warning "isolated concept";
+      e "TAX008" Info "taxonomy statistics";
+      e "TAX009" Error "taxonomy syntax error";
+      (* tsg-lint: graph database passes *)
+      e "DB001" Error "bad or duplicate node index";
+      e "DB002" Error "edge endpoint references a missing node";
+      e "DB003" Error "self-loop";
+      e "DB004" Error "duplicate edge";
+      e "DB005" Error "node label not declared in the taxonomy";
+      e "DB006" Warning "empty graph";
+      e "DB007" Error "database syntax error";
+      e "DB008" Info "database statistics";
+      (* tsg-lint: pattern-set passes *)
+      e "PAT001" Error "disconnected pattern graph";
+      e "PAT002" Error "node numbering not canonical";
+      e "PAT003" Error "duplicate pattern";
+      e "PAT004" Error "support monotonicity violation";
+      e "PAT005" Warning "over-generalized residue";
+      e "PAT006" Error "support denominators disagree";
+      e "PAT007" Error "pattern label not declared in the taxonomy";
+      e "PAT008" Info "pattern-set statistics";
+      e "PAT009" Error "pattern syntax error";
+      (* tsg-lint: cross-artifact passes *)
+      e "X001" Warning "pattern label matches no database label";
+      e "X002" Error "query store disagrees with the pattern set";
+      e "X003" Error "recorded support differs from recomputed support";
+      e "IO001" Error "file unreadable";
+      (* runtime: pool supervision, checkpoints, faults, serving *)
+      e "POOL001" Error "supervised task exhausted its retry budget";
+      e "POOL002" Error "supervised task exceeded its deadline";
+      e "CKPT001" Error "corrupt checkpoint snapshot";
+      e "CKPT002" Error "checkpoint does not match this run";
+      e "FLT001" Error "injected fault";
+      e "SRV001" Error "bad bind address";
+      e "SRV002" Error "artifact reload failed, engine rolled back";
+      e "SRV003" Error "artifact reload unstable, engine rolled back";
+      (* tsg-analyze: domain-safety and determinism passes *)
+      e "DOM001" Error
+        "unguarded toplevel mutable state reachable from pool domains";
+      e "DOM002" Error "Lazy value in domain-executed code";
+      e "DET001" Error "Hashtbl iteration order flows into output";
+      e "DET002" Error "ambient Random state in library code";
+      e "IO101" Error "artifact write bypasses Safe_io";
+      e "REG001" Error "code used but absent from the central registry";
+      e "ANA001" Error "malformed tsg.allow suppression attribute";
+      e "ANA002" Warning "unreadable cmt file";
+      e "ANA003" Warning "stale allowlist entry";
+    ]
+
+  (* Stable wire codes of the serving protocol's `error <CODE> <msg>`
+     replies (Tsg_query.Protocol.code_string, matched by the router's
+     failover logic and tsg-blast's accounting). *)
+  let protocol_errors =
+    [
+      ("BADREQ", "unparseable request");
+      ("OVERSIZED", "request exceeds the line-size bound");
+      ("DEADLINE", "request missed its deadline");
+      ("OVERLOADED", "shed by admission control");
+      ("UNAVAILABLE", "degraded below this verb, or breaker open");
+      ("FAULT", "injected fault surfaced to the client");
+      ("INTERNAL", "unexpected server error");
+      ("RELOAD", "artifact reload failed");
+    ]
+
+  let find code = List.find_opt (fun entry -> entry.code = code) rules
+
+  let is_rule code = find code <> None
+
+  let is_protocol_error code =
+    List.mem_assoc code protocol_errors
+end

@@ -47,6 +47,10 @@ val to_machine : t -> string
 (** Tab-separated [file line severity rule message] with ["-"] for absent
     location parts; one line, for toolchain consumption. *)
 
+val to_json : t -> string
+(** One JSON object [{"file":…,"line":…,"severity":…,"rule":…,"message":…}]
+    with [null] for absent location parts; strings are escaped. *)
+
 val compare : t -> t -> int
 (** Orders by file, then line, then rule, then message. *)
 
@@ -91,9 +95,44 @@ val exit_code : collector -> int
 (** The lint exit convention: [2] with errors, [1] with warnings (but no
     errors), [0] otherwise — infos never affect the code. *)
 
-val print : ?machine:bool -> out_channel -> collector -> unit
-(** One finding per line ({!to_string}, or {!to_machine} when
-    [machine]). *)
+type format = Text | Machine | Json
+(** Output renderings shared by the CLI tools' [--format] option. *)
+
+val format_of_string : string -> format option
+(** Parses ["text"], ["machine"], ["json"]. *)
+
+val print : ?machine:bool -> ?format:format -> out_channel -> collector -> unit
+(** One finding per line ({!to_string}; {!to_machine} when [machine] or
+    [~format:Machine]), or one JSON document under [~format:Json].
+    [format] wins over the legacy [machine] flag. *)
+
+val print_json : out_channel -> collector -> unit
+(** The whole collector as one JSON document:
+    [{"findings":[…],"errors":n,"warnings":n,"infos":n,"suppressed":n}]. *)
 
 val summary : collector -> string
 (** E.g. ["2 errors, 1 warning"]; ["no findings"] when empty. *)
+
+(** {1 The central code registry}
+
+    One authoritative list of every stable code the toolchain can emit:
+    diagnostic rule codes (lint, analyzer, runtime supervision) and the
+    serving protocol's error codes. [tsg-analyze]'s REG001 pass flags
+    code-shaped literals used in the source but absent here, and
+    [scripts/rule_catalog_check.sh] diffs this registry against the
+    README/DESIGN catalogs. *)
+module Registry : sig
+  type entry = { code : string; default_severity : severity; summary : string }
+
+  val rules : entry list
+  (** All diagnostic rule codes, in catalog order. *)
+
+  val protocol_errors : (string * string) list
+  (** Stable [error <CODE> …] wire codes with one-line summaries. *)
+
+  val find : string -> entry option
+
+  val is_rule : string -> bool
+
+  val is_protocol_error : string -> bool
+end

@@ -35,18 +35,23 @@ let site_prng seed site =
      how other sites interleave across domains *)
   Prng.create (Int64.add seed (Int64.of_int (Hashtbl.hash site)))
 
-let configure ?(seed = default_seed) schedule =
+(* every table access goes through [locked]: the lock must not leak if a
+   trigger's PRNG or a table operation raises mid-section *)
+let locked f =
   Mutex.lock lock;
-  Hashtbl.reset sites;
-  Hashtbl.reset bystanders;
-  List.iter
-    (fun (site, trigger) ->
-      Hashtbl.replace sites site
-        { trigger; prng = site_prng seed site; hits = 0; fired = 0;
-          spent = false })
-    schedule;
-  Atomic.set armed_flag (Hashtbl.length sites > 0);
-  Mutex.unlock lock
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let configure ?(seed = default_seed) schedule =
+  locked (fun () ->
+      Hashtbl.reset sites;
+      Hashtbl.reset bystanders;
+      List.iter
+        (fun (site, trigger) ->
+          Hashtbl.replace sites site
+            { trigger; prng = site_prng seed site; hits = 0; fired = 0;
+              spent = false })
+        schedule;
+      Atomic.set armed_flag (Hashtbl.length sites > 0))
 
 let clear () = configure []
 
@@ -110,37 +115,36 @@ let configure_from_env () =
 
 (* the armed path: count the hit, decide under the lock, raise outside it *)
 let slow_path site =
-  Mutex.lock lock;
   let verdict =
-    match Hashtbl.find_opt sites site with
-    | None ->
-      Hashtbl.replace bystanders site
-        (1 + Option.value ~default:0 (Hashtbl.find_opt bystanders site));
-      None
-    | Some st ->
-      st.hits <- st.hits + 1;
-      let fire =
-        (not st.spent)
-        &&
-        match st.trigger with
-        | Probability p -> p > 0.0 && Prng.bernoulli st.prng p
-        | Once ->
-          st.spent <- true;
-          true
-        | On_hit n ->
-          if st.hits = n then begin
-            st.spent <- true;
-            true
+    locked (fun () ->
+        match Hashtbl.find_opt sites site with
+        | None ->
+          Hashtbl.replace bystanders site
+            (1 + Option.value ~default:0 (Hashtbl.find_opt bystanders site));
+          None
+        | Some st ->
+          st.hits <- st.hits + 1;
+          let fire =
+            (not st.spent)
+            &&
+            match st.trigger with
+            | Probability p -> p > 0.0 && Prng.bernoulli st.prng p
+            | Once ->
+              st.spent <- true;
+              true
+            | On_hit n ->
+              if st.hits = n then begin
+                st.spent <- true;
+                true
+              end
+              else false
+          in
+          if fire then begin
+            st.fired <- st.fired + 1;
+            Some st.hits
           end
-          else false
-      in
-      if fire then begin
-        st.fired <- st.fired + 1;
-        Some st.hits
-      end
-      else None
+          else None)
   in
-  Mutex.unlock lock;
   match verdict with
   | None -> ()
   | Some hit -> raise (Injected { site; hit })
@@ -148,22 +152,14 @@ let slow_path site =
 let inject site = if Atomic.get armed_flag then slow_path site
 
 let hit_count site =
-  Mutex.lock lock;
-  let n =
-    match Hashtbl.find_opt sites site with
-    | Some st -> st.hits
-    | None -> Option.value ~default:0 (Hashtbl.find_opt bystanders site)
-  in
-  Mutex.unlock lock;
-  n
+  locked (fun () ->
+      match Hashtbl.find_opt sites site with
+      | Some st -> st.hits
+      | None -> Option.value ~default:0 (Hashtbl.find_opt bystanders site))
 
 let fired_count site =
-  Mutex.lock lock;
-  let n =
-    match Hashtbl.find_opt sites site with Some st -> st.fired | None -> 0
-  in
-  Mutex.unlock lock;
-  n
+  locked (fun () ->
+      match Hashtbl.find_opt sites site with Some st -> st.fired | None -> 0)
 
 let diagnostic ?file = function
   | Injected { site; hit } ->

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Registry <-> documentation consistency.
+#
+# The single source of truth for diagnostic rule codes and protocol
+# error codes is Tsg_util.Diagnostic.Registry, surfaced by
+# `tsg-analyze --list-rules`. This script fails when:
+#   - a registered rule code is missing from the DESIGN.md catalog,
+#   - a tsg-analyze rule (DOM/DET/IO1/REG/ANA) is missing from README.md,
+#   - a registered protocol error code is missing from DESIGN.md,
+#   - README.md or DESIGN.md mentions a rule-shaped code the registry
+#     does not know (stale docs or a typo).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+listing=$(dune exec -- tsg-analyze --list-rules)
+codes=$(echo "$listing" | awk '/^Rules/{s=1;next} /^Protocol/{s=0} s&&NF{print $1}')
+proto=$(echo "$listing" | awk '/^Protocol/{s=1;next} s&&NF{print $1}')
+
+fail=0
+
+for c in $codes; do
+  if ! grep -q "$c" DESIGN.md; then
+    echo "rule $c is registered but missing from the DESIGN.md catalog" >&2
+    fail=1
+  fi
+done
+
+for c in $(echo "$codes" | grep -E '^(DOM|DET|IO1|REG|ANA)' || true); do
+  if ! grep -q "$c" README.md; then
+    echo "tsg-analyze rule $c is missing from the README.md rule table" >&2
+    fail=1
+  fi
+done
+
+for c in $proto; do
+  if ! grep -q "$c" DESIGN.md; then
+    echo "protocol error code $c is missing from DESIGN.md" >&2
+    fail=1
+  fi
+done
+
+doc_codes=$(grep -ohE '\b[A-Z]{1,6}[0-9]{3}\b' README.md DESIGN.md | sort -u)
+for c in $doc_codes; do
+  if ! echo "$codes" | grep -qx "$c"; then
+    echo "documented code $c is not in Diagnostic.Registry" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "rule catalog: registry and docs agree" \
+    "($(echo "$codes" | wc -l) rules, $(echo "$proto" | wc -l) protocol codes)"
+fi
+exit $fail
