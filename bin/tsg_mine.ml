@@ -152,11 +152,11 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
           (fun path -> { Taxogram.path; every_s = checkpoint_every })
           checkpoint_path
       in
+      let spec =
+        Taxogram.Spec.collect ~config ~domains ?checkpoint ~supervised ()
+      in
       let r =
-        try
-          Taxogram.run ~config ~domains ?checkpoint ~supervised ~sink:`Collect
-            taxonomy db
-        with
+        try Taxogram.run spec taxonomy db with
         | Tsg_core.Checkpoint.Error d ->
           Printf.eprintf "tsg-mine: %s\n" (Diagnostic.to_string d);
           exit 2
@@ -179,7 +179,7 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
         prerr_endline
           "tsg-mine: run stopped early; reporting the completed prefix"
       end;
-      (r.Taxogram.patterns, r.Taxogram.total_seconds)
+      (r.Taxogram.patterns, r.Taxogram.total_wall_seconds)
     | Alg_tacgm ->
       let r = Tacgm.run ?max_edges ~min_support:support taxonomy db in
       (match r.Tacgm.outcome with

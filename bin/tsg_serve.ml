@@ -125,6 +125,9 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
     (Store.db_size store) cache domains;
   let metrics = Metrics.create () in
   let engine = Engine.create ~cache_capacity:cache ~metrics store in
+  (* one executor for the process: --domains (or TSG_DOMAINS, read once in
+     the cmdliner default) is pinned here and survives hot reloads *)
+  let exec = Tsg_util.Pool.Exec.create ~domains () in
   let limits = limits_of timeout max_bytes in
   (* the admission gate: always on in --listen mode (the ladder obeys
      --degrade), opt-in for file/stdin serving, where a bulk request file
@@ -207,7 +210,7 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
       in
       let reload = { Serve.reload_paths = patterns; reload_build } in
       let lo =
-        Serve.listen ~limits ~max_conns ~bind_addr ?admission ?checksum
+        Serve.listen ~exec ~limits ~max_conns ~bind_addr ?admission ?checksum
           ~reload ~reload_poll
           ~on_listen:(fun p ->
             Printf.eprintf "tsg-serve: listening on %s:%d\n%!"
@@ -223,7 +226,7 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
       let checksum () = checksum in
       let client = Option.map Admission.client admission in
       let serve ic =
-        Serve.run ~domains ~limits ?admission ?client ~checksum ~engine
+        Serve.run ~exec ~limits ?admission ?client ~checksum ~engine
           ~edge_labels ic stdout
       in
       match requests with

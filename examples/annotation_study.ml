@@ -65,12 +65,12 @@ let () =
   (* 2. mine on all cores (the pool defaults to TSG_DOMAINS, else the
      machine's recommended domain count capped at 8) *)
   let config = { Taxogram.default_config with min_support = 0.25 } in
-  let result = Taxogram.run ~config ~sink:`Collect taxonomy db in
+  let result = Taxogram.run (Taxogram.Spec.collect ~config ()) taxonomy db in
   Printf.printf
     "mined %d patterns from %d classes in %.2fs (%d occurrence-set \
      intersections)\n"
     result.Taxogram.pattern_count result.Taxogram.class_count
-    result.Taxogram.total_seconds
+    result.Taxogram.total_wall_seconds
     result.Taxogram.spec_stats.Tsg_core.Specialize.intersections;
 
   (* 3. condense: drop patterns subsumed by an equal-support super-pattern *)

@@ -31,9 +31,9 @@ let () =
       let config =
         { Taxogram.default_config with min_support = theta; max_edges = Some 4 }
       in
-      let r = Taxogram.run ~config ~sink:`Collect taxonomy db in
+      let r = Taxogram.run (Taxogram.Spec.collect ~config ()) taxonomy db in
       Printf.printf "%10.2f %10d %10.0f\n" theta r.Taxogram.pattern_count
-        (1000.0 *. r.Taxogram.total_seconds))
+        (1000.0 *. r.Taxogram.total_wall_seconds))
     [ 0.8; 0.6; 0.4 ];
 
   (* fish out patterns that use grouped (non-leaf) labels: these are the
@@ -41,7 +41,7 @@ let () =
   let config =
     { Taxogram.default_config with min_support = 0.1; max_edges = Some 2 }
   in
-  let r = Taxogram.run ~config ~sink:`Collect taxonomy db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config ()) taxonomy db in
   let names = Taxonomy.labels taxonomy in
   let grouped (p : Pattern.t) =
     let g = p.Pattern.graph in

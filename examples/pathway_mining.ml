@@ -41,10 +41,10 @@ let () =
           List.find (fun s -> s.Pathways.name = name) Pathways.table2
         in
         let db = Pathways.generate rng ~taxonomy ~organisms:10 spec in
-        let r = Taxogram.run ~config ~sink:`Collect taxonomy db in
+        let r = Taxogram.run (Taxogram.Spec.collect ~config ()) taxonomy db in
         Printf.printf "%-42s %9d %9.0f %12.2f\n" name
           r.Taxogram.pattern_count
-          (1000.0 *. r.Taxogram.total_seconds)
+          (1000.0 *. r.Taxogram.total_wall_seconds)
           (Pathways.conservation spec);
         (name, r))
       selected

@@ -52,7 +52,7 @@ let () =
   (* 4. ... while taxonomy-superimposed mining discovers the implicit
      structure, with over-generalized variants already pruned *)
   let config = { Taxogram.default_config with min_support = 1.0 } in
-  let result = Taxogram.run ~config ~sink:`Collect taxonomy db in
+  let result = Taxogram.run (Taxogram.Spec.collect ~config ()) taxonomy db in
   Printf.printf "Taxogram patterns at support 1.0: %d\n"
     result.Taxogram.pattern_count;
   let names = Taxonomy.labels taxonomy in

@@ -68,8 +68,8 @@ let container_tycons = [ "Hashtbl.t"; "Queue.t"; "Buffer.t"; "ref" ]
 
 let scheduler_fns =
   [
-    "Tsg_util.Pool.run";
-    "Tsg_util.Pool.run_supervised";
+    "Tsg_util.Pool.Exec.run";
+    "Tsg_util.Pool.Exec.run_supervised";
     "Tsg_util.Pool.fork";
     "Domain.spawn";
     "Thread.create";

@@ -118,9 +118,8 @@ let mine ?(min_support = 0.2) ?max_arcs
     }
   in
   let out = ref [] in
-  let _ =
-    Taxogram.run ~config ~domains:1 env.taxonomy db
-      ~sink:(`Stream (fun (p : Pattern.t) ->
+  let spec =
+    Taxogram.Spec.stream ~config ~domains:1 (fun (p : Pattern.t) ->
         match decode env p.Pattern.graph with
         | Some dg ->
           out :=
@@ -131,8 +130,9 @@ let mine ?(min_support = 0.2) ?max_arcs
               support_set = p.Pattern.support_set;
             }
             :: !out
-        | None -> ()))
+        | None -> ())
   in
+  let _ = Taxogram.run spec env.taxonomy db in
   List.rev !out
 
 let pp_pattern ~names ppf p =

@@ -170,9 +170,8 @@ let mine ?(min_support = 0.2) ?max_edges ?(enhancements = Specialize.all_on)
     }
   in
   let out = ref [] in
-  let _ =
-    Taxogram.run ~config ~domains:1 env.taxonomy db
-      ~sink:(`Stream (fun (p : Pattern.t) ->
+  let spec =
+    Taxogram.Spec.stream ~config ~domains:1 (fun (p : Pattern.t) ->
         match decode env p.Pattern.graph with
         | Some g ->
           out :=
@@ -183,6 +182,7 @@ let mine ?(min_support = 0.2) ?max_edges ?(enhancements = Specialize.all_on)
               support_set = p.Pattern.support_set;
             }
             :: !out
-        | None -> ()))
+        | None -> ())
   in
+  let _ = Taxogram.run spec env.taxonomy db in
   List.rev !out

@@ -1,6 +1,7 @@
 module Graph = Tsg_graph.Graph
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset
+module Arena = Tsg_util.Arena
 
 type enhancements = {
   child_pruning : bool;
@@ -126,13 +127,20 @@ let enumerate ~taxonomy ~min_support ~enhancements ?stats
       && Tsg_util.Timer.Budget.exceeded budget
     then raise Out_of_time;
     let over_generalized = ref false in
+    (* One arena scratch per recursion level: every candidate's occurrence
+       set is intersected into it in place and, on descent, handed to the
+       recursive call directly — the child level borrows its own scratch,
+       so ours is only overwritten once that call has returned. The
+       steady-state allocation rate of this loop (the dominant one in
+       Step 3) is zero. *)
+    let scratch = Arena.acquire (Bitset.capacity ocs) in
     for pos = 0 to positions - 1 do
       List.iter
         (fun c ->
           let child_set = Option.get (occ_set pos c) in
-          let ocs' = Bitset.inter ocs child_set in
+          Bitset.inter_into ~dst:scratch ocs child_set;
           stats.intersections <- stats.intersections + 1;
-          let support' = Occ_index.distinct_graph_count oi ocs' in
+          let support' = Occ_index.distinct_graph_count oi scratch in
           if support' = support then over_generalized := true;
           let descend =
             pos >= start && support' > 0
@@ -143,11 +151,12 @@ let enumerate ~taxonomy ~min_support ~enhancements ?stats
             labels'.(pos) <- c;
             if not (Hashtbl.mem visited labels') then begin
               Hashtbl.add visited labels' ();
-              visit labels' ocs' support' pos
+              visit labels' scratch support' pos
             end
           end)
         (effective_children pos labels.(pos))
     done;
+    Arena.release scratch;
     if !over_generalized then
       stats.over_generalized <- stats.over_generalized + 1
     else if support >= min_support then emit_pattern labels ocs

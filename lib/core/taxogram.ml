@@ -1,5 +1,6 @@
 module Graph = Tsg_graph.Graph
 module Db = Tsg_graph.Db
+module Label = Tsg_graph.Label
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Bitset = Tsg_util.Bitset
 module Timer = Tsg_util.Timer
@@ -25,10 +26,13 @@ type result = {
   pattern_count : int;
   completed : bool;
   diagnostics : Diagnostic.t list;
-  relabel_seconds : float;
-  mining_seconds : float;
-  enumerate_seconds : float;
-  total_seconds : float;
+  relabel_wall_seconds : float;
+  mining_wall_seconds : float;
+  mining_cpu_seconds : float;
+  enumerate_wall_seconds : float;
+  enumerate_cpu_seconds : float;
+  total_wall_seconds : float;
+  total_cpu_seconds : float;
   spec_stats : Specialize.stats;
   oi_entries : int;
   oi_set_members : int;
@@ -38,6 +42,8 @@ type result = {
 type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
 
 type checkpoint_spec = { path : string; every_s : float }
+
+type class_miner = [ `Gspan | `Level_wise ]
 
 exception Out_of_time_in_mining
 
@@ -63,8 +69,6 @@ let frequent_label_filter taxonomy db ~min_support =
     db;
   fun l -> l >= 0 && l < n && counts.(l) >= min_support
 
-type class_miner = [ `Gspan | `Level_wise ]
-
 let add_stats (dst : Specialize.stats) (s : Specialize.stats) =
   dst.Specialize.intersections <-
     dst.Specialize.intersections + s.Specialize.intersections;
@@ -77,6 +81,68 @@ let keep_label_of config taxonomy db ~min_support =
   if config.enhancements.Specialize.label_prefilter then
     Some (frequent_label_filter taxonomy db ~min_support)
   else None
+
+(* --- the run specification -------------------------------------------- *)
+
+module Spec = struct
+  type nonrec t = {
+    config : config;
+    budget : Timer.Budget.budget;
+    class_miner : class_miner;
+    exec : Pool.Exec.t;
+    checkpoint : checkpoint_spec option;
+    supervised : bool;
+    sink : sink;
+    root_batch : int option;
+    spec_batch : int option;
+  }
+
+  let make ?(config = default_config) ?(budget = Timer.Budget.unlimited)
+      ?(class_miner = `Gspan) ?exec ?domains ?checkpoint ?(supervised = false)
+      ?root_batch ?spec_batch sink =
+    let exec =
+      match exec with Some e -> e | None -> Pool.Exec.create ?domains ()
+    in
+    {
+      config;
+      budget;
+      class_miner;
+      exec;
+      checkpoint;
+      supervised;
+      sink;
+      root_batch;
+      spec_batch;
+    }
+
+  let collect ?config ?budget ?class_miner ?exec ?domains ?checkpoint
+      ?supervised ?root_batch ?spec_batch () =
+    make ?config ?budget ?class_miner ?exec ?domains ?checkpoint ?supervised
+      ?root_batch ?spec_batch `Collect
+
+  let stream ?config ?budget ?class_miner ?exec ?domains ?supervised
+      ?root_batch ?spec_batch emit =
+    make ?config ?budget ?class_miner ?exec ?domains ?supervised ?root_batch
+      ?spec_batch (`Stream emit)
+
+  let domains t = Pool.Exec.domains t.exec
+
+  let with_config config t = { t with config }
+
+  let with_budget budget t = { t with budget }
+
+  let with_class_miner class_miner t = { t with class_miner }
+
+  let with_exec exec t = { t with exec }
+
+  let with_domains d t = { t with exec = Pool.Exec.create ~domains:d () }
+
+  let with_checkpoint checkpoint t = { t with checkpoint }
+
+  let with_supervised supervised t = { t with supervised }
+
+  let with_sink sink t = { t with sink }
+end
 
 (* --- checkpoint plumbing shared by both paths ------------------------- *)
 
@@ -157,11 +223,13 @@ let saver_finish sv ~completed =
    committed at root granularity (a gSpan seed subtree, or one level-wise
    class): under a budgeted [`Collect] run, a root cut short discards its
    partial work so the reported set is always a prefix of the canonical
-   root sequence — the same rule the pool path applies at its join. *)
+   root sequence — the same rule the pool path applies at its join.
+   Sequentially the phases never overlap, so each phase's wall clock and
+   CPU time coincide. *)
 let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
     taxonomy db =
   let total_timer = Timer.start () in
-  let relabeled, relabel_seconds =
+  let relabeled, relabel_wall =
     Timer.time (fun () -> Relabel.db taxonomy db)
   in
   let min_support_count = Db.support_count_to_threshold db config.min_support in
@@ -327,6 +395,7 @@ let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
   in
   (match sv with Some s -> saver_finish s ~completed | None -> ());
   let mining_total = Timer.elapsed_s mining_timer in
+  let mining_seconds = mining_total -. !enumerate_seconds in
   {
     patterns =
       (match sink with
@@ -336,10 +405,13 @@ let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
     pattern_count = !pattern_count;
     completed;
     diagnostics = List.rev !diagnostics;
-    relabel_seconds;
-    mining_seconds = mining_total -. !enumerate_seconds;
-    enumerate_seconds = !enumerate_seconds;
-    total_seconds = Timer.elapsed_s total_timer;
+    relabel_wall_seconds = relabel_wall;
+    mining_wall_seconds = mining_seconds;
+    mining_cpu_seconds = mining_seconds;
+    enumerate_wall_seconds = !enumerate_seconds;
+    enumerate_cpu_seconds = !enumerate_seconds;
+    total_wall_seconds = Timer.elapsed_s total_timer;
+    total_cpu_seconds = relabel_wall +. mining_total;
     spec_stats;
     oi_entries = !oi_entries;
     oi_set_members = !oi_set_members;
@@ -348,25 +420,32 @@ let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
 
 (* --- pool path (domains > 1) ------------------------------------------ *)
 
-(* Every pool task returns one of these; results merge at the join, where
-   bitset unions and stat sums replace any hot-path locking. *)
+(* Every pool task returns a list of these, one per root it processed;
+   results merge at the join, where bitset unions and stat sums replace
+   any hot-path locking. [t_root] ties an outcome to its root directly,
+   so the completed-prefix rule survives root batching (a task id no
+   longer maps 1:1 to a root). *)
 type task_outcome = {
-  t_ok : bool;  (* subtree explored / class enumerated to completion *)
+  t_root : int;
+  t_ok : bool;  (* subtree explored / classes enumerated to completion *)
   t_classes : int;
   t_patterns : Pattern.t list;  (* newest first; spec tasks only *)
   t_stats : Specialize.stats option;
-  t_enum_s : float;
+  t_mine_s : float;  (* step-2 CPU: subtree exploration + OI building *)
+  t_enum_s : float;  (* step-3 CPU: specialization *)
   t_entries : int;
   t_members : int;
   t_covered : Bitset.t option;
 }
 
-let mining_outcome ~ok ~classes ~entries ~members ~covered =
+let mining_outcome ~root ~ok ~classes ~mine_s ~entries ~members ~covered =
   {
+    t_root = root;
     t_ok = ok;
     t_classes = classes;
     t_patterns = [];
     t_stats = None;
+    t_mine_s = mine_s;
     t_enum_s = 0.0;
     t_entries = entries;
     t_members = members;
@@ -374,13 +453,15 @@ let mining_outcome ~ok ~classes ~entries ~members ~covered =
   }
 
 (* stand-in for a quarantined supervised task at the join: not-ok, so the
-   completed-prefix rule cuts the result before its root *)
-let failed_outcome =
+   completed-prefix rule cuts the result before its first root *)
+let failed_outcome ~root =
   {
+    t_root = root;
     t_ok = false;
     t_classes = 0;
     t_patterns = [];
     t_stats = None;
+    t_mine_s = 0.0;
     t_enum_s = 0.0;
     t_entries = 0;
     t_members = 0;
@@ -388,14 +469,14 @@ let failed_outcome =
   }
 
 (* Checkpointing a pool run needs to know when a *root* is done — its
-   mining task and every spec task it forked — while tasks finish in
-   whatever order the schedule produces. One accumulator per root gathers
-   both sides under a lock; the completed-root prefix advances (and
-   snapshots) as accumulators fill in. *)
+   mining work and every specialization class it forked — while tasks
+   finish in whatever order the schedule produces. One accumulator per
+   root gathers both sides under a lock; the completed-root prefix
+   advances (and snapshots) as accumulators fill in. *)
 type root_acc = {
   mutable a_mining_done : bool;
   mutable a_ok : bool;
-  mutable a_forked : int;  (* spec tasks the mining task created *)
+  mutable a_forked : int;  (* spec classes the mining side handed off *)
   mutable a_spec_done : int;
   mutable a_classes : int;
   mutable a_oi_entries : int;
@@ -490,50 +571,94 @@ let make_tracker ckpt ~db_size ~roots_total ~stored ~remaining =
       })
     ckpt
 
-let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
-    taxonomy db =
+(* consecutive chunks of at most [size]; preserves order *)
+let chunk size l =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+      if n = size then go (List.rev cur :: acc) [ x ] 1 tl
+      else go acc (x :: cur) (n + 1) tl
+  in
+  go [] [] 0 l
+
+let run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
+    ~root_batch ~spec_batch taxonomy db =
   let total_timer = Timer.start () in
-  let relabeled, relabel_seconds =
+  let relabeled, relabel_wall =
     Timer.time (fun () -> Relabel.db taxonomy db)
   in
+  (* hand every domain a read-only view of the interned labels: after the
+     freeze, lookups touch only immutable structures, so the hot paths
+     never contend on (or race with) the label table *)
+  Label.freeze (Taxonomy.labels taxonomy);
   let min_support_count = Db.support_count_to_threshold db config.min_support in
   let keep_label =
     keep_label_of config taxonomy db ~min_support:min_support_count
   in
   let db_size = Db.size db in
-  let pool = Pool.create ~domains () in
+  let spec_batch = match spec_batch with Some b -> max 1 b | None -> 4 in
   let emit_mutex = Mutex.create () in
   let stream_classes = Atomic.make 0 in
   let stream_emitted = Atomic.make 0 in
-  (* step-3 work for one occurrence index; forked from mining tasks *)
-  let specialize ~track ~root oi ctx =
+  let mining_timer = Timer.start () in
+  (* step-3 wall-clock span across all domains, in µs since mining start *)
+  let spec_first_us = Atomic.make max_int in
+  let spec_last_us = Atomic.make min_int in
+  let now_us () = int_of_float (Timer.elapsed_s mining_timer *. 1e6) in
+  let atomic_min a v =
+    let rec go () =
+      let c = Atomic.get a in
+      if v < c && not (Atomic.compare_and_set a c v) then go ()
+    in
+    go ()
+  in
+  let atomic_max a v =
+    let rec go () =
+      let c = Atomic.get a in
+      if v > c && not (Atomic.compare_and_set a c v) then go ()
+    in
+    go ()
+  in
+  (* step-3 work for a batch of same-root occurrence indexes; forked from
+     mining tasks once [spec_batch] classes accumulate, so steal traffic
+     amortizes over a batch instead of paying per class *)
+  let specialize_batch ~track ~root ois ctx =
+    atomic_min spec_first_us (now_us ());
     let stats = Specialize.fresh_stats () in
     let acc = ref [] in
     let t = Timer.start () in
     let ok =
-      match
-        Specialize.enumerate ~taxonomy ~min_support:min_support_count
-          ~enhancements:config.enhancements ~stats ~budget oi (fun p ->
-            Pool.check_deadline ctx;
-            match sink with
-            | `Collect -> acc := p :: !acc
-            | `Stream emit ->
-              Atomic.incr stream_emitted;
-              Mutex.lock emit_mutex;
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock emit_mutex)
-                (fun () -> emit p))
-      with
-      | () -> true
-      | exception Specialize.Out_of_time -> false
+      List.fold_left
+        (fun ok oi ->
+          ok
+          && (match
+                Specialize.enumerate ~taxonomy ~min_support:min_support_count
+                  ~enhancements:config.enhancements ~stats ~budget oi (fun p ->
+                    Pool.check_deadline ctx;
+                    match sink with
+                    | `Collect -> acc := p :: !acc
+                    | `Stream emit ->
+                      Atomic.incr stream_emitted;
+                      Mutex.lock emit_mutex;
+                      Fun.protect
+                        ~finally:(fun () -> Mutex.unlock emit_mutex)
+                        (fun () -> emit p))
+              with
+             | () -> true
+             | exception Specialize.Out_of_time -> false))
+        true ois
     in
+    let enum_s = Timer.elapsed_s t in
+    atomic_max spec_last_us (now_us ());
     let o =
       {
+        t_root = root;
         t_ok = ok;
         t_classes = 0;
         t_patterns = !acc;
         t_stats = Some stats;
-        t_enum_s = Timer.elapsed_s t;
+        t_mine_s = 0.0;
+        t_enum_s = enum_s;
         t_entries = 0;
         t_members = 0;
         t_covered = None;
@@ -543,19 +668,18 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
     | Some tk ->
       with_tracker tk (fun () ->
           let a = tk.tk_accs.(root - tk.tk_skip) in
-          a.a_spec_done <- a.a_spec_done + 1;
+          a.a_spec_done <- a.a_spec_done + List.length ois;
           a.a_ok <- a.a_ok && ok;
-          a.a_enum <- a.a_enum +. o.t_enum_s;
+          a.a_enum <- a.a_enum +. enum_s;
           add_stats a.a_stats stats;
           a.a_patterns <- List.rev_append !acc a.a_patterns;
           tracker_advance tk)
     | None -> ());
-    o
+    [ o ]
   in
   (* step-2 work shared by both miners: project one mined class into its
-     occurrence index on this domain, then hand it to a spec worker *)
-  let index_class ~track ~root ~covered ~entries ~members ctx
-      (cp : Gspan.pattern) =
+     occurrence index on this domain *)
+  let index_class ~covered ~entries ~members ctx (cp : Gspan.pattern) =
     Pool.check_deadline ctx;
     Bitset.union_into ~dst:covered covered cp.Gspan.support_set;
     let oi = Occ_index.build ~taxonomy ~original:db ?keep_label cp in
@@ -565,12 +689,17 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
     (match sink with
     | `Stream _ -> Atomic.incr stream_classes
     | `Collect -> ());
-    Pool.fork ctx (specialize ~track ~root oi)
+    oi
   in
   (* run the task list; supervision turns escaped failures into
      diagnostics, an unsupervised crash snapshots progress before
-     propagating *)
-  let run_tasks ~track tasks =
+     propagating. [batch_start] maps a task's first id component back to
+     the first root its batch covers, for quarantined tasks whose
+     outcomes never materialized. *)
+  let run_tasks ~track ~batch_start tasks =
+    let fail_root id =
+      match id with [] -> 0 | b :: _ -> batch_start.(b)
+    in
     if supervised then begin
       let policy =
         match sink with
@@ -579,23 +708,25 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
         | `Stream _ -> { Pool.default_policy with Pool.max_attempts = 1 }
         | `Collect -> Pool.default_policy
       in
-      let res = Pool.run_supervised pool ~policy tasks in
+      let res = Pool.Exec.run_supervised exec ~policy tasks in
       let diags =
         List.filter_map
           (fun (_, r) -> match r with Error d -> Some d | Ok _ -> None)
           res
       in
       let outs =
-        List.map
+        List.concat_map
           (fun (id, r) ->
-            match r with Ok o -> (id, o) | Error _ -> (id, failed_outcome))
+            match r with
+            | Ok os -> os
+            | Error _ -> [ failed_outcome ~root:(fail_root id) ])
           res
       in
       (outs, diags)
     end
     else
-      match Pool.run pool tasks with
-      | outs -> (outs, [])
+      match Pool.Exec.run exec tasks with
+      | outs -> (List.concat_map snd outs, [])
       | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         (match track with
@@ -603,13 +734,13 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
         | None -> ());
         Printexc.raise_with_backtrace e bt
   in
-  let mining_timer = Timer.start () in
-  let mining_wall = Atomic.make 0.0 in
-  let outcomes, diags, skip, stored, track, mining_ok, mining_seconds =
+  let outcomes, diags, stored, track, mining_ok, mining_wall_s,
+      mining_cpu_base =
     match class_miner with
     | `Gspan ->
-      (* each frequent 1-edge DFS-code root is a task; its subtree is
-         explored and indexed on whichever domain runs (or steals) it *)
+      (* frequent 1-edge DFS-code roots are batched into tasks; each
+         batch explores and indexes its subtrees on whichever domain runs
+         (or steals) it, handing off specialization batches as it goes *)
       let subtrees =
         Gspan.mine_tasks ?max_edges:config.max_edges
           ~min_support:min_support_count relabeled
@@ -618,52 +749,91 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
       let stored = stored_entries ckpt ~db_size ~roots_total in
       let skip = List.length stored in
       let remaining = List.filteri (fun i _ -> i >= skip) subtrees in
+      let n_remaining = List.length remaining in
       let track =
-        make_tracker ckpt ~db_size ~roots_total ~stored
-          ~remaining:(List.length remaining)
+        make_tracker ckpt ~db_size ~roots_total ~stored ~remaining:n_remaining
       in
-      let mining_left = Atomic.make (List.length remaining) in
-      let root_task root subtree ctx =
+      let rb =
+        match root_batch with
+        | Some b -> max 1 b
+        | None ->
+          (* ~4 batches per domain: coarse enough to amortize steal
+             traffic, fine enough to balance skewed subtrees *)
+          max 1 (n_remaining / (Pool.Exec.domains exec * 4))
+      in
+      let process_root ctx (root, subtree) =
         Fault.inject "taxogram.root";
+        let t0 = Timer.start () in
         let classes = ref 0 in
         let entries = ref 0 in
         let members = ref 0 in
+        let forked = ref 0 in
         let covered = Bitset.create db_size in
+        let pending = ref [] in
+        let pending_n = ref 0 in
+        let flush () =
+          if !pending_n > 0 then begin
+            let ois = List.rev !pending in
+            forked := !forked + !pending_n;
+            pending := [];
+            pending_n := 0;
+            Pool.fork ctx (specialize_batch ~track ~root ois)
+          end
+        in
         let ok =
           try
             subtree (fun cp ->
                 if Timer.Budget.exceeded budget then
                   raise Out_of_time_in_mining;
                 incr classes;
-                index_class ~track ~root ~covered ~entries ~members ctx cp);
+                let oi = index_class ~covered ~entries ~members ctx cp in
+                pending := oi :: !pending;
+                incr pending_n;
+                if !pending_n >= spec_batch then flush ());
+            flush ();
             true
-          with Out_of_time_in_mining -> false
+          with Out_of_time_in_mining ->
+            (* drop the unforked indexes: the root is cut either way *)
+            pending := [];
+            pending_n := 0;
+            false
         in
-        if Atomic.fetch_and_add mining_left (-1) = 1 then
-          Atomic.set mining_wall (Timer.elapsed_s mining_timer);
+        let mine_s = Timer.elapsed_s t0 in
         (match track with
         | Some tk ->
           with_tracker tk (fun () ->
               let a = tk.tk_accs.(root - tk.tk_skip) in
               a.a_mining_done <- true;
               a.a_ok <- a.a_ok && ok;
-              a.a_forked <- !classes;
+              a.a_forked <- !forked;
               a.a_classes <- !classes;
               a.a_oi_entries <- !entries;
               a.a_oi_members <- !members;
               a.a_covered <- Some covered;
               tracker_advance tk)
         | None -> ());
-        mining_outcome ~ok ~classes:!classes ~entries:!entries
+        mining_outcome ~root ~ok ~classes:!classes ~mine_s ~entries:!entries
           ~members:!members ~covered
       in
-      let tasks = List.mapi (fun p st -> root_task (skip + p) st) remaining in
-      let outcomes, diags = run_tasks ~track tasks in
-      (outcomes, diags, skip, stored, track, true, Atomic.get mining_wall)
+      let batches = chunk rb (List.mapi (fun p st -> (skip + p, st)) remaining) in
+      let batch_start =
+        Array.of_list (List.map (fun b -> fst (List.hd b)) batches)
+      in
+      let mining_left = Atomic.make (List.length batches) in
+      let mining_wall = Atomic.make 0.0 in
+      let batch_task batch ctx =
+        let outs = List.map (process_root ctx) batch in
+        if Atomic.fetch_and_add mining_left (-1) = 1 then
+          Atomic.set mining_wall (Timer.elapsed_s mining_timer);
+        outs
+      in
+      let tasks = List.map batch_task batches in
+      let outcomes, diags = run_tasks ~track ~batch_start tasks in
+      (outcomes, diags, stored, track, true, Atomic.get mining_wall, 0.0)
     | `Level_wise ->
       (* the level-wise miner is inherently breadth-first and sequential;
-         classes stream out of it into per-class pool tasks (index +
-         specialize), so step 3 still fans out across the pool *)
+         classes stream out of it into batched pool tasks (index + hand
+         off specialization), so step 3 still fans out across the pool *)
       let classes = ref [] in
       let mining_ok =
         try
@@ -682,16 +852,23 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
       let stored = stored_entries ckpt ~db_size ~roots_total in
       let skip = List.length stored in
       let remaining = List.filteri (fun i _ -> i >= skip) all_classes in
+      let n_remaining = List.length remaining in
       let track =
-        make_tracker ckpt ~db_size ~roots_total ~stored
-          ~remaining:(List.length remaining)
+        make_tracker ckpt ~db_size ~roots_total ~stored ~remaining:n_remaining
       in
-      let class_task root cp ctx =
+      let rb =
+        match root_batch with
+        | Some b -> max 1 b
+        | None -> max 1 (n_remaining / (Pool.Exec.domains exec * 4))
+      in
+      let process_class ctx (root, cp) =
         Fault.inject "taxogram.root";
+        let t0 = Timer.start () in
         let entries = ref 0 in
         let members = ref 0 in
         let covered = Bitset.create db_size in
-        index_class ~track ~root ~covered ~entries ~members ctx cp;
+        let oi = index_class ~covered ~entries ~members ctx cp in
+        Pool.fork ctx (specialize_batch ~track ~root [ oi ]);
         (match track with
         | Some tk ->
           with_tracker tk (fun () ->
@@ -704,26 +881,31 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
               a.a_covered <- Some covered;
               tracker_advance tk)
         | None -> ());
-        mining_outcome ~ok:true ~classes:1 ~entries:!entries
-          ~members:!members ~covered
+        mining_outcome ~root ~ok:true ~classes:1
+          ~mine_s:(Timer.elapsed_s t0) ~entries:!entries ~members:!members
+          ~covered
       in
-      let tasks = List.mapi (fun p cp -> class_task (skip + p) cp) remaining in
-      let outcomes, diags = run_tasks ~track tasks in
-      (outcomes, diags, skip, stored, track, mining_ok, mining_seconds)
+      let batches = chunk rb (List.mapi (fun p cp -> (skip + p, cp)) remaining) in
+      let batch_start =
+        Array.of_list (List.map (fun b -> fst (List.hd b)) batches)
+      in
+      let batch_task batch ctx = List.map (process_class ctx) batch in
+      let tasks = List.map batch_task batches in
+      let outcomes, diags = run_tasks ~track ~batch_start tasks in
+      (outcomes, diags, stored, track, mining_ok, mining_seconds,
+       mining_seconds)
   in
-  (* the join: results arrive sorted by deterministic task id. A root is
-     complete when its mining task and every spec task it forked finished;
-     only the maximal complete prefix of roots is reported, so what a
-     budgeted [`Collect] run returns is a prefix of the canonical root
-     sequence no matter how work was scheduled or stolen. Task position p
-     maps to root [skip + p] when resuming from a checkpoint. *)
-  let root = function [] -> skip | i :: _ -> skip + i in
+  (* the join: a root is complete when its mining work and every
+     specialization class it handed off finished; only the maximal
+     complete prefix of roots is reported, so what a budgeted [`Collect]
+     run returns is a prefix of the canonical root sequence no matter how
+     work was scheduled, batched, or stolen. *)
   let first_bad =
     List.fold_left
-      (fun acc (id, o) -> if o.t_ok then acc else min acc (root id))
+      (fun acc o -> if o.t_ok then acc else min acc o.t_root)
       max_int outcomes
   in
-  let included = List.filter (fun (id, _) -> root id < first_bad) outcomes in
+  let included = List.filter (fun o -> o.t_root < first_bad) outcomes in
   let completed = mining_ok && first_bad = max_int in
   (match track with
   | Some tk -> with_tracker tk (fun () -> saver_finish tk.tk_sv ~completed)
@@ -732,26 +914,29 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
   let class_count = ref 0 in
   let oi_entries = ref 0 in
   let oi_set_members = ref 0 in
-  let enumerate_seconds = ref 0.0 in
+  let enumerate_cpu = ref 0.0 in
+  let mining_cpu = ref mining_cpu_base in
   let covered = Bitset.create db_size in
   let patterns_rev = ref [] in
-  (* the resumed prefix counts exactly as if mined in this run *)
+  (* the resumed prefix counts exactly as if mined in this run (its
+     mining CPU was spent in the previous run, so it is not re-counted) *)
   List.iter
     (fun (e : Checkpoint.entry) ->
       class_count := !class_count + e.Checkpoint.classes;
       oi_entries := !oi_entries + e.Checkpoint.oi_entries;
       oi_set_members := !oi_set_members + e.Checkpoint.oi_set_members;
-      enumerate_seconds := !enumerate_seconds +. e.Checkpoint.enum_seconds;
+      enumerate_cpu := !enumerate_cpu +. e.Checkpoint.enum_seconds;
       add_stats spec_stats e.Checkpoint.stats;
       Bitset.union_into ~dst:covered covered e.Checkpoint.covered;
       patterns_rev := List.rev_append e.Checkpoint.patterns !patterns_rev)
     stored;
   List.iter
-    (fun (_, o) ->
+    (fun o ->
       class_count := !class_count + o.t_classes;
       oi_entries := !oi_entries + o.t_entries;
       oi_set_members := !oi_set_members + o.t_members;
-      enumerate_seconds := !enumerate_seconds +. o.t_enum_s;
+      enumerate_cpu := !enumerate_cpu +. o.t_enum_s;
+      mining_cpu := !mining_cpu +. o.t_mine_s;
       (match o.t_stats with Some s -> add_stats spec_stats s | None -> ());
       (match o.t_covered with
       | Some c -> Bitset.union_into ~dst:covered covered c
@@ -762,6 +947,10 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
     match sink with
     | `Collect -> Pattern.sort !patterns_rev
     | `Stream _ -> []
+  in
+  let enumerate_wall =
+    let f = Atomic.get spec_first_us and l = Atomic.get spec_last_us in
+    if l > f then float_of_int (l - f) *. 1e-6 else 0.0
   in
   {
     patterns;
@@ -775,10 +964,13 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
       | `Stream _ -> Atomic.get stream_emitted);
     completed;
     diagnostics = diags;
-    relabel_seconds;
-    mining_seconds;
-    enumerate_seconds = !enumerate_seconds;
-    total_seconds = Timer.elapsed_s total_timer;
+    relabel_wall_seconds = relabel_wall;
+    mining_wall_seconds = mining_wall_s;
+    mining_cpu_seconds = !mining_cpu;
+    enumerate_wall_seconds = enumerate_wall;
+    enumerate_cpu_seconds = !enumerate_cpu;
+    total_wall_seconds = Timer.elapsed_s total_timer;
+    total_cpu_seconds = relabel_wall +. !mining_cpu +. !enumerate_cpu;
     spec_stats;
     oi_entries = !oi_entries;
     oi_set_members = !oi_set_members;
@@ -787,18 +979,24 @@ let run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
 
 (* --- the one entry point ---------------------------------------------- *)
 
-let run ?(config = default_config) ?(budget = Timer.Budget.unlimited)
-    ?(class_miner = `Gspan) ?domains ?checkpoint ?(supervised = false) ~sink
-    taxonomy db =
-  let domains =
-    match domains with
-    | Some d -> max 1 d
-    | None -> Pool.default_domains ()
+let run (spec : Spec.t) taxonomy db =
+  let {
+    Spec.config;
+    budget;
+    class_miner;
+    exec;
+    checkpoint;
+    supervised;
+    sink;
+    root_batch;
+    spec_batch;
+  } =
+    spec
   in
   let ckpt =
     match checkpoint with
     | None -> None
-    | Some spec ->
+    | Some cs ->
       (match sink with
       | `Stream _ ->
         invalid_arg "Taxogram.run: checkpointing requires the `Collect sink"
@@ -808,22 +1006,14 @@ let run ?(config = default_config) ?(budget = Timer.Budget.unlimited)
           ~params:(fingerprint_params ~config ~class_miner)
       in
       let loaded =
-        if Sys.file_exists spec.path then Some (Checkpoint.load spec.path)
+        if Sys.file_exists cs.path then Some (Checkpoint.load cs.path)
         else None
       in
-      Some { ck_spec = spec; ck_fp = fp; ck_loaded = loaded }
+      Some { ck_spec = cs; ck_fp = fp; ck_loaded = loaded }
   in
-  if domains = 1 then
+  if Pool.Exec.domains exec = 1 then
     run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
       taxonomy db
   else
-    run_pool ~config ~budget ~class_miner ~domains ~sink ~ckpt ~supervised
-      taxonomy db
-
-(* --- deprecated wrappers ---------------------------------------------- *)
-
-let run_streaming ?config ?budget ?class_miner taxonomy db emit =
-  run ?config ?budget ?class_miner ~domains:1 ~sink:(`Stream emit) taxonomy db
-
-let run_parallel ?config ?domains taxonomy db =
-  run ?config ?domains ~sink:`Collect taxonomy db
+    run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
+      ~root_batch ~spec_batch taxonomy db

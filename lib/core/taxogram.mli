@@ -16,11 +16,14 @@
 
     Beyond the paper (whose implementation was single-threaded Java), Steps
     2 and 3 run end-to-end on a work-stealing pool of OCaml domains
-    ({!Tsg_util.Pool}): each frequent 1-edge DFS-code root of the gSpan
-    search is a task whose rightmost-path extension subtree is explored
-    independently, occurrence indices are built on the mining domains, and
-    each finished class streams straight into a specialization task on the
-    same pool. All of it sits behind the single entry point {!run}. *)
+    ({!Tsg_util.Pool.Exec}): gSpan seed subtrees are batched into mining
+    tasks, occurrence indices are built on the mining domains, and batches
+    of finished classes stream straight into specialization tasks on the
+    same pool. Before the fan-out the run freezes its label tables
+    ({!Tsg_graph.Label.freeze}), handing every domain a read-only snapshot,
+    and per-domain scratch arenas ({!Tsg_util.Arena}) keep the hot bitset
+    loops allocation-free. A run is described by a {!Spec.t} and executed
+    by the single entry point {!run}. *)
 
 type config = {
   min_support : float;  (** the paper's theta, in [0, 1] *)
@@ -47,16 +50,27 @@ type result = {
   diagnostics : Tsg_util.Diagnostic.t list;
       (** supervised-run quarantine records ([POOL001], [POOL002],
           [FLT001]); always empty without [~supervised:true] *)
-  relabel_seconds : float;
-  mining_seconds : float;
-      (** step 2: gSpan + occurrence-index building. With several domains
-          this is the wall-clock from the start of mining until the last
-          mining task finished (specialization may still be running — the
-          phases overlap by design). *)
-  enumerate_seconds : float;
-      (** step 3. With several domains this is CPU time summed across
-          specialization tasks, not wall-clock. *)
-  total_seconds : float;
+  relabel_wall_seconds : float;  (** step 1 (sequential: wall = CPU) *)
+  mining_wall_seconds : float;
+      (** step 2: gSpan + occurrence-index building, wall-clock from the
+          start of mining until the last mining task finished
+          (specialization may still be running — the phases overlap by
+          design) *)
+  mining_cpu_seconds : float;
+      (** step 2 CPU time summed across mining tasks (over the reported
+          roots); equals [mining_wall_seconds] with one domain *)
+  enumerate_wall_seconds : float;
+      (** step 3 wall-clock: first specialization task started to last one
+          finished, across all domains *)
+  enumerate_cpu_seconds : float;
+      (** step 3 CPU time summed across specialization tasks (over the
+          reported roots, including any resumed from a checkpoint);
+          equals [enumerate_wall_seconds] with one domain *)
+  total_wall_seconds : float;
+  total_cpu_seconds : float;
+      (** sum of the per-phase CPU times; with one domain this tracks
+          [total_wall_seconds], with [d] domains it approaches [d] times
+          the wall time when the run scales *)
   spec_stats : Specialize.stats;
   oi_entries : int;
       (** occurrence-index labels built across all classes (Lemma 4's
@@ -72,12 +86,12 @@ type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
 
     [`Collect] gathers them into [result.patterns], canonically sorted
     ({!Pattern.sort}), so the output is byte-identical whatever the domain
-    count or schedule. Under a budget that expires mid-run, the reported
-    set is a prefix of the canonical root-task sequence (a root — one gSpan
-    seed subtree, or one level-wise class — is reported atomically or not
-    at all); how long that prefix is depends on timing, but its content for
-    a given length never does, and an already-expired budget deterministically
-    reports nothing.
+    count, batching, or schedule. Under a budget that expires mid-run, the
+    reported set is a prefix of the canonical root-task sequence (a root —
+    one gSpan seed subtree, or one level-wise class — is reported
+    atomically or not at all); how long that prefix is depends on timing,
+    but its content for a given length never does, and an already-expired
+    budget deterministically reports nothing.
 
     [`Stream f] delivers each pattern to [f] as its class completes and
     leaves [result.patterns] empty; memory stays proportional to the work
@@ -110,69 +124,113 @@ type class_miner = [ `Gspan | `Level_wise ]
     breadth-first, so it mines sequentially while indexing and
     specialization still fan out across the pool. *)
 
-val run :
-  ?config:config ->
-  ?budget:Tsg_util.Timer.Budget.budget ->
-  ?class_miner:class_miner ->
-  ?domains:int ->
-  ?checkpoint:checkpoint_spec ->
-  ?supervised:bool ->
-  sink:sink ->
-  Tsg_taxonomy.Taxonomy.t ->
-  Tsg_graph.Db.t ->
-  result
-(** Mine the database against the taxonomy. Every node label of every graph
-    must be a label of the taxonomy.
+(** A complete description of one mining run: what to mine (config,
+    budget, miner), where patterns go (sink), and how to execute
+    (executor, supervision, checkpointing, batching).
 
-    [domains] (default {!Tsg_util.Pool.default_domains}, which honors the
-    [TSG_DOMAINS] environment variable) sizes the work-stealing pool Steps
-    2 and 3 share. [domains = 1] runs the classic sequential pipeline —
-    one class alive at a time, the paper's Step 2 memory profile. The
-    pattern set and supports are identical across domain counts
-    (property-tested).
+    Build one with {!Spec.collect} or {!Spec.stream} — both resolve every
+    default at construction time, including the executor (so the domain
+    count is decided exactly once, not re-read from the environment by the
+    run) — then adjust with the [with_*] updates or plain record syntax,
+    and hand it to {!run}. One spec can drive many runs; runs sharing a
+    spec share its executor. *)
+module Spec : sig
+  type nonrec t = {
+    config : config;
+    budget : Tsg_util.Timer.Budget.budget;
+    class_miner : class_miner;
+    exec : Tsg_util.Pool.Exec.t;  (** sized executor Steps 2 and 3 share *)
+    checkpoint : checkpoint_spec option;
+    supervised : bool;
+    sink : sink;
+    root_batch : int option;
+        (** roots per mining task; [None] auto-sizes to ~4 batches per
+            domain. The result is identical for any value
+            (property-tested) — this only tunes scheduling granularity. *)
+    spec_batch : int option;
+        (** classes per specialization task (default 4); same
+            result-invariance as [root_batch] *)
+  }
 
-    When [budget] (default unlimited) expires the run stops early with
+  val collect :
+    ?config:config ->
+    ?budget:Tsg_util.Timer.Budget.budget ->
+    ?class_miner:class_miner ->
+    ?exec:Tsg_util.Pool.Exec.t ->
+    ?domains:int ->
+    ?checkpoint:checkpoint_spec ->
+    ?supervised:bool ->
+    ?root_batch:int ->
+    ?spec_batch:int ->
+    unit ->
+    t
+  (** Spec with the [`Collect] sink. [exec] (default a fresh executor)
+      supplies the pool; [domains] is shorthand for
+      [~exec:(Pool.Exec.create ~domains ())] and is ignored when [exec]
+      is given. *)
+
+  val stream :
+    ?config:config ->
+    ?budget:Tsg_util.Timer.Budget.budget ->
+    ?class_miner:class_miner ->
+    ?exec:Tsg_util.Pool.Exec.t ->
+    ?domains:int ->
+    ?supervised:bool ->
+    ?root_batch:int ->
+    ?spec_batch:int ->
+    (Pattern.t -> unit) ->
+    t
+  (** Spec with a [`Stream] sink (checkpointing is not offered — it
+      requires [`Collect]). *)
+
+  val domains : t -> int
+  (** Domain count of the spec's executor. *)
+
+  val with_config : config -> t -> t
+
+  val with_budget : Tsg_util.Timer.Budget.budget -> t -> t
+
+  val with_class_miner : class_miner -> t -> t
+
+  val with_exec : Tsg_util.Pool.Exec.t -> t -> t
+
+  val with_domains : int -> t -> t
+  (** Replaces the executor with a fresh one of the given size. *)
+
+  val with_checkpoint : checkpoint_spec option -> t -> t
+
+  val with_supervised : bool -> t -> t
+
+  val with_sink : sink -> t -> t
+end
+
+val run : Spec.t -> Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Db.t -> result
+(** Mine the database against the taxonomy as the spec describes. Every
+    node label of every graph must be a label of the taxonomy.
+
+    A one-domain executor runs the classic sequential pipeline — one class
+    alive at a time, the paper's Step 2 memory profile. With more domains,
+    Steps 2 and 3 fan out over the spec's executor; the run first freezes
+    the taxonomy's label table so every domain reads an immutable
+    snapshot. The pattern set and supports are identical across domain
+    counts and batch sizes (property-tested).
+
+    When the spec's budget expires the run stops early with
     [completed = false]; see {!sink} for exactly what an early stop
     reports.
 
-    [checkpoint] (default none) snapshots completed roots to disk and
-    resumes a previous snapshot found at the same path; see
-    {!checkpoint_spec}.
+    A checkpoint spec snapshots completed roots to disk and resumes a
+    previous snapshot found at the same path; see {!checkpoint_spec}.
+    Raises [Invalid_argument] when combined with a [`Stream] sink.
 
-    [supervised] (default [false]) turns task failures — injected faults
+    [supervised] turns task failures — injected faults
     ({!Tsg_util.Fault}), per-task deadline overruns, stray exceptions —
     into {!result.diagnostics} instead of letting them escape: pool tasks
-    are retried and quarantined per {!Tsg_util.Pool.run_supervised}, and
-    the reported set is still a prefix of the canonical root sequence,
-    cut before the first failing root. Unsupervised, such an exception
-    propagates to the caller (after snapshotting progress when
-    checkpointing is on). *)
-
-val run_streaming :
-  ?config:config ->
-  ?budget:Tsg_util.Timer.Budget.budget ->
-  ?class_miner:class_miner ->
-  Tsg_taxonomy.Taxonomy.t ->
-  Tsg_graph.Db.t ->
-  (Pattern.t -> unit) ->
-  result
-[@@alert deprecated
-    "Use Taxogram.run ~domains:1 ~sink:(`Stream f) instead; this wrapper \
-     will be removed."]
-(** @deprecated Thin wrapper over {!run} with [~domains:1]
-    [~sink:(`Stream f)]. *)
-
-val run_parallel :
-  ?config:config ->
-  ?domains:int ->
-  Tsg_taxonomy.Taxonomy.t ->
-  Tsg_graph.Db.t ->
-  result
-[@@alert deprecated
-    "Use Taxogram.run ?domains ~sink:`Collect instead; this wrapper will \
-     be removed."]
-(** @deprecated Thin wrapper over {!run} with [~sink:`Collect]. Unlike the
-    historical version, Step 2 now also runs on the pool. *)
+    are retried and quarantined per {!Tsg_util.Pool.Exec.run_supervised},
+    and the reported set is still a prefix of the canonical root sequence,
+    cut before the first root of the first failing task. Unsupervised,
+    such an exception propagates to the caller (after snapshotting
+    progress when checkpointing is on). *)
 
 val frequent_label_filter :
   Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Db.t -> min_support:int ->

@@ -1,34 +1,62 @@
 type id = int
 
-type t = {
-  by_name : (string, id) Hashtbl.t;
-  mutable by_id : string array;
-  mutable size : int;
+(* A table is a frozen, immutable base (shared freely across domains)
+   plus a mutable overlay for names interned after the base was frozen.
+   [Snapshot.of_table] of a table whose overlay is empty is O(1) — it
+   just shares the base — and [Snapshot.to_table] is always O(1), so
+   handing a read-only copy of a table to another domain (a pool worker,
+   a serve connection) costs nothing on the hot path. *)
+
+type snapshot = {
+  s_by_name : (string, id) Hashtbl.t;  (* never mutated after build *)
+  s_by_id : string array;  (* never mutated after build *)
 }
 
-let create () = { by_name = Hashtbl.create 64; by_id = Array.make 16 ""; size = 0 }
+type t = {
+  mutable base : snapshot;
+  by_name : (string, id) Hashtbl.t;  (* overlay: names interned post-base *)
+  mutable by_id : string array;  (* overlay storage, index [id - base size] *)
+  mutable size : int;  (* total, including the base *)
+}
+
+let create () =
+  {
+    base = { s_by_name = Hashtbl.create 1; s_by_id = [||] };
+    by_name = Hashtbl.create 64;
+    by_id = Array.make 16 "";
+    size = 0;
+  }
 
 let size t = t.size
 
+let base_size t = Array.length t.base.s_by_id
+
 let grow t =
-  if t.size = Array.length t.by_id then begin
-    let bigger = Array.make (max 16 (2 * t.size)) "" in
-    Array.blit t.by_id 0 bigger 0 t.size;
+  let used = t.size - base_size t in
+  if used = Array.length t.by_id then begin
+    let bigger = Array.make (max 16 (2 * used)) "" in
+    Array.blit t.by_id 0 bigger 0 used;
     t.by_id <- bigger
   end
 
 let intern t name =
-  match Hashtbl.find_opt t.by_name name with
+  match Hashtbl.find_opt t.base.s_by_name name with
   | Some id -> id
-  | None ->
-    grow t;
-    let id = t.size in
-    t.by_id.(id) <- name;
-    t.size <- t.size + 1;
-    Hashtbl.add t.by_name name id;
-    id
+  | None -> (
+    match Hashtbl.find_opt t.by_name name with
+    | Some id -> id
+    | None ->
+      grow t;
+      let id = t.size in
+      t.by_id.(id - base_size t) <- name;
+      t.size <- t.size + 1;
+      Hashtbl.add t.by_name name id;
+      id)
 
-let find t name = Hashtbl.find_opt t.by_name name
+let find t name =
+  match Hashtbl.find_opt t.base.s_by_name name with
+  | Some _ as r -> r
+  | None -> Hashtbl.find_opt t.by_name name
 
 let find_exn t name =
   match find t name with Some id -> id | None -> raise Not_found
@@ -36,11 +64,14 @@ let find_exn t name =
 let name t id =
   if id < 0 || id >= t.size then
     invalid_arg (Printf.sprintf "Label.name: id %d out of range" id);
-  t.by_id.(id)
+  let b = base_size t in
+  if id < b then t.base.s_by_id.(id) else t.by_id.(id - b)
 
-let mem t n = Hashtbl.mem t.by_name n
+let mem t n =
+  Hashtbl.mem t.base.s_by_name n || Hashtbl.mem t.by_name n
 
-let names t = Array.sub t.by_id 0 t.size
+let names t =
+  Array.init t.size (fun id -> name t id)
 
 let of_names list =
   let t = create () in
@@ -50,3 +81,50 @@ let of_names list =
       else ignore (intern t n))
     list;
   t
+
+(* Flatten base + overlay into one frozen snapshot. *)
+let flatten t =
+  let arr = names t in
+  let by_name = Hashtbl.create (max 16 (2 * t.size)) in
+  Array.iteri (fun id n -> Hashtbl.add by_name n id) arr;
+  { s_by_name = by_name; s_by_id = arr }
+
+let freeze t =
+  if t.size > base_size t then begin
+    t.base <- flatten t;
+    Hashtbl.reset t.by_name;
+    t.by_id <- [||]
+  end
+
+module Snapshot = struct
+  type table = t
+
+  type t = snapshot
+
+  let of_table (tbl : table) =
+    if tbl.size = base_size tbl then tbl.base else flatten tbl
+
+  let to_table (s : t) =
+    {
+      base = s;
+      by_name = Hashtbl.create 8;
+      by_id = Array.make 16 "";
+      size = Array.length s.s_by_id;
+    }
+
+  let size s = Array.length s.s_by_id
+
+  let name s id =
+    if id < 0 || id >= Array.length s.s_by_id then
+      invalid_arg (Printf.sprintf "Label.Snapshot.name: id %d out of range" id);
+    s.s_by_id.(id)
+
+  let find s n = Hashtbl.find_opt s.s_by_name n
+
+  let find_exn s n =
+    match find s n with Some id -> id | None -> raise Not_found
+
+  let mem s n = Hashtbl.mem s.s_by_name n
+
+  let names s = Array.copy s.s_by_id
+end

@@ -1,7 +1,16 @@
 (** Interned label tables.
 
     Node and edge labels are strings at the API boundary but dense integer
-    ids everywhere inside the miners; a table owns the bijection. *)
+    ids everywhere inside the miners; a table owns the bijection.
+
+    A table is internally a {e frozen base} (immutable, safely shared
+    across domains) plus a mutable overlay for names interned after the
+    base was built. {!freeze} folds the overlay into the base; after a
+    freeze, every lookup touches only immutable data, so concurrent
+    readers on other domains are safe as long as nobody interns. The
+    parallel miner freezes its tables before fanning out, and the serving
+    layer shares one {!Snapshot} per engine generation, giving each
+    connection an O(1) private table over it. *)
 
 type id = int
 (** Dense identifier, [0 .. size-1]. *)
@@ -13,7 +22,9 @@ val create : unit -> t
 val size : t -> int
 
 val intern : t -> string -> id
-(** Id of the given name, allocating a fresh id on first sight. *)
+(** Id of the given name, allocating a fresh id on first sight. Not
+    domain-safe: interning is a setup-phase operation — {!freeze} before
+    sharing the table with other domains. *)
 
 val find : t -> string -> id option
 (** Id of the given name if already interned. *)
@@ -32,3 +43,45 @@ val names : t -> string array
 val of_names : string list -> t
 (** Table pre-populated in list order.
     @raise Invalid_argument on duplicate names. *)
+
+val freeze : t -> unit
+(** Fold any overlay entries into the frozen base (O(size) when there is
+    an overlay, O(1) otherwise). Ids and names are unchanged. After the
+    call, lookups read only immutable structures, so the table may be
+    read concurrently from any number of domains; a later {!intern}
+    starts a fresh overlay and ends that guarantee until the next
+    freeze. *)
+
+(** Immutable views. A snapshot is cheap to share (it is the frozen base
+    itself — no copying when the table was just frozen) and supports all
+    read operations; {!Snapshot.to_table} builds a mutable table {e over}
+    a snapshot in O(1), sharing the base and interning any new names into
+    a private overlay. *)
+module Snapshot : sig
+  type table := t
+
+  type t
+
+  val of_table : table -> t
+  (** O(1) if the table has no overlay (e.g. right after {!freeze} or
+      {!of_names} followed by freeze); otherwise flattens in O(size). *)
+
+  val to_table : t -> table
+  (** O(1): a fresh mutable table whose frozen base is this snapshot.
+      Interning into the result never touches the snapshot. *)
+
+  val size : t -> int
+
+  val name : t -> id -> string
+  (** @raise Invalid_argument on an out-of-range id. *)
+
+  val find : t -> string -> id option
+
+  val find_exn : t -> string -> id
+  (** @raise Not_found when the name is not in the snapshot. *)
+
+  val mem : t -> string -> bool
+
+  val names : t -> string array
+  (** All names indexed by id; fresh array. *)
+end

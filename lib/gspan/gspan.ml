@@ -1,6 +1,7 @@
 module Graph = Tsg_graph.Graph
 module Db = Tsg_graph.Db
 module Bitset = Tsg_util.Bitset
+module Arena = Tsg_util.Arena
 
 type embedding = { graph_id : int; map : int array }
 
@@ -114,6 +115,7 @@ let extensions code embeddings db =
    entered with a frequent, minimal code *)
 let explore_subtree ~max_edges ~min_support db root_edge root_embs root_set
     report =
+  let db_n = Db.size db in
   let rec grow code embeddings support_set =
     report
       {
@@ -123,15 +125,23 @@ let explore_subtree ~max_edges ~min_support db root_edge root_embs root_set
         support = Bitset.cardinal support_set;
         embeddings;
       };
-    if Array.length code < max_edges then
+    if Array.length code < max_edges then begin
+      (* support sets are computed in per-domain scratch and copied out
+         only for candidates that survive both the support threshold and
+         the minimality check — the infrequent majority allocates
+         nothing (the recursive call borrows its own scratch) *)
+      let scratch = Arena.acquire db_n in
       List.iter
         (fun (edge, embs) ->
-          let set = support_of_embeddings db embs in
-          if Bitset.cardinal set >= min_support then begin
+          Bitset.clear scratch;
+          List.iter (fun e -> Bitset.set scratch e.graph_id) embs;
+          if Bitset.cardinal scratch >= min_support then begin
             let code' = Array.append code [| edge |] in
-            if Min_code.is_min code' then grow code' embs set
+            if Min_code.is_min code' then grow code' embs (Bitset.copy scratch)
           end)
-        (extensions code embeddings db)
+        (extensions code embeddings db);
+      Arena.release scratch
+    end
   in
   grow [| root_edge |] root_embs root_set
 

@@ -167,6 +167,8 @@ let flush_batch ~domains ~fill batch =
 
 let default_domains () = Tsg_util.Pool.default_domains ()
 
+module Exec = Tsg_util.Pool.Exec
+
 (* read one request line without trusting its length: past [max_bytes]
    the rest of the line is drained (bounded memory) and the line reports
    as oversized. EOF with pending bytes yields them as a final line. *)
@@ -188,13 +190,19 @@ let read_bounded_line ic ~max_bytes =
   in
   go false
 
-let run ?domains ?(limits = default_limits) ?admission ?client
+let run ?exec ?(limits = default_limits) ?admission ?client
     ?(checksum = fun () -> None) ?reloader ~engine ~edge_labels ic oc =
-  let domains = Option.value ~default:(default_domains ()) domains in
+  (* the executor pins the domain count for the whole loop: TSG_DOMAINS is
+     read when the Exec is created (at most once, here), never re-read
+     behind a live loop's back by a concurrent reload *)
+  let domains =
+    match exec with Some e -> Exec.domains e | None -> default_domains ()
+  in
   let store = Engine.store engine in
   let taxonomy = Store.taxonomy store in
   let names = Taxonomy.labels taxonomy in
   let metrics = Engine.metrics engine in
+  Metrics.set_gauge (Metrics.gauge metrics "serve.domains") domains;
   let oversized_c = Metrics.counter metrics "serve.oversized" in
   let deadline_c = Metrics.counter metrics "serve.deadline_expired" in
   let disconnect_c = Metrics.counter metrics "serve.disconnects" in
@@ -334,10 +342,10 @@ let run ?domains ?(limits = default_limits) ?admission ?client
               let reply =
                 Printf.sprintf
                   "ok health patterns %d uptime %.3f checksum %s degrade %d \
-                   inflight %d"
+                   inflight %d domains %d"
                   (Store.size store)
                   (Unix.gettimeofday () -. started)
-                  csum level inflight
+                  csum level inflight domains
               in
               safe_write (fun () ->
                   output_string oc (Protocol.tag_reply tag reply);
@@ -403,7 +411,7 @@ type reload_config = {
    engine they started with *)
 type swap = {
   sw_engine : Engine.t;
-  sw_names : string list;
+  sw_labels : Label.Snapshot.t;
   sw_checksum : int64 option;
 }
 
@@ -422,27 +430,37 @@ let ignore_sigpipe () =
 
 let default_on_diagnostic d = prerr_endline (Diagnostic.to_string d)
 
-let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
+let listen ?exec ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
     ?(bind_addr = Unix.inet_addr_loopback) ?admission ?checksum ?reload
     ?(reload_poll = fun () -> false)
     ?(on_diagnostic = default_on_diagnostic) ?on_listen
     ?(should_stop = fun () -> false) ~engine ~edge_labels ~port () =
   ignore_sigpipe ();
+  (* one executor for the whole listener: the per-connection domain count
+     is decided here, once, and every generation of hot-reloaded engine
+     serves under it — a reload can no longer observe a changed
+     TSG_DOMAINS mid-flight *)
+  let exec =
+    match exec with Some e -> e | None -> Exec.create ~domains:1 ()
+  in
   let metrics = Engine.metrics engine in
+  Metrics.set_gauge (Metrics.gauge metrics "serve.domains") (Exec.domains exec);
   let conns_c = Metrics.counter metrics "serve.connections" in
   let overloaded_c = Metrics.counter metrics "serve.overloaded" in
   let disconnect_c = Metrics.counter metrics "serve.disconnects" in
   let reloads_c = Metrics.counter metrics "serve.reloads" in
   let rollbacks_c = Metrics.counter metrics "serve.reload.rollbacks" in
   (* Protocol.parse interns edge labels, and Label.t is not thread-safe:
-     every connection parses against its own copy of the table. A label
+     every connection parses against its own table. The swap cell holds an
+     immutable snapshot; each connection builds a private O(1) overlay
+     table over it ({!Label.Snapshot.to_table}) — no copying, and a label
      first seen on some other connection simply matches no stored pattern
-     on this one — exactly what an unseen label means anyway. *)
+     on this one, exactly what an unseen label means anyway. *)
   let cell =
     Atomic.make
       {
         sw_engine = engine;
-        sw_names = Array.to_list (Label.names edge_labels);
+        sw_labels = Label.Snapshot.of_table edge_labels;
         sw_checksum = checksum;
       }
   in
@@ -487,7 +505,7 @@ let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
                 Atomic.set cell
                   {
                     sw_engine = engine;
-                    sw_names = names;
+                    sw_labels = Label.Snapshot.of_table (Label.of_names names);
                     sw_checksum = Some csum;
                   };
                 Metrics.incr reloads_c;
@@ -536,10 +554,10 @@ let listen ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
     let sw = Atomic.get cell in
-    let conn_labels = Label.of_names sw.sw_names in
+    let conn_labels = Label.Snapshot.to_table sw.sw_labels in
     let client = Option.map Admission.client admission in
     match
-      run ~domains:1 ~limits ?admission ?client
+      run ~exec ~limits ?admission ?client
         ~checksum:(fun () -> (Atomic.get cell).sw_checksum)
         ?reloader ~engine:sw.sw_engine ~edge_labels:conn_labels ic oc
     with

@@ -13,7 +13,7 @@
     ok <n>                                  then n result lines:
     p <id> support <count>/<db-size> <pattern>     (contains, by-label)
     p <id> score <s> support <count>/<db-size> <pattern>   (top-k)
-    ok health patterns <n> uptime <s> checksum <hex|-> degrade <lvl> inflight <n>
+    ok health patterns <n> uptime <s> checksum <hex|-> degrade <lvl> inflight <n> domains <d>
     ok reload patterns <n> checksum <hex>          (reload)
     error <CODE> <message>                  malformed or failed request
     v}
@@ -111,7 +111,7 @@ val parse_bind_addr : string -> (Unix.inet_addr, Tsg_util.Diagnostic.t) result
     answer a rule-[SRV001] diagnostic instead of raising. *)
 
 val run :
-  ?domains:int ->
+  ?exec:Tsg_util.Pool.Exec.t ->
   ?limits:limits ->
   ?admission:Admission.t ->
   ?client:Admission.client ->
@@ -122,13 +122,15 @@ val run :
   in_channel ->
   out_channel ->
   outcome
-(** [domains] defaults to {!Tsg_util.Pool.default_domains} — the
-    [TSG_DOMAINS] environment variable when set, otherwise
-    [Domain.recommended_domain_count ()] capped at 8 — the same default
-    [Taxogram.run] uses. Parsing (which interns edge labels) stays on the
-    calling domain; only query execution fans out. A worker exception
-    that is not handled per-request is re-raised on the caller with its
-    original backtrace.
+(** [exec] pins the batch-fill domain count for the whole loop (reported
+    by the [health] verb and the [serve.domains] gauge). When absent, the
+    count is {!Tsg_util.Pool.default_domains} — the [TSG_DOMAINS]
+    environment variable when set, otherwise
+    [Domain.recommended_domain_count ()] capped at 8 — read once at loop
+    start, never re-read mid-stream. Parsing (which interns edge labels)
+    stays on the calling domain; only query execution fans out. A worker
+    exception that is not handled per-request is re-raised on the caller
+    with its original backtrace.
 
     [admission] gates data queries (see above); [client] is the
     per-connection admission state (a fresh one is created when absent).
@@ -154,6 +156,7 @@ type reload_config = {
 }
 
 val listen :
+  ?exec:Tsg_util.Pool.Exec.t ->
   ?limits:limits ->
   ?max_conns:int ->
   ?drain_s:float ->
@@ -172,11 +175,15 @@ val listen :
   listen_outcome
 (** Serve the protocol over TCP on [bind_addr:port] (default
     [127.0.0.1]; [port = 0] picks a free port; [on_listen] receives the
-    bound port either way). Each connection is handled by its own system
-    thread running {!run} with [~domains:1] and a private copy of the
-    edge-label table ({!Tsg_graph.Label.t} is not thread-safe; a label
-    first seen on another connection matches no stored pattern, which is
-    exactly what an unseen label means). Beyond [max_conns] (default 64)
+    bound port either way). [exec] (default a one-domain executor —
+    concurrency comes from connection threads) fixes the per-connection
+    batch-fill domain count once for the listener's lifetime; every
+    hot-reload generation serves under it. Each connection is handled by
+    its own system thread running {!run} with a private O(1) overlay
+    table over the current edge-label snapshot
+    ({!Tsg_graph.Label.Snapshot.to_table} — {!Tsg_graph.Label.t} is not
+    thread-safe; a label first seen on another connection matches no
+    stored pattern, which is exactly what an unseen label means). Beyond [max_conns] (default 64)
     concurrent connections, new clients are shed with a single
     [OVERLOADED] line (kept code-less for compatibility — request-level
     sheds use [error OVERLOADED ...]).

@@ -1,11 +1,12 @@
 (* Work-stealing domain pool with deterministic task ids.
 
-   Each domain owns a mutex-protected deque: the owner pushes and pops at
-   the head (LIFO, depth-first), thieves detach the oldest half from the
-   tail (breadth-first). Coarse tasks (a DFS-code subtree, one class's
-   specialization) keep the lock far off the hot path — a task acquires
-   its own deque's mutex only to push forks and to pop the next task, and
-   computes with no synchronization at all in between. *)
+   Each domain owns a Chase–Lev-style deque: the owner pushes and pops at
+   the bottom (LIFO, depth-first, no synchronization beyond two atomic
+   loads and a store in the common case), thieves CAS the top to steal
+   the oldest task one at a time (breadth-first, which moves the biggest
+   remaining subtrees). There is no mutex anywhere on the scheduling
+   path; the only contended operations are single-word CASes on the
+   deque ends and the pending-task counter. *)
 
 let default_domains () =
   let fallback = min 8 (Domain.recommended_domain_count ()) in
@@ -16,78 +17,107 @@ let default_domains () =
     | Some n when n >= 1 -> n
     | _ -> fallback)
 
-type t = { size : int }
-
-let create ?domains () =
-  let d = match domains with Some d -> max 1 d | None -> default_domains () in
-  { size = d }
-
-let domains t = t.size
-
 (* --- deques ---------------------------------------------------------- *)
 
-module Deque = struct
+module Ws_deque = struct
+  (* Chase–Lev work-stealing deque over a growable circular buffer.
+
+     Invariants: [top <= bottom]; logical indices are monotonically
+     increasing ints (never wrapped back), so CASes on [top] are immune
+     to ABA. The physical slot for logical index [i] in an array of
+     (power-of-two) size [n] is [i land (n-1)]. A slot is reused by
+     [push] only once [bottom - top] has shrunk past it, which requires
+     [top] to have advanced — so a thief holding a stale [top] always
+     fails its CAS and never observes a recycled slot as current.
+
+     Memory-model notes (OCaml 5 atomics are SC): the owner publishes a
+     task with a plain slot write followed by the atomic store of
+     [bottom]; a thief reads [top] then [bottom] then the slot, so a
+     thief that observes [bottom > top] also observes the slot write
+     that preceded that [bottom]. [grow] installs the new array in [tab]
+     (atomic) before publishing any index that lives in it, and never
+     mutates the old array, so a lagging thief reading the old array
+     still sees correct values for the indices it can successfully
+     steal. *)
+
   type 'a t = {
-    lock : Mutex.t;
-    mutable items : 'a list;  (* newest first *)
-    mutable count : int;
+    top : int Atomic.t;  (* next index to steal *)
+    bottom : int Atomic.t;  (* next index to push *)
+    tab : 'a option array Atomic.t;
   }
 
-  let create () = { lock = Mutex.create (); items = []; count = 0 }
+  let min_capacity = 32
 
-  let push d x =
-    Mutex.lock d.lock;
-    d.items <- x :: d.items;
-    d.count <- d.count + 1;
-    Mutex.unlock d.lock
+  let create () =
+    {
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+      tab = Atomic.make (Array.make min_capacity None);
+    }
 
-  let pop d =
-    Mutex.lock d.lock;
-    let r =
-      match d.items with
-      | [] -> None
-      | x :: tl ->
-        d.items <- tl;
-        d.count <- d.count - 1;
-        Some x
-    in
-    Mutex.unlock d.lock;
-    r
+  let grow q t b =
+    let old = Atomic.get q.tab in
+    let n = Array.length old in
+    let n' = 2 * n in
+    let a = Array.make n' None in
+    for i = t to b - 1 do
+      a.(i land (n' - 1)) <- old.(i land (n - 1))
+    done;
+    Atomic.set q.tab a;
+    a
 
-  (* detach the oldest ceil(n/2) items, returned oldest-first; the owner
-     keeps the newer (deeper, cache-warm) half *)
-  let steal_half d =
-    Mutex.lock d.lock;
-    let stolen =
-      if d.count = 0 then []
-      else begin
-        let keep = d.count / 2 in
-        let rec split i = function
-          | [] -> ([], [])
-          | x :: tl ->
-            if i = 0 then ([], x :: tl)
-            else
-              let kept, taken = split (i - 1) tl in
-              (x :: kept, taken)
-        in
-        let kept, taken = split keep d.items in
-        d.items <- kept;
-        d.count <- keep;
-        List.rev taken
+  (* owner only *)
+  let push q x =
+    let b = Atomic.get q.bottom in
+    let t = Atomic.get q.top in
+    let a = Atomic.get q.tab in
+    let a = if b - t >= Array.length a then grow q t b else a in
+    a.(b land (Array.length a - 1)) <- Some x;
+    Atomic.set q.bottom (b + 1)
+
+  (* owner only *)
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    Atomic.set q.bottom b;
+    (* SC fence between the bottom store and the top load: both atomic *)
+    let t = Atomic.get q.top in
+    if b < t then begin
+      (* empty; restore *)
+      Atomic.set q.bottom t;
+      None
+    end
+    else begin
+      let a = Atomic.get q.tab in
+      let i = b land (Array.length a - 1) in
+      let x = a.(i) in
+      if b > t then begin
+        (* more than one element left: no thief can reach slot [b] *)
+        a.(i) <- None;
+        x
       end
-    in
-    Mutex.unlock d.lock;
-    stolen
+      else begin
+        (* last element: race any thief for it via the top CAS *)
+        let won = Atomic.compare_and_set q.top t (t + 1) in
+        Atomic.set q.bottom (t + 1);
+        if won then begin
+          a.(i) <- None;
+          x
+        end
+        else None
+      end
+    end
 
-  (* refill an (empty) thief deque so that pop yields oldest-first *)
-  let push_all d xs =
-    Mutex.lock d.lock;
-    d.items <- d.items @ xs;
-    d.count <- d.count + List.length xs;
-    Mutex.unlock d.lock
+  (* any domain *)
+  let steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if b - t <= 0 then None
+    else begin
+      let a = Atomic.get q.tab in
+      let x = a.(t land (Array.length a - 1)) in
+      if Atomic.compare_and_set q.top t (t + 1) then x else None
+    end
 end
-
-(* --- the run --------------------------------------------------------- *)
 
 (* --- supervision ------------------------------------------------------ *)
 
@@ -129,7 +159,7 @@ type supervision = {
 type 'a task = { tid : int list; f : 'a ctx -> 'a }
 
 and 'a state = {
-  deques : 'a task Deque.t array;
+  deques : 'a task Ws_deque.t array;
   results : (int list * 'a) list array;  (* slot [d] written only by domain [d] *)
   pending : int Atomic.t;
   failed : (exn * Printexc.raw_backtrace) option Atomic.t;
@@ -161,7 +191,7 @@ let fork ctx f =
   let k = ctx.forks in
   ctx.forks <- k + 1;
   Atomic.incr ctx.st.pending;
-  Deque.push ctx.st.deques.(ctx.dom) { tid = ctx.task_id @ [ k ]; f }
+  Ws_deque.push ctx.st.deques.(ctx.dom) { tid = ctx.task_id @ [ k ]; f }
 
 let pool_task_site = "pool.task"
 
@@ -253,92 +283,117 @@ let exec st dom task =
         ignore (Atomic.compare_and_set st.failed None (Some (e, bt))))));
   Atomic.decr st.pending
 
+(* Steal exactly one task (the victim's oldest) and run it here; the
+   forks it makes land on this domain's own deque, so a successful steal
+   migrates a whole subtree for the price of one CAS. *)
 let try_steal st dom =
   let n = Array.length st.deques in
   let rec probe i =
-    if i >= n then false
+    if i >= n then None
     else
       let victim = (dom + i) mod n in
-      match Deque.steal_half st.deques.(victim) with
-      | [] -> probe (i + 1)
-      | stolen ->
-        Deque.push_all st.deques.(dom) stolen;
-        true
+      match Ws_deque.steal st.deques.(victim) with
+      | Some _ as hit -> hit
+      | None -> probe (i + 1)
   in
   probe 1
 
 let worker st dom =
   let misses = ref 0 in
   let rec loop () =
-    match Deque.pop st.deques.(dom) with
+    match Ws_deque.pop st.deques.(dom) with
     | Some task ->
       misses := 0;
       exec st dom task;
       loop ()
     | None ->
       if Atomic.get st.pending = 0 || Atomic.get st.failed <> None then ()
-      else if try_steal st dom then begin
-        misses := 0;
-        loop ()
-      end
       else begin
-        (* nothing to steal yet: spin briefly, then sleep so idle domains
-           stop competing for the cores doing real work *)
-        incr misses;
-        if !misses < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002;
-        loop ()
+        match try_steal st dom with
+        | Some task ->
+          misses := 0;
+          exec st dom task;
+          loop ()
+        | None ->
+          (* nothing to steal yet: spin briefly, then sleep so idle
+             domains stop competing for the cores doing real work *)
+          incr misses;
+          if !misses < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002;
+          loop ()
       end
   in
   loop ()
 
-let run_state t ~supervision tasks =
-  let n = List.length tasks in
-  let d = t.size in
+let run_state ~size ~supervision tasks =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let d = size in
   let st =
     {
-      deques = Array.init d (fun _ -> Deque.create ());
+      deques = Array.init d (fun _ -> Ws_deque.create ());
       results = Array.make d [];
       pending = Atomic.make n;
       failed = Atomic.make None;
       supervision;
     }
   in
-  (* seed round-robin; reversed so each owner pops ascending ids first,
-     which maximizes the canonical prefix under budgeted early stops *)
-  List.iteri
-    (fun i f -> Deque.push st.deques.((n - 1 - i) mod d) { tid = [ n - 1 - i ]; f })
-    (List.rev tasks);
+  (* Seed round-robin before any worker starts (Domain.spawn publishes
+     the writes), pushing the highest ids first so each owner's LIFO pop
+     yields ascending ids — which maximizes the canonical prefix under
+     budgeted early stops. *)
+  for i = n - 1 downto 0 do
+    Ws_deque.push st.deques.(i mod d) { tid = [ i ]; f = arr.(i) }
+  done;
   let others =
-    List.init (d - 1) (fun i -> Domain.spawn (fun () -> worker st (i + 1)))
+    List.init (d - 1) (fun i ->
+        Domain.spawn (fun () ->
+            (* the worker's scratch arena dies with the domain; drain it
+               explicitly so the memory is reclaimable at the join, not
+               at the next major slice *)
+            Fun.protect ~finally:Arena.drain (fun () -> worker st (i + 1))))
   in
   worker st 0;
   List.iter Domain.join others;
   st
 
-let run t tasks =
-  match tasks with
-  | [] -> []
-  | _ ->
-    let st = run_state t ~supervision:None tasks in
-    (match Atomic.get st.failed with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.to_list st.results
-    |> List.concat
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+(* --- the execution surface ------------------------------------------- *)
 
-let run_supervised t ?(policy = default_policy) tasks =
-  match tasks with
-  | [] -> []
-  | _ ->
-    let sup = { policy; q_lock = Mutex.create (); quarantined = [] } in
-    let st = run_state t ~supervision:(Some sup) tasks in
-    (* supervised runs never set [failed]: every task either produced a
-       result or a quarantine record *)
-    let ok =
+module Exec = struct
+  type t = { size : int }
+
+  let create ?domains () =
+    let d =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    { size = d }
+
+  let domains t = t.size
+
+  let run t tasks =
+    match tasks with
+    | [] -> []
+    | _ ->
+      let st = run_state ~size:t.size ~supervision:None tasks in
+      (match Atomic.get st.failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
       Array.to_list st.results
       |> List.concat
-      |> List.map (fun (tid, r) -> (tid, Ok r))
-    in
-    let bad = List.map (fun (tid, d) -> (tid, Error d)) sup.quarantined in
-    List.sort (fun (a, _) (b, _) -> compare a b) (ok @ bad)
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let run_supervised t ?(policy = default_policy) tasks =
+    match tasks with
+    | [] -> []
+    | _ ->
+      let sup = { policy; q_lock = Mutex.create (); quarantined = [] } in
+      let st = run_state ~size:t.size ~supervision:(Some sup) tasks in
+      (* supervised runs never set [failed]: every task either produced a
+         result or a quarantine record *)
+      let ok =
+        Array.to_list st.results
+        |> List.concat
+        |> List.map (fun (tid, r) -> (tid, Ok r))
+      in
+      let bad = List.map (fun (tid, d) -> (tid, Error d)) sup.quarantined in
+      List.sort (fun (a, _) (b, _) -> compare a b) (ok @ bad)
+end

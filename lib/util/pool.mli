@@ -5,38 +5,30 @@
     subtrees, per-class specialization, query batches — can fan out across
     domains while the {e result} of a run stays independent of the
     schedule: every task carries a deterministic id (its path in the
-    fork tree), and {!run} returns results sorted by id, so callers can
-    re-order, truncate to a canonical prefix, or merge without caring
+    fork tree), and {!Exec.run} returns results sorted by id, so callers
+    can re-order, truncate to a canonical prefix, or merge without caring
     which domain computed what.
 
-    Scheduling is classic work stealing: each domain owns a deque, treats
-    it as a LIFO stack (depth-first, cache-friendly), and when empty
-    steals the {e oldest half} of a victim's deque (breadth-first, which
-    moves the biggest remaining subtrees). Tasks may {!fork} subtasks at
-    any point; forks land on the forking domain's own deque and are
-    stolen from there.
+    Scheduling is lock-free work stealing: each domain owns a Chase–Lev
+    deque, treats it as a LIFO stack (depth-first, cache-friendly), and
+    when empty steals the {e oldest} task of a victim via a single CAS
+    (breadth-first, which migrates the biggest remaining subtrees — the
+    forks a stolen task makes land on the thief's own deque). There is
+    no mutex on the scheduling path.
 
-    Tasks must not share mutable state unless they synchronize
+    Memory: tasks must not share mutable state unless they synchronize
     themselves; everything a task returns is published to the caller at
-    the {!run} join. *)
-
-type t
-(** A pool descriptor. Cheap; domains are spawned per {!run} and joined
-    before it returns, so a pool may be reused or discarded freely. *)
+    the {!Exec.run} join. Per-domain scratch ({!Tsg_util.Arena}) lives
+    in [Domain.DLS] — worker domains drain their arenas when a run ends,
+    and the calling domain keeps its arena warm across runs. *)
 
 val default_domains : unit -> int
 (** The domain count used when a caller does not choose one: the
     [TSG_DOMAINS] environment variable when it holds a positive integer,
     otherwise [Domain.recommended_domain_count ()] capped at 8 (the cap
     keeps small machines from oversubscription and mirrors the paper
-    harness's biggest test box). Read per call, so tests may override
-    [TSG_DOMAINS] between runs. *)
-
-val create : ?domains:int -> unit -> t
-(** [create ()] sizes the pool with {!default_domains}; [~domains] (at
-    least 1, values below are clamped) overrides. *)
-
-val domains : t -> int
+    harness's biggest test box). Read once per {!Exec.create} — never on
+    a hot path, and never re-read behind a live handle's back. *)
 
 type 'a ctx
 (** A task's handle to the running pool: identity plus the ability to
@@ -44,28 +36,19 @@ type 'a ctx
 
 val id : 'a ctx -> int list
 (** The task's deterministic id: [[i]] for the [i]-th root task passed to
-    {!run}, [parent @ [k]] for the [k]-th task forked by [parent]
+    {!Exec.run}, [parent @ [k]] for the [k]-th task forked by [parent]
     (0-based, in fork order). Ids are totally ordered by [compare] —
     lexicographic with prefixes first — and that order is the order
-    {!run} returns results in. *)
+    {!Exec.run} returns results in. *)
 
 val fork : 'a ctx -> ('a ctx -> 'a) -> unit
 (** [fork ctx f] schedules [f] as a subtask of the current task. The
     subtask runs on this domain or on a thief; its result joins the
-    others at {!run}'s return, under the forked id. *)
+    others at {!Exec.run}'s return, under the forked id. *)
 
-val run : t -> ('a ctx -> 'a) list -> (int list * 'a) list
-(** [run pool tasks] executes the root tasks and everything they fork,
-    across [domains pool] domains (the calling domain is one of them),
-    and returns every task's [(id, result)] sorted by id. If any task
-    raises, remaining tasks are abandoned (already-running ones finish),
-    and the first exception observed is re-raised — with the raising
-    task's original backtrace ([Printexc.raise_with_backtrace]) — after
-    all domains have joined. An empty task list returns []. *)
+(** {1 Supervision}
 
-(** {1 Supervised runs}
-
-    {!run} is fail-fast: one poisoned task kills the whole run. A
+    {!Exec.run} is fail-fast: one poisoned task kills the whole run. A
     {e supervised} run instead gives every task a retry budget for
     transient failures and quarantines tasks that keep failing, so the
     run always completes — with partial results plus one structured
@@ -105,15 +88,55 @@ val default_policy : policy
 val check_deadline : 'a ctx -> unit
 (** Poll point for long supervised tasks: raises {!Deadline_exceeded}
     when the current attempt has outlived [policy.deadline_s]. A no-op
-    under {!run} or when the policy has no deadline. *)
+    under {!Exec.run} or when the policy has no deadline. *)
 
-val run_supervised :
-  t -> ?policy:policy -> ('a ctx -> 'a) list -> (int list * ('a, Diagnostic.t) result) list
-(** Like {!run}, but failures never escape: each task is retried per the
-    policy (only while it has not yet forked — a failed attempt that
-    already forked subtasks is quarantined immediately, since its
-    children are already scheduled under their deterministic ids and a
-    re-run would duplicate them), and a task that exhausts its attempts
-    contributes [(id, Error diagnostic)] (rules [POOL001], [POOL002] for
-    deadlines, [FLT001] for injected faults) instead of aborting the run.
-    Results and quarantine records are sorted together by id. *)
+(** {1 The execution surface}
+
+    An {!Exec.t} is the one way work enters the pool. Creating one
+    snapshots the effective domain count (so concurrent reconfiguration
+    — e.g. a serve loop reloading while requests are in flight — cannot
+    change the width of a handle mid-life), and every subsystem that
+    runs parallel work ({!Tsg_core.Taxogram}, [Serve], the benches)
+    takes or builds an [Exec.t] rather than a raw domain count. *)
+
+module Exec : sig
+  type t
+  (** An execution handle: a snapshot of the domain count taken at
+      {!create} time. Cheap; domains are spawned per {!run} and joined
+      before it returns, so a handle may be reused or discarded
+      freely. *)
+
+  val create : ?domains:int -> unit -> t
+  (** [create ()] snapshots {!default_domains} {e once}; [~domains] (at
+      least 1, values below are clamped) overrides. The handle never
+      re-reads [TSG_DOMAINS]. *)
+
+  val domains : t -> int
+  (** The snapshot: how many domains (including the calling one) each
+      {!run} on this handle uses. *)
+
+  val run : t -> ('a ctx -> 'a) list -> (int list * 'a) list
+  (** [run exec tasks] executes the root tasks and everything they fork,
+      across [domains exec] domains (the calling domain is one of them),
+      and returns every task's [(id, result)] sorted by id. If any task
+      raises, remaining tasks are abandoned (already-running ones
+      finish), and the first exception observed is re-raised — with the
+      raising task's original backtrace
+      ([Printexc.raise_with_backtrace]) — after all domains have joined.
+      An empty task list returns []. *)
+
+  val run_supervised :
+    t ->
+    ?policy:policy ->
+    ('a ctx -> 'a) list ->
+    (int list * ('a, Diagnostic.t) result) list
+  (** Like {!run}, but failures never escape: each task is retried per
+      the policy (only while it has not yet forked — a failed attempt
+      that already forked subtasks is quarantined immediately, since its
+      children are already scheduled under their deterministic ids and a
+      re-run would duplicate them), and a task that exhausts its
+      attempts contributes [(id, Error diagnostic)] (rules [POOL001],
+      [POOL002] for deadlines, [FLT001] for injected faults) instead of
+      aborting the run. Results and quarantine records are sorted
+      together by id. *)
+end

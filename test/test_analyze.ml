@@ -117,6 +117,30 @@ let bump k = Hashtbl.replace table k k
   in
   check int "no DOM001 without domains" 0 (count c "DOM001")
 
+let test_dom001_dls_silent () =
+  (* the per-domain memory idiom the pool and arena rely on: mutable
+     scratch reached only through Domain.DLS is domain-private by
+     construction, so DOM001 must stay silent even with domains spawned
+     — the lock-free executor must not need an allowlist entry *)
+  let c, _ =
+    analyze
+      [
+        ( "fx_dom001d",
+          {|
+let scratch : (int, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let bump k =
+  let t = Domain.DLS.get scratch in
+  Hashtbl.replace t k k
+
+let start () = ignore (Domain.spawn (fun () -> bump 1))
+|}
+        );
+      ]
+  in
+  check int "DLS-held state is not shared state" 0 (count c "DOM001")
+
 let test_dom002 () =
   let c, _ =
     analyze
@@ -465,6 +489,8 @@ let () =
           Alcotest.test_case "DOM001 unlocked accessor" `Quick
             test_dom001_unlocked_accessor;
           Alcotest.test_case "DOM001 needs taint" `Quick test_dom001_needs_taint;
+          Alcotest.test_case "DOM001 silent on Domain.DLS scratch" `Quick
+            test_dom001_dls_silent;
           Alcotest.test_case "DOM002 lazy" `Quick test_dom002;
           Alcotest.test_case "DET001 hash order" `Quick test_det001;
           Alcotest.test_case "DET002 ambient random" `Quick test_det002;

@@ -320,13 +320,7 @@ let miner_output_lint_clean_prop =
       let tax = random_taxonomy rng in
       let db = random_db rng tax in
       let r =
-        Taxogram.run ~sink:`Collect
-          ~config:
-            {
-              Taxogram.min_support = 0.5;
-              max_edges = Some 3;
-              enhancements = Tsg_core.Specialize.all_on;
-            }
+        Taxogram.run (Taxogram.Spec.collect ~config:{ Taxogram.min_support = 0.5; max_edges = Some 3; enhancements = Tsg_core.Specialize.all_on; } ())
           tax db
       in
       let edge_labels = edge_label_names 2 in

@@ -124,7 +124,7 @@ let fixture_store () =
     { Taxogram.min_support = 0.3; max_edges = Some 2;
       enhancements = Specialize.all_on }
   in
-  let r = Taxogram.run ~config ~domains:1 ~sink:`Collect t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config ~domains:1 ()) t db in
   (t, db, Store.build ~taxonomy:t ~db ~db_size:(Db.size db) r.Taxogram.patterns)
 
 let engine store = Engine.create ~metrics:(Metrics.create ()) store
@@ -379,7 +379,7 @@ let serve_backend ?reloader store =
                        let edge_labels = Label.of_names [ "e0" ] in
                        try
                          ignore
-                           (Serve.run ~domains:1 ?reloader ~engine:e
+                           (Serve.run ~exec:(Tsg_util.Pool.Exec.create ~domains:1 ()) ?reloader ~engine:e
                               ~edge_labels ic oc)
                        with
                        | Sys_error _ | End_of_file | Unix.Unix_error _ -> ())

@@ -152,7 +152,7 @@ let test_occ_index_keep_label () =
 let test_taxogram_hand_example () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   check int "one class" 1 r.Taxogram.class_count;
   check int "one pattern" 1 r.Taxogram.pattern_count;
   check (Alcotest.list Alcotest.string) "pattern is b-f"
@@ -174,7 +174,7 @@ let test_taxogram_go_excerpt () =
   let exact = Gspan.mine_list ~min_support:2 db in
   check int "gspan alone finds nothing" 0 (List.length exact);
   (* Taxogram finds the implicit pattern *)
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   check (Alcotest.list Alcotest.string) "transporter-helicase"
     [ "pattern[sup=2 (1.00)] 0:transporter 1:helicase (0-1)" ]
     (pattern_strings t r.Taxogram.patterns)
@@ -189,10 +189,10 @@ let test_taxogram_no_patterns_below_support () =
       ]
   in
   (* different edge labels: no pattern occurs in both graphs *)
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   check int "nothing at theta 1" 0 r.Taxogram.pattern_count;
   (* at theta 0.5 both a-a variants qualify *)
-  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ()) t db in
   check bool "patterns at theta 0.5" true (r.Taxogram.pattern_count > 0)
 
 let test_taxogram_flat_taxonomy_equals_gspan () =
@@ -207,7 +207,7 @@ let test_taxogram_flat_taxonomy_equals_gspan () =
         g ~labels:[| 0; 1; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ];
       ]
   in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   let mined = Gspan.mine_list ~min_support:2 db in
   check int "same count" (List.length mined) r.Taxogram.pattern_count;
   let keys l = List.sort compare (List.map (fun p -> Pattern.key p) l) in
@@ -226,7 +226,7 @@ let test_taxogram_max_edges () =
     Db.of_list
       [ g ~labels:[| id t "d"; id t "f"; id t "d" |] ~edges:[ (0, 1, 0); (1, 2, 0) ] ]
   in
-  let r = Taxogram.run ~sink:`Collect ~config:(config ~max_edges:(Some 1) 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config ~max_edges:(Some 1) 1.0) ()) t db in
   check bool "only 1-edge patterns" true
     (List.for_all (fun p -> Pattern.edge_count p = 1) r.Taxogram.patterns)
 
@@ -235,11 +235,10 @@ let test_taxogram_streaming_equals_run () =
   let db = two_graph_db t in
   let streamed = ref [] in
   let result =
-    Taxogram.run ~config:(config 0.5) ~domains:1
-      ~sink:(`Stream (fun p -> streamed := p :: !streamed))
+    Taxogram.run (Taxogram.Spec.stream ~config:(config 0.5) ~domains:1 (fun p -> streamed := p :: !streamed))
       t db
   in
-  let direct = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
+  let direct = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ()) t db in
   check bool "same patterns" true
     (Pattern.equal_sets !streamed direct.Taxogram.patterns);
   check int "count matches" result.Taxogram.pattern_count
@@ -249,18 +248,18 @@ let test_taxogram_streaming_equals_run () =
 let test_taxogram_timing_fields () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   check bool "timings non-negative" true
-    (r.Taxogram.relabel_seconds >= 0.0
-    && r.Taxogram.mining_seconds >= 0.0
-    && r.Taxogram.enumerate_seconds >= 0.0
-    && r.Taxogram.total_seconds >= 0.0);
+    (r.Taxogram.relabel_wall_seconds >= 0.0
+    && r.Taxogram.mining_wall_seconds >= 0.0
+    && r.Taxogram.enumerate_wall_seconds >= 0.0
+    && r.Taxogram.total_wall_seconds >= 0.0);
   check bool "stats populated" true
     (r.Taxogram.spec_stats.Specialize.intersections > 0);
   check bool "occurrence-index accounting populated" true
     (r.Taxogram.oi_entries > 0 && r.Taxogram.oi_set_members > 0);
   (* without the label prefilter the indices can only grow *)
-  let r' = Taxogram.run ~sink:`Collect ~config:(Taxogram.baseline_config) t db in
+  let r' = Taxogram.run (Taxogram.Spec.collect ~config:(Taxogram.baseline_config) ()) t db in
   check bool "prefilter shrinks indices" true
     (r.Taxogram.oi_entries <= r'.Taxogram.oi_entries)
 
@@ -301,7 +300,7 @@ let test_lemma3_shape () =
           ~edges:[ (0, 1, 0); (1, 2, 0) ];
       ]
   in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   let strings = pattern_strings t r.Taxogram.patterns in
   check bool "b-x survives" true
     (List.exists (fun s -> s = "pattern[sup=2 (1.00)] 0:b 1:x (0-1)") strings);
@@ -312,14 +311,14 @@ let test_lemma3_shape () =
 
 let test_taxogram_empty_db () =
   let t = small_taxonomy () in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t (Db.of_list []) in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ()) t (Db.of_list []) in
   check int "no classes" 0 r.Taxogram.class_count;
   check int "no patterns" 0 r.Taxogram.pattern_count
 
 let test_taxogram_single_graph () =
   let t = small_taxonomy () in
   let db = Db.of_list [ g ~labels:[| id t "d"; id t "f" |] ~edges:[ (0, 1, 0) ] ] in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   (* with one graph, the only non-over-generalized pattern is the fully
      specific d-f (all generalizations share its support) *)
   check (Alcotest.list Alcotest.string) "most specific survives"
@@ -336,7 +335,7 @@ let test_taxogram_edgeless_graphs () =
       ]
   in
   (* patterns need at least one edge: nothing to mine *)
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   check int "no patterns from edgeless graphs" 0 r.Taxogram.pattern_count
 
 let test_edge_labels_distinguish_patterns () =
@@ -349,7 +348,7 @@ let test_edge_labels_distinguish_patterns () =
         g ~labels:[| id t "d"; id t "f" |] ~edges:[ (0, 1, 8) ];
       ]
   in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ()) t db in
   let with_edge_label l =
     List.filter
       (fun (p : Pattern.t) ->
@@ -383,9 +382,9 @@ let test_taxogram_time_budget () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
   let expired = Tsg_util.Timer.Budget.of_seconds (-1.0) in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) ~budget:expired t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ~budget:expired ()) t db in
   check bool "reported incomplete" false r.Taxogram.completed;
-  let r' = Taxogram.run ~sink:`Collect ~config:(config 1.0) t db in
+  let r' = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) t db in
   check bool "unlimited completes" true r'.Taxogram.completed
 
 let test_run_parallel_equals_sequential () =
@@ -406,10 +405,10 @@ let test_run_parallel_equals_sequential () =
       }
   in
   let cfg = config ~max_edges:(Some 3) 0.2 in
-  let sequential = Taxogram.run ~sink:`Collect ~config:cfg ~domains:1 t db in
+  let sequential = Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ()) t db in
   List.iter
     (fun domains ->
-      let parallel = Taxogram.run ~sink:`Collect ~config:cfg ~domains t db in
+      let parallel = Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains ()) t db in
       check bool
         (Printf.sprintf "parallel(%d) = sequential" domains)
         true
@@ -461,13 +460,12 @@ let test_enhancements_equivalent () =
       ]
   in
   let reference =
-    (Taxogram.run ~sink:`Collect ~config:(config 0.5) t db).Taxogram.patterns
+    (Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ()) t db).Taxogram.patterns
   in
   List.iter
     (fun (name, enh) ->
       let r =
-        Taxogram.run ~sink:`Collect
-          ~config:{ (config 0.5) with enhancements = enh }
+        Taxogram.run (Taxogram.Spec.collect ~config:{ (config 0.5) with enhancements = enh } ())
           t db
       in
       check bool (name ^ " equals all-on") true
@@ -493,8 +491,7 @@ let test_enhancements_reduce_work () =
   in
   let run enh =
     let r =
-      Taxogram.run ~sink:`Collect
-        ~config:{ (config ~max_edges:(Some 3) 0.2) with enhancements = enh }
+      Taxogram.run (Taxogram.Spec.collect ~config:{ (config ~max_edges:(Some 3) 0.2) with enhancements = enh } ())
         t db
     in
     (r.Taxogram.patterns, r.Taxogram.spec_stats.Specialize.intersections)
@@ -646,7 +643,7 @@ let test_postprocess_subsumption_direction () =
 let test_pattern_io_roundtrip () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ()) t db in
   let node_labels = Taxonomy.labels t in
   let edge_labels = Tsg_graph.Label.of_names [ "e0" ] in
   let text =
@@ -759,7 +756,7 @@ let test_interest_root_pattern_infinite () =
 let test_interest_rank () =
   let t = small_taxonomy () in
   let db = two_graph_db t in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 0.5) t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ()) t db in
   let ranked = Tsg_core.Interest.rank ~r:0.0 t db r.Taxogram.patterns in
   check int "all patterns ranked at r=0" (List.length r.Taxogram.patterns)
     (List.length ranked);
@@ -821,7 +818,7 @@ let taxogram_equals_naive_prop =
       let tax, db = random_instance rng in
       let theta = theta_of k in
       let naive = Naive.mine ~max_edges:3 ~min_support:theta tax db in
-      let r = Taxogram.run ~sink:`Collect ~config:(config theta) tax db in
+      let r = Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db in
       Pattern.equal_sets naive r.Taxogram.patterns)
 
 let baseline_equals_naive_prop =
@@ -832,8 +829,7 @@ let baseline_equals_naive_prop =
       let theta = theta_of k in
       let naive = Naive.mine ~max_edges:3 ~min_support:theta tax db in
       let r =
-        Taxogram.run ~sink:`Collect
-          ~config:{ (config theta) with enhancements = Specialize.all_off }
+        Taxogram.run (Taxogram.Spec.collect ~config:{ (config theta) with enhancements = Specialize.all_off } ())
           tax db
       in
       Pattern.equal_sets naive r.Taxogram.patterns)
@@ -856,7 +852,7 @@ let supports_verified_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let r = Taxogram.run ~sink:`Collect ~config:(config theta) tax db in
+      let r = Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db in
       List.for_all
         (fun (p : Pattern.t) ->
           let recount = Gen_iso.support_set tax ~pattern:p.Pattern.graph db in
@@ -870,7 +866,7 @@ let minimality_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let ps = (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.patterns in
+      let ps = (Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db).Taxogram.patterns in
       List.for_all
         (fun (p : Pattern.t) ->
           not
@@ -893,7 +889,7 @@ let postprocess_sound_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let all = (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.patterns in
+      let all = (Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db).Taxogram.patterns in
       let closed = Tsg_core.Postprocess.closed tax all in
       let maximal = Tsg_core.Postprocess.maximal tax all in
       let keys l = List.map Pattern.key l in
@@ -919,7 +915,7 @@ let interest_nonnegative_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let theta = theta_of k in
-      let ps = (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.patterns in
+      let ps = (Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db).Taxogram.patterns in
       let ranked = Tsg_core.Interest.rank ~r:0.0 tax db ps in
       let rec sorted = function
         | a :: (b :: _ as rest) ->
@@ -939,7 +935,7 @@ let pattern_io_roundtrip_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let patterns =
-        (Taxogram.run ~sink:`Collect ~config:(config (theta_of k)) tax db).Taxogram.patterns
+        (Taxogram.run (Taxogram.Spec.collect ~config:(config (theta_of k)) ()) tax db).Taxogram.patterns
       in
       QCheck.assume (patterns <> []);
       let node_labels = Taxonomy.labels tax in
@@ -966,10 +962,10 @@ let parallel_equals_sequential_prop =
       let tax, db = random_instance rng in
       let theta = theta_of k in
       let a =
-        Taxogram.run ~sink:`Collect ~config:(config theta) ~domains:1 tax db
+        Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ~domains:1 ()) tax db
       in
       let b =
-        Taxogram.run ~sink:`Collect ~config:(config theta) ~domains:3 tax db
+        Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ~domains:3 ()) tax db
       in
       Pattern.equal_sets a.Taxogram.patterns b.Taxogram.patterns)
 

@@ -217,13 +217,7 @@ let test_pathways_conservation_effect () =
     let rng = Prng.of_int seed in
     let db = Pathways.generate rng ~taxonomy:tax ~organisms:8 spec in
     let r =
-      Tsg_core.Taxogram.run ~sink:`Collect
-        ~config:
-          {
-            Tsg_core.Taxogram.min_support = 0.5;
-            max_edges = Some 3;
-            enhancements = Tsg_core.Specialize.all_on;
-          }
+      Tsg_core.Taxogram.run (Tsg_core.Taxogram.Spec.collect ~config:{ Tsg_core.Taxogram.min_support = 0.5; max_edges = Some 3; enhancements = Tsg_core.Specialize.all_on; } ())
         tax db
     in
     r.Tsg_core.Taxogram.pattern_count

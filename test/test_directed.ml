@@ -166,8 +166,7 @@ let test_direction_sensitive_mining () =
       ]
   in
   let u =
-    Tsg_core.Taxogram.run ~sink:`Collect
-      ~config:{ Tsg_core.Taxogram.default_config with min_support = 1.0 }
+    Tsg_core.Taxogram.run (Tsg_core.Taxogram.Spec.collect ~config:{ Tsg_core.Taxogram.default_config with min_support = 1.0 } ())
       t undirected
   in
   check int "undirected keeps b-c" 1 (List.length u.Tsg_core.Taxogram.patterns);

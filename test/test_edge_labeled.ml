@@ -107,8 +107,7 @@ let test_edge_generalization_mining () =
   in
   (* plain taxogram with exact edge labels finds nothing at support 1.0 *)
   let plain =
-    Tsg_core.Taxogram.run ~sink:`Collect
-      ~config:{ Tsg_core.Taxogram.default_config with min_support = 1.0 }
+    Tsg_core.Taxogram.run (Tsg_core.Taxogram.Spec.collect ~config:{ Tsg_core.Taxogram.default_config with min_support = 1.0 } ())
       nodes
       (Db.of_list [ g1; g2 ])
   in

@@ -194,14 +194,14 @@ let rule_of = function
   | Error d -> d.Diagnostic.rule
 
 let test_transient_retried () =
-  let pool = Pool.create ~domains:2 () in
+  let pool = Pool.Exec.create ~domains:2 () in
   let attempts = Array.make 4 0 in
   let task i _ctx =
     attempts.(i) <- attempts.(i) + 1;
     if i = 2 && attempts.(i) < 3 then raise (Pool.Transient "flaky");
     i * 10
   in
-  let results = Pool.run_supervised pool (List.init 4 task) in
+  let results = Pool.Exec.run_supervised pool (List.init 4 task) in
   check int "all tasks reported" 4 (List.length results);
   List.iter
     (fun (tid, r) ->
@@ -214,22 +214,22 @@ let test_transient_retried () =
   check int "healthy tasks ran once" 1 attempts.(0)
 
 let test_permanent_quarantined () =
-  let pool = Pool.create ~domains:2 () in
+  let pool = Pool.Exec.create ~domains:2 () in
   let task i _ctx = if i = 1 then failwith "poisoned" else i in
-  let results = Pool.run_supervised pool (List.init 3 task) in
+  let results = Pool.Exec.run_supervised pool (List.init 3 task) in
   check (Alcotest.list Alcotest.string) "one casualty, run completes"
     [ "ok"; "POOL001"; "ok" ]
     (List.map (fun (_, r) -> rule_of r) results)
 
 let test_fail_after_fork_not_retried () =
-  let pool = Pool.create ~domains:2 () in
+  let pool = Pool.Exec.create ~domains:2 () in
   let attempts = ref 0 in
   let task ctx =
     incr attempts;
     Pool.fork ctx (fun _ -> 99);
     raise (Pool.Transient "late failure")
   in
-  let results = Pool.run_supervised pool [ task ] in
+  let results = Pool.Exec.run_supervised pool [ task ] in
   (* the forked child is already scheduled under its id: retrying the
      parent would schedule it twice, so one attempt is all it gets *)
   check int "no retry after fork" 1 !attempts;
@@ -241,7 +241,7 @@ let test_fail_after_fork_not_retried () =
   | Error d -> Alcotest.fail (Diagnostic.to_string d)
 
 let test_deadline_quarantine () =
-  let pool = Pool.create ~domains:2 () in
+  let pool = Pool.Exec.create ~domains:2 () in
   let policy =
     { Pool.default_policy with Pool.deadline_s = Some 0.005 }
   in
@@ -255,7 +255,7 @@ let test_deadline_quarantine () =
     end;
     i
   in
-  let results = Pool.run_supervised pool ~policy (List.init 2 task) in
+  let results = Pool.Exec.run_supervised pool ~policy (List.init 2 task) in
   check (Alcotest.list Alcotest.string) "overrun quarantined as POOL002"
     [ "POOL002"; "ok" ]
     (List.map (fun (_, r) -> rule_of r) results)
@@ -264,16 +264,16 @@ let test_injected_fault_retried_then_ok () =
   (* pool.task fires once; the default policy treats Injected as
      transient, so the victim retries and the run is casualty-free *)
   with_faults [ ("pool.task", Fault.Once) ] (fun () ->
-      let pool = Pool.create ~domains:2 () in
-      let results = Pool.run_supervised pool (List.init 5 (fun i _ -> i)) in
+      let pool = Pool.Exec.create ~domains:2 () in
+      let results = Pool.Exec.run_supervised pool (List.init 5 (fun i _ -> i)) in
       check bool "no casualties" true
         (List.for_all (fun (_, r) -> Result.is_ok r) results);
       check int "the fault did fire" 1 (Fault.fired_count "pool.task"))
 
 let test_injected_fault_exhausts_to_flt001 () =
   with_faults [ ("pool.task", Fault.Probability 1.0) ] (fun () ->
-      let pool = Pool.create ~domains:2 () in
-      let results = Pool.run_supervised pool [ (fun _ -> 0) ] in
+      let pool = Pool.Exec.create ~domains:2 () in
+      let results = Pool.Exec.run_supervised pool [ (fun _ -> 0) ] in
       match[@warning "-4"] results with
       | [ (_, Error d) ] ->
         check Alcotest.string "injected faults carry FLT001" "FLT001"
@@ -322,7 +322,7 @@ let rm_f path = if Sys.file_exists path then Sys.remove path
 let killed_run ?domains ~cfg ~path ~k tax db =
   with_faults [ ("taxogram.root", Fault.On_hit k) ] (fun () ->
       let checkpoint = { Taxogram.path; every_s = 0.0 } in
-      match Taxogram.run ~config:cfg ?domains ~checkpoint ~sink:`Collect tax db with
+      match Taxogram.run (Taxogram.Spec.collect ~config:cfg ?domains ~checkpoint ()) tax db with
       | r -> Some r
       | exception Fault.Injected _ -> None)
 
@@ -330,7 +330,7 @@ let test_kill_resume_sequential () =
   let rng = Prng.of_int 20260807 in
   let tax, db = random_instance rng in
   let cfg = config 0.34 in
-  let full = Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db in
+  let full = Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ()) tax db in
   let path = temp_ckpt () in
   Fun.protect
     ~finally:(fun () -> rm_f path)
@@ -339,9 +339,7 @@ let test_kill_resume_sequential () =
       | None -> check bool "checkpoint written" true (Sys.file_exists path)
       | Some _ -> ());
       let resumed =
-        Taxogram.run ~config:cfg ~domains:1
-          ~checkpoint:{ Taxogram.path; every_s = 0.0 }
-          ~sink:`Collect tax db
+        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ~checkpoint:{ Taxogram.path; every_s = 0.0 } ()) tax db
       in
       check Alcotest.string "byte-identical to uninterrupted"
         (fingerprint tax full) (fingerprint tax resumed);
@@ -403,9 +401,7 @@ let test_resume_rejects_other_config () =
       check bool "checkpoint exists" true (Sys.file_exists path);
       (* same path, different theta: the fingerprint must refuse *)
       match
-        Taxogram.run ~config:(config 0.5) ~domains:1
-          ~checkpoint:{ Taxogram.path; every_s = 0.0 }
-          ~sink:`Collect tax db
+        Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ~domains:1 ~checkpoint:{ Taxogram.path; every_s = 0.0 } ()) tax db
       with
       | _ -> Alcotest.fail "resumed under a different configuration"
       | exception Checkpoint.Error d ->
@@ -422,16 +418,14 @@ let kill_resume_prop ~domains =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let cfg = config 0.34 in
-      let full = Taxogram.run ~config:cfg ~domains ~sink:`Collect tax db in
+      let full = Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains ()) tax db in
       let path = temp_ckpt () in
       Fun.protect
         ~finally:(fun () -> rm_f path)
         (fun () ->
           ignore (killed_run ~domains ~cfg ~path ~k:(1 + k) tax db);
           let resumed =
-            Taxogram.run ~config:cfg ~domains
-              ~checkpoint:{ Taxogram.path; every_s = 0.0 }
-              ~sink:`Collect tax db
+            Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains ~checkpoint:{ Taxogram.path; every_s = 0.0 } ()) tax db
           in
           fingerprint tax full = fingerprint tax resumed
           && not (Sys.file_exists path)))
@@ -448,7 +442,7 @@ let chaos_supervised_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let cfg = config 0.34 in
-      let clean = Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db in
+      let clean = Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ()) tax db in
       let p = [| 0.0; 0.15; 0.5 |].(p_idx) in
       let domains = [| 1; 4 |].(d_idx) in
       let r =
@@ -459,7 +453,7 @@ let chaos_supervised_prop =
             ("occ_index.build", Fault.Probability (p /. 2.0));
           ]
           (fun () ->
-            Taxogram.run ~config:cfg ~domains ~supervised:true ~sink:`Collect
+            Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains ~supervised:true ())
               tax db)
       in
       let coded =
@@ -502,7 +496,7 @@ let serve_store () =
           ~edges:[ (0, 1, 0) ];
       ]
   in
-  let r = Taxogram.run ~config:(config 0.5) ~domains:1 ~sink:`Collect tax db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ~domains:1 ()) tax db in
   Store.build ~taxonomy:tax ~db_size:2 r.Taxogram.patterns
 
 let run_serve ?limits requests =
@@ -527,7 +521,7 @@ let run_serve ?limits requests =
             close_in ic;
             close_out oc)
           (fun () ->
-            Serve.run ~domains:1 ?limits ~engine ~edge_labels ic oc)
+            Serve.run ~exec:(Tsg_util.Pool.Exec.create ~domains:1 ()) ?limits ~engine ~edge_labels ic oc)
       in
       let ic = open_in out_path in
       let text =
@@ -614,7 +608,7 @@ let test_serve_disconnect () =
       let outcome =
         Fun.protect
           ~finally:(fun () -> close_in ic)
-          (fun () -> Serve.run ~domains:1 ~engine ~edge_labels ic oc)
+          (fun () -> Serve.run ~exec:(Tsg_util.Pool.Exec.create ~domains:1 ()) ~engine ~edge_labels ic oc)
       in
       check bool "disconnect detected" true outcome.Serve.disconnected;
       check int "metric" 1

@@ -416,8 +416,8 @@ let taxogram_level_miner_prop =
           enhancements = Tsg_core.Specialize.all_on;
         }
       in
-      let a = Tsg_core.Taxogram.run ~sink:`Collect ~config ~class_miner:`Gspan tax db in
-      let b = Tsg_core.Taxogram.run ~sink:`Collect ~config ~class_miner:`Level_wise tax db in
+      let a = Tsg_core.Taxogram.run (Tsg_core.Taxogram.Spec.collect ~config ~class_miner:`Gspan ()) tax db in
+      let b = Tsg_core.Taxogram.run (Tsg_core.Taxogram.Spec.collect ~config ~class_miner:`Level_wise ()) tax db in
       Tsg_core.Pattern.equal_sets a.Tsg_core.Taxogram.patterns
         b.Tsg_core.Taxogram.patterns)
 

@@ -59,7 +59,7 @@ let test_pathway_end_to_end () =
   in
   let db = Tsg_data.Pathways.generate rng ~taxonomy:tax ~organisms:10 spec in
   let theta = 0.4 in
-  let r = Taxogram.run ~sink:`Collect ~config:(config theta) tax db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db in
   check bool "finds conserved annotation patterns" true
     (r.Taxogram.pattern_count > 0);
   let min_count = Db.support_count_to_threshold db theta in
@@ -79,7 +79,7 @@ let test_pte_end_to_end () =
   let tax = Tsg_taxonomy.Atom_taxonomy.create () in
   let rng = Prng.of_int 22 in
   let db = Tsg_data.Pte.generate rng ~taxonomy:tax ~molecules:40 () in
-  let r = Taxogram.run ~sink:`Collect ~config:(config ~max_edges:(Some 2) 0.6) tax db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config ~max_edges:(Some 2) 0.6) ()) tax db in
   check bool "frequent chemical fragments exist" true
     (r.Taxogram.pattern_count > 0);
   verify_supports tax db r.Taxogram.patterns;
@@ -115,8 +115,8 @@ let test_serialize_then_mine () =
   let edge_labels = Label.of_names [ "e0"; "e1"; "e2" ] in
   let text = Serial.db_to_string ~node_labels ~edge_labels db in
   let db' = Serial.parse_db ~node_labels ~edge_labels text in
-  let a = Taxogram.run ~sink:`Collect ~config:(config 0.3) tax db in
-  let b = Taxogram.run ~sink:`Collect ~config:(config 0.3) tax db' in
+  let a = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.3) ()) tax db in
+  let b = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.3) ()) tax db' in
   check bool "mining unchanged by (de)serialization" true
     (Pattern.equal_sets a.Taxogram.patterns b.Taxogram.patterns)
 
@@ -140,10 +140,9 @@ let test_three_miners_agree_realistic () =
       }
   in
   let theta = 0.3 in
-  let taxogram = (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.patterns in
+  let taxogram = (Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db).Taxogram.patterns in
   let baseline =
-    (Taxogram.run ~sink:`Collect
-       ~config:{ (config theta) with enhancements = Specialize.all_off }
+    (Taxogram.run (Taxogram.Spec.collect ~config:{ (config theta) with enhancements = Specialize.all_off } ())
        tax db)
       .Taxogram.patterns
   in
@@ -174,7 +173,7 @@ let test_completeness_small_realistic () =
       }
   in
   let naive = Naive.mine ~max_edges:3 ~min_support:0.4 tax db in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 0.4) tax db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 0.4) ()) tax db in
   check bool "complete and minimal vs specification" true
     (Pattern.equal_sets naive r.Taxogram.patterns)
 
@@ -200,7 +199,7 @@ let test_multi_root_end_to_end () =
         g [| id "transferase"; id "binding" |] [ (0, 1, 0) ];
       ]
   in
-  let r = Taxogram.run ~sink:`Collect ~config:(config 1.0) tax db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config:(config 1.0) ()) tax db in
   (* the artificial root makes 'function-?' and 'process-?' classes minable;
      kinase is under both roots *)
   check bool "patterns found across roots" true (r.Taxogram.pattern_count > 0);
@@ -227,7 +226,7 @@ let test_support_monotonicity () =
       }
   in
   let count theta =
-    (Taxogram.run ~sink:`Collect ~config:(config theta) tax db).Taxogram.pattern_count
+    (Taxogram.run (Taxogram.Spec.collect ~config:(config theta) ()) tax db).Taxogram.pattern_count
   in
   let c6 = count 0.6 and c4 = count 0.4 and c2 = count 0.2 in
   check bool "pattern count grows as support drops" true (c6 <= c4 && c4 <= c2)

@@ -151,10 +151,7 @@ let test_lemma3_witness () =
   check bool "a-x (its generalization) is not" false (over_generalized ax);
   (* and Taxogram indeed emits a-x but not b-x *)
   let r =
-    Taxogram.run ~sink:`Collect
-      ~config:
-        { Taxogram.min_support = 0.5; max_edges = Some 2;
-          enhancements = Specialize.all_on }
+    Taxogram.run (Taxogram.Spec.collect ~config:{ Taxogram.min_support = 0.5; max_edges = Some 2; enhancements = Specialize.all_on } ())
       tax db
   in
   let keys = List.map Pattern.key r.Taxogram.patterns in
@@ -244,10 +241,7 @@ let lemma8_minimality_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let ps =
-        (Taxogram.run ~sink:`Collect
-           ~config:
-             { Taxogram.min_support = 0.5; max_edges = Some 3;
-               enhancements = Specialize.all_on }
+        (Taxogram.run (Taxogram.Spec.collect ~config:{ Taxogram.min_support = 0.5; max_edges = Some 3; enhancements = Specialize.all_on } ())
            tax db)
           .Taxogram.patterns
       in
@@ -272,10 +266,7 @@ let lemma9_completeness_prop =
       let tax, db = random_instance rng in
       let naive = Naive.mine ~max_edges:3 ~min_support:0.5 tax db in
       let taxogram =
-        (Taxogram.run ~sink:`Collect
-           ~config:
-             { Taxogram.min_support = 0.5; max_edges = Some 3;
-               enhancements = Specialize.all_on }
+        (Taxogram.run (Taxogram.Spec.collect ~config:{ Taxogram.min_support = 0.5; max_edges = Some 3; enhancements = Specialize.all_on } ())
            tax db)
           .Taxogram.patterns
       in

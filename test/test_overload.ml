@@ -419,7 +419,7 @@ let fixture_store () =
     { Taxogram.min_support = 0.5; max_edges = Some 2;
       enhancements = Specialize.all_on }
   in
-  let r = Taxogram.run ~config ~domains:1 ~sink:`Collect t db in
+  let r = Taxogram.run (Taxogram.Spec.collect ~config ~domains:1 ()) t db in
   (t, db, Store.build ~taxonomy:t ~db_size:(Db.size db) r.Taxogram.patterns)
 
 (* --- serve equivalence under degradation ------------------------------------ *)
@@ -445,7 +445,7 @@ let run_serve ?admission ?client store requests =
             close_in ic;
             close_out oc)
           (fun () ->
-            Serve.run ~domains:1 ?admission ?client ~engine ~edge_labels ic oc)
+            Serve.run ~exec:(Tsg_util.Pool.Exec.create ~domains:1 ()) ?admission ?client ~engine ~edge_labels ic oc)
       in
       let ic = open_in out_path in
       let text =
@@ -648,7 +648,7 @@ let with_reload_listener f =
       { Taxogram.min_support = support; max_edges = Some 2;
         enhancements = Specialize.all_on }
     in
-    (Taxogram.run ~config ~domains:1 ~sink:`Collect t db).Taxogram.patterns
+    (Taxogram.run (Taxogram.Spec.collect ~config ~domains:1 ()) t db).Taxogram.patterns
   in
   let save patterns =
     let edge_labels = Label.of_names [ "e0" ] in

@@ -1,13 +1,17 @@
-(* The work-stealing pool (Tsg_util.Pool) and the determinism contract of
-   Taxogram.run across domain counts: same canonical pattern set, same
-   supports, whatever the schedule — including under time budgets, where
-   `Collect must report a prefix of the canonical root sequence. *)
+(* The work-stealing pool (Tsg_util.Pool.Exec) and the determinism
+   contract of Taxogram.run across domain counts: same canonical pattern
+   set, same supports, whatever the schedule — including under time
+   budgets, where `Collect must report a prefix of the canonical root
+   sequence. Also the per-domain Arena scratch cache the pool's workers
+   drain on exit. *)
 
 module Graph = Tsg_graph.Graph
 module Db = Tsg_graph.Db
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Prng = Tsg_util.Prng
 module Pool = Tsg_util.Pool
+module Arena = Tsg_util.Arena
+module Bitset = Tsg_util.Bitset
 module Timer = Tsg_util.Timer
 module Pattern = Tsg_core.Pattern
 module Specialize = Tsg_core.Specialize
@@ -20,9 +24,9 @@ let int = Alcotest.int
 (* --- Pool ------------------------------------------------------------------ *)
 
 let test_pool_root_ids () =
-  let pool = Pool.create ~domains:3 () in
+  let exec = Pool.Exec.create ~domains:3 () in
   let tasks = List.init 7 (fun i _ctx -> i * i) in
-  let results = Pool.run pool tasks in
+  let results = Pool.Exec.run exec tasks in
   check int "one result per task" 7 (List.length results);
   List.iteri
     (fun i (tid, v) ->
@@ -31,11 +35,11 @@ let test_pool_root_ids () =
     results
 
 let test_pool_empty () =
-  let pool = Pool.create ~domains:2 () in
-  check int "no tasks, no results" 0 (List.length (Pool.run pool []))
+  let exec = Pool.Exec.create ~domains:2 () in
+  check int "no tasks, no results" 0 (List.length (Pool.Exec.run exec []))
 
 let test_pool_fork_ids () =
-  let pool = Pool.create ~domains:4 () in
+  let exec = Pool.Exec.create ~domains:4 () in
   (* each root i forks i subtasks; ids must be [i] then [i;0] .. [i;i-1],
      and the flat listing must come back in lexicographic id order *)
   let task i ctx =
@@ -46,7 +50,7 @@ let test_pool_fork_ids () =
     done;
     i
   in
-  let results = Pool.run pool (List.init 4 task) in
+  let results = Pool.Exec.run exec (List.init 4 task) in
   let expected_ids =
     List.concat_map
       (fun i -> [ i ] :: List.init i (fun k -> [ i; k ]))
@@ -61,7 +65,7 @@ let test_pool_fork_ids () =
 let test_pool_stealing_tree () =
   (* a binary fork tree deep enough that every domain has work to steal;
      the values must still sum exactly once per task *)
-  let pool = Pool.create ~domains:4 () in
+  let exec = Pool.Exec.create ~domains:4 () in
   let rec task depth ctx =
     if depth < 5 then begin
       Pool.fork ctx (task (depth + 1));
@@ -69,7 +73,7 @@ let test_pool_stealing_tree () =
     end;
     1
   in
-  let results = Pool.run pool [ task 0 ] in
+  let results = Pool.Exec.run exec [ task 0 ] in
   (* complete binary tree of depth 5: 2^6 - 1 tasks *)
   check int "every task ran once" 63
     (List.fold_left (fun acc (_, v) -> acc + v) 0 results);
@@ -80,20 +84,21 @@ let test_pool_stealing_tree () =
        (List.tl ids))
 
 let test_pool_exception () =
-  let pool = Pool.create ~domains:3 () in
+  let exec = Pool.Exec.create ~domains:3 () in
   let ran = Atomic.make 0 in
   let task i _ctx =
     if i = 5 then failwith "boom";
     Atomic.incr ran;
     i
   in
-  (match Pool.run pool (List.init 32 task) with
+  (match Pool.Exec.run exec (List.init 32 task) with
   | _ -> Alcotest.fail "expected the task's exception to propagate"
-  | exception Failure msg -> check Alcotest.string "original exception" "boom" msg);
-  (* a second run on the same pool descriptor must work: domains are
-     per-run, so a failed run leaves no poisoned state behind *)
-  let results = Pool.run pool (List.init 4 (fun i _ctx -> i)) in
-  check int "pool reusable after failure" 4 (List.length results)
+  | exception Failure msg ->
+    check Alcotest.string "original exception" "boom" msg);
+  (* a second run on the same handle must work: domains are per-run, so a
+     failed run leaves no poisoned state behind *)
+  let results = Pool.Exec.run exec (List.init 4 (fun i _ctx -> i)) in
+  check int "handle reusable after failure" 4 (List.length results)
 
 let test_default_domains_env () =
   let orig = Sys.getenv_opt "TSG_DOMAINS" in
@@ -112,6 +117,108 @@ let test_default_domains_env () =
       check int "non-positive falls back" fallback (Pool.default_domains ());
       Unix.putenv "TSG_DOMAINS" "";
       check int "empty falls back" fallback (Pool.default_domains ()))
+
+let test_exec_snapshots_env () =
+  (* Exec.create reads TSG_DOMAINS exactly once: a handle created under
+     one setting keeps its width when the environment changes under it
+     (the race the serve loop's hot reload used to lose) *)
+  let orig = Sys.getenv_opt "TSG_DOMAINS" in
+  let restore () =
+    match orig with
+    | Some v -> Unix.putenv "TSG_DOMAINS" v
+    | None -> Unix.putenv "TSG_DOMAINS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "TSG_DOMAINS" "3";
+      let exec = Pool.Exec.create () in
+      check int "snapshot at create" 3 (Pool.Exec.domains exec);
+      Unix.putenv "TSG_DOMAINS" "7";
+      check int "handle ignores later env changes" 3 (Pool.Exec.domains exec);
+      let results = Pool.Exec.run exec (List.init 5 (fun i _ctx -> i)) in
+      check int "still runs" 5 (List.length results);
+      check int "explicit ~domains wins over env" 2
+        (Pool.Exec.domains (Pool.Exec.create ~domains:2 ())))
+
+(* random fork trees: the tree shape is a pure function of (seed, id), so
+   the expected id set can be computed without the pool, and the pool —
+   at any domain count, under any steal schedule — must return exactly
+   that set, sorted, with each task's value intact *)
+let fork_tree_children seed id depth =
+  if depth >= 3 then 0 else Hashtbl.hash (seed, id) mod 4
+
+let fork_tree_value seed id = Hashtbl.hash (id, seed, "v")
+
+let rec fork_tree_expected seed id depth =
+  let k = fork_tree_children seed id depth in
+  (id, fork_tree_value seed id)
+  :: List.concat_map
+       (fun c -> fork_tree_expected seed (id @ [ c ]) (depth + 1))
+       (List.init k Fun.id)
+
+let steal_fork_interleaving_prop =
+  QCheck.Test.make
+    ~name:"random fork trees: no loss, no dup, id-sorted (domains 1-8)"
+    ~count:60
+    (QCheck.make QCheck.Gen.(pair (int_bound 1_000_000) (int_range 1 8)))
+    (fun (seed, domains) ->
+      let exec = Pool.Exec.create ~domains () in
+      let roots = 1 + (Hashtbl.hash (seed, "roots") mod 4) in
+      let rec task depth ctx =
+        let id = Pool.id ctx in
+        let k = fork_tree_children seed id depth in
+        for _c = 0 to k - 1 do
+          Pool.fork ctx (task (depth + 1))
+        done;
+        fork_tree_value seed id
+      in
+      let results = Pool.Exec.run exec (List.init roots (fun _ -> task 0)) in
+      let expected =
+        List.sort compare
+          (List.concat_map
+             (fun i -> fork_tree_expected seed [ i ] 0)
+             (List.init roots Fun.id))
+      in
+      results = expected)
+
+(* --- Arena: per-domain scratch reuse --------------------------------------- *)
+
+let test_arena_reuse () =
+  Arena.drain ();
+  Arena.reset_stats ();
+  let b = Bitset.create 128 in
+  let s = Arena.acquire 128 in
+  Bitset.set s 5;
+  Arena.release s;
+  ignore b;
+  let s1 = Arena.stats () in
+  check int "first acquire allocates" 1 s1.Arena.misses;
+  check int "released bitset is cached" 1 s1.Arena.cached;
+  let s' = Arena.acquire 128 in
+  check bool "recycled bitset comes back cleared" false (Bitset.mem s' 5);
+  let s2 = Arena.stats () in
+  check int "second acquire reuses" 1 s2.Arena.hits;
+  check int "cache emptied by the hit" 0 s2.Arena.cached;
+  Arena.release s';
+  (* with_bitset releases on raise too *)
+  (try Arena.with_bitset 128 (fun _ -> failwith "x") with Failure _ -> ());
+  let s3 = Arena.stats () in
+  check int "with_bitset returns its bitset on raise" 1 s3.Arena.cached;
+  check int "raise path counted as a hit" 2 s3.Arena.hits
+
+let test_arena_in_pool_tasks () =
+  (* tasks on worker domains each see their own arena; using it across a
+     run must neither crash nor leak into the caller's counters *)
+  Arena.drain ();
+  Arena.reset_stats ();
+  let exec = Pool.Exec.create ~domains:4 () in
+  let task _i _ctx =
+    Arena.with_bitset 256 (fun b ->
+        Bitset.set b 7;
+        Bitset.mem b 7)
+  in
+  let results = Pool.Exec.run exec (List.init 16 task) in
+  check bool "every task saw its own cleared scratch" true
+    (List.for_all snd results)
 
 (* --- Taxogram determinism across domain counts ----------------------------- *)
 
@@ -165,11 +272,38 @@ let domains4_equals_domains1_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let cfg = config (theta_of k) in
-      let a = Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db in
-      let b = Taxogram.run ~config:cfg ~domains:4 ~sink:`Collect tax db in
+      let a =
+        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ()) tax db
+      in
+      let b =
+        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:4 ()) tax db
+      in
       fingerprint tax a = fingerprint tax b
       && a.Taxogram.class_count = b.Taxogram.class_count
       && a.Taxogram.covered_graph_count = b.Taxogram.covered_graph_count)
+
+let batch_invariance_prop =
+  (* root_batch / spec_batch tune scheduling granularity only: any
+     combination must give the byte-identical result *)
+  QCheck.Test.make ~name:"root_batch/spec_batch never change the result"
+    ~count:25 arb_instance (fun (seed, k) ->
+      let rng = Prng.of_int seed in
+      let tax, db = random_instance rng in
+      let cfg = config (theta_of k) in
+      let reference =
+        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ()) tax db
+      in
+      let want = fingerprint tax reference in
+      List.for_all
+        (fun (root_batch, spec_batch) ->
+          let r =
+            Taxogram.run
+              (Taxogram.Spec.collect ~config:cfg ~domains:4 ~root_batch
+                 ~spec_batch ())
+              tax db
+          in
+          fingerprint tax r = want)
+        [ (1, 1); (2, 3); (64, 64) ])
 
 let stream_equals_collect_prop =
   QCheck.Test.make ~name:"`Stream domains=4 emits the `Collect set" ~count:25
@@ -178,15 +312,14 @@ let stream_equals_collect_prop =
       let tax, db = random_instance rng in
       let cfg = config (theta_of k) in
       let collected =
-        Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db
+        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ()) tax db
       in
       let streamed = ref [] in
       let m = Mutex.create () in
       let r =
-        Taxogram.run ~config:cfg ~domains:4
-          ~sink:
-            (`Stream
-              (fun p -> Mutex.protect m (fun () -> streamed := p :: !streamed)))
+        Taxogram.run
+          (Taxogram.Spec.stream ~config:cfg ~domains:4 (fun p ->
+               Mutex.protect m (fun () -> streamed := p :: !streamed)))
           tax db
       in
       Pattern.equal_sets collected.Taxogram.patterns !streamed
@@ -200,12 +333,15 @@ let level_wise_pool_prop =
       let tax, db = random_instance rng in
       let cfg = config (theta_of k) in
       let a =
-        Taxogram.run ~config:cfg ~class_miner:`Gspan ~domains:1 ~sink:`Collect
+        Taxogram.run
+          (Taxogram.Spec.collect ~config:cfg ~class_miner:`Gspan ~domains:1 ())
           tax db
       in
       let b =
-        Taxogram.run ~config:cfg ~class_miner:`Level_wise ~domains:4
-          ~sink:`Collect tax db
+        Taxogram.run
+          (Taxogram.Spec.collect ~config:cfg ~class_miner:`Level_wise
+             ~domains:4 ())
+          tax db
       in
       (* byte-identity is a same-miner guarantee: the two miners emit
          isomorphic class graphs under different vertex orders, so the
@@ -220,8 +356,10 @@ let test_expired_budget_deterministic () =
   List.iter
     (fun domains ->
       let r =
-        Taxogram.run ~config:(config 0.5) ~budget:expired ~domains
-          ~sink:`Collect tax db
+        Taxogram.run
+          (Taxogram.Spec.collect ~config:(config 0.5) ~budget:expired ~domains
+             ())
+          tax db
       in
       check bool "incomplete" false r.Taxogram.completed;
       (* budget already expired when mining started: the canonical prefix
@@ -238,16 +376,21 @@ let budget_prefix_prop =
       let rng = Prng.of_int seed in
       let tax, db = random_instance rng in
       let cfg = config (theta_of k) in
-      let full = Taxogram.run ~config:cfg ~domains:1 ~sink:`Collect tax db in
+      let full =
+        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ()) tax db
+      in
       let by_key =
-        List.map (fun (p : Pattern.t) -> (Pattern.key p, p)) full.Taxogram.patterns
+        List.map
+          (fun (p : Pattern.t) -> (Pattern.key p, p))
+          full.Taxogram.patterns
       in
       List.for_all
         (fun domains ->
           let tight = Timer.Budget.of_seconds 1e-4 in
           let r =
-            Taxogram.run ~config:cfg ~budget:tight ~domains ~sink:`Collect tax
-              db
+            Taxogram.run
+              (Taxogram.Spec.collect ~config:cfg ~budget:tight ~domains ())
+              tax db
           in
           List.for_all
             (fun (p : Pattern.t) ->
@@ -257,43 +400,31 @@ let budget_prefix_prop =
             r.Taxogram.patterns)
         [ 1; 4 ])
 
-(* --- deprecated wrappers stay functional until removal --------------------- *)
-
-module Wrappers = struct
-  [@@@alert "-deprecated"]
-
-  let small_instance () =
-    let tax =
-      Taxonomy.build
-        ~names:[ "a"; "b"; "c"; "d"; "e"; "f" ]
-        ~is_a:[ ("b", "a"); ("c", "a"); ("d", "b"); ("e", "b"); ("f", "c") ]
-    in
-    let id n = Taxonomy.id_of_name tax n in
-    let db =
-      Db.of_list
-        [
-          g ~labels:[| id "d"; id "f" |] ~edges:[ (0, 1, 0) ];
-          g ~labels:[| id "e"; id "f" |] ~edges:[ (0, 1, 0) ];
-        ]
-    in
-    (tax, db)
-
-  let test_run_streaming () =
-    let tax, db = small_instance () in
-    let seen = ref 0 in
-    let r =
-      Taxogram.run_streaming ~config:(config 0.5) tax db (fun _ -> incr seen)
-    in
-    check int "emits every pattern" r.Taxogram.pattern_count !seen;
-    check int "patterns field empty" 0 (List.length r.Taxogram.patterns)
-
-  let test_run_parallel () =
-    let tax, db = small_instance () in
-    let direct = Taxogram.run ~config:(config 0.5) ~sink:`Collect tax db in
-    let wrapped = Taxogram.run_parallel ~config:(config 0.5) ~domains:2 tax db in
-    check bool "same set as run" true
-      (Pattern.equal_sets direct.Taxogram.patterns wrapped.Taxogram.patterns)
-end
+let test_spec_builders () =
+  let tax =
+    Taxonomy.build
+      ~names:[ "a"; "b"; "c"; "d"; "e"; "f" ]
+      ~is_a:[ ("b", "a"); ("c", "a"); ("d", "b"); ("e", "b"); ("f", "c") ]
+  in
+  let id n = Taxonomy.id_of_name tax n in
+  let db =
+    Db.of_list
+      [
+        g ~labels:[| id "d"; id "f" |] ~edges:[ (0, 1, 0) ];
+        g ~labels:[| id "e"; id "f" |] ~edges:[ (0, 1, 0) ];
+      ]
+  in
+  let base = Taxogram.Spec.collect ~config:(config 0.5) () in
+  let spec = Taxogram.Spec.with_domains 2 base in
+  check int "with_domains resizes the executor" 2 (Taxogram.Spec.domains spec);
+  let direct = Taxogram.run (Taxogram.Spec.with_domains 1 base) tax db in
+  let pooled = Taxogram.run spec tax db in
+  check bool "same set through the builders" true
+    (Pattern.equal_sets direct.Taxogram.patterns pooled.Taxogram.patterns);
+  (* one spec drives many runs *)
+  let again = Taxogram.run spec tax db in
+  check bool "spec reusable" true
+    (Pattern.equal_sets pooled.Taxogram.patterns again.Taxogram.patterns)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -310,20 +441,26 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "TSG_DOMAINS override" `Quick
             test_default_domains_env;
+          Alcotest.test_case "Exec snapshots TSG_DOMAINS once" `Quick
+            test_exec_snapshots_env;
+        ]
+        @ qsuite [ steal_fork_interleaving_prop ] );
+      ( "arena",
+        [
+          Alcotest.test_case "acquire/release reuse" `Quick test_arena_reuse;
+          Alcotest.test_case "scratch inside pool tasks" `Quick
+            test_arena_in_pool_tasks;
         ] );
       ( "determinism",
         Alcotest.test_case "expired budget, all domain counts" `Quick
           test_expired_budget_deterministic
+        :: Alcotest.test_case "Spec builders" `Quick test_spec_builders
         :: qsuite
              [
                domains4_equals_domains1_prop;
+               batch_invariance_prop;
                stream_equals_collect_prop;
                level_wise_pool_prop;
                budget_prefix_prop;
              ] );
-      ( "deprecated wrappers",
-        [
-          Alcotest.test_case "run_streaming" `Quick Wrappers.test_run_streaming;
-          Alcotest.test_case "run_parallel" `Quick Wrappers.test_run_parallel;
-        ] );
     ]

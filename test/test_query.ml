@@ -56,7 +56,7 @@ let mine ?(theta = 0.5) t db =
     { Taxogram.min_support = theta; max_edges = Some 3;
       enhancements = Specialize.all_on }
   in
-  (Taxogram.run ~sink:`Collect ~config t db).Taxogram.patterns
+  (Taxogram.run (Taxogram.Spec.collect ~config ()) t db).Taxogram.patterns
 
 let mined_store ?db:interest_db ?(theta = 0.5) t db =
   Store.build ~taxonomy:t ?db:interest_db ~db_size:(Db.size db)
@@ -461,7 +461,13 @@ let run_serve ?domains store requests =
           ~finally:(fun () ->
             close_in ic;
             close_out oc)
-          (fun () -> Serve.run ?domains ~engine ~edge_labels ic oc)
+          (fun () ->
+            let exec =
+              Option.map
+                (fun d -> Tsg_util.Pool.Exec.create ~domains:d ())
+                domains
+            in
+            Serve.run ?exec ~engine ~edge_labels ic oc)
       in
       let ic = open_in out_path in
       let text =
