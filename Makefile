@@ -1,5 +1,5 @@
 .PHONY: all build test check bench examples lint analyze chaos soak \
-        cluster-smoke clean
+        cluster-smoke pipeline-smoke clean
 
 all: build
 
@@ -63,6 +63,14 @@ soak: build
 # errors, then a graceful drain
 cluster-smoke: build
 	scripts/cluster_smoke.sh
+
+# tsg-serve fed by tsg-pipe over --push: ~50 deltas streamed with 1%
+# injected faults on every pipeline fault site, tsg-pipe SIGKILLed
+# mid-stream and restarted to resume the remaining deltas; the served
+# artifact must be byte-identical to a from-scratch mine of the
+# exported corpus, with zero client-visible errors throughout
+pipeline-smoke: build
+	scripts/pipeline_smoke.sh
 
 clean:
 	dune clean

@@ -15,15 +15,17 @@ module Lint = Tsg_check.Lint
 
 open Cmdliner
 
-let run tax_path dbs patterns suppress machine fmt stats deep strict quiet =
-  if tax_path = None && dbs = [] && patterns = [] then begin
+let run tax_path dbs patterns wals suppress machine fmt stats deep strict quiet
+    =
+  if tax_path = None && dbs = [] && patterns = [] && wals = [] then begin
     prerr_endline
-      "tsg-lint: nothing to check (give --taxonomy, --db or --patterns)";
+      "tsg-lint: nothing to check (give --taxonomy, --db, --patterns or \
+       --wal)";
     exit 2
   end;
   let c = Diagnostic.collector ~suppress () in
   let result =
-    Lint.run c ?taxonomy:tax_path ~dbs ~patterns ~stats ~deep ()
+    Lint.run c ?taxonomy:tax_path ~dbs ~patterns ~wals ~stats ~deep ()
   in
   let fmt =
     match fmt with
@@ -37,10 +39,13 @@ let run tax_path dbs patterns suppress machine fmt stats deep strict quiet =
       @ (match result.Lint.db_count with
         | 0 -> []
         | n -> [ Printf.sprintf "%d database%s" n (if n = 1 then "" else "s") ])
+      @ (match result.Lint.pattern_count with
+        | 0 -> []
+        | n -> [ Printf.sprintf "%d patterns" n ])
       @
-      match result.Lint.pattern_count with
+      match result.Lint.wal_count with
       | 0 -> []
-      | n -> [ Printf.sprintf "%d patterns" n ]
+      | n -> [ Printf.sprintf "%d WAL%s" n (if n = 1 then "" else "s") ]
     in
     Printf.eprintf "tsg-lint: %s: %s\n"
       (if checked = [] then "nothing parsed" else String.concat ", " checked)
@@ -66,6 +71,15 @@ let patterns_arg =
     value & opt_all file []
     & info [ "patterns"; "p" ] ~docv:"FILE"
         ~doc:"Pattern set written by tsg-mine --save (repeatable).")
+
+let wal_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "wal" ] ~docv:"FILE"
+        ~doc:
+          "Write-ahead delta log written by tsg-pipe (repeatable). Checks \
+           framing, checksums and sequence order (WAL001-WAL003); a torn \
+           final record is only a warning, since recovery repairs it.")
 
 let suppress_arg =
   Arg.(
@@ -141,7 +155,8 @@ let cmd =
   Cmd.v
     (Cmd.info "tsg-lint" ~doc)
     Term.(
-      const run $ tax_arg $ db_arg $ patterns_arg $ suppress_arg $ machine_arg
+      const run $ tax_arg $ db_arg $ patterns_arg $ wal_arg $ suppress_arg
+      $ machine_arg
       $ format_arg $ stats_arg $ deep_arg $ strict_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -114,7 +114,8 @@ let run_directed db_path tax_path support max_edges limit quiet =
   0
 
 let run db_path tax_path support algorithm max_edges limit quiet directed out
-    domains parallel no_validate checkpoint_path checkpoint_every supervised =
+    domains parallel no_validate checkpoint_path checkpoint_every corpus_seq
+    supervised =
   if directed then run_directed db_path tax_path support max_edges limit quiet
   else begin
   (match (checkpoint_path, algorithm) with
@@ -149,7 +150,8 @@ let run db_path tax_path support algorithm max_edges limit quiet directed out
       let config = { Taxogram.min_support = support; max_edges; enhancements } in
       let checkpoint =
         Option.map
-          (fun path -> { Taxogram.path; every_s = checkpoint_every })
+          (fun path ->
+            { Taxogram.path; every_s = checkpoint_every; corpus_seq })
           checkpoint_path
       in
       let spec =
@@ -309,6 +311,15 @@ let checkpoint_every_arg =
          ~doc:"Minimum seconds between checkpoint snapshots (0 snapshots \
                after every completed root).")
 
+let corpus_seq_arg =
+  Arg.(value & opt int64 0L & info [ "corpus-seq" ] ~docv:"SEQ"
+         ~doc:"Corpus version stamped into --checkpoint snapshots: the WAL \
+               sequence number of a tsg-pipe-maintained database (see \
+               tsg-pipe export), 0 for a static corpus. Resuming a \
+               snapshot taken at a different sequence fails with CKPT003 — \
+               the corpus moved on, so the snapshot's completed-root \
+               prefix no longer describes it.")
+
 let supervised_arg =
   Arg.(value & flag & info [ "supervised" ]
          ~doc:"Quarantine failing mining tasks instead of aborting: the run \
@@ -323,7 +334,7 @@ let cmd =
       const run $ db_arg $ tax_arg $ support_arg $ algorithm_arg
       $ max_edges_arg $ limit_arg $ quiet_arg $ directed_arg $ out_arg
       $ domains_arg $ parallel_arg $ no_validate_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ supervised_arg)
+      $ checkpoint_every_arg $ corpus_seq_arg $ supervised_arg)
 
 let () =
   (match Tsg_util.Fault.configure_from_env () with

@@ -13,6 +13,7 @@ type result = {
   taxonomy : Taxonomy.t option;
   db_count : int;
   pattern_count : int;
+  wal_count : int;
 }
 
 let read_file c path =
@@ -33,8 +34,8 @@ let read_file c path =
 let shadow_labels taxonomy =
   Label.of_names (Array.to_list (Label.names (Taxonomy.labels taxonomy)))
 
-let run c ?taxonomy:tax_path ?(dbs = []) ?(patterns = []) ?(stats = false)
-    ?(deep = false) () =
+let run c ?taxonomy:tax_path ?(dbs = []) ?(patterns = []) ?(wals = [])
+    ?(stats = false) ?(deep = false) () =
   (* 1. taxonomy *)
   let taxonomy =
     match tax_path with
@@ -147,8 +148,11 @@ let run c ?taxonomy:tax_path ?(dbs = []) ?(patterns = []) ?(stats = false)
                 parsed_dbs
           | Some _ -> ()))
     patterns;
+  (* 5. write-ahead delta logs (framing, checksums, sequence order) *)
+  List.iter (Tsg_pipeline.Wal.validate c) wals;
   {
     taxonomy;
     db_count = List.length parsed_dbs;
     pattern_count = !pattern_count;
+    wal_count = List.length wals;
   }

@@ -16,6 +16,7 @@ type result = {
       (** built when the taxonomy file parsed and passed its checks *)
   db_count : int;  (** database files that parsed *)
   pattern_count : int;  (** patterns across all parsed pattern files *)
+  wal_count : int;  (** write-ahead logs checked *)
 }
 
 val run :
@@ -23,12 +24,16 @@ val run :
   ?taxonomy:string ->
   ?dbs:string list ->
   ?patterns:string list ->
+  ?wals:string list ->
   ?stats:bool ->
   ?deep:bool ->
   unit ->
   result
-(** Lint the given artifact files. [stats] adds info-level statistics
-    findings ([TAX008]/[DB008]/[PAT008]); [deep] additionally recomputes
-    every pattern's support against the database(s) by brute force
-    ([X003] — needs a taxonomy and at least one database). Unreadable
-    files yield an [IO001] error finding. *)
+(** Lint the given artifact files. [wals] are write-ahead delta logs
+    ({!Tsg_pipeline.Wal.validate}: [WAL001] bad magic/version, [WAL002]
+    corruption — a torn tail is only a warning, recovery repairs it —
+    [WAL003] sequence order). [stats] adds info-level statistics findings
+    ([TAX008]/[DB008]/[PAT008]); [deep] additionally recomputes every
+    pattern's support against the database(s) by brute force ([X003] —
+    needs a taxonomy and at least one database). Unreadable files yield
+    an [IO001] error finding. *)

@@ -20,6 +20,7 @@ type entry = {
 
 type t = {
   fingerprint : int64;
+  corpus_seq : int64;
   db_size : int;
   roots_total : int;
   entries : entry list;
@@ -58,7 +59,7 @@ let fingerprint ~taxonomy ~db ~params =
 
 let magic = "tsgckpt"
 
-let version = 1
+let version = 2
 
 let add_bitset buf set =
   let bytes = (Bitset.capacity set + 7) / 8 in
@@ -96,8 +97,8 @@ let add_pattern buf (p : Pattern.t) =
 let to_string t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    (Printf.sprintf "%s %d %016Lx %d %d\n" magic version t.fingerprint
-       t.db_size t.roots_total);
+    (Printf.sprintf "%s %d %016Lx %Ld %d %d\n" magic version t.fingerprint
+       t.corpus_seq t.db_size t.roots_total);
   List.iter
     (fun e ->
       Buffer.add_string buf
@@ -225,16 +226,22 @@ let parse ~file text =
     | h :: rest -> (h, rest)
     | [] -> fail ~file "empty checkpoint"
   in
-  let fingerprint, db_size, roots_total =
+  let fingerprint, corpus_seq, db_size, roots_total =
     match String.split_on_char ' ' header with
-    | [ m; v; fp; db; roots ] when m = magic ->
+    | [ m; v; fp; seq; db; roots ] when m = magic ->
       let line = 1 in
       if parse_int ~file ~line "version" v <> version then
         fail ~file ~line "unsupported checkpoint version %s" v;
       (match Int64.of_string_opt ("0x" ^ fp) with
       | None -> fail ~file ~line "bad fingerprint %S" fp
       | Some fp ->
+        let seq =
+          match Int64.of_string_opt seq with
+          | Some s when Int64.compare s 0L >= 0 -> s
+          | _ -> fail ~file ~line "bad corpus sequence %S" seq
+        in
         ( fp,
+          seq,
           parse_int ~file ~line "database size" db,
           parse_int ~file ~line "root count" roots ))
     | _ -> fail ~file ~line:1 "not a checkpoint file"
@@ -303,7 +310,7 @@ let parse ~file text =
     entries;
   if roots_total >= 0 && List.length entries > roots_total then
     fail ~file "%d entries for %d roots" (List.length entries) roots_total;
-  { fingerprint; db_size; roots_total; entries }
+  { fingerprint; corpus_seq; db_size; roots_total; entries }
 
 let load path =
   Tsg_util.Fault.inject "checkpoint.load";
@@ -313,7 +320,7 @@ let load path =
   in
   parse ~file:path text
 
-let check ~fingerprint ~db_size ~roots_total t =
+let check ~fingerprint ~corpus_seq ~db_size ~roots_total t =
   let mismatch fmt =
     Printf.ksprintf
       (fun msg ->
@@ -323,6 +330,19 @@ let check ~fingerprint ~db_size ~roots_total t =
                 ("checkpoint does not match this run: " ^ msg))))
       fmt
   in
+  (* checked before the fingerprint: a corpus that moved on produces a
+     different fingerprint too, and the stale-corpus diagnostic is the
+     actionable one (re-mine from scratch, don't hunt for config drift) *)
+  if not (Int64.equal t.corpus_seq corpus_seq) then
+    raise
+      (Error
+         (Diagnostic.makef ~rule:"CKPT003" Diagnostic.Error
+            "checkpoint is stale: taken against corpus sequence %Ld, the \
+             corpus is now at %Ld — the incremental pipeline has applied \
+             deltas since this snapshot, so its completed-root prefix no \
+             longer describes the present database; delete the checkpoint \
+             and re-mine"
+            t.corpus_seq corpus_seq));
   if not (Int64.equal t.fingerprint fingerprint) then
     mismatch "fingerprint %016Lx, expected %016Lx" t.fingerprint fingerprint;
   if t.db_size <> db_size then

@@ -18,7 +18,10 @@
 
 exception Error of Tsg_util.Diagnostic.t
 (** Rule codes: [CKPT001] unreadable/corrupt/truncated file, [CKPT002]
-    fingerprint or shape mismatch with the present run. *)
+    fingerprint or shape mismatch with the present run, [CKPT003] stale
+    snapshot — the corpus sequence number (the WAL position of an
+    incrementally maintained database) moved since the snapshot was
+    taken. *)
 
 type entry = {
   root : int;  (** index in the canonical root sequence *)
@@ -33,6 +36,10 @@ type entry = {
 
 type t = {
   fingerprint : int64;  (** {!fingerprint} of the producing run *)
+  corpus_seq : int64;
+      (** corpus version the snapshot describes: the WAL sequence number
+          for a pipeline-maintained database ({!Tsg_pipeline.Wal}), [0L]
+          for a static corpus *)
   db_size : int;
   roots_total : int;  (** [-1] when unknown up front (level-wise mining) *)
   entries : entry list;  (** completed-root prefix, ascending by [root] *)
@@ -56,7 +63,15 @@ val load : string -> t
 (** @raise Error ([CKPT001]) on unreadable, corrupt, or torn files. *)
 
 val check :
-  fingerprint:int64 -> db_size:int -> roots_total:int -> t -> unit
-(** Validate a loaded checkpoint against the present run.
-    @raise Error ([CKPT002]) when the fingerprint, database size, or root
-    count disagree. *)
+  fingerprint:int64 ->
+  corpus_seq:int64 ->
+  db_size:int ->
+  roots_total:int ->
+  t ->
+  unit
+(** Validate a loaded checkpoint against the present run. The corpus
+    sequence is compared first: a snapshot taken at corpus version [N]
+    and resumed at [N+k] is stale regardless of anything else.
+    @raise Error ([CKPT003]) when the corpus sequence moved;
+    ([CKPT002]) when the fingerprint, database size, or root count
+    disagree. *)

@@ -37,11 +37,12 @@ type result = {
   oi_entries : int;
   oi_set_members : int;
   covered_graph_count : int;
+  root_groups : ((int * int * int) * Pattern.t list) list;
 }
 
 type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
 
-type checkpoint_spec = { path : string; every_s : float }
+type checkpoint_spec = { path : string; every_s : float; corpus_seq : int64 }
 
 type class_miner = [ `Gspan | `Level_wise ]
 
@@ -95,11 +96,12 @@ module Spec = struct
     sink : sink;
     root_batch : int option;
     spec_batch : int option;
+    root_select : (int * int * int -> bool) option;
   }
 
   let make ?(config = default_config) ?(budget = Timer.Budget.unlimited)
       ?(class_miner = `Gspan) ?exec ?domains ?checkpoint ?(supervised = false)
-      ?root_batch ?spec_batch sink =
+      ?root_batch ?spec_batch ?root_select sink =
     let exec =
       match exec with Some e -> e | None -> Pool.Exec.create ?domains ()
     in
@@ -113,12 +115,13 @@ module Spec = struct
       sink;
       root_batch;
       spec_batch;
+      root_select;
     }
 
   let collect ?config ?budget ?class_miner ?exec ?domains ?checkpoint
-      ?supervised ?root_batch ?spec_batch () =
+      ?supervised ?root_batch ?spec_batch ?root_select () =
     make ?config ?budget ?class_miner ?exec ?domains ?checkpoint ?supervised
-      ?root_batch ?spec_batch `Collect
+      ?root_batch ?spec_batch ?root_select `Collect
 
   let stream ?config ?budget ?class_miner ?exec ?domains ?supervised
       ?root_batch ?spec_batch emit =
@@ -142,6 +145,8 @@ module Spec = struct
   let with_supervised supervised t = { t with supervised }
 
   let with_sink sink t = { t with sink }
+
+  let with_root_select root_select t = { t with root_select }
 end
 
 (* --- checkpoint plumbing shared by both paths ------------------------- *)
@@ -170,8 +175,9 @@ let stored_entries ckpt ~db_size ~roots_total =
   match ckpt with
   | None -> []
   | Some { ck_loaded = None; _ } -> []
-  | Some { ck_fp; ck_loaded = Some t; _ } ->
-    Checkpoint.check ~fingerprint:ck_fp ~db_size ~roots_total t;
+  | Some { ck_spec; ck_fp; ck_loaded = Some t } ->
+    Checkpoint.check ~fingerprint:ck_fp ~corpus_seq:ck_spec.corpus_seq
+      ~db_size ~roots_total t;
     t.Checkpoint.entries
 
 (* accumulates the completed-root prefix and writes snapshots, at most one
@@ -200,6 +206,7 @@ let saver_flush sv =
   Checkpoint.save sv.sv_ctx.ck_spec.path
     {
       Checkpoint.fingerprint = sv.sv_ctx.ck_fp;
+      corpus_seq = sv.sv_ctx.ck_spec.corpus_seq;
       db_size = sv.sv_db_size;
       roots_total = sv.sv_roots_total;
       entries = List.rev sv.sv_prefix;
@@ -227,7 +234,7 @@ let saver_finish sv ~completed =
    Sequentially the phases never overlap, so each phase's wall clock and
    CPU time coincide. *)
 let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
-    taxonomy db =
+    ~root_select taxonomy db =
   let total_timer = Timer.start () in
   let relabeled, relabel_wall =
     Timer.time (fun () -> Relabel.db taxonomy db)
@@ -247,14 +254,26 @@ let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
   let collected = ref [] in
   let diagnostics = ref [] in
   let mining_timer = Timer.start () in
-  let subtrees =
+  let seed_tasks =
     match class_miner with
     | `Gspan ->
+      let l =
+        Gspan.mine_seed_tasks ?max_edges:config.max_edges
+          ~min_support:min_support_count relabeled
+      in
       Some
-        (Gspan.mine_tasks ?max_edges:config.max_edges
-           ~min_support:min_support_count relabeled)
+        (match root_select with
+        | None -> l
+        | Some keep -> List.filter (fun (seed, _) -> keep seed) l)
     | `Level_wise -> None
   in
+  let seeds =
+    match seed_tasks with
+    | Some l -> Array.of_list (List.map fst l)
+    | None -> [||]
+  in
+  let subtrees = Option.map (List.map snd) seed_tasks in
+  let group_rev = ref [] in
   let roots_total =
     match subtrees with Some l -> List.length l | None -> -1
   in
@@ -271,7 +290,10 @@ let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
       add_stats spec_stats e.Checkpoint.stats;
       Bitset.union_into ~dst:covered covered e.Checkpoint.covered;
       pattern_count := !pattern_count + List.length e.Checkpoint.patterns;
-      collected := List.rev_append e.Checkpoint.patterns !collected)
+      collected := List.rev_append e.Checkpoint.patterns !collected;
+      if Array.length seeds > 0 then
+        group_rev :=
+          (seeds.(e.Checkpoint.root), e.Checkpoint.patterns) :: !group_rev)
     stored;
   (* per-root scratch, committed only when the root completes *)
   let r_classes = ref 0 in
@@ -291,7 +313,9 @@ let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
     (match sink with
     | `Collect ->
       pattern_count := !pattern_count + List.length !r_patterns;
-      collected := List.rev_append !r_patterns !collected
+      collected := List.rev_append !r_patterns !collected;
+      if Array.length seeds > 0 then
+        group_rev := (seeds.(root), List.rev !r_patterns) :: !group_rev
     | `Stream _ -> ());
     (match sv with
     | Some sv ->
@@ -416,6 +440,11 @@ let run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
     oi_entries = !oi_entries;
     oi_set_members = !oi_set_members;
     covered_graph_count = Bitset.cardinal covered;
+    root_groups =
+      (match sink with
+      | `Collect ->
+        List.rev_map (fun (s, ps) -> (s, Pattern.sort ps)) !group_rev
+      | `Stream _ -> []);
   }
 
 (* --- pool path (domains > 1) ------------------------------------------ *)
@@ -582,7 +611,7 @@ let chunk size l =
   go [] [] 0 l
 
 let run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
-    ~root_batch ~spec_batch taxonomy db =
+    ~root_batch ~spec_batch ~root_select taxonomy db =
   let total_timer = Timer.start () in
   let relabeled, relabel_wall =
     Timer.time (fun () -> Relabel.db taxonomy db)
@@ -734,17 +763,24 @@ let run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
         | None -> ());
         Printexc.raise_with_backtrace e bt
   in
-  let outcomes, diags, stored, track, mining_ok, mining_wall_s,
+  let outcomes, diags, stored, track, seeds, mining_ok, mining_wall_s,
       mining_cpu_base =
     match class_miner with
     | `Gspan ->
       (* frequent 1-edge DFS-code roots are batched into tasks; each
          batch explores and indexes its subtrees on whichever domain runs
          (or steals) it, handing off specialization batches as it goes *)
-      let subtrees =
-        Gspan.mine_tasks ?max_edges:config.max_edges
-          ~min_support:min_support_count relabeled
+      let seed_tasks =
+        let l =
+          Gspan.mine_seed_tasks ?max_edges:config.max_edges
+            ~min_support:min_support_count relabeled
+        in
+        match root_select with
+        | None -> l
+        | Some keep -> List.filter (fun (seed, _) -> keep seed) l
       in
+      let seeds = Array.of_list (List.map fst seed_tasks) in
+      let subtrees = List.map snd seed_tasks in
       let roots_total = List.length subtrees in
       let stored = stored_entries ckpt ~db_size ~roots_total in
       let skip = List.length stored in
@@ -829,7 +865,8 @@ let run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
       in
       let tasks = List.map batch_task batches in
       let outcomes, diags = run_tasks ~track ~batch_start tasks in
-      (outcomes, diags, stored, track, true, Atomic.get mining_wall, 0.0)
+      (outcomes, diags, stored, track, seeds, true, Atomic.get mining_wall,
+       0.0)
     | `Level_wise ->
       (* the level-wise miner is inherently breadth-first and sequential;
          classes stream out of it into batched pool tasks (index + hand
@@ -892,7 +929,7 @@ let run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
       let batch_task batch ctx = List.map (process_class ctx) batch in
       let tasks = List.map batch_task batches in
       let outcomes, diags = run_tasks ~track ~batch_start tasks in
-      (outcomes, diags, stored, track, mining_ok, mining_seconds,
+      (outcomes, diags, stored, track, [||], mining_ok, mining_seconds,
        mining_seconds)
   in
   (* the join: a root is complete when its mining work and every
@@ -948,6 +985,27 @@ let run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
     | `Collect -> Pattern.sort !patterns_rev
     | `Stream _ -> []
   in
+  let root_groups =
+    match sink with
+    | `Stream _ -> []
+    | `Collect ->
+      if Array.length seeds = 0 then []
+      else begin
+        (* outcomes land per root in schedule order; regroup by root and
+           restore determinism by sorting inside each group *)
+        let arr = Array.make (Array.length seeds) [] in
+        List.iter
+          (fun (e : Checkpoint.entry) ->
+            arr.(e.Checkpoint.root) <-
+              List.rev_append (List.rev e.Checkpoint.patterns)
+                arr.(e.Checkpoint.root))
+          stored;
+        List.iter
+          (fun o -> arr.(o.t_root) <- List.rev_append o.t_patterns arr.(o.t_root))
+          included;
+        Array.to_list (Array.mapi (fun i ps -> (seeds.(i), Pattern.sort ps)) arr)
+      end
+  in
   let enumerate_wall =
     let f = Atomic.get spec_first_us and l = Atomic.get spec_last_us in
     if l > f then float_of_int (l - f) *. 1e-6 else 0.0
@@ -975,6 +1033,7 @@ let run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
     oi_entries = !oi_entries;
     oi_set_members = !oi_set_members;
     covered_graph_count = Bitset.cardinal covered;
+    root_groups;
   }
 
 (* --- the one entry point ---------------------------------------------- *)
@@ -990,9 +1049,23 @@ let run (spec : Spec.t) taxonomy db =
     sink;
     root_batch;
     spec_batch;
+    root_select;
   } =
     spec
   in
+  (match root_select with
+  | None -> ()
+  | Some _ ->
+    (match class_miner with
+    | `Level_wise ->
+      invalid_arg
+        "Taxogram.run: root_select requires the `Gspan class miner (the \
+         level-wise miner has no seed decomposition)"
+    | `Gspan -> ());
+    if Option.is_some checkpoint then
+      invalid_arg
+        "Taxogram.run: root_select cannot be combined with checkpointing \
+         (snapshot prefixes index the full root sequence)");
   let ckpt =
     match checkpoint with
     | None -> None
@@ -1013,7 +1086,7 @@ let run (spec : Spec.t) taxonomy db =
   in
   if Pool.Exec.domains exec = 1 then
     run_sequential ~config ~budget ~class_miner ~sink ~ckpt ~supervised
-      taxonomy db
+      ~root_select taxonomy db
   else
     run_pool ~config ~budget ~class_miner ~exec ~sink ~ckpt ~supervised
-      ~root_batch ~spec_batch taxonomy db
+      ~root_batch ~spec_batch ~root_select taxonomy db

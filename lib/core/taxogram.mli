@@ -79,6 +79,15 @@ type result = {
   covered_graph_count : int;
       (** database graphs supporting at least one frequent class — the
           union of class support sets, merged per-domain at the join *)
+  root_groups : ((int * int * int) * Pattern.t list) list;
+      (** [result.patterns] partitioned by gSpan root: one entry per
+          frequent 1-edge seed [(from_label, edge_label, to_label)] (in
+          seed order, labels of the relabeled database [D_mg]), holding
+          every pattern of that root's subtree, canonically sorted. The
+          incremental pipeline caches these groups and re-mines only the
+          roots a delta can touch. Populated for [`Gspan] runs with the
+          [`Collect] sink; [[]] otherwise, and only trustworthy when
+          [completed] is [true]. *)
 }
 
 type sink = [ `Collect | `Stream of (Pattern.t -> unit) ]
@@ -105,6 +114,12 @@ type checkpoint_spec = {
   every_s : float;
       (** minimum seconds between snapshots; [0.0] snapshots after every
           completed root *)
+  corpus_seq : int64;
+      (** corpus version the run mines: the WAL sequence number for a
+          pipeline-maintained database, [0L] for a static corpus. Stored
+          in the snapshot; resuming against a different sequence raises
+          {!Checkpoint.Error} with [CKPT003] (the snapshot describes a
+          corpus that no longer exists). *)
 }
 (** Periodic crash-safe snapshots of completed roots (see {!Checkpoint}).
     Only meaningful under the [`Collect] sink ([`Stream] raises
@@ -150,6 +165,17 @@ module Spec : sig
     spec_batch : int option;
         (** classes per specialization task (default 4); same
             result-invariance as [root_batch] *)
+    root_select : (int * int * int -> bool) option;
+        (** mine only the gSpan roots whose seed 1-edge
+            [(from_label, edge_label, to_label)] — labels of [D_mg],
+            [from_label <= to_label] — satisfies the predicate. The
+            selected roots produce exactly what a full run would produce
+            for them (their subtrees are independent), which is how the
+            incremental pipeline re-mines dirty roots. [None] mines
+            everything. {!run} raises [Invalid_argument] when combined
+            with [`Level_wise] (no seed decomposition) or with
+            checkpointing (snapshot prefixes index the full root
+            sequence). *)
   }
 
   val collect :
@@ -162,6 +188,7 @@ module Spec : sig
     ?supervised:bool ->
     ?root_batch:int ->
     ?spec_batch:int ->
+    ?root_select:(int * int * int -> bool) ->
     unit ->
     t
   (** Spec with the [`Collect] sink. [exec] (default a fresh executor)
@@ -202,6 +229,8 @@ module Spec : sig
   val with_supervised : bool -> t -> t
 
   val with_sink : sink -> t -> t
+
+  val with_root_select : (int * int * int -> bool) option -> t -> t
 end
 
 val run : Spec.t -> Tsg_taxonomy.Taxonomy.t -> Tsg_graph.Db.t -> result

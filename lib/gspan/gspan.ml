@@ -145,7 +145,7 @@ let explore_subtree ~max_edges ~min_support db root_edge root_embs root_set
   in
   grow [| root_edge |] root_embs root_set
 
-let mine_tasks ?max_edges ~min_support db =
+let mine_seed_tasks ?max_edges ~min_support db =
   if min_support < 1 then invalid_arg "Gspan.mine: min_support must be >= 1";
   let max_edges = Option.value ~default:max_int max_edges in
   if max_edges < 1 then []
@@ -164,10 +164,15 @@ let mine_tasks ?max_edges ~min_support db =
             }
           in
           Some
-            (fun report ->
-              explore_subtree ~max_edges ~min_support db edge embs set report)
+            ( (la, le, lb),
+              fun report ->
+                explore_subtree ~max_edges ~min_support db edge embs set report
+            )
         else None)
       (single_edge_seeds db)
+
+let mine_tasks ?max_edges ~min_support db =
+  List.map snd (mine_seed_tasks ?max_edges ~min_support db)
 
 let mine ?max_edges ~min_support db report =
   List.iter (fun task -> task report) (mine_tasks ?max_edges ~min_support db)

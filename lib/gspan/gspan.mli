@@ -53,5 +53,19 @@ val mine_tasks :
     domains; a callback may raise to abandon its subtree. [mine db r] is
     equivalent to applying every task to [r] in list order. *)
 
+val mine_seed_tasks :
+  ?max_edges:int ->
+  min_support:int ->
+  Tsg_graph.Db.t ->
+  ((Tsg_graph.Label.id * Tsg_graph.Label.id * Tsg_graph.Label.id)
+  * ((pattern -> unit) -> unit))
+  list
+(** Like {!mine_tasks} but each closure is paired with its seed 1-edge
+    [(from_label, edge_label, to_label)] ([from_label <= to_label] by
+    id, the canonical orientation). Every pattern a task reports
+    contains its seed edge, which is what lets an incremental re-mine
+    skip roots no changed graph can touch. [mine_tasks] is
+    [List.map snd] of this. *)
+
 val frequent_labels : min_support:int -> Tsg_graph.Db.t -> Tsg_graph.Label.id list
 (** Node labels occurring in at least [min_support] distinct graphs. *)

@@ -1,0 +1,96 @@
+(** The incremental mining engine: from committed deltas to a fresh
+    pattern set without a full re-mine.
+
+    The engine caches the mined pattern set {e per gSpan root} — one
+    group per frequent 1-edge seed of the most-generalized database
+    [D_mg] ({!Tsg_core.Taxogram.result.root_groups}). Every pattern in a
+    root's subtree contains the root's seed edge, so a delta graph can
+    only affect the roots whose seed 1-edge it contains (after
+    relabeling to most-general): those roots are marked {e dirty} and
+    re-mined with {!Tsg_core.Taxogram.Spec.root_select}; every other
+    group is provably unchanged — additions that lack the seed edge
+    cannot add embeddings, removals that lack it cannot take support
+    away — and is reused as-is.
+
+    Two events invalidate the whole cache and force a full re-mine:
+    the absolute support threshold [ceil (theta * db_size)] changing
+    (every root's bar moved), and the absence or rejection of a state
+    snapshot after a restart. Both are handled inside {!refresh}; the
+    caller's loop is the same either way, and the resulting pattern set
+    is byte-identical to a from-scratch mine of the present corpus
+    (the headline property test).
+
+    Between runs the engine persists to a {e state snapshot}: a
+    CRC-trailed, atomically written file holding the watermark (the WAL
+    sequence the groups describe), the threshold, the mining
+    configuration, and every group with label {e names} rather than ids
+    — so a restarted process, whatever its interning history, can adopt
+    it. An unusable snapshot (corrupt, config drift, watermark ahead of
+    the log) degrades to a full re-mine with a [PIPE003] warning, never
+    an error. *)
+
+type t
+
+val create :
+  corpus:Corpus.t ->
+  config:Tsg_core.Taxogram.config ->
+  exec:Tsg_util.Pool.Exec.t ->
+  unit ->
+  t
+(** A fresh engine with an empty cache: the first {!refresh} is a full
+    mine. [exec] is reused across re-mines. *)
+
+val mined_seq : t -> int64
+(** The corpus version the cached groups describe; [-1L] before the
+    first mine (so an empty corpus at sequence [0L] still triggers
+    one). *)
+
+val dirty_count : t -> int
+(** Roots currently marked dirty. *)
+
+val mark_dirty : t -> Tsg_graph.Graph.t -> unit
+(** Mark every root whose seed 1-edge the graph contains (after
+    relabeling to most-general) dirty. Call with the graph each applied
+    delta added or removed ({!Corpus.apply}'s [Ok] value). *)
+
+type refresh_stats = {
+  full : bool;  (** the cache was unusable; everything was re-mined *)
+  roots_mined : int;  (** dirty (or, under [full], all) roots re-mined *)
+  roots_cached : int;  (** clean groups reused untouched *)
+  patterns : int;  (** pattern count after the refresh *)
+  wall_s : float;
+}
+
+val refresh : t -> refresh_stats
+(** Bring the cache up to the corpus head: re-mine the dirty roots (all
+    of them, when the threshold moved or there is no cache), merge with
+    the clean groups, clear the dirty set, and advance the watermark.
+    Honors the ["pipeline.remine"] failpoint. A no-op (beyond the
+    watermark) when nothing is dirty and a cache exists. *)
+
+val patterns : t -> Tsg_core.Pattern.t list
+(** The cached pattern set (all groups), unordered; {!render} for the
+    canonical bytes. *)
+
+val render : t -> string
+(** The publishable artifact ({!Publish.render}) for the cached set
+    against the current corpus size. *)
+
+(** {1 State snapshots} *)
+
+val save_state : t -> string -> unit
+(** Atomically persist watermark, threshold, configuration, and groups
+    (labels by name, CRC trailer). *)
+
+val state_watermark : string -> int64 option
+(** The watermark a snapshot image claims, without validating the rest —
+    the caller needs it {e before} replaying the WAL (records past the
+    watermark must mark roots dirty as they are applied). [None] when
+    the image is not a state snapshot. *)
+
+val load_state : t -> string -> (unit, Tsg_util.Diagnostic.t) result
+(** Adopt a snapshot image. Call after the corpus has been fully
+    replayed (group label names resolve against the replayed tables).
+    [Error] carries a [PIPE003] warning — corrupt image, configuration
+    drift, watermark ahead of the corpus, unresolvable label — and
+    leaves the engine cacheless, so the next {!refresh} mines fully. *)

@@ -1,0 +1,95 @@
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Pattern_io = Tsg_core.Pattern_io
+module Diagnostic = Tsg_util.Diagnostic
+module Fault = Tsg_util.Fault
+module Safe_io = Tsg_util.Safe_io
+module Serve = Tsg_query.Serve
+
+let render ~taxonomy ~edge_labels ~db_size patterns =
+  let node_labels = Taxonomy.labels taxonomy in
+  (* sort by each pattern's own one-pattern rendering: canonical node
+     order and label names only, so the order (and hence the bytes) is a
+     function of content, not of this process's interning history *)
+  let keyed =
+    List.map
+      (fun p ->
+        (Pattern_io.to_string ~node_labels ~edge_labels ~db_size [ p ], p))
+      patterns
+  in
+  let sorted =
+    List.map snd
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) keyed)
+  in
+  Pattern_io.to_string ~node_labels ~edge_labels ~db_size sorted
+
+let write path content =
+  Fault.inject "pipeline.publish";
+  Safe_io.write_atomic path content
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Error (Diagnostic.make ~rule:"PIPE002" Diagnostic.Error msg))
+    fmt
+
+(* one request over a fresh connection; the server replies a single line *)
+let reload_once ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (host, port)) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Result.Error (Unix.error_message e)
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        match
+          output_string oc "reload\n";
+          flush oc;
+          input_line ic
+        with
+        | exception (End_of_file | Sys_error _) ->
+          Result.Error "connection closed before the reload reply"
+        | line -> Result.Ok line)
+
+let parse_ack line =
+  match String.split_on_char ' ' line with
+  | [ "ok"; "reload"; "patterns"; _; "checksum"; hex ] ->
+    Int64.of_string_opt ("0x" ^ hex)
+  | _ -> None
+
+let push ~host ~port ~artifact ~previous =
+  let expected =
+    try Ok (Serve.checksum_files [ artifact ])
+    with Sys_error msg -> fail "cannot checksum %s: %s" artifact msg
+  in
+  match expected with
+  | Error _ as e -> e
+  | Ok expected -> (
+    let rollback reason =
+      (match previous with
+      | Some bytes -> (
+        Safe_io.write_atomic artifact bytes;
+        (* best effort: the server should end up serving the restored
+           artifact; a second failure leaves it on its old engine anyway
+           (reload rolls back server-side on any error) *)
+        match reload_once ~host ~port with _ -> ())
+      | None -> ());
+      fail "push of %s failed (%s); previous artifact %s" artifact reason
+        (match previous with
+        | Some _ -> "restored and re-pushed"
+        | None -> "unavailable, server left on its old engine")
+    in
+    match reload_once ~host ~port with
+    | Error msg -> fail "cannot reach server: %s" msg
+    | Ok line -> (
+      match parse_ack line with
+      | None -> rollback (Printf.sprintf "server said %S" line)
+      | Some acked ->
+        if Int64.equal acked expected then Ok acked
+        else
+          rollback
+            (Printf.sprintf "checksum mismatch: served %016Lx, disk %016Lx"
+               acked expected)))

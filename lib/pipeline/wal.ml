@@ -1,0 +1,265 @@
+module Checksum = Tsg_util.Checksum
+module Diagnostic = Tsg_util.Diagnostic
+module Fault = Tsg_util.Fault
+
+exception Error of Diagnostic.t
+
+let fail ?file ?line rule fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Error (Diagnostic.make ?file ?line ~rule Diagnostic.Error msg)))
+    fmt
+
+type op = Add of string | Remove of int64
+
+type record = { seq : int64; op : op }
+
+let header = "tsgwal 1\n"
+
+let header_len = String.length header
+
+(* --- payload codec ----------------------------------------------------- *)
+
+let encode_payload r =
+  match r.op with
+  | Add graph -> Printf.sprintf "a %Ld\n%s" r.seq graph
+  | Remove target -> Printf.sprintf "d %Ld %Ld" r.seq target
+
+let decode_payload payload =
+  let seq_of s =
+    match Int64.of_string_opt s with
+    | Some v when Int64.compare v 0L > 0 -> Some v
+    | _ -> None
+  in
+  if String.length payload >= 2 && payload.[0] = 'a' && payload.[1] = ' ' then
+    match String.index_opt payload '\n' with
+    | None -> None
+    | Some nl ->
+      let seq = String.sub payload 2 (nl - 2) in
+      let graph =
+        String.sub payload (nl + 1) (String.length payload - nl - 1)
+      in
+      Option.map (fun seq -> { seq; op = Add graph }) (seq_of seq)
+  else
+    match String.split_on_char ' ' payload with
+    | [ "d"; seq; target ] -> (
+      match (seq_of seq, seq_of target) with
+      | Some seq, Some target -> Some { seq; op = Remove target }
+      | _ -> None)
+    | _ -> None
+
+(* --- framing ----------------------------------------------------------- *)
+
+let frame r =
+  let payload = encode_payload r in
+  Printf.sprintf "%08x %s %s\n"
+    (String.length payload)
+    (Checksum.to_hex (Checksum.crc32 payload))
+    payload
+
+(* fixed-width hex field; rejects signs, 0x, and over/under-length *)
+let hex8 s pos =
+  let ok = ref true in
+  for i = pos to pos + 7 do
+    match s.[i] with '0' .. '9' | 'a' .. 'f' -> () | _ -> ok := false
+  done;
+  if !ok then int_of_string_opt ("0x" ^ String.sub s pos 8) else None
+
+(* one frame at [pos]: the decoded record and the offset just past it *)
+let frame_at text pos =
+  let len = String.length text in
+  if len - pos < 19 then None
+  else
+    match (hex8 text pos, text.[pos + 8], text.[pos + 17]) with
+    | Some flen, ' ', ' ' ->
+      let crc = String.sub text (pos + 9) 8 in
+      let data_start = pos + 18 in
+      if data_start + flen + 1 > len then None
+      else if text.[data_start + flen] <> '\n' then None
+      else if
+        not
+          (String.equal crc
+             (Checksum.to_hex
+                (Checksum.crc32_sub text ~pos:data_start ~len:flen)))
+      then None
+      else
+        Option.map
+          (fun r -> (r, data_start + flen + 1))
+          (decode_payload (String.sub text data_start flen))
+    | _ -> None
+
+type tail = Clean | Torn of int | Corrupt of int
+
+type scanned = { records : record list; prefix_end : int; tail : tail }
+
+(* does any valid frame start at or after [pos]? walks byte by byte: a
+   mid-log classification is a cold error path, not a hot loop *)
+let rec valid_frame_after text pos =
+  if pos >= String.length text then false
+  else
+    match frame_at text pos with
+    | Some _ -> true
+    | None -> valid_frame_after text (pos + 1)
+
+let scan ?file text =
+  let len = String.length text in
+  if len < header_len then begin
+    if String.equal text (String.sub header 0 len) then
+      (* a header torn mid-write: an empty log with a torn tail *)
+      { records = []; prefix_end = 0; tail = Torn 0 }
+    else fail ?file ~line:1 "WAL001" "not a WAL file (bad magic)"
+  end
+  else if not (String.equal (String.sub text 0 header_len) header) then
+    fail ?file ~line:1 "WAL001" "not a WAL file (bad magic or version)"
+  else begin
+    let records = ref [] in
+    let pos = ref header_len in
+    let tail = ref Clean in
+    let scanning = ref true in
+    while !scanning do
+      if !pos = len then scanning := false
+      else
+        match frame_at text !pos with
+        | Some (r, next) ->
+          records := r :: !records;
+          pos := next
+        | None ->
+          (* invalid bytes from here on: a torn tail if no committed
+             frame follows, mid-log corruption otherwise *)
+          tail :=
+            (if valid_frame_after text (!pos + 1) then Corrupt !pos
+             else Torn !pos);
+          scanning := false
+    done;
+    { records = List.rev !records; prefix_end = !pos; tail = !tail }
+  end
+
+let check_monotonic ?file records =
+  ignore
+    (List.fold_left
+       (fun prev r ->
+         if Int64.compare r.seq prev <= 0 then
+           fail ?file "WAL003"
+             "non-monotonic sequence numbers: record %Ld follows %Ld" r.seq
+             prev;
+         r.seq)
+       0L records)
+
+(* --- recovery ----------------------------------------------------------- *)
+
+type recovery = { replayed : record list; head : int64; truncated : bool }
+
+let truncate_to path size =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd size;
+      Unix.fsync fd)
+
+let recover path =
+  Fault.inject "wal.replay";
+  if not (Sys.file_exists path) then
+    { replayed = []; head = 0L; truncated = false }
+  else begin
+    let text = Tsg_util.Safe_io.read_file path in
+    if String.length text = 0 then
+      { replayed = []; head = 0L; truncated = false }
+    else begin
+      let s = scan ~file:path text in
+      (match s.tail with
+      | Clean | Torn _ -> ()
+      | Corrupt at ->
+        fail ~file:path "WAL002"
+          "corrupt frame at byte %d with committed records after it; \
+           refusing to replay across the gap"
+          at);
+      check_monotonic ~file:path s.records;
+      let truncated =
+        match s.tail with
+        | Torn _ ->
+          truncate_to path s.prefix_end;
+          true
+        | Clean | Corrupt _ -> false
+      in
+      let head =
+        List.fold_left (fun _ r -> r.seq) 0L s.records
+      in
+      { replayed = s.records; head; truncated }
+    end
+  end
+
+(* --- appending ---------------------------------------------------------- *)
+
+type writer = { fd : Unix.file_descr }
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let open_writer path =
+  let fresh =
+    (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0
+  in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  match
+    if fresh then begin
+      write_all fd header;
+      Unix.fsync fd
+    end
+  with
+  | () -> { fd }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let append w r =
+  Fault.inject "wal.append";
+  write_all w.fd (frame r);
+  Fault.inject "wal.fsync";
+  Unix.fsync w.fd
+
+let close w = Unix.close w.fd
+
+(* --- lint pass ---------------------------------------------------------- *)
+
+let validate c path =
+  match Tsg_util.Safe_io.read_file path with
+  | exception Sys_error msg ->
+    Diagnostic.emit c
+      (Diagnostic.makef ~file:path ~rule:"IO001" Diagnostic.Error "%s" msg)
+  | text -> (
+    match scan ~file:path text with
+    | exception Error d -> Diagnostic.emit c d
+    | s ->
+      (match s.tail with
+      | Clean -> ()
+      | Torn at ->
+        Diagnostic.emit c
+          (Diagnostic.makef ~file:path ~rule:"WAL002" Diagnostic.Warning
+             "torn tail at byte %d (%d records survive); recovery will \
+              truncate it"
+             at (List.length s.records))
+      | Corrupt at ->
+        Diagnostic.emit c
+          (Diagnostic.makef ~file:path ~rule:"WAL002" Diagnostic.Error
+             "corrupt frame at byte %d with committed records after it — \
+              this is bit rot, not a crash artifact; recovery refuses the \
+              log"
+             at));
+      ignore
+        (List.fold_left
+           (fun prev (r : record) ->
+             if Int64.compare r.seq prev <= 0 then
+               Diagnostic.emit c
+                 (Diagnostic.makef ~file:path ~rule:"WAL003" Diagnostic.Error
+                    "non-monotonic sequence numbers: record %Ld follows %Ld"
+                    r.seq prev);
+             r.seq)
+           0L s.records))

@@ -1,0 +1,104 @@
+(** The write-ahead delta log: durable add/remove records for a changing
+    graph corpus.
+
+    Every corpus mutation is appended (and fsynced) here {e before} it is
+    applied anywhere, so a crash at any instruction loses at most work
+    that was never acknowledged. The file is append-only text framing
+    binary-safe payloads:
+
+    {v
+    tsgwal 1
+    <len:hex8> <crc:hex8> <payload><newline>
+    ...
+    v}
+
+    [len] is the payload byte count and [crc] its CRC-32
+    ({!Tsg_util.Checksum}), both fixed-width lower-case hex, so a reader
+    can delimit and verify each record without trusting anything that
+    follows it. Payloads:
+
+    - [a <seq>\n<graph>] — add a graph, serialized in the gSpan text
+      format ({!Tsg_graph.Serial}, one [t # 0] block, labels by name so
+      the log is self-describing);
+    - [d <seq> <target>] — remove the graph added by record [target].
+
+    Sequence numbers are assigned by the writer, strictly increasing
+    from 1; the highest durable sequence number is the {e corpus
+    version} ({!Tsg_core.Checkpoint} stamps it into mining snapshots).
+
+    A crash can tear the final frame. {!recover} tolerates this by
+    construction: the torn tail is truncated and replay proceeds with
+    the maximal valid prefix — never fatal. Corruption {e before} the
+    tail (bit rot under committed records) is a different condition and
+    is reported as a fatal [WAL002]. *)
+
+exception Error of Tsg_util.Diagnostic.t
+(** [WAL001] bad magic or version, [WAL002] corrupt frame mid-log,
+    [WAL003] non-monotonic sequence numbers. *)
+
+type op =
+  | Add of string  (** graph in {!Tsg_graph.Serial} text form *)
+  | Remove of int64  (** sequence number of the [Add] to undo *)
+
+type record = { seq : int64; op : op }
+
+(** {1 Appending} *)
+
+type writer
+
+val open_writer : string -> writer
+(** Open [path] for appending, creating it (with a header) when missing
+    or empty. The caller must have run {!recover} first on an existing
+    file: the writer assumes the file ends on a frame boundary. *)
+
+val append : writer -> record -> unit
+(** Frame, write, and fsync one record; on return the record is durable.
+    Failpoints: ["wal.append"] fires before the write (a crash here
+    loses the record entirely), ["wal.fsync"] between write and fsync (a
+    crash here may leave a torn tail for {!recover} to truncate). *)
+
+val close : writer -> unit
+
+(** {1 Recovery and scanning} *)
+
+type tail =
+  | Clean  (** the file ends exactly on a frame boundary *)
+  | Torn of int
+      (** byte offset of a partial final record (no valid frame after
+          it) — truncated by {!recover}, reported as a warning by lint *)
+  | Corrupt of int
+      (** byte offset of an invalid frame with valid frames after it:
+          mid-log corruption, never produced by a crash — fatal *)
+
+type scanned = {
+  records : record list;  (** the valid prefix, in log order *)
+  prefix_end : int;  (** byte offset just past the last valid frame *)
+  tail : tail;
+}
+
+val scan : ?file:string -> string -> scanned
+(** Decode a log image. Frames after a [Corrupt] break are {e not}
+    included in [records] (replaying across a gap would build the wrong
+    corpus).
+    @raise Error ([WAL001]) when the header is missing or wrong —
+    except that a file shorter than the header with matching prefix
+    (a header torn mid-write) scans as empty with a [Torn 0] tail. *)
+
+type recovery = {
+  replayed : record list;  (** committed records, in log order *)
+  head : int64;  (** highest sequence number, [0L] when empty *)
+  truncated : bool;  (** a torn tail was cut off *)
+}
+
+val recover : string -> recovery
+(** Read, verify, and repair [path]: a torn tail is truncated in place
+    (never fatal), the surviving records are returned for replay. A
+    missing file is an empty log. Honors the ["wal.replay"] failpoint.
+    @raise Error ([WAL001]) foreign file, ([WAL002]) mid-log corruption,
+    ([WAL003]) non-monotonic sequence numbers. *)
+
+val validate : Tsg_util.Diagnostic.collector -> string -> unit
+(** The lint pass over a WAL file ([tsg-lint --wal]): [WAL001] (error)
+    bad magic/version, [WAL002] mid-log corruption (error) or a torn
+    tail (warning — recovery repairs it), [WAL003] (error)
+    non-monotonic sequence numbers, plus [IO001] when unreadable. *)

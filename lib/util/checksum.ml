@@ -13,17 +13,31 @@ let table =
       done;
       !c)
 
-let crc32_sub s ~pos ~len =
+(* the running (pre-finalization) state: start at all-ones, fold each
+   byte through the table, xor with all-ones to finish *)
+type stream = int32
+
+let init = 0xFFFFFFFFl
+
+let feed_sub st s ~pos ~len =
   if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg "Checksum.crc32_sub";
-  let crc = ref 0xFFFFFFFFl in
+    invalid_arg "Checksum.feed_sub";
+  let crc = ref st in
   for i = pos to pos + len - 1 do
     let idx =
       Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl)
     in
     crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
   done;
-  Int32.logxor !crc 0xFFFFFFFFl
+  !crc
+
+let feed st s = feed_sub st s ~pos:0 ~len:(String.length s)
+let finish st = Int32.logxor st 0xFFFFFFFFl
+
+let crc32_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Checksum.crc32_sub";
+  finish (feed_sub init s ~pos ~len)
 
 let crc32 s = crc32_sub s ~pos:0 ~len:(String.length s)
 

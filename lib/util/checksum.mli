@@ -10,6 +10,31 @@ val crc32_sub : string -> pos:int -> len:int -> int32
 (** Checksum of a substring, without copying.
     @raise Invalid_argument when the range is out of bounds. *)
 
+(** {1 Streaming interface}
+
+    For callers that produce a record in pieces (WAL frames, large
+    artifacts) and do not want to buffer the whole payload just to
+    checksum it.  [finish (feed (feed init a) b) = crc32 (a ^ b)] for
+    any split. *)
+
+type stream
+(** Running CRC state. Immutable — [feed] returns a new state, so a
+    stream value can be reused as a fork point. *)
+
+val init : stream
+(** The state of an empty input: [finish init = crc32 ""]. *)
+
+val feed : stream -> string -> stream
+(** Fold a chunk into the running state. *)
+
+val feed_sub : stream -> string -> pos:int -> len:int -> stream
+(** Like {!feed} on a substring, without copying.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val finish : stream -> int32
+(** Finalize to the same value the one-shot {!crc32} of the
+    concatenated chunks would produce. *)
+
 val to_hex : int32 -> string
 (** Lower-case 8-digit hex, e.g. ["cbf43926"]. *)
 

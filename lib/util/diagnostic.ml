@@ -231,7 +231,16 @@ module Registry = struct
       e "POOL002" Error "supervised task exceeded its deadline";
       e "CKPT001" Error "corrupt checkpoint snapshot";
       e "CKPT002" Error "checkpoint does not match this run";
+      e "CKPT003" Error "checkpoint stale: corpus sequence moved on";
       e "FLT001" Error "injected fault";
+      (* tsg-lint: write-ahead delta log passes *)
+      e "WAL001" Error "bad WAL magic or version";
+      e "WAL002" Error "corrupt WAL frame (CRC or structure) mid-log";
+      e "WAL003" Error "non-monotonic WAL sequence numbers";
+      (* tsg-pipe: incremental pipeline *)
+      e "PIPE001" Error "delta rejected";
+      e "PIPE002" Error "published artifact failed verification, rolled back";
+      e "PIPE003" Warning "pipeline state snapshot unusable, re-mining";
       e "SRV001" Error "bad bind address";
       e "SRV002" Error "artifact reload failed, engine rolled back";
       e "SRV003" Error "artifact reload unstable, engine rolled back";

@@ -321,7 +321,7 @@ let rm_f path = if Sys.file_exists path then Sys.remove path
    checkpoint on disk; None when the run had fewer than k roots *)
 let killed_run ?domains ~cfg ~path ~k tax db =
   with_faults [ ("taxogram.root", Fault.On_hit k) ] (fun () ->
-      let checkpoint = { Taxogram.path; every_s = 0.0 } in
+      let checkpoint = { Taxogram.path; every_s = 0.0; corpus_seq = 0L } in
       match Taxogram.run (Taxogram.Spec.collect ~config:cfg ?domains ~checkpoint ()) tax db with
       | r -> Some r
       | exception Fault.Injected _ -> None)
@@ -339,7 +339,7 @@ let test_kill_resume_sequential () =
       | None -> check bool "checkpoint written" true (Sys.file_exists path)
       | Some _ -> ());
       let resumed =
-        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ~checkpoint:{ Taxogram.path; every_s = 0.0 } ()) tax db
+        Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains:1 ~checkpoint:{ Taxogram.path; every_s = 0.0; corpus_seq = 0L } ()) tax db
       in
       check Alcotest.string "byte-identical to uninterrupted"
         (fingerprint tax full) (fingerprint tax resumed);
@@ -383,7 +383,9 @@ let test_checkpoint_corruption () =
             ck.Checkpoint.entries);
       (* fingerprint mismatch *)
       match
-        Checkpoint.check ~fingerprint:1L ~db_size:ck.Checkpoint.db_size
+        Checkpoint.check ~fingerprint:1L
+          ~corpus_seq:ck.Checkpoint.corpus_seq
+          ~db_size:ck.Checkpoint.db_size
           ~roots_total:ck.Checkpoint.roots_total ck
       with
       | () -> Alcotest.fail "accepted foreign fingerprint"
@@ -401,7 +403,7 @@ let test_resume_rejects_other_config () =
       check bool "checkpoint exists" true (Sys.file_exists path);
       (* same path, different theta: the fingerprint must refuse *)
       match
-        Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ~domains:1 ~checkpoint:{ Taxogram.path; every_s = 0.0 } ()) tax db
+        Taxogram.run (Taxogram.Spec.collect ~config:(config 0.5) ~domains:1 ~checkpoint:{ Taxogram.path; every_s = 0.0; corpus_seq = 0L } ()) tax db
       with
       | _ -> Alcotest.fail "resumed under a different configuration"
       | exception Checkpoint.Error d ->
@@ -425,7 +427,7 @@ let kill_resume_prop ~domains =
         (fun () ->
           ignore (killed_run ~domains ~cfg ~path ~k:(1 + k) tax db);
           let resumed =
-            Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains ~checkpoint:{ Taxogram.path; every_s = 0.0 } ()) tax db
+            Taxogram.run (Taxogram.Spec.collect ~config:cfg ~domains ~checkpoint:{ Taxogram.path; every_s = 0.0; corpus_seq = 0L } ()) tax db
           in
           fingerprint tax full = fingerprint tax resumed
           && not (Sys.file_exists path)))

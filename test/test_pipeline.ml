@@ -1,0 +1,773 @@
+(* Pipeline chaos suite: the WAL's framing and recovery contract, the
+   incremental engine's delta equivalence, and the kill-matrix over the
+   pipeline failpoints. The headline property: for any random delta
+   sequence and any crash point, recover-and-replay publishes a pattern
+   artifact byte-identical to mining the final corpus from scratch with a
+   fresh interning history. *)
+
+module Db = Tsg_graph.Db
+module Label = Tsg_graph.Label
+module Serial = Tsg_graph.Serial
+module Taxonomy = Tsg_taxonomy.Taxonomy
+module Prng = Tsg_util.Prng
+module Pool = Tsg_util.Pool
+module Fault = Tsg_util.Fault
+module Checksum = Tsg_util.Checksum
+module Diagnostic = Tsg_util.Diagnostic
+module Safe_io = Tsg_util.Safe_io
+module Specialize = Tsg_core.Specialize
+module Taxogram = Tsg_core.Taxogram
+module Checkpoint = Tsg_core.Checkpoint
+module Wal = Tsg_pipeline.Wal
+module Corpus = Tsg_pipeline.Corpus
+module Incremental = Tsg_pipeline.Incremental
+module Publish = Tsg_pipeline.Publish
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let with_faults ?seed schedule f =
+  Fault.configure ?seed schedule;
+  Fun.protect ~finally:Fault.clear f
+
+let temp_path suffix =
+  let path = Filename.temp_file "tsg_pipe" suffix in
+  Sys.remove path;
+  path
+
+let rm_f path = if Sys.file_exists path then Sys.remove path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* --- Streaming CRC --------------------------------------------------------- *)
+
+let crc_stream_prop =
+  (* feeding any split of a string through the stream equals the one-shot
+     CRC of the whole *)
+  QCheck.Test.make ~name:"streaming CRC = one-shot CRC on any split"
+    ~count:200
+    QCheck.(pair (string_of_size Gen.(int_bound 64)) (small_nat))
+    (fun (s, seed) ->
+      let rng = Prng.of_int seed in
+      let rec cuts acc pos =
+        if pos >= String.length s then List.rev acc
+        else
+          let step = 1 + Prng.int rng 7 in
+          let pos' = min (String.length s) (pos + step) in
+          cuts (String.sub s pos (pos' - pos) :: acc) pos'
+      in
+      let pieces = cuts [] 0 in
+      let st = List.fold_left Checksum.feed Checksum.init pieces in
+      Int32.equal (Checksum.finish st) (Checksum.crc32 s))
+
+let test_crc_stream_empty () =
+  check bool "empty stream = crc of empty" true
+    (Int32.equal (Checksum.finish Checksum.init) (Checksum.crc32 ""))
+
+(* --- WAL framing and recovery ---------------------------------------------- *)
+
+let nasty_payload =
+  (* newlines, NULs, hex-looking bytes: framing must be binary-safe *)
+  "t # 0\nv 0 a\x00b\ne 0 0 0123abcd\n"
+
+let sample_records =
+  [
+    { Wal.seq = 1L; op = Wal.Add "t # 0\nv 0 A\n" };
+    { Wal.seq = 2L; op = Wal.Add nasty_payload };
+    { Wal.seq = 3L; op = Wal.Remove 1L };
+  ]
+
+let write_log path records =
+  rm_f path;
+  let w = Wal.open_writer path in
+  List.iter (Wal.append w) records;
+  Wal.close w
+
+let record_eq (a : Wal.record) (b : Wal.record) =
+  Int64.equal a.seq b.seq
+  &&
+  match (a.op, b.op) with
+  | Wal.Add x, Wal.Add y -> String.equal x y
+  | Wal.Remove x, Wal.Remove y -> Int64.equal x y
+  | (Wal.Add _ | Wal.Remove _), _ -> false
+
+let test_wal_roundtrip () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      write_log path sample_records;
+      let r = Wal.recover path in
+      check int "record count" 3 (List.length r.Wal.replayed);
+      check bool "records equal" true
+        (List.for_all2 record_eq sample_records r.Wal.replayed);
+      check bool "head" true (Int64.equal 3L r.Wal.head);
+      check bool "clean tail" false r.Wal.truncated;
+      (* appending after recovery keeps the log valid *)
+      let w = Wal.open_writer path in
+      Wal.append w { Wal.seq = 4L; op = Wal.Remove 2L };
+      Wal.close w;
+      check int "grown log" 4 (List.length (Wal.recover path).Wal.replayed))
+
+let test_wal_missing_is_empty () =
+  let path = temp_path ".wal" in
+  let r = Wal.recover path in
+  check int "no records" 0 (List.length r.Wal.replayed);
+  check bool "head 0" true (Int64.equal 0L r.Wal.head)
+
+let test_wal_torn_tail () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      write_log path sample_records;
+      let full = read_file path in
+      (* cut into the last frame at every possible byte: recovery must
+         always yield exactly the first two records, never an error *)
+      let boundary =
+        (* end of record 2 = start of record 3's frame *)
+        let scanned = Wal.scan full in
+        ignore scanned;
+        (* recompute by writing only two records *)
+        let p2 = temp_path ".wal" in
+        write_log p2 (List.filteri (fun i _ -> i < 2) sample_records);
+        let n = String.length (read_file p2) in
+        rm_f p2;
+        n
+      in
+      for cut = boundary + 1 to String.length full - 1 do
+        Safe_io.write_atomic path (String.sub full 0 cut);
+        let r = Wal.recover path in
+        check bool "truncated" true r.Wal.truncated;
+        check int "prefix records" 2 (List.length r.Wal.replayed);
+        (* the repair is durable: a second recovery is clean *)
+        let r2 = Wal.recover path in
+        check bool "repaired" false r2.Wal.truncated;
+        check int "still two records" 2 (List.length r2.Wal.replayed)
+      done)
+
+let test_wal_torn_header () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      Safe_io.write_atomic path "tsgw";
+      let r = Wal.recover path in
+      check int "empty after torn header" 0 (List.length r.Wal.replayed);
+      check bool "truncated" true r.Wal.truncated)
+
+let expect_wal_error code f =
+  match f () with
+  | _ -> Alcotest.fail ("expected " ^ code)
+  | exception Wal.Error d -> check string "rule" code d.Diagnostic.rule
+
+let test_wal_bad_magic () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      Safe_io.write_atomic path "bogus 9\n";
+      expect_wal_error "WAL001" (fun () -> Wal.recover path);
+      Safe_io.write_atomic path "tsgwal 2\n";
+      expect_wal_error "WAL001" (fun () -> Wal.recover path))
+
+let test_wal_midlog_corruption () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      write_log path sample_records;
+      let full = Bytes.of_string (read_file path) in
+      (* flip a payload byte of the FIRST record: invalid frame with valid
+         frames after it = rot under committed data, fatal *)
+      let header_end = 1 + Bytes.index full '\n' in
+      let target = header_end + 18 in
+      Bytes.set full target
+        (Char.chr (Char.code (Bytes.get full target) lxor 0x01));
+      Safe_io.write_atomic path (Bytes.to_string full);
+      expect_wal_error "WAL002" (fun () -> Wal.recover path))
+
+let test_wal_non_monotonic () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      write_log path
+        [
+          { Wal.seq = 1L; op = Wal.Add "t # 0\nv 0 A\n" };
+          { Wal.seq = 3L; op = Wal.Remove 1L };
+          { Wal.seq = 2L; op = Wal.Remove 1L };
+        ];
+      expect_wal_error "WAL003" (fun () -> Wal.recover path))
+
+let rules_of c = List.map (fun d -> d.Diagnostic.rule) (Diagnostic.items c)
+
+let test_wal_validate () =
+  let path = temp_path ".wal" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      (* clean log: no findings *)
+      write_log path sample_records;
+      let c = Diagnostic.collector () in
+      Wal.validate c path;
+      check int "clean log lints clean" 0 (List.length (Diagnostic.items c));
+      (* torn tail: warning, not error *)
+      let full = read_file path in
+      Safe_io.write_atomic path (String.sub full 0 (String.length full - 3));
+      let c = Diagnostic.collector () in
+      Wal.validate c path;
+      check bool "torn tail is WAL002" true (List.mem "WAL002" (rules_of c));
+      check bool "torn tail is only a warning" false (Diagnostic.has_errors c);
+      (* bad magic: error *)
+      Safe_io.write_atomic path "nope\n";
+      let c = Diagnostic.collector () in
+      Wal.validate c path;
+      check bool "bad magic is WAL001" true (List.mem "WAL001" (rules_of c));
+      check bool "and an error" true (Diagnostic.has_errors c);
+      (* out-of-order sequence numbers: error *)
+      write_log path
+        [
+          { Wal.seq = 2L; op = Wal.Add "t # 0\nv 0 A\n" };
+          { Wal.seq = 2L; op = Wal.Remove 2L };
+        ];
+      let c = Diagnostic.collector () in
+      Wal.validate c path;
+      check bool "duplicate seq is WAL003" true (List.mem "WAL003" (rules_of c));
+      check bool "and an error" true (Diagnostic.has_errors c))
+
+(* --- Random instances ------------------------------------------------------ *)
+
+let config theta =
+  {
+    Taxogram.min_support = theta;
+    max_edges = Some 4;
+    enhancements = Specialize.all_on;
+  }
+
+let random_instance rng =
+  let concepts = 4 + Prng.int rng 6 in
+  let tax =
+    Tsg_taxonomy.Synth_taxonomy.generate rng
+      {
+        concepts;
+        relationships = concepts + Prng.int rng 4;
+        depth = 2 + Prng.int rng 3;
+      }
+  in
+  let sampler = Tsg_data.Synth_graph.uniform_labels tax in
+  let graphs =
+    Db.to_list
+      (Tsg_data.Synth_graph.generate rng
+         {
+           Tsg_data.Synth_graph.graph_count = 6 + Prng.int rng 4;
+           max_edges = 5;
+           edge_density = 0.35;
+           edge_label_count = 2;
+           node_label = sampler;
+         })
+  in
+  (tax, graphs)
+
+(* generated edge-label ids are dense small ints with no table of their
+   own; name them for serialization *)
+let gen_edge_labels = Label.of_names [ "bond0"; "bond1"; "bond2"; "bond3" ]
+
+let serialize_graph tax g =
+  Serial.db_to_string
+    ~node_labels:(Taxonomy.labels tax)
+    ~edge_labels:gen_edge_labels (Db.of_list [ g ])
+
+(* --- The daemon loop in miniature ------------------------------------------ *)
+
+(* The same WAL-first / recover-and-retry discipline bin/tsg_pipe.ml
+   runs, compacted for tests: every step that crashes (Fault.Injected)
+   triggers a cold boot — WAL recovery, corpus replay, state reload —
+   and is retried. *)
+type harness = {
+  h_wal : string;
+  h_state : string;
+  h_out : string;
+  h_tax : Taxonomy.t;
+  h_config : Taxogram.config;
+  h_exec : Pool.Exec.t;
+  mutable h_writer : Wal.writer;
+  mutable h_corpus : Corpus.t;
+  mutable h_engine : Incremental.t;
+  mutable h_restarts : int;
+  mutable h_rejected : int;
+}
+
+let hboot h =
+  let recovery = Wal.recover h.h_wal in
+  let snapshot =
+    if Sys.file_exists h.h_state then Some (read_file h.h_state) else None
+  in
+  let watermark =
+    match Option.bind snapshot Incremental.state_watermark with
+    | Some w -> w
+    | None -> -1L
+  in
+  let corpus = Corpus.create ~taxonomy:h.h_tax () in
+  let engine =
+    Incremental.create ~corpus ~config:h.h_config ~exec:h.h_exec ()
+  in
+  List.iter
+    (fun (r : Wal.record) ->
+      match Corpus.apply corpus r with
+      | Ok g ->
+        if Int64.compare r.seq watermark > 0 then
+          Incremental.mark_dirty engine g
+      | Error _ -> h.h_rejected <- h.h_rejected + 1)
+    recovery.Wal.replayed;
+  (match snapshot with
+  | None -> ()
+  | Some text -> (
+    match Incremental.load_state engine text with
+    | Ok () -> ()
+    | Error _ -> ()));
+  h.h_corpus <- corpus;
+  h.h_engine <- engine;
+  h.h_writer <- Wal.open_writer h.h_wal
+
+let make_harness ~tax ~config ~domains =
+  let wal = temp_path ".wal" and state = temp_path ".state" in
+  let out = temp_path ".pat" in
+  let corpus = Corpus.create ~taxonomy:tax () in
+  let exec = Pool.Exec.create ~domains () in
+  {
+    h_wal = wal;
+    h_state = state;
+    h_out = out;
+    h_tax = tax;
+    h_config = config;
+    h_exec = exec;
+    h_writer = Wal.open_writer wal;
+    h_corpus = corpus;
+    h_engine = Incremental.create ~corpus ~config ~exec ();
+    h_restarts = 0;
+    h_rejected = 0;
+  }
+
+let cleanup_harness h = List.iter rm_f [ h.h_wal; h.h_state; h.h_out ]
+
+let crash h =
+  h.h_restarts <- h.h_restarts + 1;
+  if h.h_restarts > 500 then Alcotest.fail "crash loop did not converge"
+
+let rec reboot h =
+  match hboot h with
+  | () -> ()
+  | exception Fault.Injected _ ->
+    crash h;
+    reboot h
+
+let rec attempt h f =
+  match f () with
+  | v -> v
+  | exception Fault.Injected _ ->
+    crash h;
+    reboot h;
+    attempt h f
+
+let apply h op =
+  let intended = ref 0L in
+  attempt h (fun () ->
+      if
+        Int64.compare !intended 0L > 0
+        && Int64.compare (Corpus.seq h.h_corpus) !intended >= 0
+      then () (* durable before the crash; replay already applied it *)
+      else begin
+        let seq = Int64.add (Corpus.seq h.h_corpus) 1L in
+        intended := seq;
+        let r = { Wal.seq; op } in
+        Wal.append h.h_writer r;
+        match Corpus.apply h.h_corpus r with
+        | Ok g -> Incremental.mark_dirty h.h_engine g
+        | Error _ -> h.h_rejected <- h.h_rejected + 1
+      end)
+
+let commit h =
+  attempt h (fun () ->
+      let stats = Incremental.refresh h.h_engine in
+      Incremental.save_state h.h_engine h.h_state;
+      Publish.write h.h_out (Incremental.render h.h_engine);
+      stats)
+
+let play h script =
+  List.iter
+    (function
+      | `Add text -> apply h (Wal.Add text)
+      | `Remove target -> apply h (Wal.Remove target)
+      | `Commit -> ignore (commit h))
+    script
+
+(* from-scratch reference: the daemon's final corpus re-parsed with a
+   FRESH edge-label table (a different interning history), fully mined on
+   one domain — published bytes must still match exactly *)
+let scratch_artifact h =
+  let text = Corpus.to_serial h.h_corpus in
+  let edge_labels = Label.create () in
+  let db =
+    Serial.parse_db ~node_labels:(Taxonomy.labels h.h_tax) ~edge_labels text
+  in
+  let r =
+    Taxogram.run
+      (Taxogram.Spec.collect ~config:h.h_config ~domains:1 ())
+      h.h_tax db
+  in
+  Publish.render ~taxonomy:h.h_tax ~edge_labels ~db_size:(Db.size db)
+    r.Taxogram.patterns
+
+(* fixed 10-step script over an instance's graphs: adds, two removes, a
+   commit in the middle and one at the end; sequence numbers are
+   positional (every add/remove consumes one) *)
+let fixed_script tax graphs =
+  match List.map (serialize_graph tax) graphs with
+  | g1 :: g2 :: g3 :: g4 :: g5 :: _ ->
+    [
+      `Add g1 (* seq 1 *);
+      `Add g2 (* seq 2 *);
+      `Add g3 (* seq 3 *);
+      `Commit;
+      `Add g4 (* seq 4 *);
+      `Remove 2L (* seq 5 *);
+      `Commit;
+      `Add g5 (* seq 6 *);
+      `Remove 4L (* seq 7 *);
+      `Commit;
+    ]
+  | _ -> Alcotest.fail "instance too small"
+
+(* --- Kill-matrix ------------------------------------------------------------ *)
+
+(* each case arms one (or two, to reach the replay path) failpoints with a
+   deterministic trigger, runs the fixed script with recover-and-retry,
+   and requires the published artifact to be byte-identical to the
+   from-scratch mine — and the fault to have actually fired *)
+let kill_matrix_cases =
+  [
+    ("wal.append@1", [ ("wal.append", Fault.On_hit 1) ], "wal.append");
+    ("wal.append@5", [ ("wal.append", Fault.On_hit 5) ], "wal.append");
+    ("wal.fsync@1", [ ("wal.fsync", Fault.On_hit 1) ], "wal.fsync");
+    ("wal.fsync@4", [ ("wal.fsync", Fault.On_hit 4) ], "wal.fsync");
+    ("pipeline.remine@1", [ ("pipeline.remine", Fault.On_hit 1) ],
+     "pipeline.remine");
+    ("pipeline.remine@2", [ ("pipeline.remine", Fault.On_hit 2) ],
+     "pipeline.remine");
+    ("pipeline.publish@1", [ ("pipeline.publish", Fault.On_hit 1) ],
+     "pipeline.publish");
+    ("pipeline.publish@3", [ ("pipeline.publish", Fault.On_hit 3) ],
+     "pipeline.publish");
+    ( "wal.replay@1 (via wal.fsync@2)",
+      [ ("wal.fsync", Fault.On_hit 2); ("wal.replay", Fault.On_hit 1) ],
+      "wal.replay" );
+    ( "wal.replay@1 (via pipeline.remine@1)",
+      [ ("pipeline.remine", Fault.On_hit 1); ("wal.replay", Fault.On_hit 1) ],
+      "wal.replay" );
+  ]
+
+let kill_matrix_case ~domains schedule fired_site () =
+  let rng = Prng.of_int 20260809 in
+  let tax, graphs = random_instance rng in
+  let h = make_harness ~tax ~config:(config 0.34) ~domains in
+  Fun.protect
+    ~finally:(fun () -> cleanup_harness h)
+    (fun () ->
+      with_faults schedule (fun () ->
+          play h (fixed_script tax graphs);
+          check bool "the fault fired" true (Fault.fired_count fired_site > 0);
+          check bool "at least one recovery" true (h.h_restarts > 0));
+      check string "published = from-scratch" (scratch_artifact h)
+        (read_file h.h_out))
+
+let kill_matrix_tests ~domains =
+  List.map
+    (fun (name, schedule, fired_site) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s, domains=%d" name domains)
+        `Quick
+        (kill_matrix_case ~domains schedule fired_site))
+    kill_matrix_cases
+
+(* --- Incremental equivalence ------------------------------------------------ *)
+
+(* no faults at all: pure incremental maintenance across a random delta
+   sequence must match from-scratch, and clean commits must reuse roots *)
+let test_incremental_reuses_roots () =
+  let rng = Prng.of_int 7 in
+  let tax, graphs = random_instance rng in
+  let h = make_harness ~tax ~config:(config 0.34) ~domains:1 in
+  Fun.protect
+    ~finally:(fun () -> cleanup_harness h)
+    (fun () ->
+      List.iter (fun g -> apply h (Wal.Add (serialize_graph tax g))) graphs;
+      let first = commit h in
+      check bool "first commit is full" true first.Incremental.full;
+      (* a delta-free commit re-mines nothing *)
+      let idle = commit h in
+      check bool "idle commit is incremental" false idle.Incremental.full;
+      check int "idle commit mines no roots" 0 idle.Incremental.roots_mined;
+      check string "published = from-scratch" (scratch_artifact h)
+        (read_file h.h_out))
+
+let random_script rng tax graphs =
+  let seq = ref 0L in
+  let live = ref [] in
+  let script = ref [] in
+  List.iter
+    (fun g ->
+      (if !live <> [] && Prng.int rng 3 = 0 then begin
+         let target = List.nth !live (Prng.int rng (List.length !live)) in
+         live := List.filter (fun s -> not (Int64.equal s target)) !live;
+         seq := Int64.add !seq 1L;
+         script := `Remove target :: !script
+       end);
+      seq := Int64.add !seq 1L;
+      script := `Add (serialize_graph tax g) :: !script;
+      live := !seq :: !live;
+      if Prng.int rng 3 = 0 then script := `Commit :: !script)
+    graphs;
+  List.rev (`Commit :: !script)
+
+let arb_seed = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let delta_equivalence_prop ~domains =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "random deltas + random crashes = from-scratch bytes, domains=%d"
+         domains)
+    ~count:12 arb_seed
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let tax, graphs = random_instance rng in
+      let theta = match Prng.int rng 3 with 0 -> 0.5 | 1 -> 0.34 | _ -> 0.25 in
+      let h = make_harness ~tax ~config:(config theta) ~domains in
+      Fun.protect
+        ~finally:(fun () -> cleanup_harness h)
+        (fun () ->
+          let script = random_script rng tax graphs in
+          with_faults
+            ~seed:(Int64.of_int (seed + 1))
+            [
+              ("wal.append", Fault.Probability 0.04);
+              ("wal.fsync", Fault.Probability 0.04);
+              ("wal.replay", Fault.Probability 0.04);
+              ("pipeline.remine", Fault.Probability 0.06);
+              ("pipeline.publish", Fault.Probability 0.06);
+            ]
+            (fun () -> play h script);
+          String.equal (scratch_artifact h) (read_file h.h_out)))
+
+(* a cold process restart (not a crash retry loop): drop every in-memory
+   structure, boot from WAL + state, apply more deltas, commit — the
+   incremental path across the restart must still match from-scratch *)
+let test_restart_resumes_incrementally () =
+  let rng = Prng.of_int 42 in
+  let tax, graphs = random_instance rng in
+  let h = make_harness ~tax ~config:(config 0.34) ~domains:1 in
+  Fun.protect
+    ~finally:(fun () -> cleanup_harness h)
+    (fun () ->
+      let script = fixed_script tax graphs in
+      let first_half = List.filteri (fun i _ -> i < 4) script in
+      let second_half = List.filteri (fun i _ -> i >= 4) script in
+      play h first_half;
+      Wal.close h.h_writer;
+      (* cold boot *)
+      hboot h;
+      check bool "watermark restored from state snapshot" true
+        (Int64.compare (Incremental.mined_seq h.h_engine) 0L > 0);
+      play h second_half;
+      check string "published = from-scratch" (scratch_artifact h)
+        (read_file h.h_out))
+
+let test_corrupt_state_snapshot_degrades () =
+  let rng = Prng.of_int 43 in
+  let tax, graphs = random_instance rng in
+  let h = make_harness ~tax ~config:(config 0.34) ~domains:1 in
+  Fun.protect
+    ~finally:(fun () -> cleanup_harness h)
+    (fun () ->
+      List.iter (fun g -> apply h (Wal.Add (serialize_graph tax g))) graphs;
+      ignore (commit h);
+      (* damage the snapshot *)
+      let original = read_file h.h_state in
+      let damaged = Bytes.of_string original in
+      let mid = Bytes.length damaged / 2 in
+      Bytes.set damaged mid
+        (Char.chr (Char.code (Bytes.get damaged mid) lxor 1));
+      Safe_io.write_atomic h.h_state (Bytes.to_string damaged);
+      (* the load must reject it (PIPE003) and refresh must fall back to a
+         full re-mine, not fail *)
+      let corpus = Corpus.create ~taxonomy:tax () in
+      let engine =
+        Incremental.create ~corpus ~config:h.h_config ~exec:h.h_exec ()
+      in
+      let recovery = Wal.recover h.h_wal in
+      List.iter
+        (fun r -> ignore (Corpus.apply corpus r))
+        recovery.Wal.replayed;
+      (match Incremental.load_state engine (read_file h.h_state) with
+      | Ok () -> Alcotest.fail "loaded a damaged snapshot"
+      | Error d -> check string "rule" "PIPE003" d.Diagnostic.rule);
+      let stats = Incremental.refresh engine in
+      check bool "fell back to a full re-mine" true stats.Incremental.full;
+      check string "and still matches from-scratch" (scratch_artifact h)
+        (Publish.render ~taxonomy:tax
+           ~edge_labels:(Corpus.edge_labels corpus)
+           ~db_size:(Corpus.size corpus)
+           (Incremental.patterns engine)))
+
+let test_state_snapshot_rejects_config_drift () =
+  let rng = Prng.of_int 44 in
+  let tax, graphs = random_instance rng in
+  let h = make_harness ~tax ~config:(config 0.34) ~domains:1 in
+  Fun.protect
+    ~finally:(fun () -> cleanup_harness h)
+    (fun () ->
+      List.iter (fun g -> apply h (Wal.Add (serialize_graph tax g))) graphs;
+      ignore (commit h);
+      let corpus = Corpus.create ~taxonomy:tax () in
+      let engine =
+        Incremental.create ~corpus ~config:(config 0.5) ~exec:h.h_exec ()
+      in
+      let recovery = Wal.recover h.h_wal in
+      List.iter
+        (fun r -> ignore (Corpus.apply corpus r))
+        recovery.Wal.replayed;
+      match Incremental.load_state engine (read_file h.h_state) with
+      | Ok () -> Alcotest.fail "adopted a snapshot mined under another theta"
+      | Error d -> check string "rule" "PIPE003" d.Diagnostic.rule)
+
+(* --- Corpus rejection ------------------------------------------------------- *)
+
+let test_corpus_rejects () =
+  let rng = Prng.of_int 45 in
+  let tax, graphs = random_instance rng in
+  let corpus = Corpus.create ~taxonomy:tax () in
+  let g1 = serialize_graph tax (List.hd graphs) in
+  let expect_reject r =
+    match Corpus.apply corpus r with
+    | Ok _ -> Alcotest.fail "expected a PIPE001 rejection"
+    | Error d -> check string "rule" "PIPE001" d.Diagnostic.rule
+  in
+  (match Corpus.apply corpus { Wal.seq = 1L; op = Wal.Add g1 } with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail d.Diagnostic.message);
+  (* stale sequence number *)
+  expect_reject { Wal.seq = 1L; op = Wal.Add g1 };
+  (* unknown remove target; still consumes seq 2 *)
+  expect_reject { Wal.seq = 2L; op = Wal.Remove 99L };
+  (* unparseable payload *)
+  expect_reject { Wal.seq = 3L; op = Wal.Add "not a graph\n" };
+  (* multi-graph payload *)
+  expect_reject { Wal.seq = 4L; op = Wal.Add (g1 ^ g1) };
+  check bool "rejections consumed their sequence numbers" true
+    (Int64.equal 4L (Corpus.seq corpus));
+  check int "corpus still holds one graph" 1 (Corpus.size corpus);
+  (* the one real graph can be removed *)
+  match Corpus.apply corpus { Wal.seq = 5L; op = Wal.Remove 1L } with
+  | Ok _ -> check int "empty" 0 (Corpus.size corpus)
+  | Error d -> Alcotest.fail d.Diagnostic.message
+
+(* --- Checkpoint corpus fingerprint (CKPT003) -------------------------------- *)
+
+let test_checkpoint_rejects_moved_corpus () =
+  let rng = Prng.of_int 46 in
+  let tax, graphs = random_instance rng in
+  let db = Db.of_list graphs in
+  let cfg = config 0.34 in
+  let path = temp_path ".ck" in
+  Fun.protect
+    ~finally:(fun () -> rm_f path)
+    (fun () ->
+      (* kill a checkpointed run against corpus version 7 *)
+      (with_faults [ ("taxogram.root", Fault.On_hit 1) ] (fun () ->
+           let checkpoint =
+             { Taxogram.path; every_s = 0.0; corpus_seq = 7L }
+           in
+           match
+             Taxogram.run
+               (Taxogram.Spec.collect ~config:cfg ~domains:1 ~checkpoint ())
+               tax db
+           with
+           | _ -> Alcotest.fail "expected the injected fault to stop the run"
+           | exception Fault.Injected _ -> ()));
+      check bool "checkpoint written" true (Sys.file_exists path);
+      (* resuming against corpus version 9 must refuse with CKPT003, even
+         though taxonomy/db/config are identical *)
+      (match
+         Taxogram.run
+           (Taxogram.Spec.collect ~config:cfg ~domains:1
+              ~checkpoint:{ Taxogram.path; every_s = 0.0; corpus_seq = 9L }
+              ())
+           tax db
+       with
+      | _ -> Alcotest.fail "resumed a snapshot of a corpus that moved on"
+      | exception Checkpoint.Error d ->
+        check string "rule" "CKPT003" d.Diagnostic.rule);
+      (* against the original version it resumes and completes *)
+      let r =
+        Taxogram.run
+          (Taxogram.Spec.collect ~config:cfg ~domains:1
+             ~checkpoint:{ Taxogram.path; every_s = 0.0; corpus_seq = 7L }
+             ())
+          tax db
+      in
+      check bool "resumed run completed" true r.Taxogram.completed)
+
+(* --- Suite ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "checksum-stream",
+        Alcotest.test_case "empty" `Quick test_crc_stream_empty
+        :: qsuite [ crc_stream_prop ] );
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "missing file is empty" `Quick
+            test_wal_missing_is_empty;
+          Alcotest.test_case "torn tail truncated at every cut" `Quick
+            test_wal_torn_tail;
+          Alcotest.test_case "torn header" `Quick test_wal_torn_header;
+          Alcotest.test_case "bad magic/version" `Quick test_wal_bad_magic;
+          Alcotest.test_case "mid-log corruption is fatal" `Quick
+            test_wal_midlog_corruption;
+          Alcotest.test_case "non-monotonic sequences" `Quick
+            test_wal_non_monotonic;
+          Alcotest.test_case "lint pass (WAL001-WAL003)" `Quick
+            test_wal_validate;
+        ] );
+      ("corpus", [ Alcotest.test_case "rejections" `Quick test_corpus_rejects ]);
+      ( "kill-matrix",
+        kill_matrix_tests ~domains:1 @ kill_matrix_tests ~domains:4 );
+      ( "incremental",
+        [
+          Alcotest.test_case "clean commits reuse roots" `Quick
+            test_incremental_reuses_roots;
+          Alcotest.test_case "cold restart resumes incrementally" `Quick
+            test_restart_resumes_incrementally;
+          Alcotest.test_case "corrupt state snapshot degrades to full" `Quick
+            test_corrupt_state_snapshot_degrades;
+          Alcotest.test_case "state snapshot rejects config drift" `Quick
+            test_state_snapshot_rejects_config_drift;
+        ]
+        @ qsuite
+            [
+              delta_equivalence_prop ~domains:1;
+              delta_equivalence_prop ~domains:4;
+            ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "CKPT003 on a moved corpus" `Quick
+            test_checkpoint_rejects_moved_corpus;
+        ] );
+    ]
