@@ -58,9 +58,11 @@ soak: build
 	scripts/soak.sh
 
 # tsg-router over 2 shards x 2 replicas of tsg-serve --shard: scatter-
-# gather answers byte-identical to an unsharded node, a rolling reload
-# and a replica SIGKILL absorbed mid-blast with zero client-visible
-# errors, then a graceful drain
+# gather answers byte-identical to an unsharded node, a two-phase
+# rolling reload flipping the cluster epoch mid-blast, a straggler
+# fenced and repaired by the anti-entropy scrubber, a reload aborted
+# cluster-wide with a replica SIGKILLed — all with zero client-visible
+# errors and zero mixed-epoch replies — then a graceful drain
 cluster-smoke: build
 	scripts/cluster_smoke.sh
 

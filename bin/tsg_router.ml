@@ -10,11 +10,13 @@
 
    Speaks the tsg-serve line protocol on both sides: clients need not
    know the cluster exists. Data queries scatter-gather across every
-   shard with hedged, breaker-aware replica fan-out and merge
-   byte-identically to one unsharded server; [health] summarizes the
-   cluster, [stats] dumps the router's cluster.* metrics, [reload]
-   rolls the artifact swap across replicas one at a time gated on
-   health recovery. SIGTERM/SIGINT drain gracefully. *)
+   shard with hedged, breaker-aware replica fan-out, pinned to the
+   cluster target epoch, and merge byte-identically to one unsharded
+   server; [health] summarizes the cluster, [epoch] reports the target
+   pin, [stats] dumps the router's cluster.* metrics, [reload] runs
+   the two-phase (prepare/commit) rolling reload with cluster-wide
+   abort. A background scrubber fences and repairs replicas that
+   drift off the target epoch. SIGTERM/SIGINT drain gracefully. *)
 
 module Router = Tsg_cluster.Router
 module Replica = Tsg_cluster.Replica
@@ -53,7 +55,7 @@ let parse_shard_spec spec =
     |> Result.map List.rev
 
 let run shard_specs listen_port bind tax_path hedge_ms deadline probe_interval
-    max_conns quiet =
+    scrub_interval no_resync max_conns quiet =
   let bind_addr =
     match Tsg_query.Serve.parse_bind_addr bind with
     | Ok addr -> addr
@@ -101,6 +103,8 @@ let run shard_specs listen_port bind tax_path hedge_ms deadline probe_interval
       hedge_min_s = hedge_ms /. 1000.0;
       deadline_s = deadline;
       probe_interval_s = probe_interval;
+      scrub_interval_s = scrub_interval;
+      resync = not no_resync;
     }
   in
   let router = Router.create ~config ?taxonomy ~metrics ~shards:replicas () in
@@ -185,6 +189,25 @@ let probe_arg =
     & info [ "probe-interval" ] ~docv:"SECS"
         ~doc:"Seconds between background health probes of every replica.")
 
+let scrub_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "scrub-interval" ] ~docv:"SECS"
+        ~doc:
+          "Seconds between anti-entropy rounds: the scrubber recomputes the \
+           cluster target epoch, fences replicas serving any other epoch \
+           (RSY001), and — unless --no-resync — drives stale replicas \
+           through a reload.")
+
+let no_resync_arg =
+  Arg.(
+    value & flag
+    & info [ "no-resync" ]
+        ~doc:
+          "Only fence stale replicas; never send them a repair reload. \
+           RSY002 still reports replicas the scrubber cannot bring to the \
+           target epoch.")
+
 let max_conns_arg =
   Arg.(
     value & opt int 256
@@ -206,6 +229,13 @@ let cmd =
     (Cmd.info "tsg-router" ~doc)
     Term.(
       const run $ shards_arg $ listen_arg $ bind_arg $ tax_arg $ hedge_ms_arg
-      $ deadline_arg $ probe_arg $ max_conns_arg $ quiet_arg)
+      $ deadline_arg $ probe_arg $ scrub_arg $ no_resync_arg $ max_conns_arg
+      $ quiet_arg)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (match Tsg_util.Fault.configure_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline ("tsg-router: " ^ msg);
+    exit 2);
+  exit (Cmd.eval' cmd)

@@ -18,6 +18,7 @@ module Taxonomy = Tsg_taxonomy.Taxonomy
 module Taxonomy_io = Tsg_taxonomy.Taxonomy_io
 module Store = Tsg_query.Store
 module Engine = Tsg_query.Engine
+module Epoch = Tsg_query.Epoch
 module Serve = Tsg_query.Serve
 module Admission = Tsg_query.Admission
 module Metrics = Tsg_util.Metrics
@@ -55,7 +56,7 @@ let apply_shard shard store =
 
 let run patterns tax_path db_path requests domains cache quiet no_validate
     listen_port bind max_conns timeout max_bytes rate burst degrade
-    reload_on_hup shard_spec =
+    reload_on_hup shard_spec require_epoch =
   let shard =
     match shard_spec with
     | None -> None
@@ -116,15 +117,47 @@ let run patterns tax_path db_path requests domains cache quiet no_validate
   | Some (i, n) ->
     Printf.eprintf "tsg-serve: shard %d/%d keeps %d of %d patterns\n%!" i n
       (Store.size store) (Store.size full_store));
+  (* the artifact set's epoch: stamp-verified (a spliced or truncated
+     payload is refused before it serves a single query), sequence from
+     the pipeline's stamps, checksum over the full bytes *)
+  let sources =
+    List.map
+      (fun p ->
+        try (p, Tsg_util.Safe_io.read_file p)
+        with Sys_error msg ->
+          prerr_endline ("tsg-serve: " ^ msg);
+          exit 2)
+      patterns
+  in
+  List.iter
+    (fun (path, content) ->
+      match Epoch.verify_stamp content with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "tsg-serve: %s: error [EPO002] %s\n" path msg;
+        exit 2)
+    sources;
+  if require_epoch then
+    List.iter
+      (fun (path, content) ->
+        if not (Epoch.has_stamp content) then begin
+          Printf.eprintf
+            "tsg-serve: %s has no epoch stamp (--require-epoch); publish it \
+             with tsg-pipe or stamp it explicitly\n"
+            path;
+          exit 2
+        end)
+      sources;
+  let epoch = Epoch.of_sources sources in
   Printf.eprintf
     "tsg-serve: %d patterns over %d concepts (db size %d), cache %d, %d \
-     domains\n\
+     domains, epoch %s\n\
      %!"
     (Store.size store)
     (Taxonomy.label_count taxonomy)
-    (Store.db_size store) cache domains;
+    (Store.db_size store) cache domains (Epoch.to_string epoch);
   let metrics = Metrics.create () in
-  let engine = Engine.create ~cache_capacity:cache ~metrics store in
+  let engine = Engine.create ~cache_capacity:cache ~epoch ~metrics store in
   (* one executor for the process: --domains (or TSG_DOMAINS, read once in
      the cmdliner default) is pinned here and survives hot reloads *)
   let exec = Tsg_util.Pool.Exec.create ~domains () in
@@ -403,6 +436,15 @@ let shard_arg =
            slicing, so a tsg-router scatter-gather over all $(b,n) shards \
            answers byte-identically to one unsharded server.")
 
+let require_epoch_arg =
+  Arg.(
+    value & flag
+    & info [ "require-epoch" ]
+        ~doc:
+          "Refuse pattern artifacts that carry no '# epoch' stamp. Stamped \
+           or not, artifacts whose stamp fingerprint does not match their \
+           payload are always refused (EPO002).")
+
 let reload_on_hup_arg =
   Arg.(
     value & flag
@@ -421,7 +463,7 @@ let cmd =
       const run $ patterns_arg $ tax_arg $ db_arg $ requests_arg $ domains_arg
       $ cache_arg $ quiet_arg $ no_validate_arg $ listen_arg $ bind_arg
       $ max_conns_arg $ timeout_arg $ max_bytes_arg $ rate_arg $ burst_arg
-      $ degrade_arg $ reload_on_hup_arg $ shard_arg)
+      $ degrade_arg $ reload_on_hup_arg $ shard_arg $ require_epoch_arg)
 
 let () =
   (match Tsg_util.Fault.configure_from_env () with

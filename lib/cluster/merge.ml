@@ -5,7 +5,10 @@ type verb = List | Top_k of int * [ `Support | `Interest ]
 let verb_of_query = function
   | Protocol.Contains _ | Protocol.By_label _ -> Some List
   | Protocol.Top_k (k, order) -> Some (Top_k (k, order))
-  | Protocol.(Stats | Health | Reload | Quit) -> None
+  | Protocol.(
+      Stats | Health | Epoch_info | Reload | Prepare | Commit | Abort | Quit)
+    ->
+    None
 
 type row = {
   id : int;
@@ -84,7 +87,29 @@ let dedup_by_id rows =
       end)
     rows
 
-let merge verb blocks =
+(* the last line of defense against a silent mixed-version merge: the
+   router pins every scattered request to one target epoch, so the
+   per-block epochs it hands us must be identical — if they ever are
+   not (a routing bug, a future caller skipping the pin), answering
+   [STALE_EPOCH] is strictly better than fabricating an answer no
+   single artifact version ever contained *)
+let mixed_epochs epochs =
+  let rec go seen = function
+    | [] -> None
+    | None :: rest -> go seen rest
+    | Some e :: rest -> (
+      match seen with
+      | Some e' when e' <> e -> Some (e', e)
+      | _ -> go (Some e) rest)
+  in
+  go None epochs
+
+let merge ?(epochs = []) verb blocks =
+  match mixed_epochs epochs with
+  | Some (a, b) ->
+    Protocol.error_line Protocol.Stale_epoch
+      (Printf.sprintf "merge refused: shard blocks from epochs %s and %s" a b)
+  | None -> (
   match List.find_opt is_error_block blocks with
   | Some e -> e
   | None -> (
@@ -106,4 +131,4 @@ let merge verb blocks =
               (fun a b ->
                 let c = compare b.score a.score in
                 if c <> 0 then c else compare a.id b.id)
-              rows)))
+              rows))))

@@ -15,11 +15,17 @@ type verb =
 val verb_of_query : Tsg_query.Protocol.query -> verb option
 (** [None] for barrier verbs. *)
 
-val merge : verb -> string list -> string
+val merge : ?epochs:string option list -> verb -> string list -> string
 (** [merge verb blocks] combines one reply block per shard (in shard
     order) into the single-node reply. If any shard answered an error
     block, that error (the first, in shard order) is the merged answer —
     a partial listing would be silently wrong. Duplicate global ids
     (overlapping slices) keep their first occurrence.
+
+    [epochs] (parallel to [blocks], [None] for a shard with no epoch
+    pin) is the mixed-merge refusal: two {e different} [Some] epochs
+    answer [error STALE_EPOCH merge refused ...] before any row-level
+    work — blocks computed from different artifact versions must never
+    combine into one reply, whatever upstream bug produced them.
     @raise Failure on a block that is neither [ok <n> ...] nor an error
     line. *)

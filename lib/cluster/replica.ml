@@ -1,5 +1,8 @@
 module Protocol = Tsg_query.Protocol
+module Epoch = Tsg_query.Epoch
 module Limiter = Tsg_util.Limiter
+module Prng = Tsg_util.Prng
+module Checksum = Tsg_util.Checksum
 
 type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
@@ -15,11 +18,21 @@ type t = {
   r_window : Limiter.Window.t;
   r_breaker : Limiter.Breaker.t;
   r_up : bool Atomic.t;
+  r_epoch : Epoch.t option Atomic.t;
+  r_degraded : bool Atomic.t;
+  (* jittered probe backoff: a down replica is re-probed on an
+     exponential schedule with per-replica jitter, so a shard-wide
+     restart does not summon every router's probes in lockstep *)
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  r_prng : Prng.t;  (** guarded by [lock] *)
+  mutable fail_streak : int;  (** guarded by [lock] *)
+  mutable retry_at : float;  (** guarded by [lock] *)
 }
 
 let create ?clock ?(io_timeout_s = 2.0) ?(window = 256) ?(breaker_window = 32)
     ?(breaker_min_samples = 8) ?(breaker_cooldown_s = 1.0) ?(pool_limit = 8)
-    ~host ~port ~name () =
+    ?(backoff_base_s = 0.1) ?(backoff_cap_s = 2.0) ~host ~port ~name () =
   {
     host;
     port;
@@ -34,6 +47,19 @@ let create ?clock ?(io_timeout_s = 2.0) ?(window = 256) ?(breaker_window = 32)
       Limiter.Breaker.create ?clock ~window:breaker_window
         ~min_samples:breaker_min_samples ~cooldown_s:breaker_cooldown_s ();
     r_up = Atomic.make true;
+    r_epoch = Atomic.make None;
+    r_degraded = Atomic.make false;
+    backoff_base_s;
+    backoff_cap_s;
+    (* deterministic per name+port (distinct replicas jitter apart), mixed
+       with the wall clock so two routers fronting the same fleet do not
+       share a schedule either *)
+    r_prng =
+      Prng.create
+        (Checksum.mix64 (Checksum.fnv1a64 name)
+           (Int64.of_float (Unix.gettimeofday () *. 1e6)));
+    fail_streak = 0;
+    retry_at = 0.0;
   }
 
 let name t = t.r_name
@@ -45,6 +71,14 @@ let window t = t.r_window
 let breaker t = t.r_breaker
 
 let up t = Atomic.get t.r_up
+
+let epoch t = Atomic.get t.r_epoch
+
+let set_epoch t e = Atomic.set t.r_epoch e
+
+let degraded t = Atomic.get t.r_degraded
+
+let set_degraded t d = Atomic.set t.r_degraded d
 
 let locked t f =
   Mutex.lock t.lock;
@@ -179,11 +213,50 @@ let has_prefix ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-let probe ?(timeout_s = 1.0) t =
-  let healthy =
-    match call ~timeout_s t "health" with
-    | Ok block -> has_prefix ~prefix:"ok health" block
-    | Error _ -> false
+(* [... epoch <e> ...] anywhere in a health line *)
+let epoch_of_health block =
+  let rec scan = function
+    | "epoch" :: e :: _ -> Epoch.of_string e
+    | _ :: rest -> scan rest
+    | [] -> None
   in
-  Atomic.set t.r_up healthy;
-  healthy
+  scan (String.split_on_char ' ' block)
+
+let backoff_delay t =
+  locked t (fun () ->
+      t.fail_streak <- min (t.fail_streak + 1) 16;
+      let d =
+        Float.min t.backoff_cap_s
+          (t.backoff_base_s *. Float.pow 2.0 (float_of_int (t.fail_streak - 1)))
+      in
+      (* full jitter in [d/2, d): the point is that replicas (and
+         routers) spread out, not the exact curve *)
+      d /. 2.0 +. Prng.float t.r_prng (d /. 2.0))
+
+let probe ?(timeout_s = 1.0) ?(force = false) t =
+  let now = Unix.gettimeofday () in
+  let backed_off =
+    (not force)
+    && (not (Atomic.get t.r_up))
+    && locked t (fun () -> now < t.retry_at)
+  in
+  if backed_off then false
+  else begin
+    let healthy =
+      match call ~timeout_s t "health" with
+      | Ok block when has_prefix ~prefix:"ok health" block ->
+        Atomic.set t.r_epoch (epoch_of_health block);
+        true
+      | Ok _ | Error _ -> false
+    in
+    Atomic.set t.r_up healthy;
+    if healthy then
+      locked t (fun () ->
+          t.fail_streak <- 0;
+          t.retry_at <- 0.0)
+    else begin
+      let delay = backoff_delay t in
+      locked t (fun () -> t.retry_at <- Unix.gettimeofday () +. delay)
+    end;
+    healthy
+  end

@@ -1,9 +1,14 @@
 module Protocol = Tsg_query.Protocol
 module Serve = Tsg_query.Serve
+module Epoch = Tsg_query.Epoch
 module Taxonomy = Tsg_taxonomy.Taxonomy
 module Label = Tsg_graph.Label
 module Metrics = Tsg_util.Metrics
 module Limiter = Tsg_util.Limiter
+module Diagnostic = Tsg_util.Diagnostic
+module Fault = Tsg_util.Fault
+module Prng = Tsg_util.Prng
+module Checksum = Tsg_util.Checksum
 
 type config = {
   hedge_min_s : float;
@@ -11,6 +16,8 @@ type config = {
   deadline_s : float;
   probe_interval_s : float;
   reload_gate_s : float;
+  scrub_interval_s : float;
+  resync : bool;
 }
 
 let default_config =
@@ -20,6 +27,8 @@ let default_config =
     deadline_s = 2.0;
     probe_interval_s = 1.0;
     reload_gate_s = 10.0;
+    scrub_interval_s = 5.0;
+    resync = true;
   }
 
 type t = {
@@ -29,20 +38,33 @@ type t = {
   metrics : Metrics.t;
   started : float;
   reload_lock : Mutex.t;
+  on_diagnostic : Diagnostic.t -> unit;
+  target : Epoch.t option Atomic.t;
+  prng_lock : Mutex.t;
+  prng : Prng.t;  (** guarded by [prng_lock] *)
   c_requests : Metrics.counter;
   c_hedges : Metrics.counter;
   c_hedge_wins : Metrics.counter;
   c_failovers : Metrics.counter;
   c_replica_errors : Metrics.counter;
+  c_stale : Metrics.counter;
   c_deadline : Metrics.counter;
   c_unavailable : Metrics.counter;
   c_reloads : Metrics.counter;
+  c_reload_aborts : Metrics.counter;
   c_probe_down : Metrics.counter;
+  c_scrubs : Metrics.counter;
+  c_scrub_faults : Metrics.counter;
+  c_resyncs : Metrics.counter;
   g_up : Metrics.gauge;
+  g_degraded : Metrics.gauge;
   h_latency : Metrics.histogram;
 }
 
-let create ?(config = default_config) ?taxonomy ~metrics ~shards () =
+let default_on_diagnostic d = prerr_endline (Diagnostic.to_string d)
+
+let create ?(config = default_config) ?taxonomy
+    ?(on_diagnostic = default_on_diagnostic) ~metrics ~shards () =
   Array.iteri
     (fun i reps ->
       if Array.length reps = 0 then
@@ -56,22 +78,38 @@ let create ?(config = default_config) ?taxonomy ~metrics ~shards () =
     metrics;
     started = Unix.gettimeofday ();
     reload_lock = Mutex.create ();
+    on_diagnostic;
+    target = Atomic.make None;
+    prng_lock = Mutex.create ();
+    prng =
+      Prng.create
+        (Checksum.mix64
+           (Checksum.fnv1a64 "router.probe")
+           (Int64.of_float (Unix.gettimeofday () *. 1e6)));
     c_requests = Metrics.counter metrics "cluster.requests";
     c_hedges = Metrics.counter metrics "cluster.hedges";
     c_hedge_wins = Metrics.counter metrics "cluster.hedge_wins";
     c_failovers = Metrics.counter metrics "cluster.failovers";
     c_replica_errors = Metrics.counter metrics "cluster.replica_errors";
+    c_stale = Metrics.counter metrics "cluster.stale_epoch";
     c_deadline = Metrics.counter metrics "cluster.deadline_giveups";
     c_unavailable = Metrics.counter metrics "cluster.unavailable";
     c_reloads = Metrics.counter metrics "cluster.reloads";
+    c_reload_aborts = Metrics.counter metrics "cluster.reload_aborts";
     c_probe_down = Metrics.counter metrics "cluster.probe_down";
+    c_scrubs = Metrics.counter metrics "cluster.scrubs";
+    c_scrub_faults = Metrics.counter metrics "cluster.scrub_faults";
+    c_resyncs = Metrics.counter metrics "cluster.resyncs";
     g_up = Metrics.gauge metrics "cluster.replicas_up";
+    g_degraded = Metrics.gauge metrics "cluster.replicas_degraded";
     h_latency = Metrics.histogram metrics "cluster.latency";
   }
 
 let config t = t.cfg
 
 let shards t = t.shard_array
+
+let target_epoch t = Atomic.get t.target
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
@@ -83,6 +121,7 @@ type request =
   | Data of Merge.verb * string  (* merge plan, affinity key *)
   | Health
   | Stats
+  | Epoch_verb
   | Reload_verb
   | Quit
   | Ignore
@@ -104,6 +143,7 @@ let classify t body =
     match String.split_on_char ' ' body with
     | [ "health" ] -> Health
     | [ "stats" ] -> Stats
+    | [ "epoch" ] -> Epoch_verb
     | [ "reload" ] -> Reload_verb
     | [ "quit" ] -> Quit
     | "contains" :: _ -> Data (Merge.List, body)
@@ -195,25 +235,28 @@ end
 
 (* --- attempt outcome classes ------------------------------------------- *)
 
-type block_class = Good | Retryable | Terminal
+type block_class = Good | Retryable | Stale | Terminal
 
 let first_line s =
   match String.index_opt s '\n' with
   | None -> s
   | Some i -> String.sub s 0 i
 
-let classify_block block =
+let error_code block =
   match String.split_on_char ' ' (first_line block) with
-  | "error" :: code :: _ -> (
+  | "error" :: code :: _ -> Some code
+  | _ -> None
+
+let classify_block block =
+  match error_code block with
+  | None -> Good
+  | Some code -> (
     match code with
     | "OVERLOADED" | "UNAVAILABLE" | "FAULT" | "INTERNAL" -> Retryable
+    | "STALE_EPOCH" -> Stale
     | _ -> Terminal (* DEADLINE, BADREQ, OVERSIZED, RELOAD *))
-  | _ -> Good
 
-let is_deadline block =
-  match String.split_on_char ' ' (first_line block) with
-  | "error" :: "DEADLINE" :: _ -> true
-  | _ -> false
+let is_deadline block = error_code block = Some "DEADLINE"
 
 (* --- hedged, breaker-aware call to one shard --------------------------- *)
 
@@ -221,17 +264,22 @@ let hedge_delay t rep =
   Float.max t.cfg.hedge_min_s
     (Limiter.Window.percentile (Replica.window rep) t.cfg.hedge_pctl)
 
+(* Returns the winning block plus the winning replica's serving epoch
+   (as last observed around the reply) — the router's input to the
+   mixed-merge refusal when no target pin is in force. *)
 let shard_call t si ~key line ~deadline =
   let replicas = t.shard_array.(si) in
   let r = Array.length replicas in
   let pref = Int64.to_int (Shard_map.fingerprint key) land max_int mod r in
   let rotated = Array.init r (fun j -> replicas.((pref + j) mod r)) in
-  (* healthy-looking replicas first; open-breaker or probed-down ones
-     stay reachable as a last resort (trying them is itself a probe) *)
+  (* healthy-looking replicas first; open-breaker, probed-down, or
+     scrubber-fenced ones stay reachable as a last resort (trying them
+     is itself a probe) *)
   let eligible, suspect =
     List.partition
       (fun rep ->
         Replica.up rep
+        && (not (Replica.degraded rep))
         && Limiter.Breaker.state (Replica.breaker rep) <> Limiter.Breaker.Open)
       (Array.to_list rotated)
   in
@@ -284,11 +332,11 @@ let shard_call t si ~key line ~deadline =
             Limiter.Breaker.record (Replica.breaker rep) ~ok:true;
             Limiter.Window.observe (Replica.window rep) elapsed
           | Retryable -> Limiter.Breaker.record (Replica.breaker rep) ~ok:false
-          | Terminal ->
+          | Stale | Terminal ->
             (* the server is responsive; the request just can't win *)
             Limiter.Breaker.record (Replica.breaker rep) ~ok:true)
         | Error _ -> Limiter.Breaker.record (Replica.breaker rep) ~ok:false);
-        push (hedge, res))
+        push (hedge, Replica.epoch rep, res))
   in
   launch ~hedge:false ();
   let last_shed = ref None in
@@ -297,7 +345,8 @@ let shard_call t si ~key line ~deadline =
     let now = Unix.gettimeofday () in
     if now >= deadline then begin
       Metrics.incr t.c_deadline;
-      finish (Protocol.error_line Protocol.Deadline "cluster budget exhausted")
+      finish
+        (Protocol.error_line Protocol.Deadline "cluster budget exhausted", None)
     end
     else begin
       let fresh =
@@ -309,17 +358,29 @@ let shard_call t si ~key line ~deadline =
       in
       let winner = ref None in
       List.iter
-        (fun (was_hedge, res) ->
+        (fun (was_hedge, rep_epoch, res) ->
           if !winner = None then
             match res with
             | Ok block -> (
               match classify_block block with
               | Good ->
                 if was_hedge then Metrics.incr t.c_hedge_wins;
-                winner := Some block
+                winner := Some (block, rep_epoch)
               | Terminal ->
                 if is_deadline block then Metrics.incr t.c_deadline;
-                winner := Some block
+                winner := Some (block, rep_epoch)
+              | Stale ->
+                (* the replica is healthy but serves the wrong artifact
+                   version: fail over without a breaker penalty; if every
+                   replica is stale the client gets this stable coded
+                   error, never a mixed-version merge *)
+                decr pending;
+                Metrics.incr t.c_stale;
+                last_shed := Some block;
+                if !launched < r then begin
+                  Metrics.incr t.c_failovers;
+                  launch ~hedge:false ()
+                end
               | Retryable ->
                 decr pending;
                 Metrics.incr t.c_replica_errors;
@@ -338,16 +399,17 @@ let shard_call t si ~key line ~deadline =
               end)
         fresh;
       match !winner with
-      | Some block -> finish block
+      | Some (block, rep_epoch) -> finish (block, rep_epoch)
       | None ->
         if !pending = 0 && !launched >= r then
           finish
             (match !last_shed with
-            | Some block -> block
+            | Some block -> (block, None)
             | None ->
               Metrics.incr t.c_unavailable;
-              Protocol.error_line Protocol.Unavailable
-                (Printf.sprintf "shard %d: %s" si !last_transport))
+              ( Protocol.error_line Protocol.Unavailable
+                  (Printf.sprintf "shard %d: %s" si !last_transport),
+                None ))
         else begin
           let hedge_armed = !launched < r && !pending > 0 in
           let wake =
@@ -382,6 +444,14 @@ let up_count t =
         acc reps)
     0 t.shard_array
 
+let degraded_count t =
+  Array.fold_left
+    (fun acc reps ->
+      Array.fold_left
+        (fun acc rep -> if Replica.degraded rep then acc + 1 else acc)
+        acc reps)
+    0 t.shard_array
+
 let probe_all t =
   let up = ref 0 in
   Array.iter
@@ -391,17 +461,215 @@ let probe_all t =
   Metrics.set_gauge t.g_up !up;
   !up
 
-let start_probes t ~stop =
-  Thread.create
-    (fun () ->
-      while not (stop ()) do
-        ignore (probe_all t);
-        let until = Unix.gettimeofday () +. t.cfg.probe_interval_s in
-        while (not (stop ())) && Unix.gettimeofday () < until do
-          Thread.delay 0.05
-        done
-      done)
-    ()
+(* --- two-phase rolling reload ------------------------------------------- *)
+
+(* wait until [rep] probes healthy again, and — when [epoch] is given —
+   reports that serving epoch *)
+let gate t ?epoch rep =
+  let t0 = Unix.gettimeofday () in
+  let settled () =
+    Replica.probe ~force:true rep
+    &&
+    match epoch with
+    | None -> true
+    | Some e -> (
+      match Replica.epoch rep with
+      | Some e' -> Epoch.equal e' e
+      | None -> false)
+  in
+  let rec go () =
+    if settled () then true
+    else if Unix.gettimeofday () -. t0 > t.cfg.reload_gate_s then false
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+(* pre-epoch walk, one replica at a time — kept for backends that answer
+   [reload] but not the two-phase verbs *)
+let legacy_reload t =
+  let total = ref 0 in
+  let failure = ref None in
+  Array.iter
+    (fun reps ->
+      Array.iter
+        (fun rep ->
+          if !failure = None then
+            match Replica.call ~timeout_s:30.0 rep "reload" with
+            | Ok block when has_prefix ~prefix:"ok reload" block ->
+              (* gate: this replica must probe healthy again before
+                 the next one leaves rotation *)
+              if gate t rep then incr total
+              else
+                failure :=
+                  Some
+                    (Printf.sprintf
+                       "replica %s did not probe healthy within %.0fs of \
+                        reloading"
+                       (Replica.name rep) t.cfg.reload_gate_s)
+            | Ok block ->
+              failure :=
+                Some
+                  (Printf.sprintf "replica %s: %s" (Replica.name rep)
+                     (first_line block))
+            | Error msg -> failure := Some msg)
+        reps)
+    t.shard_array;
+  match !failure with
+  | Some msg -> Error msg
+  | None ->
+    Metrics.incr t.c_reloads;
+    Ok (Printf.sprintf "replicas %d" !total)
+
+(* "ok prepare epoch <e> patterns <n> checksum <hex>" *)
+let prepare_epoch block =
+  match String.split_on_char ' ' (first_line block) with
+  | "ok" :: "prepare" :: "epoch" :: e :: _ -> Epoch.of_string e
+  | _ -> None
+
+let all_replicas t =
+  Array.to_list t.shard_array |> List.concat_map Array.to_list
+
+let two_phase_reload t =
+  (* phase 1 — prepare: every replica stages and verifies the new
+     artifact set; nothing serves it yet *)
+  let prepared = ref [] in
+  let unsupported = ref false in
+  let failure = ref None in
+  let epoch_seen = ref None in
+  List.iter
+    (fun rep ->
+      if !failure = None && not !unsupported then
+        match Replica.call ~timeout_s:30.0 rep "prepare" with
+        | Ok block when has_prefix ~prefix:"ok prepare" block -> (
+          prepared := rep :: !prepared;
+          match prepare_epoch block with
+          | None ->
+            failure :=
+              Some
+                (Printf.sprintf "replica %s: unparseable prepare ack %S"
+                   (Replica.name rep) (first_line block))
+          | Some e -> (
+            match !epoch_seen with
+            | None -> epoch_seen := Some e
+            | Some e0 when Epoch.equal e0 e -> ()
+            | Some e0 ->
+              failure :=
+                Some
+                  (Printf.sprintf
+                     "prepare staged mixed epochs %s (earlier replicas) and \
+                      %s (replica %s) — artifact push incomplete?"
+                     (Epoch.to_string e0) (Epoch.to_string e)
+                     (Replica.name rep))))
+        | Ok block
+          when error_code block = Some "UNAVAILABLE"
+               || error_code block = Some "BADREQ" ->
+          unsupported := true
+        | Ok block ->
+          failure :=
+            Some
+              (Printf.sprintf "replica %s: %s" (Replica.name rep)
+                 (first_line block))
+        | Error msg -> failure := Some msg)
+    (all_replicas t);
+  let abort_prepared () =
+    if !prepared <> [] then begin
+      Metrics.incr t.c_reload_aborts;
+      List.iter
+        (fun rep -> ignore (Replica.call ~timeout_s:10.0 rep "abort"))
+        !prepared
+    end
+  in
+  if !unsupported then begin
+    (* a backend predates the two-phase verbs: release any staged swaps
+       and fall back to the single-phase walk *)
+    abort_prepared ();
+    legacy_reload t
+  end
+  else
+    match !failure with
+    | Some msg ->
+      abort_prepared ();
+      Error msg
+    | None -> (
+      let epoch = Option.get !epoch_seen (* shards are non-empty *) in
+      (* phase 2a — first wave: commit one replica per shard and gate on
+         it serving the new epoch; if any shard cannot field the new
+         epoch, release everything — flipping the target would strand
+         that shard behind STALE_EPOCH *)
+      let committed = ref [] in
+      let wave0 =
+        Array.to_list t.shard_array
+        |> List.map (fun reps ->
+               match Array.to_list reps |> List.find_opt Replica.up with
+               | Some rep -> rep
+               | None -> reps.(0))
+      in
+      let commit_one rep =
+        match Replica.call ~timeout_s:30.0 rep "commit" with
+        | Ok block when has_prefix ~prefix:"ok commit" block ->
+          committed := rep :: !committed;
+          Replica.set_epoch rep (Some epoch);
+          Ok ()
+        | Ok block ->
+          Error
+            (Printf.sprintf "replica %s: %s" (Replica.name rep)
+               (first_line block))
+        | Error msg -> Error msg
+      in
+      let wave0_failure = ref None in
+      List.iter
+        (fun rep ->
+          if !wave0_failure = None then
+            match commit_one rep with
+            | Error msg -> wave0_failure := Some msg
+            | Ok () ->
+              if not (gate t ~epoch rep) then
+                wave0_failure :=
+                  Some
+                    (Printf.sprintf
+                       "replica %s did not serve epoch %s within %.0fs of \
+                        committing"
+                       (Replica.name rep) (Epoch.to_string epoch)
+                       t.cfg.reload_gate_s))
+        wave0;
+      match !wave0_failure with
+      | Some msg ->
+        (* release replicas still holding a staged swap; replicas that
+           already committed are ahead of the (unchanged) target and the
+           scrubber fences them until a later reload succeeds *)
+        prepared :=
+          List.filter
+            (fun rep -> not (List.memq rep !committed))
+            !prepared;
+        abort_prepared ();
+        Error msg
+      | None ->
+        (* the new epoch is live on every shard: flip the pin so new
+           requests target it, then commit the remaining replicas *)
+        Atomic.set t.target (Some epoch);
+        let stragglers = ref 0 in
+        List.iter
+          (fun rep ->
+            if not (List.memq rep !committed) then
+              match commit_one rep with
+              | Ok () ->
+                if Replica.degraded rep then Replica.set_degraded rep false
+              | Error msg ->
+                incr stragglers;
+                Replica.set_degraded rep true;
+                t.on_diagnostic
+                  (Diagnostic.makef ~rule:"RSY001" Diagnostic.Warning
+                     "replica %s failed to commit epoch %s (%s): fenced \
+                      until the scrubber repairs it"
+                     (Replica.name rep) (Epoch.to_string epoch) msg))
+          (all_replicas t);
+        Metrics.set_gauge t.g_degraded (degraded_count t);
+        Metrics.incr t.c_reloads;
+        let total = List.length !committed in
+        Ok (Printf.sprintf "replicas %d epoch %s" total (Epoch.to_string epoch)))
 
 let rolling_reload t =
   if not (Mutex.try_lock t.reload_lock) then
@@ -409,50 +677,145 @@ let rolling_reload t =
   else
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.reload_lock)
-      (fun () ->
-        let total = ref 0 in
-        let failure = ref None in
-        Array.iter
-          (fun reps ->
+      (fun () -> two_phase_reload t)
+
+(* --- anti-entropy scrub -------------------------------------------------- *)
+
+let scrub t =
+  match Fault.inject "scrub.probe" with
+  | exception Fault.Injected _ ->
+    (* chaos: this scrub round is lost; the next one repairs *)
+    Metrics.incr t.c_scrub_faults;
+    degraded_count t
+  | () ->
+    if not (Mutex.try_lock t.reload_lock) then
+      (* a rolling reload is moving epochs on purpose; scrubbing through
+         it would fence replicas mid-walk *)
+      degraded_count t
+    else begin
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.reload_lock)
+        (fun () ->
+          Metrics.incr t.c_scrubs;
+          Array.iter
+            (Array.iter (fun rep -> ignore (Replica.probe ~force:true rep)))
+            t.shard_array;
+          (* the newest epoch served by at least one up replica of every
+             shard — the only epoch the whole cluster can answer *)
+          let shard_epochs =
+            Array.map
+              (fun reps ->
+                Array.to_list reps
+                |> List.filter_map (fun rep ->
+                       if Replica.up rep then Replica.epoch rep else None))
+              t.shard_array
+          in
+          let all_reporting = Array.for_all (fun l -> l <> []) shard_epochs in
+          (match Array.to_list shard_epochs with
+          | [] -> ()
+          | first :: rest -> (
+            let common =
+              List.filter
+                (fun e -> List.for_all (List.exists (Epoch.equal e)) rest)
+                first
+            in
+            match common with
+            | [] ->
+              if all_reporting then
+                t.on_diagnostic
+                  (Diagnostic.makef ~rule:"EPO001" Diagnostic.Error
+                     "no common artifact epoch across %d shards — cluster \
+                      cannot answer any single-version query"
+                     (Array.length t.shard_array))
+            | e :: es ->
+              let newest =
+                List.fold_left
+                  (fun a e -> if Epoch.compare e a > 0 then e else a)
+                  e es
+              in
+              Atomic.set t.target (Some newest)));
+          (match Atomic.get t.target with
+          | None -> ()
+          | Some tgt ->
             Array.iter
-              (fun rep ->
-                if !failure = None then
-                  match Replica.call ~timeout_s:30.0 rep "reload" with
-                  | Ok block when has_prefix ~prefix:"ok reload" block ->
-                    (* gate: this replica must probe healthy again before
-                       the next one leaves rotation *)
-                    let t0 = Unix.gettimeofday () in
-                    let rec gate () =
-                      if Replica.probe rep then true
-                      else if
-                        Unix.gettimeofday () -. t0 > t.cfg.reload_gate_s
-                      then false
-                      else begin
-                        Thread.delay 0.05;
-                        gate ()
-                      end
-                    in
-                    if gate () then incr total
-                    else
-                      failure :=
-                        Some
-                          (Printf.sprintf
-                             "replica %s did not probe healthy within %.0fs \
-                              of reloading"
-                             (Replica.name rep) t.cfg.reload_gate_s)
-                  | Ok block ->
-                    failure :=
-                      Some
-                        (Printf.sprintf "replica %s: %s" (Replica.name rep)
-                           (first_line block))
-                  | Error msg -> failure := Some msg)
-              reps)
-          t.shard_array;
-        match !failure with
-        | Some msg -> Error msg
-        | None ->
-          Metrics.incr t.c_reloads;
-          Ok (Printf.sprintf "replicas %d" !total))
+              (Array.iter (fun rep ->
+                   if Replica.up rep then
+                     match Replica.epoch rep with
+                     | Some e when Epoch.equal e tgt ->
+                       if Replica.degraded rep then
+                         Replica.set_degraded rep false
+                     | e ->
+                       if not (Replica.degraded rep) then begin
+                         Replica.set_degraded rep true;
+                         t.on_diagnostic
+                           (Diagnostic.makef ~rule:"RSY001" Diagnostic.Warning
+                              "replica %s serves epoch %s, cluster target is \
+                               %s: fenced from merges"
+                              (Replica.name rep)
+                              (match e with
+                              | Some e -> Epoch.to_string e
+                              | None -> "none")
+                              (Epoch.to_string tgt))
+                       end;
+                       let behind =
+                         match e with
+                         | None -> true
+                         | Some e -> Epoch.compare e tgt < 0
+                       in
+                       if behind && t.cfg.resync then begin
+                         Metrics.incr t.c_resyncs;
+                         let repaired =
+                           match Replica.call ~timeout_s:30.0 rep "reload" with
+                           | Ok block
+                             when has_prefix ~prefix:"ok reload" block ->
+                             ignore (Replica.probe ~force:true rep);
+                             (match Replica.epoch rep with
+                             | Some e' when Epoch.equal e' tgt ->
+                               Replica.set_degraded rep false;
+                               true
+                             | _ -> false)
+                           | Ok _ | Error _ -> false
+                         in
+                         if not repaired then
+                           t.on_diagnostic
+                             (Diagnostic.makef ~rule:"RSY002" Diagnostic.Error
+                                "replica %s resync did not reach epoch %s — \
+                                 re-push the artifact set"
+                                (Replica.name rep) (Epoch.to_string tgt))
+                       end))
+              t.shard_array);
+          let d = degraded_count t in
+          Metrics.set_gauge t.g_degraded d;
+          d)
+    end
+
+let start_probes t ~stop =
+  Thread.create
+    (fun () ->
+      let next_scrub =
+        ref (Unix.gettimeofday () +. t.cfg.scrub_interval_s)
+      in
+      while not (stop ()) do
+        ignore (probe_all t);
+        if Unix.gettimeofday () >= !next_scrub then begin
+          ignore (scrub t);
+          next_scrub := Unix.gettimeofday () +. t.cfg.scrub_interval_s
+        end;
+        (* jittered cadence: many routers fronting one fleet must not
+           probe (or scrub) in lockstep *)
+        let u =
+          Mutex.lock t.prng_lock;
+          let u = Prng.float t.prng 1.0 in
+          Mutex.unlock t.prng_lock;
+          u
+        in
+        let interval = t.cfg.probe_interval_s *. (0.75 +. (0.5 *. u)) in
+        let until = Unix.gettimeofday () +. interval in
+        while (not (stop ())) && Unix.gettimeofday () < until do
+          Thread.delay 0.05
+        done
+      done)
+    ()
 
 let dispatch t line =
   let tag, body = Protocol.split_tag line in
@@ -467,10 +830,22 @@ let dispatch t line =
   | Health ->
     `Reply
       (Protocol.tag_reply tag
-         (Printf.sprintf "ok health shards %d replicas %d up %d uptime %.3f"
+         (Printf.sprintf
+            "ok health shards %d replicas %d up %d degraded %d uptime %.3f \
+             epoch %s"
             (Array.length t.shard_array)
-            (replica_count t) (up_count t)
-            (Unix.gettimeofday () -. t.started)))
+            (replica_count t) (up_count t) (degraded_count t)
+            (Unix.gettimeofday () -. t.started)
+            (match Atomic.get t.target with
+            | Some e -> Epoch.to_string e
+            | None -> "none")))
+  | Epoch_verb ->
+    `Reply
+      (Protocol.tag_reply tag
+         (Printf.sprintf "ok epoch %s"
+            (match Atomic.get t.target with
+            | Some e -> Epoch.to_string e
+            | None -> "none")))
   | Stats ->
     `Reply
       (Protocol.tag_reply tag
@@ -485,13 +860,23 @@ let dispatch t line =
     Metrics.incr t.c_requests;
     let t0 = Unix.gettimeofday () in
     let deadline = t0 +. t.cfg.deadline_s in
+    let target = Atomic.get t.target in
+    (* the pin: every scattered request names the cluster target epoch,
+       so each shard block is either served at that epoch or answered
+       STALE_EPOCH (and failed over) — a mixed-version merge cannot be
+       assembled in the first place *)
+    let sent =
+      match target with
+      | Some e -> Printf.sprintf "at %s %s" (Epoch.to_string e) body
+      | None -> body
+    in
     let n = Array.length t.shard_array in
-    let blocks =
-      if n = 1 then [ shard_call t 0 ~key body ~deadline ]
+    let results =
+      if n = 1 then [| shard_call t 0 ~key sent ~deadline |]
       else begin
         (* scatter: the last shard runs in the dispatching thread — one
            helper per extra shard, not per shard *)
-        let out = Array.make n "" in
+        let out = Array.make n (("", None) : string * Epoch.t option) in
         let join_lock = Mutex.create () in
         let join_cond = Condition.create () in
         let left = ref (n - 1) in
@@ -503,19 +888,26 @@ let dispatch t line =
                   decr left;
                   if !left = 0 then Condition.signal join_cond;
                   Mutex.unlock join_lock)
-                (fun () -> out.(i) <- shard_call t i ~key body ~deadline))
+                (fun () -> out.(i) <- shard_call t i ~key sent ~deadline))
         done;
-        out.(n - 1) <- shard_call t (n - 1) ~key body ~deadline;
+        out.(n - 1) <- shard_call t (n - 1) ~key sent ~deadline;
         Mutex.lock join_lock;
         while !left > 0 do
           Condition.wait join_cond join_lock
         done;
         Mutex.unlock join_lock;
-        Array.to_list out
+        out
       end
     in
+    let blocks = Array.to_list results |> List.map fst in
+    (* under a pin the epochs are equal by construction; unpinned, the
+       winners' observed epochs feed the merge-layer refusal *)
+    let epochs =
+      Array.to_list results
+      |> List.map (fun (_, e) -> Option.map Epoch.to_string e)
+    in
     let reply =
-      try Merge.merge verb blocks
+      try Merge.merge ~epochs verb blocks
       with Failure msg -> Protocol.error_line Protocol.Internal msg
     in
     Metrics.observe t.h_latency (Unix.gettimeofday () -. t0);

@@ -127,7 +127,13 @@ let refresh t =
 let patterns t = List.concat_map snd t.groups
 
 let render t =
-  Publish.render
+  (* stamped with the WAL watermark: replicas loading this artifact
+     agree on an epoch whose sequence half is the log position it
+     describes (-1 before any refresh renders an unstamped artifact) *)
+  let epoch_seq =
+    if Int64.compare t.watermark 0L >= 0 then Some t.watermark else None
+  in
+  Publish.render ?epoch_seq
     ~taxonomy:(Corpus.taxonomy t.corpus)
     ~edge_labels:(Corpus.edge_labels t.corpus)
     ~db_size:(Corpus.size t.corpus) (patterns t)

@@ -74,7 +74,10 @@ val patterns : t -> Tsg_core.Pattern.t list
 
 val render : t -> string
 (** The publishable artifact ({!Publish.render}) for the cached set
-    against the current corpus size. *)
+    against the current corpus size, stamped with the engine's WAL
+    watermark as its epoch sequence (unstamped before the first
+    {!refresh}). Equal pattern sets render equal stamp {e payloads}
+    whatever the watermark ({!Tsg_query.Epoch.payload}). *)
 
 (** {1 State snapshots} *)
 

@@ -4,8 +4,9 @@ module Diagnostic = Tsg_util.Diagnostic
 module Fault = Tsg_util.Fault
 module Safe_io = Tsg_util.Safe_io
 module Serve = Tsg_query.Serve
+module Epoch = Tsg_query.Epoch
 
-let render ~taxonomy ~edge_labels ~db_size patterns =
+let render ?epoch_seq ~taxonomy ~edge_labels ~db_size patterns =
   let node_labels = Taxonomy.labels taxonomy in
   (* sort by each pattern's own one-pattern rendering: canonical node
      order and label names only, so the order (and hence the bytes) is a
@@ -20,7 +21,10 @@ let render ~taxonomy ~edge_labels ~db_size patterns =
     List.map snd
       (List.sort (fun (a, _) (b, _) -> String.compare a b) keyed)
   in
-  Pattern_io.to_string ~node_labels ~edge_labels ~db_size sorted
+  let payload = Pattern_io.to_string ~node_labels ~edge_labels ~db_size sorted in
+  match epoch_seq with
+  | None -> payload
+  | Some seq -> Epoch.stamp ~seq payload
 
 let write path content =
   Fault.inject "pipeline.publish";
@@ -54,9 +58,11 @@ let reload_once ~host ~port =
           Result.Error "connection closed before the reload reply"
         | line -> Result.Ok line)
 
+(* tolerate trailing fields: the ack grew an [epoch <e>] suffix and may
+   grow again — the checksum token is the contract *)
 let parse_ack line =
   match String.split_on_char ' ' line with
-  | [ "ok"; "reload"; "patterns"; _; "checksum"; hex ] ->
+  | "ok" :: "reload" :: "patterns" :: _ :: "checksum" :: hex :: _ ->
     Int64.of_string_opt ("0x" ^ hex)
   | _ -> None
 

@@ -16,12 +16,18 @@
     the incident surfaces as a [PIPE002] diagnostic. *)
 
 val render :
+  ?epoch_seq:int64 ->
   taxonomy:Tsg_taxonomy.Taxonomy.t ->
   edge_labels:Tsg_graph.Label.t ->
   db_size:int ->
   Tsg_core.Pattern.t list ->
   string
-(** The pattern set in {!Tsg_core.Pattern_io} text form, content-sorted. *)
+(** The pattern set in {!Tsg_core.Pattern_io} text form, content-sorted.
+    With [epoch_seq] (the publisher's WAL watermark) the artifact is
+    prefixed with a [# epoch] stamp ({!Tsg_query.Epoch.stamp}) so
+    loaders can verify integrity and clusters can agree on a version;
+    the payload after the stamp is identical to the unstamped
+    rendering. *)
 
 val write : string -> string -> unit
 (** [write path content]: atomic artifact write behind the

@@ -7,6 +7,7 @@ module Pattern = Tsg_core.Pattern
 
 type t = {
   store : Store.t;
+  epoch : Epoch.t;
   cache : int list Lru.t;
   cache_lock : Mutex.t;
   metrics : Metrics.t;
@@ -22,9 +23,10 @@ type t = {
   h_top_k : Metrics.histogram;
 }
 
-let create ?(cache_capacity = 1024) ~metrics store =
+let create ?(cache_capacity = 1024) ?(epoch = Epoch.zero) ~metrics store =
   {
     store;
+    epoch;
     cache = Lru.create ~capacity:cache_capacity;
     cache_lock = Mutex.create ();
     metrics;
@@ -41,6 +43,10 @@ let create ?(cache_capacity = 1024) ~metrics store =
   }
 
 let store t = t.store
+
+let epoch t = t.epoch
+
+let with_epoch t epoch = { t with epoch }
 
 let metrics t = t.metrics
 

@@ -15,11 +15,27 @@
 
 type t
 
-val create : ?cache_capacity:int -> metrics:Tsg_util.Metrics.t -> Store.t -> t
+val create :
+  ?cache_capacity:int ->
+  ?epoch:Epoch.t ->
+  metrics:Tsg_util.Metrics.t ->
+  Store.t ->
+  t
 (** [cache_capacity] defaults to 1024 cached result lists; [0] disables
-    caching. *)
+    caching. [epoch] (default {!Epoch.zero}) records which artifact
+    version this engine was built from — the serve loop enforces
+    [at <epoch>] request pins against it. *)
 
 val store : t -> Store.t
+
+val epoch : t -> Epoch.t
+(** The artifact epoch this engine serves. *)
+
+val with_epoch : t -> Epoch.t -> t
+(** The same engine (store, cache and metrics shared) under a different
+    epoch — how the serve reload path guarantees the recorded epoch
+    matches the artifact bytes it just verified, whatever the builder
+    did. *)
 
 val metrics : t -> Tsg_util.Metrics.t
 

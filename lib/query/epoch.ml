@@ -1,0 +1,106 @@
+module Checksum = Tsg_util.Checksum
+
+type t = { seq : int64; sum : int64 }
+
+let zero = { seq = 0L; sum = 0L }
+
+let make ~seq ~sum = { seq; sum }
+
+let seq t = t.seq
+
+let sum t = t.sum
+
+let compare a b =
+  let c = Int64.compare a.seq b.seq in
+  if c <> 0 then c else Int64.compare a.sum b.sum
+
+let equal a b = compare a b = 0
+
+let to_string t = Printf.sprintf "%Ld.%016Lx" t.seq t.sum
+
+let of_string s =
+  match String.index_opt s '.' with
+  | None -> None
+  | Some i -> (
+    let seq = String.sub s 0 i in
+    let sum = String.sub s (i + 1) (String.length s - i - 1) in
+    match (Int64.of_string_opt seq, Int64.of_string_opt ("0x" ^ sum)) with
+    | Some seq, Some sum -> Some { seq; sum }
+    | _ -> None)
+
+(* --- artifact contents ------------------------------------------------- *)
+
+let contents_sum contents =
+  List.fold_left
+    (fun acc s -> Checksum.mix64 acc (Checksum.fnv1a64 s))
+    (Checksum.fnv1a64 "")
+    contents
+
+(* --- stamp lines -------------------------------------------------------- *)
+
+(* A stamped artifact starts with [# epoch <seq> <payload-hex>] where the
+   hex fingerprints everything after the stamp line. The '#' comment
+   syntax is already skipped by every pattern/taxonomy/db parser, so a
+   stamp is invisible to readers that predate it. *)
+
+let stamp_prefix = "# epoch "
+
+let has_stamp content =
+  String.length content >= String.length stamp_prefix
+  && String.sub content 0 (String.length stamp_prefix) = stamp_prefix
+
+let split_stamp content =
+  if not (has_stamp content) then None
+  else
+    let line, payload =
+      match String.index_opt content '\n' with
+      | None -> (content, "")
+      | Some i ->
+        ( String.sub content 0 i,
+          String.sub content (i + 1) (String.length content - i - 1) )
+    in
+    match String.split_on_char ' ' line with
+    | [ "#"; "epoch"; seq; hex ] -> (
+      match (Int64.of_string_opt seq, Int64.of_string_opt ("0x" ^ hex)) with
+      | Some seq, Some hex -> Some (seq, hex, payload)
+      | _ -> None)
+    | _ -> None
+
+let stamp ~seq content =
+  Printf.sprintf "%s%Ld %016Lx\n%s" stamp_prefix seq
+    (Checksum.fnv1a64 content)
+    content
+
+let stamp_seq content =
+  match split_stamp content with Some (seq, _, _) -> Some seq | None -> None
+
+let payload content =
+  match split_stamp content with
+  | Some (_, _, payload) -> payload
+  | None -> content
+
+let verify_stamp content =
+  if not (has_stamp content) then Ok ()
+  else
+    match split_stamp content with
+    | None -> Error "malformed epoch stamp line"
+    | Some (seq, hex, payload) ->
+      let actual = Checksum.fnv1a64 payload in
+      if Int64.equal actual hex then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "epoch stamp (seq %Ld) fingerprints %016Lx but the payload \
+              hashes to %016Lx — artifact corrupt or spliced"
+             seq hex actual)
+
+let of_sources sources =
+  let seq =
+    List.fold_left
+      (fun acc (_, content) ->
+        match stamp_seq content with
+        | Some s when Int64.compare s acc > 0 -> s
+        | _ -> acc)
+      0L sources
+  in
+  { seq; sum = contents_sum (List.map snd sources) }

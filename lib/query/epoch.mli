@@ -1,0 +1,69 @@
+(** Artifact epochs: the version identity a serving cluster agrees on.
+
+    An epoch is a pair [(seq, sum)]: a monotone sequence number (the
+    pipeline's WAL watermark — {!Tsg_pipeline}'s [Incremental.mined_seq]
+    — or [0] for artifacts published outside the pipeline) and the
+    content checksum of the artifact set ({!contents_sum}, the same
+    FNV-1a64 fold [Serve] reports from [health]). Two replicas serve the
+    same answers iff they serve the same epoch; the router refuses to
+    merge across different ones ([STALE_EPOCH]).
+
+    {b Stamps.} [tsg-pipe] prepends one comment line to each published
+    artifact: [# epoch <seq> <payload-hex>], where the hex fingerprints
+    the bytes after the stamp line. Every existing parser already skips
+    ['#'] comment lines, so stamped artifacts stay readable by older
+    tools; {!verify_stamp} lets a loader detect a spliced or corrupt
+    payload before serving it. Unstamped artifacts get [seq = 0] — the
+    checksum half still distinguishes versions. *)
+
+type t = { seq : int64; sum : int64 }
+
+val zero : t
+(** [(0, 0)] — the epoch of an engine built without artifact files. *)
+
+val make : seq:int64 -> sum:int64 -> t
+
+val seq : t -> int64
+
+val sum : t -> int64
+
+val compare : t -> t -> int
+(** Lexicographic on [(seq, sum)]: the pipeline's WAL watermark decides
+    "newer"; the checksum only breaks ties between out-of-band edits. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["<seq>.<sum as 16 hex digits>"] — the wire spelling used by the
+    [epoch]/[health] verbs and the [at <epoch>] request pin. *)
+
+val of_string : string -> t option
+
+val contents_sum : string list -> int64
+(** Order-sensitive FNV-1a64 fold over file contents — the artifact
+    checksum ([Serve.checksum_strings] delegates here). *)
+
+val stamp : seq:int64 -> string -> string
+(** Prepend [# epoch <seq> <hex>] fingerprinting [content]. *)
+
+val has_stamp : string -> bool
+
+val stamp_seq : string -> int64 option
+(** The sequence number of a well-formed leading stamp, if any. *)
+
+val payload : string -> string
+(** Content with a well-formed leading stamp removed; identity for
+    unstamped (or malformed) content. The delta-equivalence property
+    compares payloads: equal pattern sets render equal {e payloads}
+    whatever watermark each publisher stamped. *)
+
+val verify_stamp : string -> (unit, string) result
+(** [Ok ()] for unstamped content or a stamp whose fingerprint matches
+    the payload; [Error msg] for a malformed stamp or a payload that
+    hashes differently (rule [EPO002] at the call sites). *)
+
+val of_sources : (string * string) list -> t
+(** The epoch of an artifact set given as [(path, contents)] pairs:
+    [seq] is the largest stamp sequence across the files ([0] when none
+    is stamped), [sum] is {!contents_sum} over the full file bytes
+    (stamp lines included, so it matches [Serve.checksum_files]). *)

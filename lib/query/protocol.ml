@@ -8,7 +8,11 @@ type query =
   | Top_k of int * [ `Support | `Interest ]
   | Stats
   | Health
+  | Epoch_info
   | Reload
+  | Prepare
+  | Commit
+  | Abort
   | Quit
 
 type error_code =
@@ -20,6 +24,7 @@ type error_code =
   | Fault
   | Internal
   | Reload_failed
+  | Stale_epoch
 
 let code_string = function
   | Badreq -> "BADREQ"
@@ -30,6 +35,7 @@ let code_string = function
   | Fault -> "FAULT"
   | Internal -> "INTERNAL"
   | Reload_failed -> "RELOAD"
+  | Stale_epoch -> "STALE_EPOCH"
 
 let error_line code message =
   Printf.sprintf "error %s %s" (code_string code) message
@@ -52,6 +58,22 @@ let split_tag line =
 
 let tag_reply tag reply =
   match tag with None -> reply | Some t -> "id " ^ t ^ " " ^ reply
+
+(* [at <epoch> <request>] pins a data query to an artifact epoch: the
+   server answers [error STALE_EPOCH] instead of computing from any
+   other epoch. Parsed after the [id] tag, before the verb, so the
+   reply bytes of a pinned query are identical to an unpinned one —
+   the cluster merge's byte-identity contract survives pinning. *)
+let split_at line =
+  let is_prefixed = String.length line > 3 && String.sub line 0 3 = "at " in
+  if not is_prefixed then (None, line)
+  else
+    let rest = String.sub line 3 (String.length line - 3) in
+    match String.index_opt rest ' ' with
+    | Some i when i > 0 ->
+      ( Some (String.sub rest 0 i),
+        String.sub rest (i + 1) (String.length rest - i - 1) )
+    | _ -> (None, line)
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
 
@@ -119,7 +141,11 @@ let parse ?(max_bytes = default_max_line_bytes) ~taxonomy ~edge_labels line =
         | _ -> fail "bad top-k order %S (expected support or interest)" order)
       | [ "stats" ] -> Stats
       | [ "health" ] -> Health
+      | [ "epoch" ] -> Epoch_info
       | [ "reload" ] -> Reload
+      | [ "prepare" ] -> Prepare
+      | [ "commit" ] -> Commit
+      | [ "abort" ] -> Abort
       | [ "quit" ] -> Quit
       | cmd :: _ -> fail "unknown command %S" cmd
       | [] -> fail "empty request")

@@ -6,10 +6,21 @@
     by-label <label>                            patterns mentioning the label or a descendant
     top-k <k> support|interest                  highest-scored patterns
     stats                                       metrics snapshot
-    health                                      liveness probe (patterns, uptime, checksum, load)
+    health                                      liveness probe (patterns, uptime, checksum, epoch, load)
+    epoch                                       the serving artifact epoch ({!Epoch})
     reload                                      hot-swap the pattern artifact (TCP mode)
+    prepare                                     stage + verify the on-disk artifact (two-phase reload)
+    commit                                      atomically swap in the staged artifact
+    abort                                       drop the staged artifact
     quit                                        stop serving
     v}
+
+    A data query may additionally be pinned to an artifact epoch:
+    [at <epoch> <request>] (after the [id] tag if both are present).
+    A server whose serving epoch differs answers
+    [error STALE_EPOCH serving <cur> wanted <req>] instead of computing
+    a possibly-inconsistent answer — the mechanism the cluster router
+    uses to make mixed-epoch merges impossible.
 
     Failures answer a single line [error <CODE> <message>] where [CODE]
     is one of the stable machine-readable {!error_code} spellings —
@@ -32,7 +43,11 @@ type query =
   | Top_k of int * [ `Support | `Interest ]
   | Stats
   | Health
+  | Epoch_info
   | Reload
+  | Prepare
+  | Commit
+  | Abort
   | Quit
 
 (** {1 Error codes}
@@ -48,7 +63,11 @@ type query =
     - [Fault] — an injected failpoint fired ({!Tsg_util.Fault});
     - [Internal] — unexpected exception; the request died, the server
       did not;
-    - [Reload_failed] — a [reload] was attempted and rolled back. *)
+    - [Reload_failed] — a [reload]/[prepare]/[commit] was attempted and
+      rolled back;
+    - [Stale_epoch] — the request was pinned ([at <epoch>]) to an epoch
+      this server is not serving; the answer would have been
+      version-inconsistent, so none was computed. *)
 
 type error_code =
   | Badreq
@@ -59,6 +78,7 @@ type error_code =
   | Fault
   | Internal
   | Reload_failed
+  | Stale_epoch
 
 val code_string : error_code -> string
 (** The wire spelling, e.g. [OVERLOADED]. *)
@@ -93,6 +113,12 @@ val tag_reply : string option -> string -> string
 (** [tag_reply (Some t) reply] prefixes [reply] with [id t ];
     [tag_reply None reply] is [reply]. Apply to the first line of a
     reply block only. *)
+
+val split_at : string -> string option * string
+(** [split_at body] is [(Some epoch, rest)] when [body] is
+    [at <epoch> <rest>] (the epoch pin — apply {e after} {!split_tag}),
+    and [(None, body)] otherwise. The epoch token is returned unparsed;
+    {!Epoch.of_string} decides validity. *)
 
 val parse :
   ?max_bytes:int ->

@@ -3,7 +3,6 @@ module Label = Tsg_graph.Label
 module Pattern = Tsg_core.Pattern
 module Metrics = Tsg_util.Metrics
 module Fault = Tsg_util.Fault
-module Checksum = Tsg_util.Checksum
 module Safe_io = Tsg_util.Safe_io
 module Diagnostic = Tsg_util.Diagnostic
 
@@ -23,11 +22,7 @@ let default_limits =
 
 (* --- artifact checksums ------------------------------------------------ *)
 
-let checksum_strings contents =
-  List.fold_left
-    (fun acc s -> Checksum.mix64 acc (Checksum.fnv1a64 s))
-    (Checksum.fnv1a64 "")
-    contents
+let checksum_strings = Epoch.contents_sum
 
 let checksum_files paths = checksum_strings (List.map Safe_io.read_file paths)
 
@@ -84,12 +79,16 @@ let execute ~use_cache engine ~names query =
       listing scored (fun (id, s) ->
           result_line ~names ~db_size ~score:s store id)
     | exception Failure msg -> Protocol.error_line Protocol.Unavailable msg)
-  | Protocol.Stats | Protocol.Health | Protocol.Reload | Protocol.Quit ->
+  | Protocol.(
+      Stats | Health | Epoch_info | Reload | Prepare | Commit | Abort | Quit)
+    ->
     assert false (* barriers; see run *)
 
 let answer ?(use_cache = true) engine query =
   match query with
-  | Protocol.(Stats | Health | Reload | Quit) ->
+  | Protocol.(
+      Stats | Health | Epoch_info | Reload | Prepare | Commit | Abort | Quit)
+    ->
     invalid_arg "Serve.answer: barrier verbs have no engine-level answer"
   | Protocol.(Contains _ | By_label _ | Top_k _) as q ->
     let names = Taxonomy.labels (Store.taxonomy (Engine.store engine)) in
@@ -190,17 +189,36 @@ let read_bounded_line ic ~max_bytes =
   in
   go false
 
+(* --- serving generations ----------------------------------------------- *)
+
+(* what one request executes against: an engine, the edge-label parse
+   table matching it, and the artifact checksum it was loaded from. The
+   serve loop re-captures the current generation for every request
+   (listen's [current] reads the hot-swap cell), so a long-lived pooled
+   connection — the router keeps them open for hours — starts serving a
+   reloaded artifact at its next request, not at its next reconnect. *)
+type generation = {
+  gen_engine : Engine.t;
+  gen_labels : Label.t;
+  gen_checksum : int64 option;
+}
+
+(* the two-phase reload hooks (TCP mode wires these to the staged cell) *)
+type staging = {
+  stage_prepare : unit -> (string, string) result;
+  stage_commit : unit -> (string, string) result;
+  stage_abort : unit -> (string, string) result;
+}
+
 let run ?exec ?(limits = default_limits) ?admission ?client
-    ?(checksum = fun () -> None) ?reloader ~engine ~edge_labels ic oc =
+    ?(checksum = fun () -> None) ?reloader ?staging ?current ~engine
+    ~edge_labels ic oc =
   (* the executor pins the domain count for the whole loop: TSG_DOMAINS is
      read when the Exec is created (at most once, here), never re-read
      behind a live loop's back by a concurrent reload *)
   let domains =
     match exec with Some e -> Exec.domains e | None -> default_domains ()
   in
-  let store = Engine.store engine in
-  let taxonomy = Store.taxonomy store in
-  let names = Taxonomy.labels taxonomy in
   let metrics = Engine.metrics engine in
   Metrics.set_gauge (Metrics.gauge metrics "serve.domains") domains;
   let oversized_c = Metrics.counter metrics "serve.oversized" in
@@ -208,6 +226,20 @@ let run ?exec ?(limits = default_limits) ?admission ?client
   let disconnect_c = Metrics.counter metrics "serve.disconnects" in
   let fault_c = Metrics.counter metrics "serve.injected_faults" in
   let health_c = Metrics.counter metrics "serve.health" in
+  let stale_c = Metrics.counter metrics "serve.stale_epoch" in
+  let current =
+    match current with
+    | Some f -> f
+    | None ->
+      let static =
+        {
+          gen_engine = engine;
+          gen_labels = edge_labels;
+          gen_checksum = checksum ();
+        }
+      in
+      fun () -> static
+  in
   let client =
     match (admission, client) with
     | Some adm, None -> Some (Admission.client adm)
@@ -226,20 +258,23 @@ let run ?exec ?(limits = default_limits) ?admission ?client
         Metrics.incr disconnect_c
   in
   let batch = ref [] in
+  let gen_names gen =
+    Taxonomy.labels (Store.taxonomy (Engine.store gen.gen_engine))
+  in
   let fill (arrival, tag, item) =
     Protocol.tag_reply tag
       (match item with
       | `Error (code, msg) -> Protocol.error_line code msg
-      | `Query q ->
-        execute_guarded ~use_cache:true engine ~names ~limits ~deadline_c
-          ~fault_c ~arrival q
-      | `Ticket (adm, ticket, q) -> (
+      | `Query (gen, q) ->
+        execute_guarded ~use_cache:true gen.gen_engine ~names:(gen_names gen)
+          ~limits ~deadline_c ~fault_c ~arrival q
+      | `Ticket (gen, adm, ticket, q) -> (
         match Admission.start adm ticket with
         | `Expired retry_after_s -> overloaded_line retry_after_s
         | `Run level ->
           let reply =
-            execute_guarded ~use_cache:(level = 0) engine ~names ~limits
-              ~deadline_c ~fault_c ~arrival q
+            execute_guarded ~use_cache:(level = 0) gen.gen_engine
+              ~names:(gen_names gen) ~limits ~deadline_c ~fault_c ~arrival q
           in
           Admission.finish adm ticket ~ok:(not (is_error reply));
           reply))
@@ -262,39 +297,90 @@ let run ?exec ?(limits = default_limits) ?admission ?client
     List.iter
       (fun (_, _, item) ->
         match item with
-        | `Ticket (adm, ticket, _) -> Admission.cancel adm ticket
+        | `Ticket (_, adm, ticket, _) -> Admission.cancel adm ticket
         | `Error _ | `Query _ -> ())
       !batch
   in
   let enqueue ?tag entry =
     batch := (Unix.gettimeofday (), tag, entry) :: !batch
   in
-  let data_query ?tag q =
-    (match admission with
-    | None -> enqueue ?tag (`Query q)
-    | Some adm -> (
-      let kind =
-        match q with
-        | Protocol.Contains _ -> Admission.Contains
-        | Protocol.By_label _ -> Admission.By_label
-        | Protocol.Top_k (k, _) -> Admission.Top_k k
-        | Protocol.(Stats | Health | Reload | Quit) -> assert false
-      in
-      let cl =
-        match client with
-        | Some c -> c
-        | None -> assert false (* built above when admission is present *)
-      in
-      match Admission.admit adm cl kind with
-      | Admission.Admit ticket -> enqueue ?tag (`Ticket (adm, ticket, q))
-      | Admission.Shed { reason = _; retry_after_s } ->
-        enqueue ?tag
-          (`Error
-            ( Protocol.Overloaded,
-              Printf.sprintf "retry-after %.3f" (Float.max 0.0 retry_after_s) ))));
+  let data_query ?tag gen pin q =
+    (* the epoch pin is enforced against the exact engine this entry will
+       execute on — the generation travels with the entry, so the check
+       and the computation cannot disagree *)
+    let pinned_out =
+      match pin with
+      | None -> None
+      | Some token -> (
+        match Epoch.of_string token with
+        | None ->
+          Some
+            ( Protocol.Badreq,
+              Printf.sprintf "bad epoch %S in at-pin" token )
+        | Some wanted ->
+          let serving = Engine.epoch gen.gen_engine in
+          if Epoch.equal serving wanted then None
+          else begin
+            Metrics.incr stale_c;
+            Some
+              ( Protocol.Stale_epoch,
+                Printf.sprintf "serving %s wanted %s"
+                  (Epoch.to_string serving) (Epoch.to_string wanted) )
+          end)
+    in
+    (match pinned_out with
+    | Some err -> enqueue ?tag (`Error err)
+    | None -> (
+      match admission with
+      | None -> enqueue ?tag (`Query (gen, q))
+      | Some adm -> (
+        let kind =
+          match q with
+          | Protocol.Contains _ -> Admission.Contains
+          | Protocol.By_label _ -> Admission.By_label
+          | Protocol.Top_k (k, _) -> Admission.Top_k k
+          | Protocol.(
+              Stats | Health | Epoch_info | Reload | Prepare | Commit | Abort
+              | Quit) ->
+            assert false
+        in
+        let cl =
+          match client with
+          | Some c -> c
+          | None -> assert false (* built above when admission is present *)
+        in
+        match Admission.admit adm cl kind with
+        | Admission.Admit ticket -> enqueue ?tag (`Ticket (gen, adm, ticket, q))
+        | Admission.Shed { reason = _; retry_after_s } ->
+          enqueue ?tag
+            (`Error
+              ( Protocol.Overloaded,
+                Printf.sprintf "retry-after %.3f" (Float.max 0.0 retry_after_s)
+              )))));
     (* a tagged request announces a pipelined client matching replies by
        id: answer it now rather than at the next barrier *)
     if tag <> None then flush ()
+  in
+  let barrier_reply tag reply =
+    if is_error reply then incr errors;
+    safe_write (fun () ->
+        output_string oc (Protocol.tag_reply tag reply);
+        output_char oc '\n';
+        Stdlib.flush oc)
+  in
+  let staged_reply tag verb hook =
+    incr requests;
+    flush ();
+    barrier_reply tag
+      (match (staging, hook) with
+      | None, _ ->
+        Protocol.error_line Protocol.Unavailable
+          (Printf.sprintf "%s is not enabled" verb)
+      | Some _, None -> assert false
+      | Some _, Some f -> (
+        match f () with
+        | Ok msg -> "ok " ^ msg
+        | Error msg -> Protocol.error_line Protocol.Reload_failed msg))
   in
   let quit = ref false in
   (try
@@ -310,10 +396,13 @@ let run ?exec ?(limits = default_limits) ?admission ?client
                   Printf.sprintf "request exceeds %d bytes"
                     limits.max_line_bytes ))
           | `Line line -> (
+            let gen = current () in
+            let taxonomy = Store.taxonomy (Engine.store gen.gen_engine) in
             let tag, body = Protocol.split_tag line in
+            let pin, body = Protocol.split_at body in
             match
               Protocol.parse ~max_bytes:limits.max_line_bytes ~taxonomy
-                ~edge_labels body
+                ~edge_labels:gen.gen_labels body
             with
             | None -> ()
             | Some Protocol.Stats ->
@@ -329,8 +418,9 @@ let run ?exec ?(limits = default_limits) ?admission ?client
               incr requests;
               Metrics.incr health_c;
               flush ();
+              let gen = current () in
               let csum =
-                match checksum () with
+                match gen.gen_checksum with
                 | Some c -> Printf.sprintf "%016Lx" c
                 | None -> "-"
               in
@@ -339,23 +429,26 @@ let run ?exec ?(limits = default_limits) ?admission ?client
                 | Some adm -> (Admission.level adm, Admission.in_flight adm)
                 | None -> (0, 0)
               in
-              let reply =
-                Printf.sprintf
-                  "ok health patterns %d uptime %.3f checksum %s degrade %d \
-                   inflight %d domains %d"
-                  (Store.size store)
-                  (Unix.gettimeofday () -. started)
-                  csum level inflight domains
-              in
-              safe_write (fun () ->
-                  output_string oc (Protocol.tag_reply tag reply);
-                  output_char oc '\n';
-                  Stdlib.flush oc)
+              barrier_reply tag
+                (Printf.sprintf
+                   "ok health patterns %d uptime %.3f checksum %s degrade %d \
+                    inflight %d domains %d epoch %s"
+                   (Store.size (Engine.store gen.gen_engine))
+                   (Unix.gettimeofday () -. started)
+                   csum level inflight domains
+                   (Epoch.to_string (Engine.epoch gen.gen_engine)))
+            | Some Protocol.Epoch_info ->
+              incr requests;
+              flush ();
+              let gen = current () in
+              barrier_reply tag
+                (Printf.sprintf "ok epoch %s"
+                   (Epoch.to_string (Engine.epoch gen.gen_engine)))
             | Some Protocol.Reload ->
               incr requests;
               flush ();
-              let reply =
-                match reloader with
+              barrier_reply tag
+                (match reloader with
                 | None ->
                   Protocol.error_line Protocol.Unavailable
                     "reload is not enabled"
@@ -363,19 +456,22 @@ let run ?exec ?(limits = default_limits) ?admission ?client
                   match f () with
                   | Ok msg -> "ok reload " ^ msg
                   | Error msg ->
-                    Protocol.error_line Protocol.Reload_failed msg)
-              in
-              if is_error reply then incr errors;
-              safe_write (fun () ->
-                  output_string oc (Protocol.tag_reply tag reply);
-                  output_char oc '\n';
-                  Stdlib.flush oc)
+                    Protocol.error_line Protocol.Reload_failed msg))
+            | Some Protocol.Prepare ->
+              staged_reply tag "prepare"
+                (Option.map (fun s -> s.stage_prepare) staging)
+            | Some Protocol.Commit ->
+              staged_reply tag "commit"
+                (Option.map (fun s -> s.stage_commit) staging)
+            | Some Protocol.Abort ->
+              staged_reply tag "abort"
+                (Option.map (fun s -> s.stage_abort) staging)
             | Some Protocol.Quit ->
               incr requests;
               quit := true
             | Some (Protocol.(Contains _ | By_label _ | Top_k _) as q) ->
               incr requests;
-              data_query ?tag q
+              data_query ?tag gen pin q
             | exception Protocol.Parse_error msg ->
               incr requests;
               enqueue ?tag (`Error (Protocol.Badreq, msg));
@@ -406,9 +502,10 @@ type reload_config = {
   reload_build : (string * string) list -> Engine.t * string list;
 }
 
-(* the unit of hot swap: connections capture one of these at accept and
-   keep it for their lifetime, so in-flight requests always finish on the
-   engine they started with *)
+(* the unit of hot swap. Connections re-read the cell for every request
+   (through [current] above), so pooled connections pick up a swap at
+   their next request; the swap itself stays atomic — no request ever
+   sees the engine of one generation with the labels of another. *)
 type swap = {
   sw_engine : Engine.t;
   sw_labels : Label.Snapshot.t;
@@ -450,6 +547,9 @@ let listen ?exec ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
   let disconnect_c = Metrics.counter metrics "serve.disconnects" in
   let reloads_c = Metrics.counter metrics "serve.reloads" in
   let rollbacks_c = Metrics.counter metrics "serve.reload.rollbacks" in
+  let prepares_c = Metrics.counter metrics "serve.reload.prepares" in
+  let commits_c = Metrics.counter metrics "serve.reload.commits" in
+  let aborts_c = Metrics.counter metrics "serve.reload.aborts" in
   (* Protocol.parse interns edge labels, and Label.t is not thread-safe:
      every connection parses against its own table. The swap cell holds an
      immutable snapshot; each connection builds a private O(1) overlay
@@ -464,6 +564,9 @@ let listen ?exec ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
         sw_checksum = checksum;
       }
   in
+  (* the two-phase staging cell: [prepare] verifies and parks a complete
+     swap here without serving it; [commit] promotes it atomically *)
+  let staged_cell = Atomic.make None in
   let reload_lock = Mutex.create () in
   let rollback rule fmt =
     Printf.ksprintf
@@ -475,51 +578,125 @@ let listen ?exec ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
         Error msg)
       fmt
   in
-  let do_reload cfg =
+  (* read the artifact set, prove it stable on disk (double read) and
+     internally consistent (epoch stamp), and build the swap — shared by
+     the one-shot reload and the two-phase prepare *)
+  let load_swap cfg =
+    match List.map (fun p -> (p, Safe_io.read_file p)) cfg.reload_paths with
+    | exception Sys_error msg -> rollback "SRV002" "%s" msg
+    | sources -> (
+      let csum = checksum_strings (List.map snd sources) in
+      (* a second read must hash identically: a writer racing the
+         reload (no atomic rename) would otherwise be parsed half
+         old, half new *)
+      let csum2 =
+        try Some (checksum_files cfg.reload_paths)
+        with Sys_error _ -> None
+      in
+      if csum2 <> Some csum then
+        rollback "SRV003"
+          "artifact changed on disk while reloading (checksum instability)"
+      else
+        let rec bad_stamp = function
+          | [] -> None
+          | (path, content) :: rest -> (
+            match Epoch.verify_stamp content with
+            | Ok () -> bad_stamp rest
+            | Error msg -> Some (path, msg))
+        in
+        match bad_stamp sources with
+        | Some (path, msg) -> rollback "EPO002" "%s: %s" path msg
+        | None -> (
+          match cfg.reload_build sources with
+          | engine, names ->
+            let engine =
+              Engine.with_epoch engine (Epoch.of_sources sources)
+            in
+            Ok
+              {
+                sw_engine = engine;
+                sw_labels = Label.Snapshot.of_table (Label.of_names names);
+                sw_checksum = Some csum;
+              }
+          | exception Tsg_core.Pattern_io.Parse_error d ->
+            rollback "SRV002" "%s" (Diagnostic.to_string d)
+          | exception (Invalid_argument msg | Failure msg) ->
+            rollback "SRV002" "%s" msg
+          | exception e -> rollback "SRV002" "%s" (Printexc.to_string e)))
+  in
+  let with_reload_lock f =
     if not (Mutex.try_lock reload_lock) then
       Error "a reload is already in progress"
-    else
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock reload_lock)
-        (fun () ->
-          match
-            List.map (fun p -> (p, Safe_io.read_file p)) cfg.reload_paths
-          with
-          | exception Sys_error msg -> rollback "SRV002" "%s" msg
-          | sources -> (
-            let csum = checksum_strings (List.map snd sources) in
-            (* a second read must hash identically: a writer racing the
-               reload (no atomic rename) would otherwise be parsed half
-               old, half new *)
-            let csum2 =
-              try Some (checksum_files cfg.reload_paths)
-              with Sys_error _ -> None
-            in
-            if csum2 <> Some csum then
-              rollback "SRV003"
-                "artifact changed on disk while reloading (checksum \
-                 instability)"
-            else
-              match cfg.reload_build sources with
-              | engine, names ->
-                Atomic.set cell
-                  {
-                    sw_engine = engine;
-                    sw_labels = Label.Snapshot.of_table (Label.of_names names);
-                    sw_checksum = Some csum;
-                  };
-                Metrics.incr reloads_c;
-                Ok
-                  (Printf.sprintf "patterns %d checksum %016Lx"
-                     (Store.size (Engine.store engine))
-                     csum)
-              | exception Tsg_core.Pattern_io.Parse_error d ->
-                rollback "SRV002" "%s" (Diagnostic.to_string d)
-              | exception (Invalid_argument msg | Failure msg) ->
-                rollback "SRV002" "%s" msg
-              | exception e -> rollback "SRV002" "%s" (Printexc.to_string e)))
+    else Fun.protect ~finally:(fun () -> Mutex.unlock reload_lock) f
+  in
+  let swap_stats sw =
+    ( Store.size (Engine.store sw.sw_engine),
+      Epoch.to_string (Engine.epoch sw.sw_engine) )
+  in
+  let do_reload cfg =
+    with_reload_lock (fun () ->
+        match load_swap cfg with
+        | Error _ as e -> e
+        | Ok sw ->
+          Atomic.set cell sw;
+          (* whatever was staged predates the artifact just loaded *)
+          Atomic.set staged_cell None;
+          Metrics.incr reloads_c;
+          let patterns, epoch = swap_stats sw in
+          Ok
+            (Printf.sprintf "patterns %d checksum %016Lx epoch %s" patterns
+               (Option.value ~default:0L sw.sw_checksum)
+               epoch))
+  in
+  let do_prepare cfg =
+    with_reload_lock (fun () ->
+        match Fault.inject "reload.prepare" with
+        | exception Tsg_util.Fault.Injected { site; hit } ->
+          rollback "SRV002" "injected fault at %s (hit %d)" site hit
+        | () -> (
+          match load_swap cfg with
+          | Error _ as e -> e
+          | Ok sw ->
+            Atomic.set staged_cell (Some sw);
+            Metrics.incr prepares_c;
+            let patterns, epoch = swap_stats sw in
+            Ok
+              (Printf.sprintf "prepare epoch %s patterns %d checksum %016Lx"
+                 epoch patterns
+                 (Option.value ~default:0L sw.sw_checksum))))
+  in
+  let do_commit () =
+    match Fault.inject "reload.commit" with
+    | exception Tsg_util.Fault.Injected { site; hit } ->
+      Metrics.incr rollbacks_c;
+      Error (Printf.sprintf "injected fault at %s (hit %d)" site hit)
+    | () -> (
+      match Atomic.exchange staged_cell None with
+      | None -> Error "nothing prepared"
+      | Some sw ->
+        Atomic.set cell sw;
+        Metrics.incr commits_c;
+        Metrics.incr reloads_c;
+        let patterns, epoch = swap_stats sw in
+        Ok (Printf.sprintf "commit epoch %s patterns %d" epoch patterns))
+  in
+  let do_abort () =
+    (match Atomic.exchange staged_cell None with
+    | Some _ -> Metrics.incr aborts_c
+    | None -> ());
+    Ok "abort"
   in
   let reloader = Option.map (fun cfg () -> do_reload cfg) reload in
+  let staging =
+    Option.map
+      (fun cfg ->
+        {
+          stage_prepare = (fun () -> do_prepare cfg);
+          stage_commit = do_commit;
+          stage_abort = do_abort;
+        })
+      reload
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let actual_port =
     try
@@ -553,13 +730,31 @@ let listen ?exec ?(limits = default_limits) ?(max_conns = 64) ?(drain_s = 5.0)
     in
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
+    (* per-request generation capture: the overlay parse table is rebuilt
+       only when the swap cell actually changed under this connection *)
+    let cached = ref None in
+    let current () =
+      let sw = Atomic.get cell in
+      match !cached with
+      | Some (sw', gen) when sw' == sw -> gen
+      | _ ->
+        let gen =
+          {
+            gen_engine = sw.sw_engine;
+            gen_labels = Label.Snapshot.to_table sw.sw_labels;
+            gen_checksum = sw.sw_checksum;
+          }
+        in
+        cached := Some (sw, gen);
+        gen
+    in
     let sw = Atomic.get cell in
-    let conn_labels = Label.Snapshot.to_table sw.sw_labels in
     let client = Option.map Admission.client admission in
     match
-      run ~exec ~limits ?admission ?client
-        ~checksum:(fun () -> (Atomic.get cell).sw_checksum)
-        ?reloader ~engine:sw.sw_engine ~edge_labels:conn_labels ic oc
+      run ~exec ~limits ?admission ?client ?reloader ?staging ~current
+        ~engine:sw.sw_engine
+        ~edge_labels:(Label.Snapshot.to_table sw.sw_labels)
+        ic oc
     with
     | o ->
       (try flush oc with Sys_error _ -> ());

@@ -13,8 +13,12 @@
     ok <n>                                  then n result lines:
     p <id> support <count>/<db-size> <pattern>     (contains, by-label)
     p <id> score <s> support <count>/<db-size> <pattern>   (top-k)
-    ok health patterns <n> uptime <s> checksum <hex|-> degrade <lvl> inflight <n> domains <d>
-    ok reload patterns <n> checksum <hex>          (reload)
+    ok health patterns <n> uptime <s> checksum <hex|-> degrade <lvl> inflight <n> domains <d> epoch <e>
+    ok epoch <e>                                   (epoch)
+    ok reload patterns <n> checksum <hex> epoch <e>        (reload)
+    ok prepare epoch <e> patterns <n> checksum <hex>       (prepare)
+    ok commit epoch <e> patterns <n>               (commit)
+    ok abort                                       (abort)
     error <CODE> <message>                  malformed or failed request
     v}
 
@@ -75,9 +79,9 @@ val default_limits : limits
 
 val checksum_strings : string list -> int64
 (** Order-sensitive FNV-1a64 fingerprint of a list of file contents
-    ({!Tsg_util.Checksum.mix64} over per-file {!Tsg_util.Checksum.fnv1a64}
-    hashes) — the artifact checksum reported by [health] and verified on
-    hot reload. *)
+    ({!Epoch.contents_sum} — {!Tsg_util.Checksum.mix64} over per-file
+    {!Tsg_util.Checksum.fnv1a64} hashes) — the artifact checksum reported
+    by [health] and verified on hot reload. *)
 
 val checksum_files : string list -> int64
 (** {!checksum_strings} over the contents of the given paths.
@@ -110,6 +114,33 @@ val parse_bind_addr : string -> (Unix.inet_addr, Tsg_util.Diagnostic.t) result
 (** Parse an IP literal for {!listen}'s [bind_addr]. Invalid spellings
     answer a rule-[SRV001] diagnostic instead of raising. *)
 
+(** {1 Serving generations}
+
+    What one request executes against. The serve loop re-captures the
+    current generation for {e every} request through [current], so a
+    long-lived pooled connection (the cluster router keeps them open
+    indefinitely) starts serving a hot-reloaded artifact at its next
+    request — health, epoch and data answers on one connection can
+    never disagree about which artifact is live. *)
+
+type generation = {
+  gen_engine : Engine.t;
+  gen_labels : Tsg_graph.Label.t;
+      (** connection-private edge-label parse table for this engine *)
+  gen_checksum : int64 option;
+}
+
+(** Two-phase reload hooks, wired by {!listen} to its staging cell:
+    [prepare] loads and verifies the on-disk artifact into a staged swap
+    without serving it, [commit] promotes the staged swap atomically,
+    [abort] drops it. Each returns the [ok]-line suffix or an error
+    message (answered as [error RELOAD ...]). *)
+type staging = {
+  stage_prepare : unit -> (string, string) result;
+  stage_commit : unit -> (string, string) result;
+  stage_abort : unit -> (string, string) result;
+}
+
 val run :
   ?exec:Tsg_util.Pool.Exec.t ->
   ?limits:limits ->
@@ -117,6 +148,8 @@ val run :
   ?client:Admission.client ->
   ?checksum:(unit -> int64 option) ->
   ?reloader:(unit -> (string, string) result) ->
+  ?staging:staging ->
+  ?current:(unit -> generation) ->
   engine:Engine.t ->
   edge_labels:Tsg_graph.Label.t ->
   in_channel ->
@@ -136,7 +169,18 @@ val run :
     per-connection admission state (a fresh one is created when absent).
     [checksum] supplies the artifact checksum for [health] ([None] prints
     ["-"]). [reloader] handles the [reload] verb; without it the verb
-    answers [error UNAVAILABLE reload is not enabled]. *)
+    answers [error UNAVAILABLE reload is not enabled]. [staging]
+    likewise handles [prepare]/[commit]/[abort]. [current] supplies the
+    generation each request executes against (default: one static
+    generation built from [engine], [edge_labels] and [checksum ()]).
+
+    {b Epoch pins.} A data query prefixed [at <epoch>] is answered only
+    when the generation that would execute it serves exactly that epoch
+    ({!Engine.epoch}); otherwise the reply is [error STALE_EPOCH serving
+    <cur> wanted <req>] (counter [serve.stale_epoch]) and nothing is
+    computed. The pin travels with the batch entry, so the check and the
+    execution always see the same engine even across a concurrent
+    hot swap. *)
 
 (** {1 TCP mode} *)
 
@@ -196,17 +240,31 @@ val listen :
     answering [true] (polled in the accept loop — hook a SIGHUP flag
     here), re-reads [reload_paths], checksums them
     ({!checksum_strings}), re-reads to verify the artifact is stable on
-    disk, builds the new engine off the accept thread, and swaps it in.
-    Connections opened before the swap finish on the old engine;
-    new connections see the new one — no in-flight request is dropped.
-    A failing reload (unreadable file, checksum instability, parse or
-    validation error) rolls back: the old engine keeps serving, a
-    diagnostic (rule [SRV002], or [SRV003] for checksum instability)
-    goes to [on_diagnostic] (default: stderr) and
-    [serve.reload.rollbacks] is incremented; successful swaps increment
-    [serve.reloads]. Concurrent reloads are serialized; the loser
-    answers an error. [checksum] seeds the cell so [health] can report
-    the artifact fingerprint before any reload.
+    disk, verifies any {!Epoch} stamp against its payload (mismatch
+    rolls back under rule [EPO002]), builds the new engine off the
+    accept thread, stamps it with {!Epoch.of_sources}, and swaps it in.
+    Requests started before the swap finish on the engine they captured;
+    the {e next} request on any connection — pooled ones included — sees
+    the new generation. A failing reload (unreadable file, checksum
+    instability, stamp mismatch, parse or validation error) rolls back:
+    the old engine keeps serving, a diagnostic (rule [SRV002], [SRV003]
+    for checksum instability, [EPO002] for stamp mismatch) goes to
+    [on_diagnostic] (default: stderr) and [serve.reload.rollbacks] is
+    incremented; successful swaps increment [serve.reloads]. Concurrent
+    reloads are serialized; the loser answers an error. [checksum] seeds
+    the cell so [health] can report the artifact fingerprint before any
+    reload.
+
+    {b Two-phase reload.} With [reload] configured the
+    [prepare]/[commit]/[abort] verbs are live too: [prepare] runs the
+    same load-and-verify pipeline but parks the result in a staging
+    cell (honoring the ["reload.prepare"] failpoint; counter
+    [serve.reload.prepares]); [commit] atomically promotes the staged
+    swap (["reload.commit"] failpoint; counters [serve.reload.commits]
+    and [serve.reloads]); [abort] drops it ([serve.reload.aborts]). A
+    one-shot [reload] clears any staged swap — it would predate the
+    artifact just loaded. The cluster router drives these across
+    replicas so a shard fleet changes epochs all-or-nothing.
 
     The accept loop polls [should_stop] (default never) about four times
     a second; once it returns [true] — typically flipped by a

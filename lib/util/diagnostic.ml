@@ -244,6 +244,11 @@ module Registry = struct
       e "SRV001" Error "bad bind address";
       e "SRV002" Error "artifact reload failed, engine rolled back";
       e "SRV003" Error "artifact reload unstable, engine rolled back";
+      (* epoch-consistent cluster deployment *)
+      e "EPO001" Error "no common artifact epoch across shards";
+      e "EPO002" Error "artifact epoch stamp does not match its payload";
+      e "RSY001" Warning "replica serving a stale epoch, fenced from merges";
+      e "RSY002" Error "replica resync failed, artifact re-push required";
       (* tsg-analyze: domain-safety and determinism passes *)
       e "DOM001" Error
         "unguarded toplevel mutable state reachable from pool domains";
@@ -270,6 +275,7 @@ module Registry = struct
       ("FAULT", "injected fault surfaced to the client");
       ("INTERNAL", "unexpected server error");
       ("RELOAD", "artifact reload failed");
+      ("STALE_EPOCH", "request pinned to an epoch this replica is not serving");
     ]
 
   let find code = List.find_opt (fun entry -> entry.code = code) rules

@@ -1,3 +1,20 @@
+(* after the rename, the new directory entry lives only in the page
+   cache: a crash before the directory inode reaches the platter can
+   forget the entry entirely, leaving neither the temp file (renamed
+   away) nor the target (entry lost) — the file fsync alone does not
+   cover it. POSIX requires an fsync on the directory itself. *)
+let fsync_dir dir =
+  Fault.inject "safe_io.dirsync";
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (* some filesystems refuse fsync on directories; the rename is
+           still atomic, durability just falls back to the journal *)
+        try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let write_atomic ?(fsync = true) path content =
   let dir = Filename.dirname path in
   let tmp, oc =
@@ -13,7 +30,8 @@ let write_atomic ?(fsync = true) path content =
     (* the injection point for "crashed mid-write": the complete new
        version exists only as the temp file, [path] still holds the old *)
     Fault.inject "safe_io.write";
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    if fsync then fsync_dir dir
   with
   | () -> ()
   | exception e ->

@@ -8,10 +8,15 @@
 val write_atomic : ?fsync:bool -> string -> string -> unit
 (** [write_atomic path content] writes [content] to a fresh temporary
     file in [path]'s directory, flushes it ([fsync]s when requested,
-    default [true]), and renames it over [path] — atomic on POSIX
-    filesystems. The temporary file is removed on failure. Honors the
-    ["safe_io.write"] failpoint ({!Fault}), which fires {e before} the
-    rename, so an injected crash never clobbers the previous version. *)
+    default [true]), renames it over [path] — atomic on POSIX
+    filesystems — and (when [fsync]ing) fsyncs the parent directory, so
+    a crash after the rename cannot forget the new directory entry. The
+    temporary file is removed on failure. Honors two failpoints
+    ({!Fault}): ["safe_io.write"] fires {e before} the rename (an
+    injected crash never clobbers the previous version), and
+    ["safe_io.dirsync"] fires {e after} it, before the directory sync —
+    the caller sees the failure but the rename has already happened,
+    exactly the window a real crash would leave. *)
 
 val read_file : string -> string
 (** The whole file as a string. *)

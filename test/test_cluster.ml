@@ -24,6 +24,11 @@ module Store = Tsg_query.Store
 module Engine = Tsg_query.Engine
 module Protocol = Tsg_query.Protocol
 module Serve = Tsg_query.Serve
+module Epoch = Tsg_query.Epoch
+module Pattern_io = Tsg_core.Pattern_io
+module Safe_io = Tsg_util.Safe_io
+module Fault = Tsg_util.Fault
+module Diagnostic = Tsg_util.Diagnostic
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -267,6 +272,26 @@ let test_merge_rejects_malformed () =
   check bool "header/row count mismatch" true (raises [ "ok 2\np 0 support 1/3 x" ]);
   check bool "bad result line" true (raises [ "ok 1\nq 0 support 1/3 x" ])
 
+let test_merge_refuses_mixed_epochs () =
+  let a = "ok 1\np 0 support 1/3 x" in
+  let b = "ok 1\np 1 support 1/3 y" in
+  let merged = "ok 2\np 0 support 1/3 x\np 1 support 1/3 y" in
+  (* two different pinned epochs must refuse before any row-level work:
+     blocks from different artifact versions never combine *)
+  check bool "mixed epochs answer STALE_EPOCH" true
+    (has_prefix "error STALE_EPOCH"
+       (Merge.merge
+          ~epochs:[ Some "1.00000000000000aa"; Some "2.00000000000000bb" ]
+          Merge.List [ a; b ]));
+  check string "equal epochs merge normally" merged
+    (Merge.merge
+       ~epochs:[ Some "1.00000000000000aa"; Some "1.00000000000000aa" ]
+       Merge.List [ a; b ]);
+  check string "an unknown epoch never refuses" merged
+    (Merge.merge ~epochs:[ None; Some "1.00000000000000aa" ] Merge.List [ a; b ]);
+  check string "no epochs at all is the legacy path" merged
+    (Merge.merge Merge.List [ a; b ])
+
 (* --- sharding equivalence ----------------------------------------------------- *)
 
 let random_requests rng t db =
@@ -342,7 +367,7 @@ let locked lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let serve_backend ?reloader store =
+let serve_backend ?reloader ?staging ?current store =
   let e = engine store in
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
@@ -379,8 +404,8 @@ let serve_backend ?reloader store =
                        let edge_labels = Label.of_names [ "e0" ] in
                        try
                          ignore
-                           (Serve.run ~exec:(Tsg_util.Pool.Exec.create ~domains:1 ()) ?reloader ~engine:e
-                              ~edge_labels ic oc)
+                           (Serve.run ~exec:(Tsg_util.Pool.Exec.create ~domains:1 ()) ?reloader ?staging
+                              ?current ~engine:e ~edge_labels ic oc)
                        with
                        | Sys_error _ | End_of_file | Unix.Unix_error _ -> ())
                      fd)
@@ -576,6 +601,41 @@ let test_router_hedges_past_slow_replica () =
   a.b_kill ();
   b.b_kill ()
 
+let test_hedge_win_is_counted () =
+  (* force the hedge to WIN, not merely fire: the stalled backend sits at
+     the router's preferred index for this exact query key, so the
+     primary attempt goes to it and only the hedge can answer in time *)
+  let key = "top-k 1 support" in
+  let pref = Int64.to_int (Shard_map.fingerprint key) land max_int mod 2 in
+  let backend delay =
+    fake_backend (fun body ->
+        if body = "health" then "ok health patterns 0 uptime 0.0"
+        else begin
+          if delay > 0.0 then Thread.delay delay;
+          "ok 0"
+        end)
+  in
+  let slow = backend 0.6 in
+  let fast = backend 0.0 in
+  let order = if pref = 0 then [ slow; fast ] else [ fast; slow ] in
+  let metrics = Metrics.create () in
+  let router =
+    router_over ~deadline_s:2.0 ~hedge_min_s:0.01 metrics
+      [ List.mapi (fun i b -> replica b.b_port (Printf.sprintf "0/%d" i)) order ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = reply_exn router key in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check string "the hedge's answer wins" "ok 0" r;
+  check bool
+    (Printf.sprintf "answered before the stalled primary could (%.3fs)" elapsed)
+    true (elapsed < 0.5);
+  check bool "hedge fired" true (counter_value metrics "cluster.hedges" >= 1);
+  check bool "hedge win accounted" true
+    (counter_value metrics "cluster.hedge_wins" >= 1);
+  slow.b_kill ();
+  fast.b_kill ()
+
 let test_rolling_reload_walks_every_replica () =
   let _, _, store = fixture_store () in
   let reloads = Atomic.make 0 in
@@ -638,6 +698,469 @@ let test_router_verbs_and_tags () =
   | `Reply _ | `None -> Alcotest.fail "quit ends the connection");
   b0.b_kill ()
 
+(* --- epoch-consistent deployment ---------------------------------------------- *)
+
+(* a serve_backend whose generation lives in a swap cell with real
+   two-phase staging over an on-disk artifact: Serve.listen's reload
+   machinery in miniature, but hard-killable like every other backend
+   in this suite *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* full-artifact bytes for one version of the fixture pattern set,
+   stamped with the given WAL sequence; [support] varies the content *)
+let artifact_bytes t db ~seq ~support =
+  let config =
+    { Taxogram.min_support = support; max_edges = Some 2;
+      enhancements = Specialize.all_on }
+  in
+  let patterns =
+    (Taxogram.run (Taxogram.Spec.collect ~config ~domains:1 ()) t db)
+      .Taxogram.patterns
+  in
+  let edge_labels = Label.of_names [ "e0" ] in
+  Epoch.stamp ~seq
+    (Pattern_io.to_string ~node_labels:(Taxonomy.labels t) ~edge_labels
+       ~db_size:(Db.size db) patterns)
+
+(* engine + labels + epoch from the artifact at [path], sliced for shard
+   [si] of [nshards] exactly the way [tsg-serve --shard] does *)
+let build_gen t ~shard:(si, nshards) path =
+  let contents = Safe_io.read_file path in
+  match Epoch.verify_stamp contents with
+  | Error msg -> Error msg
+  | Ok () ->
+    let edge_labels = Label.create () in
+    let full = Store.of_strings ~taxonomy:t ~edge_labels [ (path, contents) ] in
+    let store =
+      if nshards = 1 then full
+      else begin
+        let map = Shard_map.create ~shards:nshards () in
+        Store.slice full ~keep:(fun i ->
+            Shard_map.shard_of_key map (Pattern.key (Store.pattern full i)) = si)
+      end
+    in
+    let epoch = Epoch.of_sources [ (path, contents) ] in
+    Ok
+      ( {
+          Serve.gen_engine =
+            Engine.create ~epoch ~metrics:(Metrics.create ()) store;
+          gen_labels = edge_labels;
+          gen_checksum = Some (Serve.checksum_strings [ contents ]);
+        },
+        epoch )
+
+type epoch_backend = {
+  e_port : int;
+  e_kill : unit -> unit;
+  e_swaps : unit -> int;  (** generations promoted (reload or commit) *)
+  e_staged : unit -> bool;
+  e_epoch : unit -> Epoch.t;  (** the serving epoch right now *)
+}
+
+let epoch_backend ?(fail_prepare = ref false) t ~shard path =
+  let gen0 =
+    match build_gen t ~shard path with
+    | Ok g -> g
+    | Error msg -> Alcotest.fail msg
+  in
+  let cell = Atomic.make gen0 in
+  let slock = Mutex.create () in
+  let staged = ref None in
+  let swaps = Atomic.make 0 in
+  let promote g =
+    Atomic.set cell g;
+    Atomic.incr swaps
+  in
+  let size_of (gen, _) = Store.size (Engine.store gen.Serve.gen_engine) in
+  let csum_of (gen, _) = Option.value ~default:0L gen.Serve.gen_checksum in
+  let prepare () =
+    if !fail_prepare then Error "injected prepare failure"
+    else
+      match build_gen t ~shard path with
+      | Error msg -> Error msg
+      | Ok ((_, e) as g) ->
+        locked slock (fun () -> staged := Some g);
+        Ok
+          (Printf.sprintf "prepare epoch %s patterns %d checksum %016Lx"
+             (Epoch.to_string e) (size_of g) (csum_of g))
+  in
+  let commit () =
+    match
+      locked slock (fun () ->
+          let s = !staged in
+          staged := None;
+          s)
+    with
+    | None -> Error "nothing prepared"
+    | Some ((_, e) as g) ->
+      promote g;
+      Ok
+        (Printf.sprintf "commit epoch %s patterns %d" (Epoch.to_string e)
+           (size_of g))
+  in
+  let abort () =
+    locked slock (fun () -> staged := None);
+    Ok "abort"
+  in
+  let reloader () =
+    match build_gen t ~shard path with
+    | Error msg -> Error msg
+    | Ok ((_, e) as g) ->
+      locked slock (fun () -> staged := None);
+      promote g;
+      Ok
+        (Printf.sprintf "patterns %d checksum %016Lx epoch %s" (size_of g)
+           (csum_of g) (Epoch.to_string e))
+  in
+  let staging =
+    {
+      Serve.stage_prepare = prepare;
+      stage_commit = commit;
+      stage_abort = abort;
+    }
+  in
+  let current () = fst (Atomic.get cell) in
+  let b =
+    serve_backend ~reloader ~staging ~current
+      (Engine.store (fst gen0).Serve.gen_engine)
+  in
+  {
+    e_port = b.b_port;
+    e_kill = b.b_kill;
+    e_swaps = (fun () -> Atomic.get swaps);
+    e_staged = (fun () -> locked slock (fun () -> !staged <> None));
+    e_epoch = (fun () -> snd (Atomic.get cell));
+  }
+
+let epoch_fixture () =
+  let t = fixture_taxonomy () in
+  let db = fixture_db t in
+  (* two genuinely different artifact versions: looser and tighter
+     support thresholds keep different pattern sets *)
+  let v1 = artifact_bytes t db ~seq:1L ~support:0.3 in
+  let v2 = artifact_bytes t db ~seq:2L ~support:1.0 in
+  (t, v1, v2)
+
+(* the single-node oracle: one unsharded engine over the same bytes *)
+let reference t contents line =
+  let edge_labels = Label.create () in
+  let store = Store.of_strings ~taxonomy:t ~edge_labels [ ("ref", contents) ] in
+  let engine = Engine.create ~metrics:(Metrics.create ()) store in
+  match Protocol.parse ~taxonomy:t ~edge_labels line with
+  | Some q -> Serve.answer engine q
+  | None -> Alcotest.fail ("not a data query: " ^ line)
+  | exception Protocol.Parse_error _ -> Alcotest.fail ("unparseable: " ^ line)
+
+let epoch_of bytes = Epoch.of_sources [ ("artifact", bytes) ]
+
+let with_epoch_pair f =
+  let t, v1, v2 = epoch_fixture () in
+  let p0 = Filename.temp_file "tsg_epoch" ".pat" in
+  let p1 = Filename.temp_file "tsg_epoch" ".pat" in
+  write_file p0 v1;
+  write_file p1 v1;
+  let fail_prepare = ref false in
+  let b0 = epoch_backend t ~shard:(0, 1) p0 in
+  let b1 = epoch_backend ~fail_prepare t ~shard:(0, 1) p1 in
+  Fun.protect
+    ~finally:(fun () ->
+      b0.e_kill ();
+      b1.e_kill ();
+      (try Sys.remove p0 with Sys_error _ -> ());
+      try Sys.remove p1 with Sys_error _ -> ())
+    (fun () -> f ~t ~v1 ~v2 ~p0 ~p1 ~b0 ~b1 ~fail_prepare)
+
+let epoch_router ?(resync = true) ?on_diagnostic t backends =
+  let metrics = Metrics.create () in
+  let router =
+    Router.create
+      ~config:
+        { Router.default_config with deadline_s = 5.0; hedge_min_s = 0.01;
+          reload_gate_s = 5.0; resync }
+      ~taxonomy:t
+      ?on_diagnostic ~metrics
+      ~shards:
+        (Array.of_list
+           (List.mapi
+              (fun si reps ->
+                Array.of_list
+                  (List.mapi
+                     (fun ri (b : epoch_backend) ->
+                       replica b.e_port (Printf.sprintf "%d/%d" si ri))
+                     reps))
+              backends))
+      ()
+  in
+  (router, metrics)
+
+let test_two_phase_reload_flips_epoch () =
+  with_epoch_pair (fun ~t ~v1 ~v2 ~p0 ~p1 ~b0 ~b1 ~fail_prepare:_ ->
+      let router, metrics = epoch_router t [ [ b0; b1 ] ] in
+      let q = "top-k 5 support" in
+      check string "pre-reload answers match the unsharded v1 engine"
+        (reference t v1 q) (reply_exn router q);
+      check string "no pin before the first reload" "ok epoch none"
+        (reply_exn router "epoch");
+      (* push v2 to every replica's disk, then roll *)
+      write_file p0 v2;
+      write_file p1 v2;
+      let e2 = epoch_of v2 in
+      check string "two-phase reload reports the new epoch"
+        (Printf.sprintf "ok reload replicas 2 epoch %s" (Epoch.to_string e2))
+        (reply_exn router "reload");
+      check bool "target pin flipped" true
+        (match Router.target_epoch router with
+        | Some e -> Epoch.equal e e2
+        | None -> false);
+      check string "epoch verb reports the pin"
+        (Printf.sprintf "ok epoch %s" (Epoch.to_string e2))
+        (reply_exn router "epoch");
+      let health = reply_exn router "health" in
+      check bool "health counts the fleet and the pin" true
+        (has_prefix "ok health shards 1 replicas 2 up 2 degraded 0" health
+        &&
+        let suffix = " epoch " ^ Epoch.to_string e2 in
+        String.length health >= String.length suffix
+        && String.sub health
+             (String.length health - String.length suffix)
+             (String.length suffix)
+           = suffix);
+      check int "each replica swapped exactly once" 2
+        (b0.e_swaps () + b1.e_swaps ());
+      check bool "both replicas serve the new epoch" true
+        (Epoch.equal (b0.e_epoch ()) e2 && Epoch.equal (b1.e_epoch ()) e2);
+      check bool "no staged swap left behind" true
+        ((not (b0.e_staged ())) && not (b1.e_staged ()));
+      check int "reload counted" 1 (counter_value metrics "cluster.reloads");
+      check string "post-reload answers match the unsharded v2 engine"
+        (reference t v2 q) (reply_exn router q))
+
+let test_two_phase_abort_leaves_epoch_unchanged () =
+  with_epoch_pair (fun ~t ~v1 ~v2 ~p0 ~p1 ~b0 ~b1 ~fail_prepare ->
+      let router, metrics = epoch_router t [ [ b0; b1 ] ] in
+      let q = "top-k 5 support" in
+      let e1 = epoch_of v1 in
+      (* (a) torn artifact push: one replica's disk has v2, the other
+         still v1 — prepare stages mixed epochs and the round aborts *)
+      write_file p0 v2;
+      check bool "mixed-epoch prepare aborts with error RELOAD" true
+        (has_prefix "error RELOAD" (reply_exn router "reload"));
+      check int "abort counted" 1
+        (counter_value metrics "cluster.reload_aborts");
+      check bool "every staged swap released" true
+        ((not (b0.e_staged ())) && not (b1.e_staged ()));
+      check int "nothing committed" 0 (b0.e_swaps () + b1.e_swaps ());
+      check bool "no target pin appeared" true
+        (Router.target_epoch router = None);
+      check bool "both replicas still serve v1" true
+        (Epoch.equal (b0.e_epoch ()) e1 && Epoch.equal (b1.e_epoch ()) e1);
+      check string "answers still match the unsharded v1 engine"
+        (reference t v1 q) (reply_exn router q);
+      (* (b) a replica that refuses to prepare aborts the round too *)
+      write_file p1 v2;
+      fail_prepare := true;
+      check bool "refused prepare aborts" true
+        (has_prefix "error RELOAD" (reply_exn router "reload"));
+      check int "second abort counted" 2
+        (counter_value metrics "cluster.reload_aborts");
+      check int "still nothing committed" 0 (b0.e_swaps () + b1.e_swaps ());
+      check bool "still serving v1" true
+        (Epoch.equal (b0.e_epoch ()) e1 && Epoch.equal (b1.e_epoch ()) e1);
+      (* (c) once the failure clears, the same roll goes through *)
+      fail_prepare := false;
+      check bool "reload succeeds after the failure clears" true
+        (has_prefix "ok reload replicas 2 epoch " (reply_exn router "reload"));
+      check string "answers now match the unsharded v2 engine"
+        (reference t v2 q) (reply_exn router q))
+
+let test_scrub_fences_and_repairs_straggler () =
+  with_epoch_pair (fun ~t ~v1:_ ~v2 ~p0 ~p1 ~b0 ~b1 ~fail_prepare:_ ->
+      let diags = ref [] in
+      let dlock = Mutex.create () in
+      let on_diagnostic d = locked dlock (fun () -> diags := d :: !diags) in
+      let rules () =
+        locked dlock (fun () -> List.map (fun d -> d.Diagnostic.rule) !diags)
+      in
+      let router, metrics = epoch_router ~on_diagnostic t [ [ b0; b1 ] ] in
+      let reps = (Router.shards router).(0) in
+      let e2 = epoch_of v2 in
+      (* replica 1 races ahead: an operator pushes v2 to its disk and
+         reloads it directly, bypassing the router *)
+      write_file p1 v2;
+      (match Replica.call reps.(1) "reload" with
+      | Ok block when has_prefix "ok reload" block -> ()
+      | Ok block -> Alcotest.fail ("direct reload refused: " ^ block)
+      | Error msg -> Alcotest.fail ("direct reload failed: " ^ msg));
+      check bool "replica 1 serves the new epoch" true
+        (Epoch.equal (b1.e_epoch ()) e2);
+      (* first scrub: the target moves to the newest served epoch;
+         replica 0 (still v1 on disk) is fenced, and resync — reloading
+         the stale artifact — cannot reach the target: RSY002 *)
+      check int "one replica left fenced" 1 (Router.scrub router);
+      check bool "target recomputed to the newest epoch" true
+        (match Router.target_epoch router with
+        | Some e -> Epoch.equal e e2
+        | None -> false);
+      check bool "behind replica fenced" true (Replica.degraded reps.(0));
+      check bool "RSY001 raised on the fence" true
+        (List.mem "RSY001" (rules ()));
+      check bool "RSY002 raised when resync cannot reach the target" true
+        (List.mem "RSY002" (rules ()));
+      check bool "resync attempted" true
+        (counter_value metrics "cluster.resyncs" >= 1);
+      (* the fenced replica takes no data traffic: every answer is still
+         byte-identical to the unsharded engine at the target epoch *)
+      let q = "top-k 5 support" in
+      check string "queries route around the fenced replica"
+        (reference t v2 q) (reply_exn router q);
+      (* the artifact push finally lands on replica 0; the next scrub
+         round repairs and unfences it *)
+      write_file p0 v2;
+      check int "scrub repaired the straggler" 0 (Router.scrub router);
+      check bool "unfenced after repair" true
+        (not (Replica.degraded reps.(0)));
+      check bool "repaired replica serves the target epoch" true
+        (Epoch.equal (b0.e_epoch ()) e2);
+      check string "whole cluster answers at the target epoch"
+        (reference t v2 q) (reply_exn router q))
+
+let test_scrub_no_resync_only_fences () =
+  with_epoch_pair (fun ~t ~v1:_ ~v2 ~p0 ~p1 ~b0 ~b1 ~fail_prepare:_ ->
+      let router, metrics = epoch_router ~resync:false t [ [ b0; b1 ] ] in
+      let reps = (Router.shards router).(0) in
+      (* both disks hold v2, but only replica 1 reloaded: replica 0 is
+         repairable, yet --no-resync means the scrubber may only fence *)
+      write_file p0 v2;
+      write_file p1 v2;
+      (match Replica.call reps.(1) "reload" with
+      | Ok block when has_prefix "ok reload" block -> ()
+      | Ok block -> Alcotest.fail ("direct reload refused: " ^ block)
+      | Error msg -> Alcotest.fail ("direct reload failed: " ^ msg));
+      check int "straggler fenced" 1 (Router.scrub router);
+      check bool "fenced, not repaired" true (Replica.degraded reps.(0));
+      check int "no repair reload was sent" 1 (b0.e_swaps () + b1.e_swaps ());
+      check int "no resync attempted" 0
+        (counter_value metrics "cluster.resyncs");
+      check int "stays fenced on the next round" 1 (Router.scrub router);
+      (* clients still get single-epoch answers from the up replica *)
+      let q = "top-k 5 support" in
+      check string "answers come from the target epoch"
+        (reference t v2 q) (reply_exn router q))
+
+let test_scrub_fault_skips_round () =
+  with_epoch_pair (fun ~t ~v1:_ ~v2:_ ~p0:_ ~p1:_ ~b0 ~b1 ~fail_prepare:_ ->
+      let router, metrics = epoch_router t [ [ b0; b1 ] ] in
+      Fault.configure [ ("scrub.probe", Fault.Once) ];
+      Fun.protect ~finally:Fault.clear (fun () ->
+          check int "faulted round just reports the current fencing" 0
+            (Router.scrub router);
+          check bool "lost round counted" true
+            (counter_value metrics "cluster.scrub_faults" >= 1);
+          check int "the next round scrubs normally" 0 (Router.scrub router);
+          check bool "scrub counted" true
+            (counter_value metrics "cluster.scrubs" >= 1)))
+
+(* the deployment acceptance property: under random interleavings of
+   replica kills, aborted (torn-push) prepares and two-phase reloads,
+   every [ok] reply the router hands a client is byte-identical to ONE
+   unsharded engine at a single artifact epoch (v1 or v2) — never a
+   mixed-version merge, whatever the cluster went through *)
+let epoch_interleaving_prop =
+  let t = fixture_taxonomy () in
+  let db = fixture_db t in
+  let v1 = artifact_bytes t db ~seq:1L ~support:0.3 in
+  let v2 = artifact_bytes t db ~seq:2L ~support:1.0 in
+  let queries =
+    [ "top-k 1 support"; "top-k 3 support"; "top-k 8 support"; "by-label b" ]
+  in
+  let ref_v1 = List.map (fun q -> (q, reference t v1 q)) queries in
+  let ref_v2 = List.map (fun q -> (q, reference t v2 q)) queries in
+  QCheck.Test.make
+    ~name:"interleaved kills/aborts/reloads never serve a mixed epoch"
+    ~count:6
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (int_range 1 2))
+    (fun (seed, nshards) ->
+      let rng = Prng.of_int seed in
+      let paths =
+        Array.init nshards (fun _ ->
+            Array.init 2 (fun _ -> Filename.temp_file "tsg_epochq" ".pat"))
+      in
+      Array.iter (Array.iter (fun p -> write_file p v1)) paths;
+      let backends =
+        Array.init nshards (fun si ->
+            Array.init 2 (fun ri ->
+                epoch_backend t ~shard:(si, nshards) paths.(si).(ri)))
+      in
+      let killed = Array.map (Array.map (fun _ -> false)) backends in
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iteri
+            (fun si reps ->
+              Array.iteri
+                (fun ri b -> if not killed.(si).(ri) then b.e_kill ())
+                reps)
+            backends;
+          Array.iter
+            (Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()))
+            paths)
+        (fun () ->
+          let router, _metrics =
+            epoch_router t
+              (Array.to_list (Array.map Array.to_list backends))
+          in
+          let ok = ref true in
+          let check_queries () =
+            List.iter
+              (fun q ->
+                match Router.dispatch router q with
+                | `Reply r ->
+                  (* coded errors (whole shard down, deadline) are an
+                     allowed outcome; an [ok] must be one whole version *)
+                  if has_prefix "ok " r then begin
+                    let at_v1 = r = List.assoc q ref_v1 in
+                    let at_v2 = r = List.assoc q ref_v2 in
+                    if not (at_v1 || at_v2) then ok := false
+                  end
+                | `Quit | `None -> ok := false)
+              queries
+          in
+          check_queries ();
+          let everyone v =
+            Array.iter (Array.iter (fun p -> write_file p v)) paths
+          in
+          let ops = 3 + Prng.int rng 3 in
+          for _ = 1 to ops do
+            (match Prng.int rng 4 with
+            | 0 ->
+              (* clean push + two-phase roll to a random version *)
+              everyone (if Prng.int rng 2 = 0 then v1 else v2);
+              ignore (Router.dispatch router "reload")
+            | 1 ->
+              (* torn push: one replica's disk disagrees — the roll must
+                 abort (or fail on a dead replica) and change nothing *)
+              everyone v1;
+              write_file paths.(0).(0) v2;
+              (match Router.dispatch router "reload" with
+              | `Reply r ->
+                if not (has_prefix "error RELOAD" r) then ok := false
+              | `Quit | `None -> ok := false)
+            | 2 ->
+              (* SIGKILL one replica, chosen at random *)
+              let si = Prng.int rng nshards in
+              let ri = Prng.int rng 2 in
+              if not killed.(si).(ri) then begin
+                backends.(si).(ri).e_kill ();
+                killed.(si).(ri) <- true
+              end
+            | _ -> () (* an extra client round between faults *));
+            check_queries ()
+          done;
+          !ok))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -673,6 +1196,8 @@ let () =
             test_merge_propagates_first_error;
           Alcotest.test_case "rejects malformed" `Quick
             test_merge_rejects_malformed;
+          Alcotest.test_case "refuses mixed epochs" `Quick
+            test_merge_refuses_mixed_epochs;
         ] );
       ( "equivalence",
         Alcotest.test_case "interest identical across shard counts" `Quick
@@ -689,7 +1214,23 @@ let () =
             test_router_overloaded_failover;
           Alcotest.test_case "hedging beats a slow replica" `Quick
             test_router_hedges_past_slow_replica;
+          Alcotest.test_case "hedge wins are accounted" `Quick
+            test_hedge_win_is_counted;
           Alcotest.test_case "rolling reload walks every replica" `Quick
             test_rolling_reload_walks_every_replica;
         ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "two-phase reload flips the cluster epoch" `Quick
+            test_two_phase_reload_flips_epoch;
+          Alcotest.test_case "aborted reload leaves the epoch unchanged" `Quick
+            test_two_phase_abort_leaves_epoch_unchanged;
+          Alcotest.test_case "scrub fences and repairs a straggler" `Quick
+            test_scrub_fences_and_repairs_straggler;
+          Alcotest.test_case "no-resync scrub only fences" `Quick
+            test_scrub_no_resync_only_fences;
+          Alcotest.test_case "faulted scrub round is skipped" `Quick
+            test_scrub_fault_skips_round;
+        ]
+        @ qsuite [ epoch_interleaving_prop ] );
     ]

@@ -187,6 +187,31 @@ let test_write_atomic_survives_fault () =
            (fun f -> not (String.length f > 4 && String.sub f 0 4 = ".tsg"))
            (Sys.readdir (Filename.dirname path))))
 
+let test_write_atomic_survives_dirsync_fault () =
+  let path = Filename.temp_file "tsg_fault" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Safe_io.write_atomic path "first\n";
+      with_faults [ ("safe_io.dirsync", Fault.Once) ] (fun () ->
+          match Safe_io.write_atomic path "second\n" with
+          | () -> Alcotest.fail "fault did not fire"
+          | exception Fault.Injected { site; _ } ->
+            check Alcotest.string "fault site" "safe_io.dirsync" site);
+      (* the directory fsync comes after the rename: by the time it can
+         fail, the new version is already the directory entry — only its
+         crash-durability was at risk, never its content *)
+      check Alcotest.string "new content already in place" "second\n"
+        (Safe_io.read_file path);
+      check bool "no temp litter" true
+        (Array.for_all
+           (fun f -> not (String.length f > 4 && String.sub f 0 4 = ".tsg"))
+           (Sys.readdir (Filename.dirname path)));
+      (* and the writer stays usable once the fault clears *)
+      Safe_io.write_atomic path "third\n";
+      check Alcotest.string "subsequent write lands" "third\n"
+        (Safe_io.read_file path))
+
 (* --- Supervised pool ------------------------------------------------------- *)
 
 let rule_of = function
@@ -709,6 +734,8 @@ let () =
         [
           Alcotest.test_case "atomic write survives a torn write" `Quick
             test_write_atomic_survives_fault;
+          Alcotest.test_case "atomic write survives a torn directory fsync"
+            `Quick test_write_atomic_survives_dirsync_fault;
         ] );
       ( "supervision",
         [

@@ -22,6 +22,7 @@ module Wal = Tsg_pipeline.Wal
 module Corpus = Tsg_pipeline.Corpus
 module Incremental = Tsg_pipeline.Incremental
 module Publish = Tsg_pipeline.Publish
+module Epoch = Tsg_query.Epoch
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -421,6 +422,16 @@ let scratch_artifact h =
   Publish.render ~taxonomy:h.h_tax ~edge_labels ~db_size:(Db.size db)
     r.Taxogram.patterns
 
+(* the published artifact's stamp payload: the daemon stamps its WAL
+   watermark, the from-scratch reference has no WAL — equality is over
+   payload bytes, after the stamp itself verifies *)
+let published h =
+  let bytes = read_file h.h_out in
+  (match Epoch.verify_stamp bytes with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "published artifact stamp: %s" msg);
+  Epoch.payload bytes
+
 (* fixed 10-step script over an instance's graphs: adds, two removes, a
    commit in the middle and one at the end; sequence numbers are
    positional (every add/remove consumes one) *)
@@ -481,7 +492,7 @@ let kill_matrix_case ~domains schedule fired_site () =
           check bool "the fault fired" true (Fault.fired_count fired_site > 0);
           check bool "at least one recovery" true (h.h_restarts > 0));
       check string "published = from-scratch" (scratch_artifact h)
-        (read_file h.h_out))
+        (published h))
 
 let kill_matrix_tests ~domains =
   List.map
@@ -511,7 +522,7 @@ let test_incremental_reuses_roots () =
       check bool "idle commit is incremental" false idle.Incremental.full;
       check int "idle commit mines no roots" 0 idle.Incremental.roots_mined;
       check string "published = from-scratch" (scratch_artifact h)
-        (read_file h.h_out))
+        (published h))
 
 let random_script rng tax graphs =
   let seq = ref 0L in
@@ -560,7 +571,7 @@ let delta_equivalence_prop ~domains =
               ("pipeline.publish", Fault.Probability 0.06);
             ]
             (fun () -> play h script);
-          String.equal (scratch_artifact h) (read_file h.h_out)))
+          String.equal (scratch_artifact h) (published h)))
 
 (* a cold process restart (not a crash retry loop): drop every in-memory
    structure, boot from WAL + state, apply more deltas, commit — the
@@ -583,7 +594,7 @@ let test_restart_resumes_incrementally () =
         (Int64.compare (Incremental.mined_seq h.h_engine) 0L > 0);
       play h second_half;
       check string "published = from-scratch" (scratch_artifact h)
-        (read_file h.h_out))
+        (published h))
 
 let test_corrupt_state_snapshot_degrades () =
   let rng = Prng.of_int 43 in

@@ -14,6 +14,7 @@ module Engine = Tsg_query.Engine
 module Lru = Tsg_query.Lru
 module Protocol = Tsg_query.Protocol
 module Serve = Tsg_query.Serve
+module Epoch = Tsg_query.Epoch
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -439,12 +440,67 @@ let test_protocol_format_roundtrip () =
         ~edges:[ (0, 1, 2); (1, 2, 0); (0, 2, 1) ];
     ]
 
+(* --- Epoch ----------------------------------------------------------------- *)
+
+let test_epoch_roundtrip_and_order () =
+  let e = Epoch.make ~seq:7L ~sum:0xffL in
+  check Alcotest.string "wire format" "7.00000000000000ff" (Epoch.to_string e);
+  (match Epoch.of_string (Epoch.to_string e) with
+  | Some e' -> check bool "of_string round-trips" true (Epoch.equal e e')
+  | None -> Alcotest.fail "wire format did not parse back");
+  check Alcotest.string "zero epoch" "0.0000000000000000"
+    (Epoch.to_string Epoch.zero);
+  check bool "garbage rejected" true
+    (Epoch.of_string "nope" = None
+    && Epoch.of_string "1" = None
+    && Epoch.of_string "1.xyz" = None);
+  check bool "sequence dominates the order" true
+    (Epoch.compare (Epoch.make ~seq:2L ~sum:0L) (Epoch.make ~seq:1L ~sum:99L)
+    > 0);
+  check bool "checksum breaks sequence ties" true
+    (Epoch.compare (Epoch.make ~seq:1L ~sum:2L) (Epoch.make ~seq:1L ~sum:1L)
+    > 0)
+
+let test_epoch_stamp_verify_payload () =
+  let body = "# a comment\npattern lines\n" in
+  let stamped = Epoch.stamp ~seq:42L body in
+  check bool "stamped artifact detected" true (Epoch.has_stamp stamped);
+  check bool "plain content has no stamp" true (not (Epoch.has_stamp body));
+  check bool "stamp sequence recovered" true (Epoch.stamp_seq stamped = Some 42L);
+  check Alcotest.string "payload strips the stamp" body (Epoch.payload stamped);
+  check Alcotest.string "payload of unstamped content is the identity" body
+    (Epoch.payload body);
+  (match Epoch.verify_stamp stamped with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  check bool "unstamped content verifies trivially" true
+    (Epoch.verify_stamp body = Ok ());
+  (* flip one payload byte: the stamp fingerprint must catch it *)
+  let torn = Bytes.of_string stamped in
+  Bytes.set torn (Bytes.length torn - 2) 'X';
+  (match Epoch.verify_stamp (Bytes.to_string torn) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "tampered payload passed verification");
+  (* of_sources: newest stamp sequence, content-sensitive checksum *)
+  let e =
+    Epoch.of_sources
+      [ ("a", Epoch.stamp ~seq:3L "x"); ("b", Epoch.stamp ~seq:9L "y") ]
+  in
+  check bool "sequence is the newest stamp" true (Epoch.seq e = 9L);
+  let e' =
+    Epoch.of_sources
+      [ ("a", Epoch.stamp ~seq:3L "x"); ("b", Epoch.stamp ~seq:9L "z") ]
+  in
+  check bool "changed bytes change the epoch" true (not (Epoch.equal e e'));
+  check bool "unstamped sources fall back to sequence 0" true
+    (Epoch.seq (Epoch.of_sources [ ("a", "x") ]) = 0L)
+
 (* --- Serve end-to-end ------------------------------------------------------ *)
 
-let run_serve ?domains store requests =
+let run_serve ?domains ?epoch store requests =
   let edge_labels = Label.of_names [ "e0" ] in
   let metrics = Metrics.create () in
-  let engine = Engine.create ~metrics store in
+  let engine = Engine.create ?epoch ~metrics store in
   let req_path = Filename.temp_file "tsg_serve" ".req" in
   let out_path = Filename.temp_file "tsg_serve" ".out" in
   Fun.protect
@@ -549,6 +605,46 @@ let test_serve_parallel_matches_sequential () =
   let _, sequential, _ = run_serve ~domains:1 store text in
   let _, parallel, _ = run_serve ~domains:4 store text in
   check Alcotest.string "responses identical in order" sequential parallel
+
+let test_serve_epoch_pin () =
+  let t = small_taxonomy () in
+  let db = two_graph_db t in
+  let store = mined_store t db in
+  let epoch = Epoch.make ~seq:5L ~sum:0xabcdL in
+  let e = Epoch.to_string epoch in
+  let has_prefix p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let has_suffix s l =
+    String.length l >= String.length s
+    && String.sub l (String.length l - String.length s) (String.length s) = s
+  in
+  let requests =
+    String.concat "\n"
+      [
+        "epoch";
+        Printf.sprintf "at %s top-k 1 support" e;
+        "at 4.0000000000000000 top-k 1 support";
+        "health";
+        "quit";
+        "";
+      ]
+  in
+  let outcome, text, metrics = run_serve ~epoch store requests in
+  let lines = String.split_on_char '\n' text in
+  check bool "epoch verb reports the serving epoch" true
+    (List.mem (Printf.sprintf "ok epoch %s" e) lines);
+  check bool "matching pin is answered" true
+    (List.exists (has_prefix "ok 1") lines);
+  check bool "mismatched pin answers STALE_EPOCH, computing nothing" true
+    (List.exists (has_prefix "error STALE_EPOCH") lines);
+  check bool "health carries the epoch" true
+    (List.exists
+       (fun l -> has_prefix "ok health" l && has_suffix (" epoch " ^ e) l)
+       lines);
+  check int "the stale pin is the only error" 1 outcome.Serve.errors;
+  check int "stale pins counted" 1
+    (Metrics.value (Metrics.counter metrics "serve.stale_epoch"))
 
 (* --- properties: engine = brute force over random instances ---------------- *)
 
@@ -668,11 +764,19 @@ let () =
           Alcotest.test_case "format round-trip" `Quick
             test_protocol_format_roundtrip;
         ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "wire format round-trip and order" `Quick
+            test_epoch_roundtrip_and_order;
+          Alcotest.test_case "stamp, verify, payload" `Quick
+            test_epoch_stamp_verify_payload;
+        ] );
       ( "serve",
         [
           Alcotest.test_case "end to end" `Quick test_serve_end_to_end;
           Alcotest.test_case "parallel = sequential" `Quick
             test_serve_parallel_matches_sequential;
+          Alcotest.test_case "epoch pin" `Quick test_serve_epoch_pin;
         ] );
       ( "properties",
         qsuite
